@@ -1,0 +1,380 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets. Each figure/table of the evaluation has a corresponding
+// Benchmark* below; `go test -bench=. -benchmem` produces per-operation
+// costs and NVM perf counters (as b.ReportMetric values), while the full
+// paper-style tables come from cmd/nvbench.
+package nstore_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nstore"
+	"nstore/internal/core"
+	"nstore/internal/nvm"
+	"nstore/internal/pmalloc"
+	"nstore/internal/pmfs"
+	"nstore/internal/testbed"
+	"nstore/internal/workload/tpcc"
+	"nstore/internal/workload/ycsb"
+)
+
+// BenchmarkFig1Interfaces measures one durable 64 B write per op via each
+// interface (Fig. 1: allocator vs filesystem durable write bandwidth).
+func BenchmarkFig1Interfaces(b *testing.B) {
+	b.Run("allocator", func(b *testing.B) {
+		dev := nvm.NewDevice(nvm.DefaultConfig(64 << 20))
+		arena := pmalloc.Format(dev, 0, 64<<20)
+		p, err := arena.Alloc(16<<20, pmalloc.TagOther)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := int64(p) + int64(i%200000)*64
+			dev.Write(off, buf)
+			dev.Sync(off, 64)
+		}
+		reportStall(b, dev)
+	})
+	b.Run("filesystem", func(b *testing.B) {
+		dev := nvm.NewDevice(nvm.DefaultConfig(64 << 20))
+		fs := pmfs.Format(dev, 0, 64<<20, pmfs.Config{ExtentSize: 1 << 20})
+		f, _ := fs.Create("bench")
+		f.WriteAt(make([]byte, 16<<20), 0)
+		f.Sync()
+		buf := make([]byte, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.WriteAt(buf, int64(i%200000)*64)
+			f.Sync()
+		}
+		reportStall(b, dev)
+	})
+}
+
+func reportStall(b *testing.B, dev *nvm.Device) {
+	s := dev.Stats()
+	b.ReportMetric(float64(s.Stall.Nanoseconds())/float64(b.N), "stall-ns/op")
+	b.ReportMetric(float64(s.Stores)/float64(b.N), "stores/op")
+}
+
+// ycsbBench preloads a small YCSB database and runs one transaction per
+// iteration, cycling through the fixed workload.
+func ycsbBench(b *testing.B, kind nstore.EngineKind, mix ycsb.Mix, profile nvm.Profile) {
+	cfg := ycsb.Config{Tuples: 4000, Txns: 4000, Partitions: 1, Mix: mix, Skew: ycsb.LowSkew, Seed: 5}
+	db, err := testbed.New(testbed.Config{
+		Engine:     testbed.EngineKind(kind),
+		Partitions: 1,
+		Env:        core.EnvConfig{DeviceSize: 512 << 20, Profile: profile, CacheSize: 128 << 10},
+		Options:    core.Options{MemTableCap: 512, CheckpointEvery: 4000},
+		Schemas:    ycsb.Schema(cfg),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ycsb.Load(db, cfg); err != nil {
+		b.Fatal(err)
+	}
+	work := ycsb.Generate(cfg)[0]
+	eng := db.Engine(0)
+	db.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Begin(); err != nil {
+			b.Fatal(err)
+		}
+		if err := work[i%len(work)](eng); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := db.Stats()
+	b.ReportMetric(float64(s.Loads)/float64(b.N), "nvm-loads/op")
+	b.ReportMetric(float64(s.Stores)/float64(b.N), "nvm-stores/op")
+	b.ReportMetric(float64(s.BytesWritten)/float64(b.N), "nvm-bytesW/op")
+	b.ReportMetric(float64(s.Stall.Nanoseconds())/float64(b.N), "stall-ns/op")
+}
+
+// BenchmarkYCSB covers Figs. 5-7 (throughput per engine and mixture; run
+// with different -bench filters for latency configs) and reports the NVM
+// load/store counters behind Figs. 9-10.
+func BenchmarkYCSB(b *testing.B) {
+	for _, kind := range nstore.EngineKinds {
+		for _, mix := range ycsb.Mixes {
+			b.Run(fmt.Sprintf("%s/%s", kind, mix.Name), func(b *testing.B) {
+				ycsbBench(b, kind, mix, nvm.ProfileDRAM)
+			})
+		}
+	}
+}
+
+// BenchmarkYCSBLatency sweeps the three latency configurations on the
+// balanced mixture (the latency dimension of Figs. 5-7).
+func BenchmarkYCSBLatency(b *testing.B) {
+	for _, kind := range []nstore.EngineKind{nstore.InP, nstore.NVMInP} {
+		for _, prof := range nvm.Profiles {
+			b.Run(fmt.Sprintf("%s/%s", kind, prof.Name), func(b *testing.B) {
+				ycsbBench(b, kind, ycsb.Balanced, prof)
+			})
+		}
+	}
+}
+
+// BenchmarkTPCC covers Fig. 8 (TPC-C throughput) and Fig. 11 (NVM traffic).
+func BenchmarkTPCC(b *testing.B) {
+	for _, kind := range nstore.EngineKinds {
+		b.Run(string(kind), func(b *testing.B) {
+			cfg := tpcc.Config{Warehouses: 1, Districts: 4, Customers: 60,
+				Items: 200, Txns: 4000, Partitions: 1, Seed: 3}
+			db, err := testbed.New(testbed.Config{
+				Engine:     testbed.EngineKind(kind),
+				Partitions: 1,
+				Env:        core.EnvConfig{DeviceSize: 512 << 20, CacheSize: 128 << 10},
+				Options:    core.Options{MemTableCap: 512},
+				Schemas:    tpcc.Schemas(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tpcc.Load(db, cfg); err != nil {
+				b.Fatal(err)
+			}
+			work := tpcc.Generate(cfg)[0]
+			eng := db.Engine(0)
+			db.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%len(work) == 0 {
+					// Fresh seed per pass so Payment history keys and the
+					// rest of the pre-generated parameters never collide.
+					c2 := cfg
+					c2.Seed = cfg.Seed + int64(i)
+					work = tpcc.Generate(c2)[0]
+				}
+				if err := eng.Begin(); err != nil {
+					b.Fatal(err)
+				}
+				err := work[i%len(work)](eng)
+				switch err {
+				case nil:
+					if err := eng.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				case testbed.ErrAbort:
+					if err := eng.Abort(); err != nil {
+						b.Fatal(err)
+					}
+				default:
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s := db.Stats()
+			b.ReportMetric(float64(s.Loads)/float64(b.N), "nvm-loads/op")
+			b.ReportMetric(float64(s.Stores)/float64(b.N), "nvm-stores/op")
+		})
+	}
+}
+
+// BenchmarkRecovery covers Fig. 12: one crash + full recovery per
+// iteration after a fixed write history.
+func BenchmarkRecovery(b *testing.B) {
+	for _, kind := range nstore.EngineKinds {
+		b.Run(string(kind), func(b *testing.B) {
+			db, err := nstore.Open(nstore.Config{
+				Engine:     kind,
+				Partitions: 1,
+				DeviceSize: 512 << 20,
+				Schemas:    []*nstore.Schema{benchSchema()},
+				Options:    nstore.Options{CheckpointEvery: 1 << 30, MemTableCap: 1 << 30},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := uint64(0); i < 2000; i++ {
+				i := i
+				if err := db.Txn(0, func(tx nstore.Tx) error {
+					return tx.Insert("t", i, []nstore.Value{
+						nstore.IntVal(int64(i)), nstore.StrVal("recovery bench row"),
+					})
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db.Crash()
+				if _, err := db.Recover(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13Breakdown reports the recovery-component share of execution
+// time on the write-heavy mixture (Fig. 13's headline contrast).
+func BenchmarkFig13Breakdown(b *testing.B) {
+	for _, kind := range []nstore.EngineKind{nstore.InP, nstore.NVMInP} {
+		b.Run(string(kind), func(b *testing.B) {
+			ycsbBench(b, kind, ycsb.WriteHeavy, nvm.ProfileLowNVM)
+		})
+	}
+}
+
+// BenchmarkFig14Footprint reports the per-row durable footprint after a
+// balanced workload (Fig. 14).
+func BenchmarkFig14Footprint(b *testing.B) {
+	for _, kind := range nstore.EngineKinds {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db, err := nstore.Open(nstore.Config{
+					Engine: kind, Partitions: 1, DeviceSize: 256 << 20,
+					Schemas: []*nstore.Schema{benchSchema()},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for k := uint64(0); k < 500; k++ {
+					k := k
+					if err := db.Txn(0, func(tx nstore.Tx) error {
+						return tx.Insert("t", k, []nstore.Value{
+							nstore.IntVal(int64(k)), nstore.StrVal("footprint row data"),
+						})
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := db.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(db.FootprintReport().Total())/500, "bytes/row")
+			}
+		})
+	}
+}
+
+// BenchmarkFig15NodeSize sweeps the non-volatile B+tree node size
+// (Appendix B) on point lookups.
+func BenchmarkFig15NodeSize(b *testing.B) {
+	for _, size := range []int{128, 256, 512, 1024, 2048} {
+		b.Run(fmt.Sprintf("node-%d", size), func(b *testing.B) {
+			db, err := nstore.Open(nstore.Config{
+				Engine: nstore.NVMInP, Partitions: 1, DeviceSize: 256 << 20,
+				Schemas: []*nstore.Schema{benchSchema()},
+				Options: nstore.Options{BTreeNodeSize: size},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := uint64(0); k < 5000; k++ {
+				k := k
+				if err := db.Txn(0, func(tx nstore.Tx) error {
+					return tx.Insert("t", k, []nstore.Value{nstore.IntVal(int64(k)), nstore.StrVal("x")})
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.View(0, func(tx nstore.Tx) error {
+					_, _, err := tx.Get("t", uint64(i)%5000)
+					return err
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig16SyncLatency sweeps the sync-primitive latency (Appendix C)
+// on single-tuple updates with the NVM-InP engine.
+func BenchmarkFig16SyncLatency(b *testing.B) {
+	for _, lat := range []time.Duration{0, 100 * time.Nanosecond, 1000 * time.Nanosecond, 10000 * time.Nanosecond} {
+		b.Run(fmt.Sprintf("sync-%v", lat), func(b *testing.B) {
+			db, err := nstore.Open(nstore.Config{
+				Engine: nstore.NVMInP, Partitions: 1, DeviceSize: 256 << 20,
+				Schemas: []*nstore.Schema{benchSchema()},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := uint64(0); k < 1000; k++ {
+				k := k
+				if err := db.Txn(0, func(tx nstore.Tx) error {
+					return tx.Insert("t", k, []nstore.Value{nstore.IntVal(int64(k)), nstore.StrVal("x")})
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			db.Testbed().SetSyncExtra(lat)
+			db.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Txn(0, func(tx nstore.Tx) error {
+					return tx.Update("t", uint64(i)%1000, nstore.Update{
+						Cols: []int{1}, Vals: []nstore.Value{nstore.StrVal("updated")},
+					})
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s := db.Stats()
+			b.ReportMetric(float64(s.Stall.Nanoseconds())/float64(b.N), "stall-ns/op")
+		})
+	}
+}
+
+// BenchmarkTable3CostModel reports measured bytes written per insert, the
+// quantity Table 3's analytical model predicts.
+func BenchmarkTable3CostModel(b *testing.B) {
+	for _, kind := range nstore.EngineKinds {
+		b.Run(string(kind), func(b *testing.B) {
+			db, err := nstore.Open(nstore.Config{
+				Engine: kind, Partitions: 1, DeviceSize: 1 << 30,
+				Schemas: []*nstore.Schema{benchSchema()},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			db.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := uint64(i)
+				if err := db.Txn(0, func(tx nstore.Tx) error {
+					return tx.Insert("t", k, []nstore.Value{
+						nstore.IntVal(int64(k)), nstore.StrVal("cost model row payload"),
+					})
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			db.Flush()
+			b.ReportMetric(float64(db.Stats().BytesWritten)/float64(b.N), "nvm-bytesW/op")
+		})
+	}
+}
+
+func benchSchema() *nstore.Schema {
+	return &nstore.Schema{
+		Name: "t",
+		Columns: []nstore.Column{
+			{Name: "id", Type: nstore.TInt},
+			{Name: "v", Type: nstore.TString, Size: 100},
+		},
+	}
+}

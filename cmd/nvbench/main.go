@@ -1,0 +1,93 @@
+// Command nvbench regenerates the paper's tables and figures on the
+// emulated NVM device.
+//
+// Usage:
+//
+//	nvbench [-run all|fig1|ycsb|tpcc|recovery|breakdown|footprint|costmodel|nodesize|synclat]
+//	        [-scale small|medium] [-partitions N] [-tuples N] [-txns N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nstore/internal/bench"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (comma-separated): all, fig1, ycsb, tpcc, recovery, breakdown, footprint, costmodel, nodesize, synclat, ablations")
+	scaleName := flag.String("scale", "small", "experiment scale: small or medium")
+	partitions := flag.Int("partitions", 0, "override partition count")
+	tuples := flag.Int("tuples", 0, "override YCSB tuple count")
+	txns := flag.Int("txns", 0, "override YCSB transaction count")
+	tpccTxns := flag.Int("tpcc-txns", 0, "override TPC-C transaction count")
+	seed := flag.Int64("seed", 0, "override workload seed")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "small":
+		scale = bench.SmallScale()
+	case "medium":
+		scale = bench.MediumScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *partitions > 0 {
+		scale.Partitions = *partitions
+	}
+	if *tuples > 0 {
+		scale.YCSBTuples = *tuples
+	}
+	if *txns > 0 {
+		scale.YCSBTxns = *txns
+	}
+	if *tpccTxns > 0 {
+		scale.TPCCTxns = *tpccTxns
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	r := bench.New(scale, os.Stdout)
+	start := time.Now()
+	for _, name := range strings.Split(*run, ",") {
+		var err error
+		switch strings.TrimSpace(name) {
+		case "all":
+			err = r.All()
+		case "fig1":
+			_, err = r.Fig1()
+		case "ycsb":
+			_, err = r.YCSB()
+		case "tpcc":
+			_, err = r.TPCC()
+		case "recovery":
+			_, err = r.Recovery()
+		case "breakdown":
+			_, err = r.Breakdown()
+		case "footprint":
+			_, err = r.Footprint()
+		case "costmodel":
+			err = r.CostModel()
+		case "nodesize":
+			_, err = r.NodeSize()
+		case "synclat":
+			_, err = r.SyncLatency()
+		case "ablations":
+			err = r.Ablations()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,125 @@
+// Command nvinspect examines an nstore database snapshot: per-partition
+// device geometry, allocator usage by category, filesystem contents, and
+// root-pointer directory — the on-NVM state an engine would recover from.
+//
+// Usage: nvinspect <snapshot-file>
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"nstore/internal/nvm"
+	"nstore/internal/pmalloc"
+	"nstore/internal/pmfs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: nvinspect <snapshot-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var hdr [16]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		fatal(err)
+	}
+	if string(hdr[:8]) != "NSTSNAP1" {
+		fatal(fmt.Errorf("%s is not an nstore snapshot", os.Args[1]))
+	}
+	parts := int(binary.LittleEndian.Uint64(hdr[8:]))
+	fmt.Printf("snapshot: %d partition(s)\n", parts)
+
+	for p := 0; p < parts; p++ {
+		dev, err := nvm.ReadSnapshot(f)
+		if err != nil {
+			fatal(fmt.Errorf("partition %d: %w", p, err))
+		}
+		inspect(p, dev)
+	}
+}
+
+func inspect(p int, dev *nvm.Device) {
+	fmt.Printf("\n=== partition %d ===\n", p)
+	fmt.Printf("device: %s, cache %s (assoc %d), +%v/read miss\n",
+		size(dev.Size()), size(int64(dev.Config().CacheSize)),
+		dev.Config().CacheAssoc, dev.Config().ReadMissExtra)
+
+	// Filesystem region starts at 0; its superblock records its size.
+	fs, err := pmfs.Open(dev, 0)
+	if err != nil {
+		fmt.Printf("filesystem: none (%v)\n", err)
+		return
+	}
+	fsSize := int64(dev.ReadU64(8))
+	fmt.Printf("filesystem: %s region, %s in files\n", size(fsSize), size(fs.UsedBytes()))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, name := range fs.List() {
+		n, _ := fs.FileSize(name)
+		fmt.Fprintf(w, "  %s\t%s\n", name, size(n))
+	}
+	w.Flush()
+
+	arena, err := pmalloc.Open(dev, fsSize)
+	if err != nil {
+		fmt.Printf("allocator: none (%v)\n", err)
+		return
+	}
+	fmt.Printf("allocator: %s region, %s heap used, %s live\n",
+		size(dev.Size()-fsSize), size(arena.HeapBytes()), size(arena.Allocated()))
+	usage := arena.Usage()
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for tag, bytes := range usage {
+		fmt.Fprintf(w, "  %s\t%s\n", pmalloc.TagNames[tag], size(bytes))
+	}
+	w.Flush()
+
+	var roots []string
+	for i := 0; i < pmalloc.NumRoots; i++ {
+		if v := arena.Root(i); v != 0 {
+			roots = append(roots, fmt.Sprintf("[%d]=%#x", i, v))
+		}
+	}
+	if len(roots) > 0 {
+		fmt.Printf("root directory: %v\n", roots)
+	}
+
+	// Chunk census.
+	var nChunks, nPersisted, nFree int
+	arena.Chunks(func(ptr pmalloc.Ptr, sz int, tag pmalloc.Tag, st pmalloc.State) {
+		nChunks++
+		switch st {
+		case pmalloc.StatePersisted:
+			nPersisted++
+		case pmalloc.StateFree:
+			nFree++
+		}
+	})
+	fmt.Printf("chunks: %d total, %d persisted, %d free\n", nChunks, nPersisted, nFree)
+}
+
+func size(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvinspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command tpcc runs one TPC-C configuration and prints the throughput,
+// NVM perf counters, and recovery latency — a standalone driver for the
+// workload of §5.1.
+//
+// Usage:
+//
+//	tpcc -engine nvm-inp -warehouses 8 -txns 8000 -partitions 8 -latency 2x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nstore"
+	"nstore/internal/core"
+	"nstore/internal/nvm"
+	"nstore/internal/testbed"
+	"nstore/internal/workload/tpcc"
+)
+
+func main() {
+	engine := flag.String("engine", "nvm-inp", "storage engine: inp, cow, log, nvm-inp, nvm-cow, nvm-log")
+	warehouses := flag.Int("warehouses", 4, "warehouses")
+	customers := flag.Int("customers", 100, "customers per district")
+	items := flag.Int("items", 500, "items")
+	txns := flag.Int("txns", 4000, "transactions")
+	partitions := flag.Int("partitions", 4, "partitions")
+	latency := flag.String("latency", "dram", "NVM latency: dram, 2x, 8x")
+	cache := flag.Int("cache", 128<<10, "simulated CPU cache per partition (bytes)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	doRecover := flag.Bool("recover", true, "crash and measure recovery at the end")
+	flag.Parse()
+
+	profile := nvm.ProfileDRAM
+	switch *latency {
+	case "2x":
+		profile = nvm.ProfileLowNVM
+	case "8x":
+		profile = nvm.ProfileHighNVM
+	}
+
+	cfg := tpcc.Config{
+		Warehouses: *warehouses, Customers: *customers, Items: *items,
+		Txns: *txns, Partitions: *partitions, Seed: *seed,
+	}
+	db, err := testbed.New(testbed.Config{
+		Engine:     nstore.EngineKind(*engine),
+		Partitions: *partitions,
+		Env: core.EnvConfig{
+			DeviceSize: 2 << 30 / int64(*partitions),
+			Profile:    profile,
+			CacheSize:  *cache,
+		},
+		Options: core.Options{MemTableCap: 512},
+		Schemas: tpcc.Schemas(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loading %d warehouses on %s (%d partitions)...\n", *warehouses, *engine, *partitions)
+	if err := tpcc.Load(db, cfg); err != nil {
+		fatal(err)
+	}
+	db.ResetStats()
+	res, err := db.ExecuteSequential(tpcc.Generate(cfg))
+	if err != nil {
+		fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		fatal(err)
+	}
+	s := db.Stats()
+	fmt.Printf("%s @%s: %.0f txn/sec (%d committed, %d rolled back)\n",
+		*engine, profile.Name, res.Throughput(), res.Committed, res.Aborted)
+	fmt.Printf("NVM: %d loads, %d stores, %.1f MB written\n",
+		s.Loads, s.Stores, float64(s.BytesWritten)/(1<<20))
+
+	if *doRecover {
+		db.Crash()
+		d, err := db.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("crash + recovery: %v\n", d)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpcc:", err)
+	os.Exit(1)
+}

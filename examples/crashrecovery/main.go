@@ -1,0 +1,101 @@
+// Crash-recovery tour: run the same write-heavy workload on all six storage
+// engines, kill the power mid-flight, and compare recovery latency and
+// post-crash state — reproducing the behaviour behind Fig. 12.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nstore"
+)
+
+const rows = 2000
+
+func schema() *nstore.Schema {
+	return &nstore.Schema{
+		Name: "events",
+		Columns: []nstore.Column{
+			{Name: "id", Type: nstore.TInt},
+			{Name: "counter", Type: nstore.TInt},
+			{Name: "payload", Type: nstore.TString, Size: 128},
+		},
+	}
+}
+
+func main() {
+	fmt.Println("engine    | recovery  | committed rows | in-flight txn visible?")
+	fmt.Println("----------|-----------|----------------|-----------------------")
+	for _, kind := range nstore.EngineKinds {
+		run(kind)
+	}
+	fmt.Println("\nThe NVM-aware engines recover in microseconds regardless of")
+	fmt.Println("history length: NVM-InP and NVM-Log only undo in-flight")
+	fmt.Println("transactions; the CoW engines have no recovery process at all.")
+}
+
+func run(kind nstore.EngineKind) {
+	db, err := nstore.Open(nstore.Config{
+		Engine:     kind,
+		Partitions: 2,
+		DeviceSize: 512 << 20,
+		Schemas:    []*nstore.Schema{schema()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Committed work.
+	for id := uint64(0); id < rows; id++ {
+		id := id
+		if err := db.Txn(db.Route(id), func(tx nstore.Tx) error {
+			return tx.Insert("events", id, []nstore.Value{
+				nstore.IntVal(int64(id)), nstore.IntVal(1),
+				nstore.StrVal("committed before the crash"),
+			})
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A transaction that is still in flight when the power dies: we update
+	// a row and "crash" without committing, after forcing the dirty cache
+	// lines onto the medium — the adversarial case for undo-based recovery.
+	eng := db.Testbed().Engine(0)
+	if err := eng.Begin(); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Update("events", 0, nstore.Update{
+		Cols: []int{1}, Vals: []nstore.Value{nstore.IntVal(-999)},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	db.Testbed().Env(0).Dev.EvictAll()
+
+	db.Crash()
+	lat, err := db.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Count surviving rows and check the in-flight update was undone.
+	count := 0
+	dirty := false
+	for p := 0; p < db.Partitions(); p++ {
+		if err := db.View(p, func(tx nstore.Tx) error {
+			return tx.ScanRange("events", 0, ^uint64(0), func(pk uint64, row []nstore.Value) bool {
+				count++
+				if row[1].I == -999 {
+					dirty = true
+				}
+				return true
+			})
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%-9s | %-9v | %-14d | %v\n", kind, lat.Round(10_000), count, dirty)
+}

@@ -1,0 +1,110 @@
+// Persistence across process restarts: populate a database, save the
+// durable NVM image to a file, reload it (as a new process would), and
+// verify the engine recovers the exact committed state. Inspect the file
+// with `go run ./cmd/nvinspect <file>`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nstore"
+)
+
+func schema() *nstore.Schema {
+	return &nstore.Schema{
+		Name: "inventory",
+		Columns: []nstore.Column{
+			{Name: "sku", Type: nstore.TInt},
+			{Name: "qty", Type: nstore.TInt},
+			{Name: "label", Type: nstore.TString, Size: 64},
+		},
+	}
+}
+
+func main() {
+	path := "inventory.nvm"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	cfg := nstore.Config{
+		Engine:     nstore.NVMInP,
+		Partitions: 2,
+		DeviceSize: 256 << 20,
+		Schemas:    []*nstore.Schema{schema()},
+	}
+
+	db, err := nstore.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for sku := uint64(1); sku <= 500; sku++ {
+		sku := sku
+		if err := db.Txn(db.Route(sku), func(tx nstore.Tx) error {
+			return tx.Insert("inventory", sku, []nstore.Value{
+				nstore.IntVal(int64(sku)),
+				nstore.IntVal(int64(sku % 17)),
+				nstore.StrVal(fmt.Sprintf("item #%d", sku)),
+			})
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A transaction left in flight: it must NOT survive the snapshot.
+	eng := db.Testbed().Engine(0)
+	eng.Begin()
+	eng.Insert("inventory", 9000, []nstore.Value{
+		nstore.IntVal(9000), nstore.IntVal(1), nstore.StrVal("uncommitted"),
+	})
+
+	if err := db.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("saved %d rows to %s (%d KB compressed)\n", 500, path, st.Size()/1024)
+
+	// "Restart": load the snapshot into a fresh database handle. The
+	// NVM-InP engine recovers instantly — no redo, no index rebuild — and
+	// undoes the in-flight transaction.
+	db2, err := nstore.Load(path, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := 0
+	for p := 0; p < db2.Partitions(); p++ {
+		if err := db2.View(p, func(tx nstore.Tx) error {
+			return tx.ScanRange("inventory", 0, ^uint64(0), func(pk uint64, row []nstore.Value) bool {
+				count++
+				return true
+			})
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("reloaded: %d rows (want 500)\n", count)
+
+	if err := db2.View(db2.Route(9000), func(tx nstore.Tx) error {
+		if _, ok, _ := tx.Get("inventory", 9000); ok {
+			return fmt.Errorf("uncommitted row leaked through the snapshot")
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("in-flight transaction correctly absent after reload")
+
+	row := []nstore.Value{}
+	if err := db2.View(db2.Route(42), func(tx nstore.Tx) error {
+		r, ok, err := tx.Get("inventory", 42)
+		if err != nil || !ok {
+			return fmt.Errorf("sku 42 lost: %v", err)
+		}
+		row = r
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sku 42: qty=%d label=%q\n", row[1].I, row[2].S)
+	fmt.Printf("inspect the image with: go run ./cmd/nvinspect %s\n", path)
+}

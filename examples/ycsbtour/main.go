@@ -1,0 +1,71 @@
+// YCSB tour: run the paper's four workload mixtures on all six engines at
+// one latency configuration and print a small Fig. 5-style table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"nstore"
+	"nstore/internal/testbed"
+	"nstore/internal/workload/ycsb"
+)
+
+func main() {
+	tuples := flag.Int("tuples", 8000, "rows in usertable")
+	txns := flag.Int("txns", 8000, "transactions per cell")
+	parts := flag.Int("partitions", 4, "partitions")
+	high := flag.Bool("high-latency", false, "use the 8x NVM latency config")
+	flag.Parse()
+
+	profile := nstore.ProfileLowNVM
+	if *high {
+		profile = nstore.ProfileHighNVM
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "engine")
+	for _, mix := range ycsb.Mixes {
+		fmt.Fprintf(w, "\t%s", mix.Name)
+	}
+	fmt.Fprintf(w, "\n")
+
+	for _, kind := range nstore.EngineKinds {
+		fmt.Fprintf(w, "%s", kind)
+		for _, mix := range ycsb.Mixes {
+			cfg := ycsb.Config{
+				Tuples:     *tuples,
+				Txns:       *txns,
+				Partitions: *parts,
+				Mix:        mix,
+				Skew:       ycsb.LowSkew,
+				Seed:       1,
+			}
+			db, err := nstore.Open(nstore.Config{
+				Engine:     kind,
+				Partitions: *parts,
+				Profile:    profile,
+				Schemas:    ycsb.Schema(cfg),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := ycsb.Load(db.Testbed(), cfg); err != nil {
+				log.Fatal(err)
+			}
+			db.ResetStats()
+			res, err := db.Testbed().ExecuteSequential(ycsb.Generate(cfg))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "\t%.0f", testbed.Result(res).Throughput())
+		}
+		fmt.Fprintf(w, "\n")
+		w.Flush()
+	}
+	fmt.Printf("\n(txn/sec; %s latency, low skew, %d tuples, %d txns)\n",
+		profile.Name, *tuples, *txns)
+}

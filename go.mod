@@ -1,0 +1,3 @@
+module nstore
+
+go 1.22

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"nstore/internal/nvm"
+	"nstore/internal/testbed"
+)
+
+// tinyScale keeps harness tests fast while preserving the shapes.
+func tinyScale() Scale {
+	s := SmallScale()
+	s.Partitions = 2
+	s.DeviceSize = 256 << 20
+	s.YCSBTuples = 4000
+	s.YCSBTxns = 4000
+	s.TPCCWarehouses = 2
+	s.TPCCCustomers = 40
+	s.TPCCItems = 100
+	s.TPCCTxns = 600
+	s.RecoveryTxns = []int{400, 1600}
+	return s
+}
+
+func TestFig1Shape(t *testing.T) {
+	r := New(tinyScale(), io.Discard)
+	res, err := r.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The allocator interface must deliver several-fold higher durable
+	// write bandwidth, most prominently at small sequential chunks (§2.2:
+	// "10-12x higher write bandwidth than the filesystem").
+	for pat := 0; pat < 2; pat++ {
+		for i := range res.ChunkSizes {
+			a, f := res.Bandwidth[0][pat][i], res.Bandwidth[1][pat][i]
+			if a <= f {
+				t.Errorf("pattern %d chunk %d: allocator %.1f <= filesystem %.1f",
+					pat, res.ChunkSizes[i], a, f)
+			}
+		}
+	}
+	small := res.Bandwidth[0][0][0] / res.Bandwidth[1][0][0]
+	if small < 4 {
+		t.Errorf("small-chunk sequential gap %.1fx, want >= 4x", small)
+	}
+	// Bandwidth grows with chunk size on both interfaces.
+	n := len(res.ChunkSizes)
+	if res.Bandwidth[0][0][n-1] < res.Bandwidth[0][0][0] {
+		t.Error("allocator bandwidth did not grow with chunk size")
+	}
+}
+
+func TestYCSBShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := tinyScale()
+	s.Latencies = []nvm.Profile{nvm.ProfileDRAM, nvm.ProfileHighNVM}
+	r := New(s, io.Discard)
+	res, err := r.YCSB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every configured point exists and is positive.
+	if len(res.Points) == 0 {
+		t.Fatal("no measurements")
+	}
+	for _, p := range res.Points {
+		if p.Throughput <= 0 {
+			t.Errorf("%s %s/%s/%s: zero throughput", p.Engine, p.Mix, p.Skew, p.Latency)
+		}
+	}
+	// High NVM latency must slow every engine on the balanced mixture.
+	for _, kind := range s.Engines {
+		d := res.Find(kind, "balanced", "low-skew", "dram")
+		h := res.Find(kind, "balanced", "low-skew", "high-nvm-8x")
+		if d == nil || h == nil {
+			t.Fatalf("%s: missing points", kind)
+		}
+		if h.Throughput >= d.Throughput {
+			t.Errorf("%s: 8x latency did not reduce throughput (%.0f -> %.0f)",
+				kind, d.Throughput, h.Throughput)
+		}
+	}
+	// The NVM-aware engines write fewer bytes than their traditional
+	// counterparts on the write-heavy mixture (the paper's wear headline).
+	for _, pair := range [][2]testbed.EngineKind{
+		{testbed.NVMInP, testbed.InP},
+		{testbed.NVMCoW, testbed.CoW},
+	} {
+		nv := res.Find(pair[0], "write-heavy", "low-skew", "dram")
+		tr := res.Find(pair[1], "write-heavy", "low-skew", "dram")
+		if nv.BytesWritten >= tr.BytesWritten {
+			t.Errorf("%s wrote %d bytes >= %s's %d on write-heavy",
+				pair[0], nv.BytesWritten, pair[1], tr.BytesWritten)
+		}
+	}
+	// High skew reduces NVM loads (CPU-cache locality, §5.3).
+	for _, kind := range s.Engines {
+		lo := res.Find(kind, "read-only", "low-skew", "dram")
+		hi := res.Find(kind, "read-only", "high-skew", "dram")
+		if hi.Loads >= lo.Loads {
+			t.Errorf("%s: high skew did not reduce loads (%d -> %d)", kind, lo.Loads, hi.Loads)
+		}
+	}
+}
+
+func TestTPCCShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := tinyScale()
+	s.Latencies = []nvm.Profile{nvm.ProfileDRAM}
+	r := New(s, io.Discard)
+	res, err := r.TPCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range s.Engines {
+		p := res.Find(kind, "dram")
+		if p == nil || p.Throughput <= 0 {
+			t.Fatalf("%s: missing/zero TPC-C throughput", kind)
+		}
+	}
+	// NVM-CoW beats CoW on the write-intensive TPC-C (§5.2: "the NVM-CoW
+	// engine exhibits the highest speedup over the CoW engine").
+	if res.Find(testbed.NVMCoW, "dram").Throughput <= res.Find(testbed.CoW, "dram").Throughput {
+		t.Error("NVM-CoW not faster than CoW on TPC-C")
+	}
+}
+
+func TestRecoveryShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := tinyScale()
+	r := New(s, io.Discard)
+	res, err := r.Recovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traditional engines' recovery grows with the transaction count; the
+	// NVM-aware engines' latency stays roughly flat (Fig. 12).
+	for _, kind := range []testbed.EngineKind{testbed.InP, testbed.Log} {
+		lat := res.Latency[kind][0]
+		if lat[len(lat)-1] <= lat[0] {
+			t.Errorf("%s: recovery did not grow with txns: %v", kind, lat)
+		}
+	}
+	for _, kind := range []testbed.EngineKind{testbed.NVMInP, testbed.NVMLog} {
+		lat := res.Latency[kind][0]
+		if lat[len(lat)-1] > lat[0]*5+time.Millisecond {
+			t.Errorf("%s: recovery scaled with txns: %v", kind, lat)
+		}
+	}
+	// The NVM-aware engines recover faster than their counterparts at the
+	// largest history.
+	last := len(res.Txns) - 1
+	if res.Latency[testbed.NVMInP][0][last] >= res.Latency[testbed.InP][0][last] {
+		t.Errorf("NVM-InP recovery %v >= InP %v",
+			res.Latency[testbed.NVMInP][0][last], res.Latency[testbed.InP][0][last])
+	}
+}
+
+func TestBreakdownAndFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := tinyScale()
+	r := New(s, io.Discard)
+	bd, err := r.Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range s.Engines {
+		b := bd.Shares["write-heavy"][kind]
+		if b.Total() == 0 {
+			t.Errorf("%s: empty breakdown", kind)
+		}
+	}
+	// Recovery-related share on write-heavy is higher for InP (WAL with
+	// full images + checkpoints) than for NVM-InP (pointer undo log).
+	inp := bd.Shares["write-heavy"][testbed.InP]
+	nvminp := bd.Shares["write-heavy"][testbed.NVMInP]
+	inpFrac := float64(inp.Recovery) / float64(inp.Total())
+	nvmFrac := float64(nvminp.Recovery) / float64(nvminp.Total())
+	if nvmFrac >= inpFrac {
+		t.Errorf("recovery share: NVM-InP %.2f >= InP %.2f", nvmFrac, inpFrac)
+	}
+
+	fp, err := r.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range s.Engines {
+		if fp.YCSB[kind].Total() == 0 || fp.TPCC[kind].Total() == 0 {
+			t.Errorf("%s: empty footprint", kind)
+		}
+	}
+	// The CoW engine has the largest YCSB footprint (§5.6).
+	cow := fp.YCSB[testbed.CoW].Total()
+	for _, kind := range []testbed.EngineKind{testbed.NVMInP, testbed.NVMCoW} {
+		if fp.YCSB[kind].Total() >= cow {
+			t.Errorf("%s footprint %d >= CoW %d", kind, fp.YCSB[kind].Total(), cow)
+		}
+	}
+}
+
+func TestCostModelRuns(t *testing.T) {
+	s := tinyScale()
+	r := New(s, io.Discard)
+	if err := r.CostModel(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"time"
+
+	"nstore/internal/core"
+	"nstore/internal/testbed"
+	"nstore/internal/workload/tpcc"
+	"nstore/internal/workload/ycsb"
+)
+
+// RecoveryResult holds Fig. 12: recovery latency as a function of the
+// number of transactions executed before the crash.
+type RecoveryResult struct {
+	Txns []int
+	// Latency[workload][engine][txnIdx]; workload: 0 YCSB, 1 TPC-C.
+	Latency map[testbed.EngineKind][2][]time.Duration
+}
+
+// Recovery reproduces Fig. 12. Checkpointing and MemTable flushing are
+// configured off so the traditional engines must replay everything since
+// the start, while the NVM-aware engines' latency stays flat.
+func (r *Runner) Recovery() (*RecoveryResult, error) {
+	res := &RecoveryResult{
+		Txns:    r.S.RecoveryTxns,
+		Latency: make(map[testbed.EngineKind][2][]time.Duration),
+	}
+	opts := r.S.Options
+	opts.CheckpointEvery = 1 << 30
+	opts.MemTableCap = 1 << 30
+
+	for _, kind := range r.S.Engines {
+		if kind == testbed.CoW || kind == testbed.NVMCoW {
+			// The CoW engines have no recovery process (§3.2, §4.2); they
+			// are reported as ~0 like the paper's omission.
+			var pair [2][]time.Duration
+			for range res.Txns {
+				pair[0] = append(pair[0], 0)
+				pair[1] = append(pair[1], 0)
+			}
+			res.Latency[kind] = pair
+			continue
+		}
+		var pair [2][]time.Duration
+		for _, n := range res.Txns {
+			d, err := r.recoveryYCSB(kind, opts, n)
+			if err != nil {
+				return nil, err
+			}
+			pair[0] = append(pair[0], d)
+			d, err = r.recoveryTPCC(kind, opts, n)
+			if err != nil {
+				return nil, err
+			}
+			pair[1] = append(pair[1], d)
+		}
+		res.Latency[kind] = pair
+	}
+
+	for wi, name := range []string{"YCSB", "TPC-C"} {
+		r.section("Fig. 12 — recovery latency (" + name + ")")
+		w := r.tab()
+		fprintf(w, "engine")
+		for _, n := range res.Txns {
+			fprintf(w, "\t%d txns", n)
+		}
+		fprintf(w, "\n")
+		for _, kind := range r.S.Engines {
+			fprintf(w, "%s", kind)
+			for i := range res.Txns {
+				fprintf(w, "\t%v", res.Latency[kind][wi][i].Round(10*time.Microsecond))
+			}
+			fprintf(w, "\n")
+		}
+		w.Flush()
+	}
+	return res, nil
+}
+
+func (r *Runner) recoveryYCSB(kind testbed.EngineKind, opts core.Options, txns int) (time.Duration, error) {
+	cfg := r.ycsbCfg(ycsb.WriteHeavy, ycsb.LowSkew)
+	cfg.Txns = txns
+	db, err := testbed.New(testbed.Config{
+		Engine:     kind,
+		Partitions: r.S.Partitions,
+		Env:        r.envCfg(profileByName(r.S, "dram")),
+		Options:    opts,
+		Schemas:    ycsb.Schema(cfg),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := ycsb.Load(db, cfg); err != nil {
+		return 0, err
+	}
+	if _, err := db.Execute(ycsb.Generate(cfg)); err != nil {
+		return 0, err
+	}
+	if err := db.Flush(); err != nil {
+		return 0, err
+	}
+	db.Crash()
+	return db.Recover()
+}
+
+func (r *Runner) recoveryTPCC(kind testbed.EngineKind, opts core.Options, txns int) (time.Duration, error) {
+	cfg := r.tpccCfg()
+	cfg.Txns = txns
+	db, err := testbed.New(testbed.Config{
+		Engine:     kind,
+		Partitions: r.S.Partitions,
+		Env:        r.envCfg(profileByName(r.S, "dram")),
+		Options:    opts,
+		Schemas:    tpcc.Schemas(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := tpcc.Load(db, cfg); err != nil {
+		return 0, err
+	}
+	if _, err := db.Execute(tpcc.Generate(cfg)); err != nil {
+		return 0, err
+	}
+	if err := db.Flush(); err != nil {
+		return 0, err
+	}
+	db.Crash()
+	return db.Recover()
+}

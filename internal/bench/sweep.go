@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"time"
+
+	"nstore/internal/nvm"
+	"nstore/internal/testbed"
+	"nstore/internal/workload/ycsb"
+)
+
+// NodeSizeResult holds Fig. 15 (Appendix B): throughput of the NVM-aware
+// engines as a function of B+tree / CoW B+tree node size.
+type NodeSizeResult struct {
+	// Throughput[engine][mix][nodeSize]
+	Throughput map[testbed.EngineKind]map[string]map[int]float64
+	Sizes      map[testbed.EngineKind][]int
+}
+
+// NodeSize reproduces Fig. 15: YCSB under the low-NVM-latency (2x) and
+// low-skew setting, sweeping the index node size.
+func (r *Runner) NodeSize() (*NodeSizeResult, error) {
+	res := &NodeSizeResult{
+		Throughput: make(map[testbed.EngineKind]map[string]map[int]float64),
+		Sizes: map[testbed.EngineKind][]int{
+			testbed.NVMInP: {128, 256, 512, 1024, 2048},
+			testbed.NVMCoW: {1024, 2048, 4096, 8192, 16384},
+			testbed.NVMLog: {128, 256, 512, 1024, 2048},
+		},
+	}
+	mixes := []ycsb.Mix{ycsb.ReadOnly, ycsb.ReadHeavy, ycsb.Balanced, ycsb.WriteHeavy}
+	for _, kind := range []testbed.EngineKind{testbed.NVMInP, testbed.NVMCoW, testbed.NVMLog} {
+		res.Throughput[kind] = make(map[string]map[int]float64)
+		for _, mix := range mixes {
+			res.Throughput[kind][mix.Name] = make(map[int]float64)
+		}
+		for _, size := range res.Sizes[kind] {
+			opts := r.S.Options
+			if kind == testbed.NVMCoW {
+				opts.CowPageSize = size
+			} else {
+				opts.BTreeNodeSize = size
+			}
+			for _, mix := range mixes {
+				cfg := r.ycsbCfg(mix, ycsb.LowSkew)
+				db, err := testbed.New(testbed.Config{
+					Engine:     kind,
+					Partitions: r.S.Partitions,
+					Env:        r.envCfg(nvm.ProfileLowNVM),
+					Options:    opts,
+					Schemas:    ycsb.Schema(cfg),
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := ycsb.Load(db, cfg); err != nil {
+					return nil, err
+				}
+				db.ResetStats()
+				out, err := db.ExecuteSequential(ycsb.Generate(cfg))
+				if err != nil {
+					return nil, err
+				}
+				res.Throughput[kind][mix.Name][size] = out.Throughput()
+			}
+		}
+	}
+
+	r.section("Fig. 15 — B+tree node size sensitivity (YCSB, 2x latency, low skew; txn/sec)")
+	for _, kind := range []testbed.EngineKind{testbed.NVMInP, testbed.NVMCoW, testbed.NVMLog} {
+		r.printf("\n%s:\n", kind)
+		w := r.tab()
+		fprintf(w, "node(B)")
+		for _, mix := range mixes {
+			fprintf(w, "\t%s", mix.Name)
+		}
+		fprintf(w, "\n")
+		for _, size := range res.Sizes[kind] {
+			fprintf(w, "%d", size)
+			for _, mix := range mixes {
+				fprintf(w, "\t%s", human(res.Throughput[kind][mix.Name][size]))
+			}
+			fprintf(w, "\n")
+		}
+		w.Flush()
+	}
+	return res, nil
+}
+
+// SyncLatResult holds Fig. 16 (Appendix C): NVM-aware engine throughput as
+// the sync-primitive latency grows (emulating PCOMMIT-class instructions).
+type SyncLatResult struct {
+	Latencies []time.Duration // 0 = current CLFLUSH+SFENCE primitive
+	// Throughput[engine][mix][latencyIdx]
+	Throughput map[testbed.EngineKind]map[string][]float64
+}
+
+// SyncLatency reproduces Fig. 16: YCSB at 2x latency and low skew, sweeping
+// the sync primitive's cost from the current baseline to 10 us.
+func (r *Runner) SyncLatency() (*SyncLatResult, error) {
+	res := &SyncLatResult{
+		Latencies:  []time.Duration{0, 10 * time.Nanosecond, 100 * time.Nanosecond, 1000 * time.Nanosecond, 10000 * time.Nanosecond},
+		Throughput: make(map[testbed.EngineKind]map[string][]float64),
+	}
+	mixes := []ycsb.Mix{ycsb.ReadOnly, ycsb.ReadHeavy, ycsb.Balanced, ycsb.WriteHeavy}
+	for _, kind := range []testbed.EngineKind{testbed.NVMInP, testbed.NVMCoW, testbed.NVMLog} {
+		res.Throughput[kind] = make(map[string][]float64)
+		for _, mix := range mixes {
+			cfg := r.ycsbCfg(mix, ycsb.LowSkew)
+			db, err := testbed.New(testbed.Config{
+				Engine:     kind,
+				Partitions: r.S.Partitions,
+				Env:        r.envCfg(nvm.ProfileLowNVM),
+				Options:    r.S.Options,
+				Schemas:    ycsb.Schema(cfg),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := ycsb.Load(db, cfg); err != nil {
+				return nil, err
+			}
+			work := ycsb.Generate(cfg)
+			if _, err := db.ExecuteSequential(work); err != nil {
+				return nil, err
+			}
+			for _, lat := range res.Latencies {
+				db.SetSyncExtra(lat)
+				db.ResetStats()
+				out, err := db.ExecuteSequential(work)
+				if err != nil {
+					return nil, err
+				}
+				res.Throughput[kind][mix.Name] = append(res.Throughput[kind][mix.Name], out.Throughput())
+			}
+		}
+	}
+
+	r.section("Fig. 16 — sync primitive latency sensitivity (YCSB, 2x latency, low skew; txn/sec)")
+	for _, kind := range []testbed.EngineKind{testbed.NVMInP, testbed.NVMCoW, testbed.NVMLog} {
+		r.printf("\n%s:\n", kind)
+		w := r.tab()
+		fprintf(w, "sync-lat")
+		for _, mix := range mixes {
+			fprintf(w, "\t%s", mix.Name)
+		}
+		fprintf(w, "\n")
+		for li, lat := range res.Latencies {
+			name := "current"
+			if lat > 0 {
+				name = lat.String()
+			}
+			fprintf(w, "%s", name)
+			for _, mix := range mixes {
+				fprintf(w, "\t%s", human(res.Throughput[kind][mix.Name][li]))
+			}
+			fprintf(w, "\n")
+		}
+		w.Flush()
+	}
+	return res, nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// nowFn/sinceFn are indirection points for tests.
+var (
+	nowFn   = time.Now
+	sinceFn = time.Since
+)
+
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}
+
+// human formats a large count compactly (e.g. 1.3M).
+func human(n float64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fB", n/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fM", n/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fK", n/1e3)
+	default:
+		return fmt.Sprintf("%.0f", n)
+	}
+}
+
+// humanBytes formats a byte count compactly.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"nstore/internal/nvm"
+	"nstore/internal/testbed"
+	"nstore/internal/workload/ycsb"
+)
+
+// YCSBResult holds the YCSB sweep: Figs. 5–7 (throughput per mixture, skew,
+// and latency configuration) and Figs. 9–10 (NVM loads and stores).
+type YCSBResult struct {
+	Points []Measurement
+}
+
+// Find returns the data point for an exact configuration.
+func (r *YCSBResult) Find(e testbed.EngineKind, mix, skew, lat string) *Measurement {
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Engine == e && p.Mix == mix && p.Skew == skew && p.Latency == lat {
+			return p
+		}
+	}
+	return nil
+}
+
+// YCSB runs the full sweep: engines x mixtures x skews x latency configs.
+// The database is loaded once per (engine, mixture, skew) and the latency
+// profile is switched between runs on separate copies of the fixed
+// workload, matching §5.2's methodology.
+func (r *Runner) YCSB() (*YCSBResult, error) {
+	res := &YCSBResult{}
+	for _, mix := range ycsb.Mixes {
+		for _, skew := range ycsb.Skews {
+			cfg := r.ycsbCfg(mix, skew)
+			work := ycsb.Generate(cfg)
+			for _, kind := range r.S.Engines {
+				db, err := r.newYCSBDB(kind, cfg)
+				if err != nil {
+					return nil, err
+				}
+				// Warm the simulated CPU cache and steady-state structures
+				// so the first latency configuration is not biased cold.
+				if _, err := db.ExecuteSequential(work); err != nil {
+					return nil, err
+				}
+				for _, prof := range r.S.Latencies {
+					db.SetLatency(prof)
+					db.ResetStats()
+					out, err := db.ExecuteSequential(work)
+					if err != nil {
+						return nil, err
+					}
+					if err := db.Flush(); err != nil {
+						return nil, err
+					}
+					res.Points = append(res.Points, Measurement{
+						Engine:       kind,
+						Mix:          mix.Name,
+						Skew:         skew.Name,
+						Latency:      prof.Name,
+						Throughput:   out.Throughput(),
+						Loads:        out.Stats.Loads,
+						Stores:       out.Stats.Stores,
+						BytesRead:    out.Stats.BytesRead,
+						BytesWritten: out.Stats.BytesWritten,
+						Elapsed:      out.Elapsed,
+					})
+				}
+			}
+		}
+	}
+	r.printYCSB(res)
+	return res, nil
+}
+
+func (r *Runner) printYCSB(res *YCSBResult) {
+	for _, prof := range r.S.Latencies {
+		r.section("Figs. 5-7 — YCSB throughput (txn/sec), latency config: " + prof.Name)
+		w := r.tab()
+		fprintf(w, "engine")
+		for _, mix := range ycsb.Mixes {
+			for _, skew := range ycsb.Skews {
+				fprintf(w, "\t%s/%s", mix.Name, skew.Name)
+			}
+		}
+		fprintf(w, "\n")
+		for _, kind := range r.S.Engines {
+			fprintf(w, "%s", kind)
+			for _, mix := range ycsb.Mixes {
+				for _, skew := range ycsb.Skews {
+					if p := res.Find(kind, mix.Name, skew.Name, prof.Name); p != nil {
+						fprintf(w, "\t%s", human(p.Throughput))
+					} else {
+						fprintf(w, "\t-")
+					}
+				}
+			}
+			fprintf(w, "\n")
+		}
+		w.Flush()
+	}
+
+	// Figs. 9-10: loads and stores under the DRAM-latency configuration.
+	// Cells are loads/stores(cache-line write-backs)/MB-written(app bytes).
+	lat := nvm.ProfileDRAM.Name
+	r.section("Figs. 9-10 — YCSB NVM loads / stores / MB written")
+	w := r.tab()
+	fprintf(w, "engine")
+	for _, mix := range ycsb.Mixes {
+		for _, skew := range ycsb.Skews {
+			fprintf(w, "\t%s/%s", mix.Name, skew.Name)
+		}
+	}
+	fprintf(w, "\n")
+	for _, kind := range r.S.Engines {
+		fprintf(w, "%s", kind)
+		for _, mix := range ycsb.Mixes {
+			for _, skew := range ycsb.Skews {
+				if p := res.Find(kind, mix.Name, skew.Name, lat); p != nil {
+					fprintf(w, "\t%s/%s/%.0f", human(float64(p.Loads)), human(float64(p.Stores)),
+						float64(p.BytesWritten)/(1<<20))
+				} else {
+					fprintf(w, "\t-")
+				}
+			}
+		}
+		fprintf(w, "\n")
+	}
+	w.Flush()
+}

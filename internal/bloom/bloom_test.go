@@ -1,0 +1,107 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 10)
+	for i := uint64(0); i < 1000; i++ {
+		f.Add(i * 7919)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !f.MayContain(i * 7919) {
+			t.Fatalf("false negative for key %d", i*7919)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	f := New(n, 10)
+	for i := uint64(0); i < n; i++ {
+		f.Add(i)
+	}
+	fp := 0
+	const probes = 100000
+	for i := uint64(n); i < n+probes; i++ {
+		if f.MayContain(i) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Errorf("false positive rate %.4f too high for 10 bits/key", rate)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(100, 10)
+	for i := uint64(0); i < 100; i++ {
+		f.Add(i * 31)
+	}
+	g := Unmarshal(f.Marshal())
+	for i := uint64(0); i < 100; i++ {
+		if !g.MayContain(i * 31) {
+			t.Fatalf("key %d lost in marshal round trip", i*31)
+		}
+	}
+	if g.SizeBytes() != f.SizeBytes() {
+		t.Errorf("size mismatch: %d vs %d", g.SizeBytes(), f.SizeBytes())
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	f := Unmarshal([]byte{1, 2, 3})
+	if f == nil {
+		t.Fatal("Unmarshal returned nil on garbage")
+	}
+}
+
+func TestTinyFilter(t *testing.T) {
+	f := New(0, 0)
+	f.Add(42)
+	if !f.MayContain(42) {
+		t.Error("tiny filter lost its key")
+	}
+}
+
+// Property: anything added is always contained, including after a
+// marshal/unmarshal cycle.
+func TestQuickMembership(t *testing.T) {
+	fn := func(keys []uint64) bool {
+		f := New(len(keys), 10)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		g := Unmarshal(f.Marshal())
+		for _, k := range keys {
+			if !f.MayContain(k) || !g.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(1<<20, 10)
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := New(1<<20, 10)
+	for i := uint64(0); i < 1<<20; i++ {
+		f.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(uint64(i))
+	}
+}

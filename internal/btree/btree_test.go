@@ -1,0 +1,246 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nstore/internal/nvm"
+	"nstore/internal/pmalloc"
+)
+
+func newTree(t testing.TB, nodeSize int) *Tree {
+	t.Helper()
+	dev := nvm.NewDevice(nvm.DefaultConfig(64 << 20))
+	return New(pmalloc.Format(dev, 0, 64<<20), nodeSize)
+}
+
+func TestPutGet(t *testing.T) {
+	tr := newTree(t, 0)
+	if !tr.Put(10, 100) {
+		t.Error("Put of new key reported replace")
+	}
+	if v, ok := tr.Get(10); !ok || v != 100 {
+		t.Fatalf("Get(10) = %d,%v", v, ok)
+	}
+	if _, ok := tr.Get(11); ok {
+		t.Error("Get of missing key found something")
+	}
+	if tr.Put(10, 200) {
+		t.Error("replacing Put reported insert")
+	}
+	if v, _ := tr.Get(10); v != 200 {
+		t.Errorf("value after replace = %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestManyKeysAscending(t *testing.T) {
+	tr := newTree(t, 0)
+	const n = 10000
+	for i := uint64(1); i <= n; i++ {
+		tr.Put(i, i*2)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(1); i <= n; i++ {
+		if v, ok := tr.Get(i); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestManyKeysRandomOrder(t *testing.T) {
+	tr := newTree(t, 0)
+	rng := rand.New(rand.NewSource(1))
+	keys := rng.Perm(20000)
+	for _, k := range keys {
+		tr.Put(uint64(k)+1, uint64(k)*3)
+	}
+	for _, k := range keys {
+		if v, ok := tr.Get(uint64(k) + 1); !ok || v != uint64(k)*3 {
+			t.Fatalf("Get(%d) = %d,%v", k+1, v, ok)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t, 0)
+	for i := uint64(0); i < 1000; i++ {
+		tr.Put(i, i)
+	}
+	for i := uint64(0); i < 1000; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if tr.Delete(0) {
+		t.Error("second delete succeeded")
+	}
+	if tr.Len() != 500 {
+		t.Errorf("Len = %d, want 500", tr.Len())
+	}
+	for i := uint64(0); i < 1000; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestIterRange(t *testing.T) {
+	tr := newTree(t, 0)
+	for i := uint64(0); i < 100; i++ {
+		tr.Put(i*10, i)
+	}
+	var got []uint64
+	tr.Iter(250, func(k, v uint64) bool {
+		if k >= 500 {
+			return false
+		}
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{250, 260, 270, 280, 290, 300, 310, 320, 330, 340, 350, 360, 370, 380, 390, 400, 410, 420, 430, 440, 450, 460, 470, 480, 490}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIterAfterDeletes(t *testing.T) {
+	tr := newTree(t, 64) // tiny nodes force many leaves
+	for i := uint64(0); i < 300; i++ {
+		tr.Put(i, i)
+	}
+	for i := uint64(100); i < 200; i++ {
+		tr.Delete(i)
+	}
+	var got []uint64
+	tr.Iter(0, func(k, v uint64) bool { got = append(got, k); return true })
+	if len(got) != 200 {
+		t.Fatalf("iterated %d keys, want 200", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("iteration out of order")
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := newTree(t, 0)
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree")
+	}
+	tr.Put(50, 1)
+	tr.Put(20, 2)
+	tr.Put(80, 3)
+	if k, v, ok := tr.Min(); !ok || k != 20 || v != 2 {
+		t.Errorf("Min = %d,%d,%v", k, v, ok)
+	}
+}
+
+func TestSmallNodeSizes(t *testing.T) {
+	for _, ns := range []int{64, 128, 256, 1024, 2048} {
+		tr := newTree(t, ns)
+		for i := uint64(0); i < 2000; i++ {
+			tr.Put(i*7%2000, i)
+		}
+		for i := uint64(0); i < 2000; i++ {
+			if _, ok := tr.Get(i); !ok {
+				t.Fatalf("nodeSize %d: key %d missing", ns, i)
+			}
+		}
+	}
+}
+
+func TestRelease(t *testing.T) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(16 << 20))
+	arena := pmalloc.Format(dev, 0, 16<<20)
+	tr := New(arena, 256)
+	for i := uint64(0); i < 5000; i++ {
+		tr.Put(i, i)
+	}
+	before := arena.Allocated()
+	tr.Release()
+	if arena.Allocated() >= before {
+		t.Errorf("Release freed nothing: %d -> %d", before, arena.Allocated())
+	}
+}
+
+// Property: the tree behaves like a sorted map under arbitrary put/delete
+// sequences.
+func TestQuickAgainstMap(t *testing.T) {
+	tr := newTree(t, 128)
+	model := make(map[uint64]uint64)
+
+	fn := func(k uint64, v uint64, del bool) bool {
+		k %= 5000 // force collisions/replacements
+		if del {
+			_, inModel := model[k]
+			if tr.Delete(k) != inModel {
+				return false
+			}
+			delete(model, k)
+		} else {
+			_, inModel := model[k]
+			if tr.Put(k, v) == inModel {
+				return false
+			}
+			model[k] = v
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		got, ok := tr.Get(k)
+		want, inModel := model[k]
+		return ok == inModel && (!ok || got == want)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	// Full scan must match the sorted model.
+	var keys []uint64
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var got []uint64
+	tr.Iter(0, func(k, v uint64) bool { got = append(got, k); return true })
+	if len(got) != len(keys) {
+		t.Fatalf("scan found %d keys, model has %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(1 << 30))
+	tr := New(pmalloc.Format(dev, 0, 1<<30), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(uint64(i), uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(1 << 30))
+	tr := New(pmalloc.Format(dev, 0, 1<<30), 0)
+	for i := uint64(0); i < 1<<20; i++ {
+		tr.Put(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i) % (1 << 20))
+	}
+}

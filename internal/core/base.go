@@ -1,0 +1,84 @@
+package core
+
+import "fmt"
+
+// TableMeta identifies a registered table inside an engine.
+type TableMeta struct {
+	ID     int
+	Schema *Schema
+	secIdx map[string]int // index name -> position in Schema.Secondary
+}
+
+// SecPos returns the position of a named secondary index.
+func (t *TableMeta) SecPos(name string) (int, bool) {
+	i, ok := t.secIdx[name]
+	return i, ok
+}
+
+// Base carries the state common to all six engines: the partition
+// environment, the table registry, the transaction state machine, and the
+// execution-time breakdown.
+type Base struct {
+	Env    *Env
+	Tables []*TableMeta
+	byName map[string]*TableMeta
+	InTx   bool
+	TxnID  uint64 // monotonically increasing transaction id
+	Bd     Breakdown
+}
+
+// InitBase prepares the registry for the given schemas (table ID = position).
+func (b *Base) InitBase(env *Env, schemas []*Schema) {
+	b.Env = env
+	b.byName = make(map[string]*TableMeta, len(schemas))
+	for i, s := range schemas {
+		tm := &TableMeta{ID: i, Schema: s, secIdx: make(map[string]int)}
+		for j, ix := range s.Secondary {
+			tm.secIdx[ix.Name] = j
+		}
+		b.Tables = append(b.Tables, tm)
+		b.byName[s.Name] = tm
+	}
+}
+
+// Table resolves a table by name.
+func (b *Base) Table(name string) (*TableMeta, error) {
+	tm, ok := b.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %q", name)
+	}
+	return tm, nil
+}
+
+// BeginTx starts a transaction.
+func (b *Base) BeginTx() error {
+	if b.InTx {
+		return ErrInTxn
+	}
+	b.InTx = true
+	b.TxnID++
+	return nil
+}
+
+// EndTx finishes a transaction.
+func (b *Base) EndTx() error {
+	if !b.InTx {
+		return ErrNoTxn
+	}
+	b.InTx = false
+	return nil
+}
+
+// RequireTx fails unless a transaction is running.
+func (b *Base) RequireTx() error {
+	if !b.InTx {
+		return ErrNoTxn
+	}
+	return nil
+}
+
+// Breakdown returns the engine's component timers.
+func (b *Base) Breakdown() *Breakdown { return &b.Bd }
+
+// Environment returns the partition environment the engine runs on.
+func (b *Base) Environment() *Env { return b.Env }

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inline tuple encoding: every field inlined, variable-length fields
+// prefixed with their length. This is the "HDD/SSD-optimized format where
+// all the tuple's fields are inlined" (§3.2) used by the CoW engine's tree,
+// SSTables, checkpoints, and WAL before/after images.
+
+// EncodeRow serializes a full row in inline format.
+func EncodeRow(s *Schema, row []Value) []byte {
+	n := 0
+	for i, c := range s.Columns {
+		if c.Type == TInt {
+			n += 8
+		} else {
+			n += 4 + len(row[i].S)
+		}
+	}
+	out := make([]byte, 0, n)
+	for i, c := range s.Columns {
+		if c.Type == TInt {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(row[i].I))
+			out = append(out, b[:]...)
+		} else {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(len(row[i].S)))
+			out = append(out, b[:]...)
+			out = append(out, row[i].S...)
+		}
+	}
+	return out
+}
+
+// DecodeRow parses an inline-format row.
+func DecodeRow(s *Schema, b []byte) ([]Value, error) {
+	row := make([]Value, len(s.Columns))
+	off := 0
+	for i, c := range s.Columns {
+		if c.Type == TInt {
+			if off+8 > len(b) {
+				return nil, fmt.Errorf("core: truncated int column %d", i)
+			}
+			row[i].I = int64(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		} else {
+			if off+4 > len(b) {
+				return nil, fmt.Errorf("core: truncated string header %d", i)
+			}
+			ln := int(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
+			if off+ln > len(b) {
+				return nil, fmt.Errorf("core: truncated string column %d", i)
+			}
+			row[i].S = append([]byte(nil), b[off:off+ln]...)
+			off += ln
+		}
+	}
+	return row, nil
+}
+
+// Delta encoding: a bitmask-free compact form listing (column, value) pairs,
+// used for WAL update images and log-structured update entries.
+
+// EncodeDelta serializes a partial update.
+func EncodeDelta(s *Schema, upd Update) []byte {
+	out := []byte{byte(len(upd.Cols))}
+	for j, ci := range upd.Cols {
+		out = append(out, byte(ci))
+		c := s.Columns[ci]
+		if c.Type == TInt {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(upd.Vals[j].I))
+			out = append(out, b[:]...)
+		} else {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(len(upd.Vals[j].S)))
+			out = append(out, b[:]...)
+			out = append(out, upd.Vals[j].S...)
+		}
+	}
+	return out
+}
+
+// DecodeDelta parses a partial update.
+func DecodeDelta(s *Schema, b []byte) (Update, error) {
+	var upd Update
+	if len(b) < 1 {
+		return upd, fmt.Errorf("core: empty delta")
+	}
+	n := int(b[0])
+	off := 1
+	for j := 0; j < n; j++ {
+		if off >= len(b) {
+			return upd, fmt.Errorf("core: truncated delta entry %d", j)
+		}
+		ci := int(b[off])
+		off++
+		if ci >= len(s.Columns) {
+			return upd, fmt.Errorf("core: delta column %d out of range", ci)
+		}
+		var v Value
+		if s.Columns[ci].Type == TInt {
+			if off+8 > len(b) {
+				return upd, fmt.Errorf("core: truncated delta int")
+			}
+			v.I = int64(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		} else {
+			if off+4 > len(b) {
+				return upd, fmt.Errorf("core: truncated delta header")
+			}
+			ln := int(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
+			if off+ln > len(b) {
+				return upd, fmt.Errorf("core: truncated delta string")
+			}
+			v.S = append([]byte(nil), b[off:off+ln]...)
+			off += ln
+		}
+		upd.Cols = append(upd.Cols, ci)
+		upd.Vals = append(upd.Vals, v)
+	}
+	return upd, nil
+}
+
+// ApplyDelta overwrites the updated columns of row in place.
+func ApplyDelta(row []Value, upd Update) {
+	for j, ci := range upd.Cols {
+		row[ci] = upd.Vals[j]
+	}
+}
+
+// CloneRow deep-copies a row.
+func CloneRow(row []Value) []Value {
+	out := make([]Value, len(row))
+	for i, v := range row {
+		out[i].I = v.I
+		if v.S != nil {
+			out[i].S = append([]byte(nil), v.S...)
+		}
+	}
+	return out
+}
+
+// RowsEqual reports whether two rows match under the schema.
+func RowsEqual(s *Schema, a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, c := range s.Columns {
+		if c.Type == TInt {
+			if a[i].I != b[i].I {
+				return false
+			}
+		} else if string(a[i].S) != string(b[i].S) {
+			return false
+		}
+	}
+	return true
+}
+
+// Composite secondary-index keys: a 32-bit secondary key and a 32-bit
+// primary key packed into one unique uint64, so duplicate secondary keys
+// coexist and equal-secondary lookups become range scans.
+
+// SecComposite packs (sec, pk) into a composite index key.
+func SecComposite(sec uint32, pk uint64) uint64 {
+	return uint64(sec)<<32 | (pk & 0xffffffff)
+}
+
+// SecRange returns the composite-key range [lo, hi) covering all entries
+// with the given secondary key.
+func SecRange(sec uint32) (lo, hi uint64) {
+	return uint64(sec) << 32, (uint64(sec) + 1) << 32
+}
+
+// SecPK extracts the primary key from a composite key.
+func SecPK(composite uint64) uint64 { return composite & 0xffffffff }
+
+// Packed tree keys for the CoW engines, which keep every table and index of
+// a partition in one copy-on-write B+tree so a transaction's changes across
+// tables commit atomically under a single master record (§3.2). Layout:
+// [63:60] table, [59:56] index+1 (0 = primary), then the payload:
+// primary keys get 56 bits; secondary entries pack a 32-bit secondary key
+// and a 24-bit primary key.
+
+// TreePrimary builds the tree key of a primary tuple.
+func TreePrimary(table int, pk uint64) uint64 {
+	return uint64(table)<<60 | pk&0x00ffffffffffffff
+}
+
+// TreeSecondary builds the tree key of a secondary-index entry. Primary
+// keys of secondary-indexed tables must fit in 24 bits.
+func TreeSecondary(table, index int, sec uint32, pk uint64) uint64 {
+	return uint64(table)<<60 | uint64(index+1)<<56 | uint64(sec)<<24 | pk&0xffffff
+}
+
+// TreeSecRange returns the key range covering one secondary key's entries.
+func TreeSecRange(table, index int, sec uint32) (lo, hi uint64) {
+	base := uint64(table)<<60 | uint64(index+1)<<56
+	return base | uint64(sec)<<24, base | (uint64(sec)+1)<<24
+}
+
+// TreePrimaryRange returns the key range covering a table's primary tuples
+// with pk in [from, to).
+func TreePrimaryRange(table int, from, to uint64) (lo, hi uint64) {
+	return TreePrimary(table, from), TreePrimary(table, to)
+}
+
+// TreeSecPK extracts the 24-bit primary key from a secondary tree key.
+func TreeSecPK(k uint64) uint64 { return k & 0xffffff }
+
+// TreePK extracts the primary key from a primary tree key.
+func TreePK(k uint64) uint64 { return k & 0x00ffffffffffffff }

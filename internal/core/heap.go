@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+
+	"nstore/internal/nvm"
+	"nstore/internal/pmalloc"
+)
+
+// Heap is the slotted table storage of §3.1: fixed-size tuple slots grouped
+// into blocks, with fields larger than 8 bytes stored in separate
+// variable-length slots referenced by an 8-byte pointer. A heap runs in one
+// of two modes:
+//
+//   - volatile (InP, Log): no sync primitives; the heap is rebuilt from the
+//     checkpoint/WAL during recovery.
+//   - NVM mode (NVM-InP): slot state transitions are synced, the block list
+//     is a durable linked list anchored at a header chunk, and the heap can
+//     be reopened immediately after a crash (OpenHeap).
+//
+// Slot layout: state byte (+7 pad), primary key u64, then 8 bytes per
+// column (inline int, or pointer to a var-slot holding u32 length + bytes).
+type Heap struct {
+	arena  *pmalloc.Arena
+	dev    *nvm.Device
+	schema *Schema
+	nvmMod bool
+
+	slotSize int
+	perBlock int
+	hdr      pmalloc.Ptr // NVM mode: durable chunk holding the block-list head
+
+	blocks []uint64 // volatile mirror of the block list
+	free   []uint64 // volatile free-slot pointers
+	live   int
+}
+
+// Slot states within a heap block.
+const (
+	SlotFree      uint8 = 0
+	SlotAllocated uint8 = 1 // allocated, tuple not yet persisted
+	SlotPersisted uint8 = 2 // live (traditional engines use this directly)
+)
+
+const (
+	slotState = 0
+	slotKey   = 8
+	slotData  = 16
+
+	blockNext       = 0
+	blockHdr        = 16
+	defaultPerBlock = 64
+)
+
+// NewHeap creates an empty heap. In NVM mode the block list is durably
+// anchored; store Header() in an engine root to reopen after a crash.
+func NewHeap(arena *pmalloc.Arena, schema *Schema, nvmMode bool) *Heap {
+	h := &Heap{
+		arena:    arena,
+		dev:      arena.Device(),
+		schema:   schema,
+		nvmMod:   nvmMode,
+		slotSize: slotData + schema.FixedSize(),
+		perBlock: defaultPerBlock,
+	}
+	if nvmMode {
+		hdr, err := arena.Alloc(16, pmalloc.TagTable)
+		if err != nil {
+			panic(err)
+		}
+		h.hdr = hdr
+		h.dev.WriteU64(int64(hdr), 0)
+		h.dev.Sync(int64(hdr), 8)
+		arena.SetPersisted(hdr)
+	}
+	return h
+}
+
+// OpenHeap reopens an NVM-mode heap after a crash: it walks the durable
+// block list, rebuilds the free list, treats persisted slots as live, and
+// reclaims slots that were allocated but never persisted and are not
+// covered by a WAL entry (the caller must run WAL undo first).
+func OpenHeap(arena *pmalloc.Arena, schema *Schema, hdr pmalloc.Ptr) *Heap {
+	h := &Heap{
+		arena:    arena,
+		dev:      arena.Device(),
+		schema:   schema,
+		nvmMod:   true,
+		slotSize: slotData + schema.FixedSize(),
+		perBlock: defaultPerBlock,
+		hdr:      hdr,
+	}
+	for b := h.dev.ReadU64(int64(hdr)); b != 0; b = h.dev.ReadU64(int64(b) + blockNext) {
+		h.blocks = append(h.blocks, b)
+		for i := 0; i < h.perBlock; i++ {
+			slot := h.slotAt(b, i)
+			switch h.dev.ReadU8(int64(slot) + slotState) {
+			case SlotPersisted:
+				h.live++
+			case SlotAllocated:
+				// Orphaned by a crash before its WAL entry was persisted;
+				// its var-slots were never persisted either, so the
+				// allocator's recovery scan already reclaimed them.
+				h.dev.WriteU8(int64(slot)+slotState, SlotFree)
+				h.dev.Sync(int64(slot)+slotState, 1)
+				h.free = append(h.free, slot)
+			default:
+				h.free = append(h.free, slot)
+			}
+		}
+	}
+	return h
+}
+
+// Header returns the durable anchor of an NVM-mode heap.
+func (h *Heap) Header() pmalloc.Ptr { return h.hdr }
+
+// Live returns the number of live (persisted-state) slots.
+func (h *Heap) Live() int { return h.live }
+
+// Schema returns the table schema.
+func (h *Heap) Schema() *Schema { return h.schema }
+
+func (h *Heap) slotAt(block uint64, i int) uint64 {
+	return block + blockHdr + uint64(i*h.slotSize)
+}
+
+func (h *Heap) newBlock() {
+	size := blockHdr + h.perBlock*h.slotSize
+	b, err := h.arena.Alloc(size, pmalloc.TagTable)
+	if err != nil {
+		panic(err)
+	}
+	// Zero slot states.
+	for i := 0; i < h.perBlock; i++ {
+		h.dev.WriteU8(int64(h.slotAt(b, i))+slotState, SlotFree)
+	}
+	if h.nvmMod {
+		head := h.dev.ReadU64(int64(h.hdr))
+		h.dev.WriteU64(int64(b)+blockNext, head)
+		h.dev.Sync(int64(b), int(size))
+		h.arena.SetPersisted(b)
+		h.dev.WriteU64Durable(int64(h.hdr), b)
+	} else {
+		h.dev.WriteU64(int64(b)+blockNext, 0)
+	}
+	h.blocks = append(h.blocks, b)
+	for i := h.perBlock - 1; i >= 0; i-- {
+		h.free = append(h.free, h.slotAt(b, i))
+	}
+}
+
+// AllocSlot grabs a free slot for the given primary key and marks it
+// SlotAllocated (durably in NVM mode). The tuple contents are garbage until
+// written.
+func (h *Heap) AllocSlot(key uint64) uint64 {
+	if len(h.free) == 0 {
+		h.newBlock()
+	}
+	slot := h.free[len(h.free)-1]
+	h.free = h.free[:len(h.free)-1]
+	h.dev.WriteU64(int64(slot)+slotKey, key)
+	h.dev.WriteU8(int64(slot)+slotState, SlotAllocated)
+	if h.nvmMod {
+		h.dev.Sync(int64(slot), slotData)
+	}
+	return slot
+}
+
+// Key returns the primary key stored in the slot.
+func (h *Heap) Key(slot uint64) uint64 { return h.dev.ReadU64(int64(slot) + slotKey) }
+
+// State returns the slot's durability state.
+func (h *Heap) State(slot uint64) uint8 { return h.dev.ReadU8(int64(slot) + slotState) }
+
+// WriteRow stores a full row into the slot, allocating var-slots for string
+// columns. Contents are volatile until SyncTuple.
+func (h *Heap) WriteRow(slot uint64, row []Value) {
+	for i := range h.schema.Columns {
+		h.WriteCol(slot, i, row[i])
+	}
+}
+
+// WriteCol stores one column value. For string columns a fresh var-slot is
+// allocated; the caller owns freeing any previous var-slot (FreeVar /
+// ColVarPtr).
+func (h *Heap) WriteCol(slot uint64, col int, v Value) {
+	field := int64(slot) + slotData + int64(col*8)
+	if h.schema.Columns[col].Type == TInt {
+		h.dev.WriteU64(field, uint64(v.I))
+		return
+	}
+	vp, err := h.arena.Alloc(4+len(v.S), pmalloc.TagTable)
+	if err != nil {
+		panic(err)
+	}
+	h.dev.WriteU32(int64(vp), uint32(len(v.S)))
+	h.dev.Write(int64(vp)+4, v.S)
+	if h.nvmMod {
+		h.dev.Sync(int64(vp), 4+len(v.S))
+	}
+	h.dev.WriteU64(field, vp)
+}
+
+// ColVarPtr returns the var-slot pointer of a string column (0 if unset).
+func (h *Heap) ColVarPtr(slot uint64, col int) uint64 {
+	if h.schema.Columns[col].Type != TString {
+		return 0
+	}
+	return h.dev.ReadU64(int64(slot) + slotData + int64(col*8))
+}
+
+// ReadCol reads one column value.
+func (h *Heap) ReadCol(slot uint64, col int) Value {
+	field := int64(slot) + slotData + int64(col*8)
+	if h.schema.Columns[col].Type == TInt {
+		return Value{I: int64(h.dev.ReadU64(field))}
+	}
+	vp := h.dev.ReadU64(field)
+	if vp == 0 {
+		return Value{}
+	}
+	ln := int(h.dev.ReadU32(int64(vp)))
+	b := make([]byte, ln)
+	h.dev.Read(int64(vp)+4, b)
+	return Value{S: b}
+}
+
+// ReadRow reads the full row from a slot.
+func (h *Heap) ReadRow(slot uint64) []Value {
+	row := make([]Value, len(h.schema.Columns))
+	for i := range row {
+		row[i] = h.ReadCol(slot, i)
+	}
+	return row
+}
+
+// SyncTuple flushes the slot's fixed part (var-slot contents are synced as
+// they are written in NVM mode). Part of Table 2's "Sync tuple with NVM".
+func (h *Heap) SyncTuple(slot uint64) {
+	h.dev.Sync(int64(slot), h.slotSize)
+}
+
+// PersistSlot durably transitions the slot (and its var-slots) to the
+// persisted state. In NVM mode this is the point after which the tuple
+// survives recovery.
+func (h *Heap) PersistSlot(slot uint64) {
+	if h.nvmMod {
+		for i, c := range h.schema.Columns {
+			if c.Type == TString {
+				if vp := h.ColVarPtr(slot, i); vp != 0 &&
+					h.arena.StateOf(vp) == pmalloc.StateAllocated {
+					h.arena.SetPersisted(vp)
+				}
+			}
+		}
+	}
+	if h.State(slot) == SlotPersisted {
+		return // re-persist of an already-live tuple (update path)
+	}
+	h.dev.WriteU8(int64(slot)+slotState, SlotPersisted)
+	if h.nvmMod {
+		h.dev.Sync(int64(slot)+slotState, 1)
+	}
+	h.live++
+}
+
+// FreeVar releases one var-slot chunk if it is still live.
+func (h *Heap) FreeVar(vp uint64) {
+	if vp == 0 {
+		return
+	}
+	if h.arena.StateOf(vp) != pmalloc.StateFree {
+		h.arena.Free(vp)
+	}
+}
+
+// FreeSlot releases the slot and all its var-slots.
+func (h *Heap) FreeSlot(slot uint64) {
+	if h.State(slot) == SlotPersisted {
+		h.live--
+	}
+	for i, c := range h.schema.Columns {
+		if c.Type == TString {
+			h.FreeVar(h.ColVarPtr(slot, i))
+		}
+	}
+	h.dev.WriteU8(int64(slot)+slotState, SlotFree)
+	if h.nvmMod {
+		h.dev.Sync(int64(slot)+slotState, 1)
+	}
+	h.free = append(h.free, slot)
+}
+
+// FreeSlotOnly releases the slot without touching var-slots (used by undo
+// paths that handle var-slots themselves).
+func (h *Heap) FreeSlotOnly(slot uint64) {
+	if h.State(slot) == SlotPersisted {
+		h.live--
+	}
+	h.dev.WriteU8(int64(slot)+slotState, SlotFree)
+	if h.nvmMod {
+		h.dev.Sync(int64(slot)+slotState, 1)
+	}
+	h.free = append(h.free, slot)
+}
+
+// Scan calls fn for every live slot.
+func (h *Heap) Scan(fn func(slot uint64) bool) {
+	for _, b := range h.blocks {
+		for i := 0; i < h.perBlock; i++ {
+			slot := h.slotAt(b, i)
+			if h.State(slot) == SlotPersisted {
+				if !fn(slot) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Validate checks internal consistency (test helper).
+func (h *Heap) Validate() error {
+	n := 0
+	h.Scan(func(uint64) bool { n++; return true })
+	if n != h.live {
+		return fmt.Errorf("core: live count %d != scanned %d", h.live, n)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package core
+
+// Options tunes engine behaviour. The zero value selects the paper's
+// defaults (§5: 512 B STX B+tree nodes, 4 KB CoW B+tree nodes).
+type Options struct {
+	// GroupCommitSize is the number of transactions batched per WAL fsync
+	// or per CoW directory swap (§3.1, §3.2).
+	GroupCommitSize int
+	// CheckpointEvery is the number of committed transactions between InP
+	// checkpoints (0 = only on Flush).
+	CheckpointEvery int
+	// BTreeNodeSize is the node size of the STX-style and non-volatile
+	// B+trees (default 512, Fig. 15).
+	BTreeNodeSize int
+	// CowPageSize is the CoW B+tree page size (default 4096, Fig. 15).
+	CowPageSize int
+	// MemTableCap is the number of MemTable entries that triggers a flush
+	// (Log) or an immutable rotation (NVM-Log).
+	MemTableCap int
+	// LSMGrowth is the LSM tree growth factor k (default 4).
+	LSMGrowth int
+}
+
+// WithDefaults fills unset fields with the paper's defaults.
+func (o Options) WithDefaults() Options {
+	if o.GroupCommitSize == 0 {
+		o.GroupCommitSize = 16
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 50000
+	}
+	if o.BTreeNodeSize == 0 {
+		o.BTreeNodeSize = 512
+	}
+	if o.CowPageSize == 0 {
+		o.CowPageSize = 4096
+	}
+	if o.MemTableCap == 0 {
+		o.MemTableCap = 4096
+	}
+	if o.LSMGrowth == 0 {
+		o.LSMGrowth = 4
+	}
+	return o
+}

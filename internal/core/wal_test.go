@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"nstore/internal/nvm"
+	"nstore/internal/pmfs"
+)
+
+func newWalFS(t testing.TB) (*nvm.Device, *pmfs.FS) {
+	t.Helper()
+	dev := nvm.NewDevice(nvm.DefaultConfig(32 << 20))
+	return dev, pmfs.Format(dev, 0, 32<<20, pmfs.Config{ExtentSize: 64 << 10})
+}
+
+func TestWalReplayCommittedOnly(t *testing.T) {
+	_, fs := newWalFS(t)
+	w, err := NewFsWAL(fs, "wal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(WalRecord{Type: WalInsert, TxnID: 1, Table: 0, Key: 10, After: []byte("a")})
+	w.TxnCommitted(1)
+	w.Append(WalRecord{Type: WalInsert, TxnID: 2, Table: 0, Key: 20, After: []byte("b")})
+	// txn 2 never commits.
+	w.Flush()
+
+	var keys []uint64
+	if err := w.Replay(func(r WalRecord) error {
+		keys = append(keys, r.Key)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != 10 {
+		t.Fatalf("replayed %v, want [10]", keys)
+	}
+}
+
+func TestWalGroupCommitBatching(t *testing.T) {
+	_, fs := newWalFS(t)
+	w, _ := NewFsWAL(fs, "wal", 8)
+	for txn := uint64(1); txn <= 7; txn++ {
+		w.Append(WalRecord{Type: WalInsert, TxnID: txn, Key: txn})
+		w.TxnCommitted(txn)
+	}
+	if w.Fsyncs != 0 {
+		t.Errorf("flushed before the group filled: %d fsyncs", w.Fsyncs)
+	}
+	w.Append(WalRecord{Type: WalInsert, TxnID: 8, Key: 8})
+	w.TxnCommitted(8)
+	if w.Fsyncs != 1 {
+		t.Errorf("Fsyncs = %d after full group", w.Fsyncs)
+	}
+}
+
+func TestWalDropTail(t *testing.T) {
+	_, fs := newWalFS(t)
+	w, _ := NewFsWAL(fs, "wal", 100)
+	w.Append(WalRecord{Type: WalInsert, TxnID: 1, Key: 1})
+	w.TxnCommitted(1)
+	mark := w.Mark()
+	w.Append(WalRecord{Type: WalInsert, TxnID: 2, Key: 2})
+	w.Append(WalRecord{Type: WalUpdate, TxnID: 2, Key: 2})
+	w.DropTail(mark) // abort txn 2
+	w.Flush()
+	var n int
+	w.Replay(func(r WalRecord) error { n++; return nil })
+	if n != 1 {
+		t.Fatalf("replayed %d records after DropTail, want 1", n)
+	}
+}
+
+func TestWalTornTailIgnored(t *testing.T) {
+	dev, fs := newWalFS(t)
+	w, _ := NewFsWAL(fs, "wal", 1)
+	w.Append(WalRecord{Type: WalInsert, TxnID: 1, Key: 1, After: []byte("x")})
+	w.TxnCommitted(1)
+	// Simulate a torn tail: unsynced growth lost in a crash is handled by
+	// pmfs, but a partially valid record must also be tolerated. Append
+	// garbage length prefix directly.
+	f, _ := fs.OpenFile("wal")
+	f.Append([]byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3})
+	f.Sync()
+	dev.Crash()
+	w2, err := OpenFsWAL(fs, "wal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := w2.Replay(func(r WalRecord) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records with torn tail", n)
+	}
+}
+
+func TestWalTruncate(t *testing.T) {
+	_, fs := newWalFS(t)
+	w, _ := NewFsWAL(fs, "wal", 1)
+	w.Append(WalRecord{Type: WalInsert, TxnID: 1, Key: 1, After: make([]byte, 500)})
+	w.TxnCommitted(1)
+	if w.SizeBytes() == 0 {
+		t.Fatal("log empty after flush")
+	}
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.SizeBytes() != 0 {
+		t.Errorf("SizeBytes = %d after truncate", w.SizeBytes())
+	}
+}
+
+func TestWalBeforeAfterImages(t *testing.T) {
+	_, fs := newWalFS(t)
+	w, _ := NewFsWAL(fs, "wal", 1)
+	w.Append(WalRecord{Type: WalUpdate, TxnID: 3, Table: 2, Key: 77,
+		Before: []byte("before image"), After: []byte("after image")})
+	w.TxnCommitted(3)
+	var got WalRecord
+	w.Replay(func(r WalRecord) error { got = r; return nil })
+	if got.Table != 2 || got.Key != 77 ||
+		string(got.Before) != "before image" || string(got.After) != "after image" {
+		t.Fatalf("record mismatch: %+v", got)
+	}
+}

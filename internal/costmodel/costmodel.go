@@ -1,0 +1,160 @@
+// Package costmodel implements the paper's Appendix A analytical model
+// (Table 3): the amount of data written to NVM per successful insert,
+// update, and delete, for each of the six engines, split into memory
+// (table storage area), log, and table (durable tree/run) components.
+package costmodel
+
+import "fmt"
+
+// Params are the model's symbols.
+type Params struct {
+	T     int64   // tuple size
+	F     int64   // fixed-length field size updated
+	V     int64   // variable-length field size updated
+	P     int64   // pointer size (8 on the emulator)
+	B     int64   // CoW B+tree node size
+	Eps   int64   // small fixed-length write (slot state)
+	Theta float64 // write amplification of log-structured engines
+}
+
+// DefaultParams mirrors the evaluation configuration: 1 KB YCSB tuples,
+// 100 B fields, 8-byte pointers, 4 KB CoW nodes.
+func DefaultParams() Params {
+	return Params{T: 1024, F: 8, V: 100, P: 8, B: 4096, Eps: 1, Theta: 2}
+}
+
+// Cost is bytes written to NVM per operation, by destination.
+type Cost struct {
+	Memory int64
+	Log    int64
+	Table  int64
+}
+
+// Total returns the sum across destinations.
+func (c Cost) Total() int64 { return c.Memory + c.Log + c.Table }
+
+// Op identifies a database operation.
+type Op string
+
+// Operations of Table 3.
+const (
+	Insert Op = "insert"
+	Update Op = "update"
+	Delete Op = "delete"
+)
+
+// Engine identifies a storage engine in the model.
+type Engine string
+
+// Engines of Table 3.
+const (
+	InP    Engine = "inp"
+	CoW    Engine = "cow"
+	Log    Engine = "log"
+	NVMInP Engine = "nvm-inp"
+	NVMCoW Engine = "nvm-cow"
+	NVMLog Engine = "nvm-log"
+)
+
+// Engines lists the engines in Table 3's order.
+var Engines = []Engine{InP, CoW, Log, NVMInP, NVMCoW, NVMLog}
+
+// Of returns the modelled write cost of op on engine e. For the CoW
+// engines, whose cost depends on whether the affected node is already in
+// the dirty directory, the conservative (copy-absent) case is returned; use
+// OfCoWResident for the copy-present case.
+func Of(e Engine, op Op, p Params) Cost {
+	th := func(x int64) int64 { return int64(p.Theta * float64(x)) }
+	switch e {
+	case InP:
+		switch op {
+		case Insert:
+			return Cost{Memory: p.T, Log: p.T, Table: p.T}
+		case Update:
+			return Cost{Memory: p.F + p.V, Log: 2 * (p.F + p.V), Table: p.F + p.V}
+		case Delete:
+			return Cost{Memory: p.Eps, Log: p.T, Table: p.Eps}
+		}
+	case CoW:
+		switch op {
+		case Insert:
+			return Cost{Memory: p.B + p.T, Table: p.B}
+		case Update:
+			return Cost{Memory: p.B + p.F + p.V, Table: p.B}
+		case Delete:
+			return Cost{Memory: p.B + p.Eps, Table: p.B}
+		}
+	case Log:
+		switch op {
+		case Insert:
+			return Cost{Memory: p.T, Log: p.T, Table: th(p.T)}
+		case Update:
+			return Cost{Memory: p.F + p.V, Log: 2 * (p.F + p.V), Table: th(p.F + p.V)}
+		case Delete:
+			return Cost{Memory: p.Eps, Log: p.T, Table: p.Eps}
+		}
+	case NVMInP:
+		switch op {
+		case Insert:
+			return Cost{Memory: p.T, Log: p.P, Table: p.P}
+		case Update:
+			return Cost{Memory: p.F + p.V + p.P, Log: p.F + p.P}
+		case Delete:
+			return Cost{Memory: p.Eps, Log: p.P, Table: p.Eps}
+		}
+	case NVMCoW:
+		switch op {
+		case Insert:
+			return Cost{Memory: p.T, Table: p.B + p.P}
+		case Update:
+			return Cost{Memory: p.T + p.F + p.V, Table: p.B + p.P}
+		case Delete:
+			return Cost{Memory: p.Eps, Table: p.B + p.Eps}
+		}
+	case NVMLog:
+		switch op {
+		case Insert:
+			return Cost{Memory: p.T, Log: p.P, Table: th(p.T)}
+		case Update:
+			return Cost{Memory: p.F + p.V + p.P, Log: p.F + p.P, Table: th(p.F + p.P)}
+		case Delete:
+			return Cost{Memory: p.Eps, Log: p.P, Table: p.Eps}
+		}
+	}
+	panic(fmt.Sprintf("costmodel: unknown engine/op %s/%s", e, op))
+}
+
+// OfCoWResident returns the cheaper CoW-engine cost when the affected
+// B+tree node already has a copy in the dirty directory (the right side of
+// Table 3's "B+T | T" entries).
+func OfCoWResident(e Engine, op Op, p Params) Cost {
+	c := Of(e, op, p)
+	switch e {
+	case CoW:
+		c.Memory -= p.B
+		c.Table -= p.B
+		switch op {
+		case Insert:
+			c.Table += p.T
+		case Update:
+			c.Table += p.F + p.V
+		case Delete:
+			c.Table += p.Eps
+		}
+	case NVMCoW:
+		c.Table -= p.B
+	}
+	return c
+}
+
+// WritesPerMix estimates total bytes written for a workload of nTxns with
+// the given read percentage (reads write nothing; writes are updates).
+func WritesPerMix(e Engine, p Params, nTxns int, readPct int) int64 {
+	writes := int64(nTxns * (100 - readPct) / 100)
+	return writes * Of(e, Update, p).Total()
+}
+
+// Ratio returns engine a's total cost for op as a multiple of engine b's.
+func Ratio(a, b Engine, op Op, p Params) float64 {
+	return float64(Of(a, op, p).Total()) / float64(Of(b, op, p).Total())
+}

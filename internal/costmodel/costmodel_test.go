@@ -1,0 +1,101 @@
+package costmodel
+
+import "testing"
+
+func TestNVMVariantsWriteLess(t *testing.T) {
+	p := DefaultParams()
+	pairs := [][2]Engine{{NVMInP, InP}, {NVMCoW, CoW}, {NVMLog, Log}}
+	for _, pair := range pairs {
+		for _, op := range []Op{Insert, Update} {
+			nvm := Of(pair[0], op, p).Total()
+			trad := Of(pair[1], op, p).Total()
+			if nvm >= trad {
+				t.Errorf("%s %s: %d >= traditional %d", pair[0], op, nvm, trad)
+			}
+		}
+	}
+}
+
+func TestInPInsertWritesThreeCopies(t *testing.T) {
+	p := DefaultParams()
+	c := Of(InP, Insert, p)
+	if c.Memory != p.T || c.Log != p.T || c.Table != p.T {
+		t.Errorf("InP insert = %+v, want T in all three", c)
+	}
+}
+
+func TestNVMInPInsertLogsOnlyPointer(t *testing.T) {
+	p := DefaultParams()
+	c := Of(NVMInP, Insert, p)
+	if c.Log != p.P {
+		t.Errorf("NVM-InP insert log = %d, want pointer size %d", c.Log, p.P)
+	}
+	if c.Memory != p.T {
+		t.Errorf("NVM-InP insert memory = %d, want %d", c.Memory, p.T)
+	}
+}
+
+func TestCoWPaysNodeCopy(t *testing.T) {
+	p := DefaultParams()
+	c := Of(CoW, Update, p)
+	if c.Total() < p.B {
+		t.Errorf("CoW update total %d < node size %d", c.Total(), p.B)
+	}
+	r := OfCoWResident(CoW, Update, p)
+	if r.Total() >= c.Total() {
+		t.Errorf("resident case %d not cheaper than copy case %d", r.Total(), c.Total())
+	}
+}
+
+func TestCoWEnginesHaveNoLog(t *testing.T) {
+	p := DefaultParams()
+	for _, op := range []Op{Insert, Update, Delete} {
+		if Of(CoW, op, p).Log != 0 || Of(NVMCoW, op, p).Log != 0 {
+			t.Errorf("CoW engines logged on %s", op)
+		}
+	}
+}
+
+func TestThetaScalesLogStructured(t *testing.T) {
+	p := DefaultParams()
+	p.Theta = 1
+	base := Of(Log, Insert, p).Table
+	p.Theta = 3
+	if got := Of(Log, Insert, p).Table; got != 3*base {
+		t.Errorf("theta scaling: %d vs base %d", got, base)
+	}
+}
+
+func TestRatioHeadline(t *testing.T) {
+	// The paper's headline: NVM-aware engines roughly halve NVM writes on
+	// write-intensive workloads. The update-cost ratio InP/NVM-InP should
+	// comfortably exceed 2x.
+	p := DefaultParams()
+	if r := Ratio(InP, NVMInP, Update, p); r < 2 {
+		t.Errorf("InP/NVM-InP update ratio = %.2f, want >= 2", r)
+	}
+}
+
+func TestWritesPerMix(t *testing.T) {
+	p := DefaultParams()
+	ro := WritesPerMix(InP, p, 1000, 100)
+	wh := WritesPerMix(InP, p, 1000, 10)
+	if ro != 0 {
+		t.Errorf("read-only mix wrote %d", ro)
+	}
+	if wh == 0 {
+		t.Error("write-heavy mix wrote nothing")
+	}
+}
+
+func TestAllCellsDefined(t *testing.T) {
+	p := DefaultParams()
+	for _, e := range Engines {
+		for _, op := range []Op{Insert, Update, Delete} {
+			c := Of(e, op, p)
+			if c.Total() <= 0 {
+				t.Errorf("%s/%s has non-positive cost", e, op)
+			}
+		}
+	}
+}

@@ -1,0 +1,690 @@
+// Package cowbtree is a copy-on-write (shadow-paged) B+tree in the style of
+// LMDB's append-only B+tree, used by the CoW engine for its current/dirty
+// directories (§3.2) and, over the allocator interface, by the NVM-CoW
+// engine (§4.2).
+//
+// The tree never overwrites committed pages. A modification copies the path
+// from the affected leaf up to the root ("dirty directory"); Persist makes
+// the batch durable and atomically swings the master record to the new root
+// ("current directory"). Because committed data is never overwritten, the
+// tree needs no recovery process: after a crash the master record points to
+// a consistent tree, and pages of the lost dirty directory are reclaimed by
+// a reachability sweep.
+//
+// Keys are unique uint64s; values are byte slices that must fit in a page.
+// Transaction boundaries (Begin/Commit/Abort) give per-transaction rollback
+// inside a group-commit batch. Not safe for concurrent use.
+package cowbtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Pager supplies fixed-size pages and the durable master record.
+type Pager interface {
+	// PageSize returns the page size in bytes.
+	PageSize() int
+	// ReadPage fills buf with page id's contents.
+	ReadPage(id uint64, buf []byte)
+	// WritePage stores buf as page id's contents (volatile until Persist).
+	WritePage(id uint64, buf []byte)
+	// AllocPage returns a fresh page id.
+	AllocPage() (uint64, error)
+	// FreePage returns a page to the free pool immediately.
+	FreePage(id uint64)
+	// Persist durably commits all pages written since the last Persist and
+	// atomically installs (root, meta) as the master record.
+	Persist(root, meta uint64) error
+	// Committed returns the durable master record.
+	Committed() (root, meta uint64)
+}
+
+// ErrValueTooLarge is returned when a value cannot fit in a page.
+var ErrValueTooLarge = errors.New("cowbtree: value too large for page size")
+
+// Page layout:
+//
+//	+0  flags (1 = leaf)
+//	+2  count (u16)
+//	+4  dataEnd (u32, leaves: low end of the value heap)
+//	+8  entries
+//
+// Leaf entry (slot directory): key u64, valOff u16, valLen u16 (12 B); value
+// bytes grow down from the end of the page. Inner entry: key u64, child u64
+// (16 B), sorted; child i covers [key_i, key_{i+1}).
+const (
+	pFlags   = 0
+	pCount   = 2
+	pDataEnd = 4
+	pHdr     = 8
+
+	leafSlot = 12
+	innerEnt = 16
+)
+
+// Tree is a copy-on-write B+tree.
+type Tree struct {
+	pg       Pager
+	psize    int
+	root     uint64 // current (possibly uncommitted) root
+	meta     uint64 // user meta committed alongside the root
+	commRoot uint64
+
+	// mut holds buffers of pages allocated in the running transaction;
+	// these are mutable in place (they are invisible until commit).
+	mut map[uint64][]byte
+
+	inTxn     bool
+	rootAtTxn uint64
+	metaAtTxn uint64
+	txnAlloc  []uint64 // pages allocated by the running txn
+	txnFree   []uint64 // committed pages superseded by the running txn
+
+	batchAlloc []uint64 // allocated by committed-but-unpersisted txns
+	batchFree  []uint64 // superseded, reusable after next Persist
+}
+
+// Create initializes an empty tree on the pager and persists it.
+func Create(pg Pager) (*Tree, error) {
+	t := &Tree{pg: pg, psize: pg.PageSize(), mut: make(map[uint64][]byte)}
+	id, err := pg.AllocPage()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, t.psize)
+	initPage(buf, true, t.psize)
+	pg.WritePage(id, buf)
+	t.root, t.commRoot = id, id
+	if err := pg.Persist(id, 0); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Attach opens the tree at the pager's committed master record.
+func Attach(pg Pager) *Tree {
+	root, meta := pg.Committed()
+	return &Tree{pg: pg, psize: pg.PageSize(), mut: make(map[uint64][]byte),
+		root: root, commRoot: root, meta: meta}
+}
+
+// Root returns the current (possibly uncommitted) root page id.
+func (t *Tree) Root() uint64 { return t.root }
+
+// Meta returns the current user meta word.
+func (t *Tree) Meta() uint64 { return t.meta }
+
+// SetMeta sets the user meta word committed by the next Persist.
+func (t *Tree) SetMeta(m uint64) { t.meta = m }
+
+func initPage(buf []byte, leaf bool, psize int) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if leaf {
+		buf[pFlags] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[pDataEnd:], uint32(psize))
+}
+
+func isLeaf(buf []byte) bool { return buf[pFlags] == 1 }
+func count(buf []byte) int   { return int(binary.LittleEndian.Uint16(buf[pCount:])) }
+func setCount(buf []byte, c int) {
+	binary.LittleEndian.PutUint16(buf[pCount:], uint16(c))
+}
+func dataEnd(buf []byte) int { return int(binary.LittleEndian.Uint32(buf[pDataEnd:])) }
+func setDataEnd(buf []byte, v int) {
+	binary.LittleEndian.PutUint32(buf[pDataEnd:], uint32(v))
+}
+
+func leafKey(buf []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(buf[pHdr+i*leafSlot:])
+}
+func leafVal(buf []byte, i int) []byte {
+	off := int(binary.LittleEndian.Uint16(buf[pHdr+i*leafSlot+8:]))
+	ln := int(binary.LittleEndian.Uint16(buf[pHdr+i*leafSlot+10:]))
+	return buf[off : off+ln]
+}
+func innerKey(buf []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(buf[pHdr+i*innerEnt:])
+}
+func innerChild(buf []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(buf[pHdr+i*innerEnt+8:])
+}
+func setInner(buf []byte, i int, k, c uint64) {
+	binary.LittleEndian.PutUint64(buf[pHdr+i*innerEnt:], k)
+	binary.LittleEndian.PutUint64(buf[pHdr+i*innerEnt+8:], c)
+}
+
+// leafFree returns the free bytes between slot directory and value heap.
+func leafFree(buf []byte) int {
+	return dataEnd(buf) - (pHdr + count(buf)*leafSlot)
+}
+
+// leafLowerBound returns the first slot with key >= k.
+func leafLowerBound(buf []byte, k uint64) int {
+	lo, hi := 0, count(buf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafKey(buf, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// innerRoute returns the index of the child covering key k.
+func innerRoute(buf []byte, k uint64) int {
+	lo, hi := 0, count(buf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if innerKey(buf, mid) <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// page returns a read-only view of page id: the mutable buffer if the page
+// belongs to the running txn, otherwise a copy read from the pager.
+func (t *Tree) page(id uint64) []byte {
+	if buf, ok := t.mut[id]; ok {
+		return buf
+	}
+	buf := make([]byte, t.psize)
+	t.pg.ReadPage(id, buf)
+	return buf
+}
+
+// Begin starts a transaction. Transactions nest the group-commit batch:
+// Commit makes the txn's changes part of the batch; Persist makes the batch
+// durable.
+func (t *Tree) Begin() {
+	if t.inTxn {
+		panic("cowbtree: nested transaction")
+	}
+	t.inTxn = true
+	t.rootAtTxn = t.root
+	t.metaAtTxn = t.meta
+	t.txnAlloc = t.txnAlloc[:0]
+	t.txnFree = t.txnFree[:0]
+}
+
+// Commit ends the transaction, keeping its changes in the dirty directory.
+func (t *Tree) Commit() {
+	if !t.inTxn {
+		panic("cowbtree: Commit outside transaction")
+	}
+	// The txn's pages become batch pages: still volatile, no longer
+	// mutable in place (a later txn must re-copy them so it can roll back).
+	for id, buf := range t.mut {
+		t.pg.WritePage(id, buf)
+		delete(t.mut, id)
+	}
+	t.batchAlloc = append(t.batchAlloc, t.txnAlloc...)
+	t.batchFree = append(t.batchFree, t.txnFree...)
+	t.inTxn = false
+}
+
+// Abort rolls the transaction back, releasing its pages.
+func (t *Tree) Abort() {
+	if !t.inTxn {
+		panic("cowbtree: Abort outside transaction")
+	}
+	t.root = t.rootAtTxn
+	t.meta = t.metaAtTxn
+	for _, id := range t.txnAlloc {
+		delete(t.mut, id)
+		t.pg.FreePage(id)
+	}
+	t.txnAlloc = t.txnAlloc[:0]
+	t.txnFree = t.txnFree[:0]
+	t.inTxn = false
+}
+
+// Persist durably commits the batch: the pager flushes every page written
+// since the last Persist and installs the new master record. Pages
+// superseded by the batch return to the free pool only afterwards, so the
+// previously committed tree stays intact until the swap is durable.
+func (t *Tree) Persist() error {
+	if t.inTxn {
+		panic("cowbtree: Persist inside transaction")
+	}
+	if err := t.pg.Persist(t.root, t.meta); err != nil {
+		return err
+	}
+	t.commRoot = t.root
+	for _, id := range t.batchFree {
+		t.pg.FreePage(id)
+	}
+	t.batchFree = t.batchFree[:0]
+	t.batchAlloc = t.batchAlloc[:0]
+	return nil
+}
+
+// autoTxn wraps a single operation in a transaction if none is running.
+func (t *Tree) autoTxn(fn func() error) error {
+	if t.inTxn {
+		return fn()
+	}
+	t.Begin()
+	if err := fn(); err != nil {
+		t.Abort()
+		return err
+	}
+	t.Commit()
+	return nil
+}
+
+// Get returns the value for key k from the current directory.
+func (t *Tree) Get(k uint64) ([]byte, bool) {
+	buf := t.page(t.root)
+	for !isLeaf(buf) {
+		buf = t.page(innerChild(buf, innerRoute(buf, k)))
+	}
+	i := leafLowerBound(buf, k)
+	if i < count(buf) && leafKey(buf, i) == k {
+		v := leafVal(buf, i)
+		out := make([]byte, len(v))
+		copy(out, v)
+		return out, true
+	}
+	return nil, false
+}
+
+// GetCommitted reads key k from the last persisted directory (the paper's
+// "current directory"), ignoring the running batch.
+func (t *Tree) GetCommitted(k uint64) ([]byte, bool) {
+	saved := t.root
+	t.root = t.commRoot
+	defer func() { t.root = saved }()
+	return t.Get(k)
+}
+
+// Put inserts or replaces k = val.
+func (t *Tree) Put(k uint64, val []byte) error {
+	if len(val) > t.maxValue() {
+		return fmt.Errorf("%w: key %#x val %d bytes (max %d)", ErrValueTooLarge, k, len(val), t.maxValue())
+	}
+	return t.autoTxn(func() error { return t.put(k, val) })
+}
+
+// maxValue is the largest value that fits in a fresh leaf beside its slot.
+func (t *Tree) maxValue() int { return t.psize - pHdr - 2*leafSlot }
+
+// Delete removes key k, reporting whether it was present.
+func (t *Tree) Delete(k uint64) (bool, error) {
+	if _, ok := t.Get(k); !ok {
+		return false, nil
+	}
+	err := t.autoTxn(func() error { return t.del(k) })
+	return err == nil, err
+}
+
+// shadow returns a mutable buffer for page id, copying it into the running
+// txn if needed, and returns the (possibly new) id.
+func (t *Tree) shadow(id uint64) (uint64, []byte, error) {
+	if buf, ok := t.mut[id]; ok {
+		return id, buf, nil
+	}
+	nid, err := t.pg.AllocPage()
+	if err != nil {
+		return 0, nil, err
+	}
+	buf := make([]byte, t.psize)
+	t.pg.ReadPage(id, buf)
+	t.mut[nid] = buf
+	t.txnAlloc = append(t.txnAlloc, nid)
+	t.txnFree = append(t.txnFree, id)
+	return nid, buf, nil
+}
+
+// newPage allocates a fresh txn-mutable page.
+func (t *Tree) newPage(leaf bool) (uint64, []byte, error) {
+	id, err := t.pg.AllocPage()
+	if err != nil {
+		return 0, nil, err
+	}
+	buf := make([]byte, t.psize)
+	initPage(buf, leaf, t.psize)
+	t.mut[id] = buf
+	t.txnAlloc = append(t.txnAlloc, id)
+	return id, buf, nil
+}
+
+type pathEnt struct {
+	id  uint64
+	buf []byte
+	idx int // child index taken
+}
+
+// innerFull reports whether an inner node cannot absorb a few more
+// separators (leaf splits may cascade, adding up to three).
+func (t *Tree) innerFull(buf []byte) bool {
+	return count(buf) >= (t.psize-pHdr)/innerEnt-3
+}
+
+// splitInnerChild splits the full inner node child (at parent slot idx) and
+// returns the two halves. parent must have room for the new separator.
+func (t *Tree) splitInnerChild(parent []byte, idx int, child pathEnt) (left, right pathEnt, sep uint64, err error) {
+	buf := child.buf
+	c := count(buf)
+	mid := c / 2
+	rid, rbuf, err := t.newPage(false)
+	if err != nil {
+		return pathEnt{}, pathEnt{}, 0, err
+	}
+	for i := mid; i < c; i++ {
+		setInner(rbuf, i-mid, innerKey(buf, i), innerChild(buf, i))
+	}
+	setCount(rbuf, c-mid)
+	sep = innerKey(buf, mid)
+	setCount(buf, mid)
+	// Link the new half into the parent.
+	pc := count(parent)
+	i := idx + 1
+	copy(parent[pHdr+(i+1)*innerEnt:pHdr+(pc+1)*innerEnt], parent[pHdr+i*innerEnt:pHdr+pc*innerEnt])
+	setInner(parent, i, sep, rid)
+	setCount(parent, pc+1)
+	return child, pathEnt{id: rid, buf: rbuf}, sep, nil
+}
+
+// descend shadows the path from the root to the leaf covering k,
+// preemptively splitting any full inner node on the way so a leaf split's
+// separator always fits in its parent. The shadowed path is fully linked.
+func (t *Tree) descend(k uint64) ([]pathEnt, error) {
+	id, buf, err := t.shadow(t.root)
+	if err != nil {
+		return nil, err
+	}
+	t.root = id
+
+	// A full inner root gets a fresh root above it.
+	if !isLeaf(buf) && t.innerFull(buf) {
+		nid, nbuf, err := t.newPage(false)
+		if err != nil {
+			return nil, err
+		}
+		setInner(nbuf, 0, innerKey(buf, 0), id)
+		setCount(nbuf, 1)
+		if _, _, _, err := t.splitInnerChild(nbuf, 0, pathEnt{id: id, buf: buf}); err != nil {
+			return nil, err
+		}
+		t.root = nid
+		id, buf = nid, nbuf
+	}
+
+	path := []pathEnt{{id: id, buf: buf}}
+	for !isLeaf(buf) {
+		idx := innerRoute(buf, k)
+		child := innerChild(buf, idx)
+		cid, cbuf, err := t.shadow(child)
+		if err != nil {
+			return nil, err
+		}
+		if cid != child {
+			setInner(buf, idx, innerKey(buf, idx), cid)
+		}
+		if !isLeaf(cbuf) && t.innerFull(cbuf) {
+			_, right, sep, err := t.splitInnerChild(buf, idx, pathEnt{id: cid, buf: cbuf})
+			if err != nil {
+				return nil, err
+			}
+			if k >= sep {
+				idx++
+				cid, cbuf = right.id, right.buf
+			}
+		}
+		path[len(path)-1].idx = idx
+		path = append(path, pathEnt{id: cid, buf: cbuf})
+		id, buf = cid, cbuf
+	}
+	return path, nil
+}
+
+func (t *Tree) put(k uint64, val []byte) error {
+	path, err := t.descend(k)
+	if err != nil {
+		return err
+	}
+	leaf := path[len(path)-1]
+	return t.leafInsert(leaf, path, k, val)
+}
+
+// leafInsert places (k, val) into the shadowed leaf, compacting or
+// splitting as needed.
+func (t *Tree) leafInsert(leaf pathEnt, path []pathEnt, k uint64, val []byte) error {
+	buf := leaf.buf
+	i := leafLowerBound(buf, k)
+	replacing := i < count(buf) && leafKey(buf, i) == k
+	need := leafSlot + len(val)
+	if replacing {
+		need = len(val) // slot already exists; old value becomes garbage
+	}
+	if leafFree(buf) < need {
+		t.compactLeaf(buf)
+		i = leafLowerBound(buf, k)
+	}
+	if leafFree(buf) < need {
+		return t.splitLeafInsert(leaf, path, k, val)
+	}
+	t.leafPlace(buf, i, replacing, k, val)
+	return nil
+}
+
+// leafPlace writes (k, val) at slot i (shifting if inserting).
+func (t *Tree) leafPlace(buf []byte, i int, replacing bool, k uint64, val []byte) {
+	c := count(buf)
+	if !replacing {
+		copy(buf[pHdr+(i+1)*leafSlot:pHdr+(c+1)*leafSlot], buf[pHdr+i*leafSlot:pHdr+c*leafSlot])
+		setCount(buf, c+1)
+	}
+	end := dataEnd(buf) - len(val)
+	copy(buf[end:], val)
+	setDataEnd(buf, end)
+	binary.LittleEndian.PutUint64(buf[pHdr+i*leafSlot:], k)
+	binary.LittleEndian.PutUint16(buf[pHdr+i*leafSlot+8:], uint16(end))
+	binary.LittleEndian.PutUint16(buf[pHdr+i*leafSlot+10:], uint16(len(val)))
+}
+
+// compactLeaf rewrites the value heap, dropping garbage from replaced and
+// deleted values.
+func (t *Tree) compactLeaf(buf []byte) {
+	c := count(buf)
+	type kv struct {
+		k uint64
+		v []byte
+	}
+	items := make([]kv, c)
+	for i := 0; i < c; i++ {
+		v := leafVal(buf, i)
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		items[i] = kv{leafKey(buf, i), cp}
+	}
+	initPage(buf, true, t.psize)
+	for i, it := range items {
+		setCount(buf, i)
+		t.leafPlace(buf, i, false, it.k, it.v)
+	}
+	setCount(buf, c)
+}
+
+// splitLeafInsert splits a full leaf at a byte-balanced point and retries
+// the insert, re-splitting the target half if variable-length values left
+// it too full. The parent has room for the separators thanks to preemptive
+// inner splits.
+func (t *Tree) splitLeafInsert(leaf pathEnt, path []pathEnt, k uint64, val []byte) error {
+	buf := leaf.buf
+	c := count(buf)
+	if c < 2 {
+		return fmt.Errorf("%w: split of %d-entry leaf, key %#x val %d", ErrValueTooLarge, c, k, len(val))
+	}
+	// Byte-balanced split point: first index where the prefix reaches half
+	// of the payload bytes, clamped to [1, c-1].
+	total := 0
+	for i := 0; i < c; i++ {
+		total += leafSlot + len(leafVal(buf, i))
+	}
+	mid, acc := 1, leafSlot+len(leafVal(buf, 0))
+	for mid < c-1 && acc < total/2 {
+		acc += leafSlot + len(leafVal(buf, mid))
+		mid++
+	}
+
+	rid, rbuf, err := t.newPage(true)
+	if err != nil {
+		return err
+	}
+	for i := mid; i < c; i++ {
+		t.leafPlace(rbuf, i-mid, false, leafKey(buf, i), leafVal(buf, i))
+	}
+	sep := leafKey(buf, mid)
+	setCount(buf, mid)
+	t.compactLeaf(buf)
+
+	var rightPath []pathEnt
+	if len(path) == 1 {
+		// Leaf was the root: build a fresh root above the halves.
+		nid, nbuf, err := t.newPage(false)
+		if err != nil {
+			return err
+		}
+		var minKey uint64
+		if count(buf) > 0 {
+			minKey = leafKey(buf, 0)
+		}
+		setInner(nbuf, 0, minKey, leaf.id)
+		setInner(nbuf, 1, sep, rid)
+		setCount(nbuf, 2)
+		t.root = nid
+		rightPath = []pathEnt{{id: nid, buf: nbuf, idx: 1}, {id: rid, buf: rbuf}}
+		path = []pathEnt{{id: nid, buf: nbuf, idx: 0}, leaf}
+	} else {
+		parent := path[len(path)-2]
+		pbuf := parent.buf
+		pc := count(pbuf)
+		i := parent.idx + 1
+		copy(pbuf[pHdr+(i+1)*innerEnt:pHdr+(pc+1)*innerEnt], pbuf[pHdr+i*innerEnt:pHdr+pc*innerEnt])
+		setInner(pbuf, i, sep, rid)
+		setCount(pbuf, pc+1)
+		rightPath = append(append([]pathEnt{}, path[:len(path)-1]...), pathEnt{id: rid, buf: rbuf})
+		rightPath[len(rightPath)-2].idx = i
+	}
+
+	// Retry into the correct half, re-splitting it if necessary.
+	if k >= sep {
+		return t.leafInsert(pathEnt{id: rid, buf: rbuf}, rightPath, k, val)
+	}
+	return t.leafInsert(leaf, path, k, val)
+}
+
+func (t *Tree) del(k uint64) error {
+	path, err := t.descend(k)
+	if err != nil {
+		return err
+	}
+	buf := path[len(path)-1].buf
+	i := leafLowerBound(buf, k)
+	if i >= count(buf) || leafKey(buf, i) != k {
+		return fmt.Errorf("cowbtree: delete of vanished key %d", k)
+	}
+	c := count(buf)
+	copy(buf[pHdr+i*leafSlot:pHdr+(c-1)*leafSlot], buf[pHdr+(i+1)*leafSlot:pHdr+c*leafSlot])
+	setCount(buf, c-1)
+	// Lazy: no merging; empty leaves are tolerated and skipped by Iter.
+	return nil
+}
+
+// Iter calls fn for each (key, value) with key >= from in ascending order
+// until fn returns false.
+func (t *Tree) Iter(from uint64, fn func(k uint64, v []byte) bool) {
+	type frame struct {
+		buf []byte
+		idx int
+	}
+	var stack []frame
+	buf := t.page(t.root)
+	for !isLeaf(buf) {
+		idx := innerRoute(buf, from)
+		stack = append(stack, frame{buf, idx})
+		buf = t.page(innerChild(buf, idx))
+	}
+	i := leafLowerBound(buf, from)
+	for {
+		c := count(buf)
+		for ; i < c; i++ {
+			if !fn(leafKey(buf, i), leafVal(buf, i)) {
+				return
+			}
+		}
+		// Advance to the next leaf via the stack.
+		for {
+			if len(stack) == 0 {
+				return
+			}
+			top := &stack[len(stack)-1]
+			top.idx++
+			if top.idx < count(top.buf) {
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		buf = t.page(innerChild(stack[len(stack)-1].buf, stack[len(stack)-1].idx))
+		for !isLeaf(buf) {
+			stack = append(stack, frame{buf, 0})
+			buf = t.page(innerChild(buf, 0))
+		}
+		i = 0
+	}
+}
+
+// Reachable walks the committed tree and reports every reachable page id
+// (and leaf values via onVal, if non-nil). Used by recovery sweeps to
+// asynchronously reclaim the dirty directory lost in a crash.
+func (t *Tree) Reachable(onPage func(id uint64), onVal func(v []byte)) {
+	var walk func(id uint64)
+	walk = func(id uint64) {
+		onPage(id)
+		buf := t.page(id)
+		if isLeaf(buf) {
+			if onVal != nil {
+				for i := 0; i < count(buf); i++ {
+					onVal(leafVal(buf, i))
+				}
+			}
+			return
+		}
+		for i := 0; i < count(buf); i++ {
+			walk(innerChild(buf, i))
+		}
+	}
+	walk(t.commRoot)
+}
+
+// Count returns the number of keys (test helper).
+func (t *Tree) Count() int {
+	n := 0
+	t.Iter(0, func(uint64, []byte) bool { n++; return true })
+	return n
+}
+
+// Depth returns the tree height (test/diagnostic helper).
+func (t *Tree) Depth() int {
+	d := 1
+	buf := t.page(t.root)
+	for !isLeaf(buf) {
+		d++
+		buf = t.page(innerChild(buf, 0))
+	}
+	return d
+}

@@ -1,0 +1,299 @@
+package cowbtree
+
+import (
+	"fmt"
+
+	"nstore/internal/nvm"
+	"nstore/internal/pmalloc"
+	"nstore/internal/pmfs"
+)
+
+// metaMagic seeds the master-record checksum so torn writes are detected.
+const metaMagic = 0x434f574d45544131 // "COWMETA1"
+
+func metaSum(seq, root, npages, user uint64) uint64 {
+	return seq ^ root ^ npages ^ user ^ metaMagic
+}
+
+// FilePager stores pages in a pmfs file, the way the CoW engine keeps its
+// copy-on-write B+tree "on the filesystem" (§3.2). Page 0 holds two
+// checksummed master-record slots written alternately; the master record is
+// "located at a fixed offset within the file".
+type FilePager struct {
+	fs    *pmfs.FS
+	f     *pmfs.File
+	psize int
+
+	seq    uint64
+	root   uint64
+	meta   uint64
+	npages uint64 // file length in pages, including page 0
+	free   []uint64
+}
+
+const metaSlotBytes = 40 // seq, root, npages, userMeta, sum
+
+// CreateFilePager creates the backing file and an empty pager.
+func CreateFilePager(fs *pmfs.FS, name string, pageSize int) (*FilePager, error) {
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	p := &FilePager{fs: fs, f: f, psize: pageSize, npages: 1}
+	zero := make([]byte, pageSize)
+	if _, err := f.WriteAt(zero, 0); err != nil {
+		return nil, err
+	}
+	if err := p.writeMeta(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// OpenFilePager opens an existing pager, picking the newest valid master
+// record, and rebuilds nothing: free pages are installed later by the
+// owner's reachability sweep (InitFree).
+func OpenFilePager(fs *pmfs.FS, name string, pageSize int) (*FilePager, error) {
+	f, err := fs.OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [2 * 64]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	p := &FilePager{fs: fs, f: f, psize: pageSize}
+	found := false
+	for slot := 0; slot < 2; slot++ {
+		b := hdr[slot*64:]
+		seq := le64(b, 0)
+		root := le64(b, 8)
+		npages := le64(b, 16)
+		user := le64(b, 24)
+		sum := le64(b, 32)
+		if sum == metaSum(seq, root, npages, user) && npages > 0 && (!found || seq > p.seq) {
+			p.seq, p.root, p.npages, p.meta = seq, root, npages, user
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cowbtree: no valid master record in %q", name)
+	}
+	return p, nil
+}
+
+func le64(b []byte, off int) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[off+i])
+	}
+	return v
+}
+
+func putLE64(b []byte, off int, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[off+i] = byte(v >> (8 * i))
+	}
+}
+
+// writeMeta writes the alternate master-record slot and fsyncs it.
+func (p *FilePager) writeMeta() error {
+	p.seq++
+	var b [metaSlotBytes]byte
+	putLE64(b[:], 0, p.seq)
+	putLE64(b[:], 8, p.root)
+	putLE64(b[:], 16, p.npages)
+	putLE64(b[:], 24, p.meta)
+	putLE64(b[:], 32, metaSum(p.seq, p.root, p.npages, p.meta))
+	off := int64((p.seq % 2) * 64)
+	if _, err := p.f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}
+
+// PageSize returns the page size in bytes.
+func (p *FilePager) PageSize() int { return p.psize }
+
+// ReadPage fills buf with page id's contents.
+func (p *FilePager) ReadPage(id uint64, buf []byte) {
+	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.psize)); err != nil {
+		panic(err)
+	}
+}
+
+// WritePage stores buf as page id's contents (durable at the next Persist).
+func (p *FilePager) WritePage(id uint64, buf []byte) {
+	if _, err := p.f.WriteAt(buf, int64(id)*int64(p.psize)); err != nil {
+		panic(err)
+	}
+}
+
+// AllocPage returns a free page, growing the file if necessary.
+func (p *FilePager) AllocPage() (uint64, error) {
+	if n := len(p.free); n > 0 {
+		id := p.free[n-1]
+		p.free = p.free[:n-1]
+		return id, nil
+	}
+	id := p.npages
+	zero := make([]byte, p.psize)
+	if _, err := p.f.WriteAt(zero, int64(id)*int64(p.psize)); err != nil {
+		return 0, err
+	}
+	p.npages++
+	return id, nil
+}
+
+// FreePage returns a page to the free pool.
+func (p *FilePager) FreePage(id uint64) { p.free = append(p.free, id) }
+
+// Persist fsyncs the data pages, then installs the new master record with a
+// second fsync: the shadow-paging commit protocol.
+func (p *FilePager) Persist(root, meta uint64) error {
+	if err := p.f.Sync(); err != nil {
+		return err
+	}
+	p.root, p.meta = root, meta
+	return p.writeMeta()
+}
+
+// Committed returns the durable master record.
+func (p *FilePager) Committed() (root, meta uint64) { return p.root, p.meta }
+
+// InitFree installs the free list from a reachability sweep: every page
+// except page 0 and the reachable set is free.
+func (p *FilePager) InitFree(used map[uint64]bool) {
+	p.free = p.free[:0]
+	for id := uint64(1); id < p.npages; id++ {
+		if !used[id] {
+			p.free = append(p.free, id)
+		}
+	}
+}
+
+// FileBytes returns the durable size of the backing file (Fig. 14).
+func (p *FilePager) FileBytes() int64 { return p.f.Size() }
+
+// ArenaPager stores pages as allocator chunks and the master record as a
+// pair of checksummed slots updated with the sync primitive — the NVM-CoW
+// engine's "non-volatile copy-on-write B+tree using the allocator
+// interface" with its efficiently-updatable master record (§4.2).
+type ArenaPager struct {
+	arena *pmalloc.Arena
+	dev   *nvm.Device
+	psize int
+
+	master pmalloc.Ptr // chunk holding two 64 B master-record slots
+	seq    uint64
+	root   uint64
+	meta   uint64
+
+	dirty map[uint64]bool // pages written since the last Persist
+}
+
+// CreateArenaPager allocates the master block and stores its pointer in the
+// given arena root slot (the naming mechanism).
+func CreateArenaPager(arena *pmalloc.Arena, rootSlot int, pageSize int) (*ArenaPager, error) {
+	m, err := arena.Alloc(128, pmalloc.TagOther)
+	if err != nil {
+		return nil, err
+	}
+	p := &ArenaPager{arena: arena, dev: arena.Device(), psize: pageSize,
+		master: m, dirty: make(map[uint64]bool)}
+	zero := make([]byte, 128)
+	p.dev.Write(int64(m), zero)
+	p.dev.Sync(int64(m), 128)
+	arena.SetPersisted(m)
+	if err := p.writeMaster(); err != nil {
+		return nil, err
+	}
+	arena.SetRoot(rootSlot, m)
+	return p, nil
+}
+
+// OpenArenaPager reopens the pager anchored at the given arena root slot.
+func OpenArenaPager(arena *pmalloc.Arena, rootSlot int, pageSize int) (*ArenaPager, error) {
+	m := arena.Root(rootSlot)
+	if m == 0 {
+		return nil, fmt.Errorf("cowbtree: arena root slot %d empty", rootSlot)
+	}
+	p := &ArenaPager{arena: arena, dev: arena.Device(), psize: pageSize,
+		master: m, dirty: make(map[uint64]bool)}
+	found := false
+	for slot := int64(0); slot < 2; slot++ {
+		base := int64(m) + slot*64
+		seq := p.dev.ReadU64(base)
+		root := p.dev.ReadU64(base + 8)
+		user := p.dev.ReadU64(base + 16)
+		sum := p.dev.ReadU64(base + 24)
+		if sum == metaSum(seq, root, 1, user) && (!found || seq > p.seq) {
+			p.seq, p.root, p.meta = seq, root, user
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cowbtree: no valid master record at %d", m)
+	}
+	return p, nil
+}
+
+// writeMaster writes the alternate master slot with the sync primitive. A
+// slot fits one cache line, so the update is a single-line atomic durable
+// write guarded by a checksum.
+func (p *ArenaPager) writeMaster() error {
+	p.seq++
+	base := int64(p.master) + int64(p.seq%2)*64
+	p.dev.WriteU64(base, p.seq)
+	p.dev.WriteU64(base+8, p.root)
+	p.dev.WriteU64(base+16, p.meta)
+	p.dev.WriteU64(base+24, metaSum(p.seq, p.root, 1, p.meta))
+	p.dev.Sync(base, 32)
+	return nil
+}
+
+// PageSize returns the page size in bytes.
+func (p *ArenaPager) PageSize() int { return p.psize }
+
+// ReadPage fills buf with page id's contents.
+func (p *ArenaPager) ReadPage(id uint64, buf []byte) { p.dev.Read(int64(id), buf) }
+
+// WritePage stores buf into the page chunk; it is synced at Persist.
+func (p *ArenaPager) WritePage(id uint64, buf []byte) {
+	p.dev.Write(int64(id), buf)
+	p.dirty[id] = true
+}
+
+// AllocPage allocates a page chunk. It stays in the allocated (reclaimable)
+// state until the Persist that makes it reachable.
+func (p *ArenaPager) AllocPage() (uint64, error) {
+	ptr, err := p.arena.Alloc(p.psize, pmalloc.TagTable)
+	if err != nil {
+		return 0, err
+	}
+	return ptr, nil
+}
+
+// FreePage releases a page chunk.
+func (p *ArenaPager) FreePage(id uint64) {
+	delete(p.dirty, id)
+	p.arena.Free(pmalloc.Ptr(id))
+}
+
+// Persist syncs every dirty page with the allocator interface's sync
+// primitive, marks them persisted, and atomically installs the new master
+// record — no filesystem, no kernel crossing (§4.2).
+func (p *ArenaPager) Persist(root, meta uint64) error {
+	for id := range p.dirty {
+		p.dev.Sync(int64(id), p.psize)
+		if p.arena.StateOf(pmalloc.Ptr(id)) == pmalloc.StateAllocated {
+			p.arena.SetPersisted(pmalloc.Ptr(id))
+		}
+		delete(p.dirty, id)
+	}
+	p.root, p.meta = root, meta
+	return p.writeMaster()
+}
+
+// Committed returns the durable master record.
+func (p *ArenaPager) Committed() (root, meta uint64) { return p.root, p.meta }

@@ -1,0 +1,133 @@
+package cowbtree
+
+import (
+	"testing"
+
+	"nstore/internal/nvm"
+	"nstore/internal/pmalloc"
+	"nstore/internal/pmfs"
+)
+
+// Pager-level tests: the double-buffered, checksummed master record is the
+// crash-atomicity core of both CoW engines.
+
+func TestFilePagerMetaPingPong(t *testing.T) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(32 << 20))
+	fs := pmfs.Format(dev, 0, 32<<20, pmfs.Config{ExtentSize: 256 << 10})
+	pg, err := CreateFilePager(fs, "db", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		if err := pg.Persist(i*100, i); err != nil {
+			t.Fatal(err)
+		}
+		root, meta := pg.Committed()
+		if root != i*100 || meta != i {
+			t.Fatalf("commit %d: got (%d,%d)", i, root, meta)
+		}
+	}
+	dev.Crash()
+	pg2, err := OpenFilePager(fs, "db", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, meta := pg2.Committed()
+	if root != 1000 || meta != 10 {
+		t.Fatalf("reopened master = (%d,%d), want (1000,10)", root, meta)
+	}
+}
+
+func TestFilePagerTornMetaFallsBack(t *testing.T) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(32 << 20))
+	fs := pmfs.Format(dev, 0, 32<<20, pmfs.Config{ExtentSize: 256 << 10})
+	pg, _ := CreateFilePager(fs, "db", 4096)
+	pg.Persist(111, 1)
+	pg.Persist(222, 2)
+	// Corrupt the slot holding the newest record (seq 3 would go to slot
+	// 3%2=1; seq 2's record went to slot 0... the newest valid is seq 3
+	// after this persist). Instead: scribble over one slot and verify Open
+	// still finds a valid record.
+	f, _ := fs.OpenFile("db")
+	f.WriteAt([]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4}, 64) // slot 1
+	f.Sync()
+	dev.Crash()
+	pg2, err := OpenFilePager(fs, "db", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := pg2.Committed()
+	// Slot 1 held seq 3 (seq starts at 1 on create, persist->2, persist->3;
+	// 3%2=1). After corruption the valid slot is seq 2 -> root 111.
+	if root != 111 && root != 222 {
+		t.Fatalf("fell back to invalid root %d", root)
+	}
+}
+
+func TestFilePagerBothMetasCorruptFails(t *testing.T) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(32 << 20))
+	fs := pmfs.Format(dev, 0, 32<<20, pmfs.Config{ExtentSize: 256 << 10})
+	CreateFilePager(fs, "db", 4096)
+	f, _ := fs.OpenFile("db")
+	garbage := make([]byte, 128)
+	for i := range garbage {
+		garbage[i] = 0x5a
+	}
+	f.WriteAt(garbage, 0)
+	f.Sync()
+	if _, err := OpenFilePager(fs, "db", 4096); err == nil {
+		t.Fatal("accepted a file with no valid master record")
+	}
+}
+
+func TestArenaPagerMasterSurvivesCrash(t *testing.T) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(32 << 20))
+	arena := pmalloc.Format(dev, 0, 32<<20)
+	pg, err := CreateArenaPager(arena, 5, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := pg.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.WritePage(id, make([]byte, 4096))
+	if err := pg.Persist(id, 77); err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash()
+	arena2, err := pmalloc.Open(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := OpenArenaPager(arena2, 5, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, meta := pg2.Committed()
+	if root != id || meta != 77 {
+		t.Fatalf("master = (%d,%d), want (%d,77)", root, meta, id)
+	}
+}
+
+func TestArenaPagerUnpersistedPagesReclaimed(t *testing.T) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(32 << 20))
+	arena := pmalloc.Format(dev, 0, 32<<20)
+	pg, _ := CreateArenaPager(arena, 0, 4096)
+	// Pages written but never persisted stay in the allocated state.
+	id, _ := pg.AllocPage()
+	pg.WritePage(id, make([]byte, 4096))
+	dev.Crash()
+	arena2, _ := pmalloc.Open(dev, 0)
+	if st := arena2.StateOf(id); st != pmalloc.StateFree {
+		t.Fatalf("unpersisted page state = %v after recovery", st)
+	}
+}
+
+func TestOpenArenaPagerEmptySlot(t *testing.T) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(32 << 20))
+	arena := pmalloc.Format(dev, 0, 32<<20)
+	if _, err := OpenArenaPager(arena, 9, 4096); err == nil {
+		t.Fatal("opened a pager from an empty root slot")
+	}
+}

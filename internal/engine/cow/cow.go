@@ -1,0 +1,306 @@
+// Package cow implements the copy-on-write updates engine (CoW, §3.2),
+// modelled on LMDB's shadow-paging B+tree over the filesystem interface.
+// Tuples are stored fully inlined inside copy-on-write B+tree pages; a
+// master record at a fixed file offset points at the current directory. The
+// engine writes no WAL: committing a group of transactions fsyncs the dirty
+// pages and atomically swings the master record, so there is no recovery
+// process after a crash (§3.2).
+//
+// All tables and secondary indexes of the partition share one tree (packed
+// key space, see core.TreePrimary), making multi-table transactions atomic
+// under the single master record.
+package cow
+
+import (
+	"fmt"
+
+	"nstore/internal/core"
+	"nstore/internal/cowbtree"
+)
+
+const dbFile = "cow.db"
+
+// Engine is the copy-on-write updates engine.
+type Engine struct {
+	core.Base
+	opts core.Options
+
+	pager *cowbtree.FilePager
+	tree  *cowbtree.Tree
+
+	sinceGroup int
+}
+
+// New creates a fresh CoW engine.
+func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	e := &Engine{opts: opts.WithDefaults()}
+	e.InitBase(env, schemas)
+	pg, err := cowbtree.CreateFilePager(env.FS, dbFile, e.opts.CowPageSize)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := cowbtree.Create(pg)
+	if err != nil {
+		return nil, err
+	}
+	e.pager, e.tree = pg, tr
+	return e, nil
+}
+
+// Open re-attaches after a restart. There is no recovery process: the
+// master record already points to a consistent current directory. The lost
+// dirty directory's pages are reclaimed by a reachability sweep
+// (asynchronous garbage collection in the paper; done inline here).
+func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	e := &Engine{opts: opts.WithDefaults()}
+	e.InitBase(env, schemas)
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	defer stop()
+	pg, err := cowbtree.OpenFilePager(env.FS, dbFile, e.opts.CowPageSize)
+	if err != nil {
+		return nil, err
+	}
+	tr := cowbtree.Attach(pg)
+	used := make(map[uint64]bool)
+	tr.Reachable(func(id uint64) { used[id] = true }, nil)
+	pg.InitFree(used)
+	e.pager, e.tree = pg, tr
+	e.TxnID = tr.Meta() // highest persisted txn id rides in the master meta
+	return e, nil
+}
+
+// Name returns "cow".
+func (e *Engine) Name() string { return "cow" }
+
+// Begin starts a transaction against the dirty directory.
+func (e *Engine) Begin() error {
+	if err := e.BeginTx(); err != nil {
+		return err
+	}
+	e.tree.Begin()
+	return nil
+}
+
+// Commit keeps the transaction's changes in the dirty directory and, once
+// the group is full, persists the batch by swinging the master record.
+func (e *Engine) Commit() error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	e.tree.SetMeta(e.TxnID)
+	e.tree.Commit()
+	e.sinceGroup++
+	var err error
+	if e.sinceGroup >= e.opts.GroupCommitSize {
+		err = e.persist()
+	}
+	stop()
+	if err != nil {
+		return err
+	}
+	return e.EndTx()
+}
+
+func (e *Engine) persist() error {
+	e.sinceGroup = 0
+	return e.tree.Persist()
+}
+
+// Abort discards the transaction's pages from the dirty directory.
+func (e *Engine) Abort() error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	e.tree.Abort()
+	return e.EndTx()
+}
+
+// Insert adds a tuple: the full inline image goes into the tree.
+func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	tk := core.TreePrimary(tm.ID, key)
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	_, exists := e.tree.Get(tk)
+	stopIdx()
+	if exists {
+		return core.ErrKeyExists
+	}
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	err = e.tree.Put(tk, core.EncodeRow(tm.Schema, row))
+	stopSt()
+	if err != nil {
+		return err
+	}
+	stopIdx = e.Bd.Timer(&e.Bd.Index)
+	defer stopIdx()
+	for j, ix := range tm.Schema.Secondary {
+		if err := e.tree.Put(core.TreeSecondary(tm.ID, j, ix.SecKey(row), key), nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Update copies the tuple, applies the changes to the copy, and stores the
+// copy — the CoW engine "creates a new copy of the tuple even if a
+// transaction only modifies a subset of the tuple's fields" (§3.2).
+func (e *Engine) Update(table string, key uint64, upd core.Update) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	tk := core.TreePrimary(tm.ID, key)
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	img, ok := e.tree.Get(tk)
+	stopSt()
+	if !ok {
+		return core.ErrKeyNotFound
+	}
+	old, err := core.DecodeRow(tm.Schema, img)
+	if err != nil {
+		return err
+	}
+	now := core.CloneRow(old)
+	core.ApplyDelta(now, upd)
+	stopSt = e.Bd.Timer(&e.Bd.Storage)
+	err = e.tree.Put(tk, core.EncodeRow(tm.Schema, now))
+	stopSt()
+	if err != nil {
+		return err
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	defer stopIdx()
+	for j, ix := range tm.Schema.Secondary {
+		ok, nk := ix.SecKey(old), ix.SecKey(now)
+		if ok != nk {
+			if _, err := e.tree.Delete(core.TreeSecondary(tm.ID, j, ok, key)); err != nil {
+				return err
+			}
+			if err := e.tree.Put(core.TreeSecondary(tm.ID, j, nk, key), nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Delete removes a tuple and its secondary entries.
+func (e *Engine) Delete(table string, key uint64) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	tk := core.TreePrimary(tm.ID, key)
+	img, ok := e.tree.Get(tk)
+	if !ok {
+		return core.ErrKeyNotFound
+	}
+	old, err := core.DecodeRow(tm.Schema, img)
+	if err != nil {
+		return err
+	}
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	if _, err := e.tree.Delete(tk); err != nil {
+		return err
+	}
+	stopSt()
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	defer stopIdx()
+	for j, ix := range tm.Schema.Secondary {
+		if _, err := e.tree.Delete(core.TreeSecondary(tm.ID, j, ix.SecKey(old), key)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get fetches the master record's directory and looks the tuple up (§5.2's
+// "for every transaction it fetches the master record and then looks up the
+// tuple").
+func (e *Engine) Get(table string, key uint64) ([]core.Value, bool, error) {
+	tm, err := e.Table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	img, ok := e.tree.Get(core.TreePrimary(tm.ID, key))
+	stopSt()
+	if !ok {
+		return nil, false, nil
+	}
+	row, err := core.DecodeRow(tm.Schema, img)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// ScanSecondary iterates primary keys matching a secondary key.
+func (e *Engine) ScanSecondary(table, index string, sec uint32, fn func(pk uint64) bool) error {
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	j, ok := tm.SecPos(index)
+	if !ok {
+		return fmt.Errorf("cow: unknown index %q", index)
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	defer stopIdx()
+	lo, hi := core.TreeSecRange(tm.ID, j, sec)
+	e.tree.Iter(lo, func(k uint64, v []byte) bool {
+		if k >= hi {
+			return false
+		}
+		return fn(core.TreeSecPK(k))
+	})
+	return nil
+}
+
+// ScanRange iterates a table's tuples with pk in [from, to).
+func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row []core.Value) bool) error {
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	lo, hi := core.TreePrimaryRange(tm.ID, from, to)
+	var derr error
+	e.tree.Iter(lo, func(k uint64, v []byte) bool {
+		if k >= hi {
+			return false
+		}
+		row, err := core.DecodeRow(tm.Schema, v)
+		if err != nil {
+			derr = err
+			return false
+		}
+		return fn(core.TreePK(k), row)
+	})
+	return derr
+}
+
+// Flush persists any batched transactions (the pending directory swap).
+func (e *Engine) Flush() error {
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	defer stop()
+	return e.persist()
+}
+
+// Footprint reports storage usage: the tree file holds tuples and index
+// structure together (Fig. 14 counts it as table storage).
+func (e *Engine) Footprint() core.Footprint {
+	return core.Footprint{Table: e.pager.FileBytes()}
+}

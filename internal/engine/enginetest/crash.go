@@ -1,0 +1,169 @@
+package enginetest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nstore/internal/core"
+	"nstore/internal/nvm"
+)
+
+// RunCrashInjection exercises an NVM-aware engine with power failures
+// injected at random fence boundaries. Because these engines are durable at
+// Commit, the recovered database must equal the model exactly as of the
+// last successful Commit — the in-flight transaction (if any) must be
+// entirely absent.
+func RunCrashInjection(t *testing.T, f Factory, iterations int) {
+	schema := testSchema()
+	rng := rand.New(rand.NewSource(2024))
+	for iter := 0; iter < iterations; iter++ {
+		env := core.NewEnv(core.EnvConfig{DeviceSize: 256 << 20})
+		// GroupCommitSize 1: the CoW engines persist per batch, so the
+		// strongest durable-at-commit contract needs one-txn batches.
+		opts := core.Options{MemTableCap: 32, LSMGrowth: 3, BTreeNodeSize: 128, GroupCommitSize: 1}
+		e, err := f.New(env, schema, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed := make(map[uint64][]core.Value) // model at last commit
+		working := make(map[uint64][]core.Value)   // model incl. open txn
+
+		env.Dev.FailAfterFences(50 + rng.Intn(2000))
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != nvm.ErrInjectedCrash {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			for step := 0; step < 250; step++ {
+				if err := e.Begin(); err != nil {
+					t.Fatal(err)
+				}
+				// 1-3 operations per transaction.
+				nops := 1 + rng.Intn(3)
+				for o := 0; o < nops; o++ {
+					key := uint64(rng.Intn(120)) + 1
+					switch rng.Intn(3) {
+					case 0:
+						if _, exists := working[key]; !exists {
+							row := userRow(int64(key))
+							row[1].I = int64(rng.Intn(1000))
+							if err := e.Insert("users", key, row); err != nil {
+								t.Fatal(err)
+							}
+							working[key] = core.CloneRow(row)
+						}
+					case 1:
+						if _, exists := working[key]; exists {
+							upd := core.Update{Cols: []int{1, 3}, Vals: []core.Value{
+								core.IntVal(int64(rng.Intn(1000))),
+								core.StrVal(fmt.Sprintf("bio-%d-%d", iter, step)),
+							}}
+							if err := e.Update("users", key, upd); err != nil {
+								t.Fatal(err)
+							}
+							row := core.CloneRow(working[key])
+							core.ApplyDelta(row, upd)
+							working[key] = row
+						}
+					case 2:
+						if _, exists := working[key]; exists {
+							if err := e.Delete("users", key); err != nil {
+								t.Fatal(err)
+							}
+							delete(working, key)
+						}
+					}
+				}
+				if rng.Intn(8) == 0 {
+					if err := e.Abort(); err != nil {
+						t.Fatal(err)
+					}
+					working = cloneModel(committed)
+				} else {
+					if err := e.Commit(); err != nil {
+						t.Fatal(err)
+					}
+					committed = cloneModel(working)
+				}
+			}
+		}()
+		env.Dev.DisarmFail()
+		env.Dev.Crash()
+
+		env2, err := env.Reopen()
+		if err != nil {
+			t.Fatalf("iter %d: reopen: %v", iter, err)
+		}
+		e2, err := f.Open(env2, schema, opts)
+		if err != nil {
+			t.Fatalf("iter %d (crashed=%v): open: %v", iter, crashed, err)
+		}
+		// Exact committed-state equality.
+		for key, want := range committed {
+			row, ok, err := e2.Get("users", key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("iter %d: committed key %d lost after crash", iter, key)
+			}
+			if !core.RowsEqual(schema[0], row, want) {
+				t.Fatalf("iter %d: key %d = %v, want %v", iter, key, row, want)
+			}
+		}
+		n := 0
+		if err := e2.ScanRange("users", 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
+			n++
+			if _, ok := committed[pk]; !ok {
+				t.Fatalf("iter %d: phantom key %d (in-flight txn leaked)", iter, pk)
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n != len(committed) {
+			t.Fatalf("iter %d: scan found %d rows, committed model has %d", iter, n, len(committed))
+		}
+		// Secondary index consistent with the rows.
+		for key, want := range committed {
+			sec := uint32(want[1].I)
+			found := false
+			if err := e2.ScanSecondary("users", "by_balance", sec, func(pk uint64) bool {
+				if pk == key {
+					found = true
+					return false
+				}
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !found {
+				t.Fatalf("iter %d: key %d missing from secondary after crash", iter, key)
+			}
+		}
+		// Engine usable after recovery.
+		if err := e2.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e2.Insert("users", 9999, userRow(9999)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e2.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func cloneModel(m map[uint64][]core.Value) map[uint64][]core.Value {
+	out := make(map[uint64][]core.Value, len(m))
+	for k, v := range m {
+		out[k] = core.CloneRow(v)
+	}
+	return out
+}

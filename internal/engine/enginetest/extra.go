@@ -1,0 +1,198 @@
+package enginetest
+
+import (
+	"strings"
+	"testing"
+
+	"nstore/internal/core"
+)
+
+// Extra battery cases appended to Run.
+
+func testMultiTableAtomicity(t *testing.T, f Factory) {
+	env := newEnv(t)
+	e := mustEngine(t, f, env, core.Options{})
+
+	// A transaction spanning both tables commits atomically...
+	do(t, e.Begin())
+	do(t, e.Insert("users", 1, userRow(1)))
+	do(t, e.Insert("items", 100, []core.Value{core.IntVal(100), core.IntVal(5)}))
+	do(t, e.Commit())
+
+	// ...and aborts atomically.
+	do(t, e.Begin())
+	do(t, e.Insert("users", 2, userRow(2)))
+	do(t, e.Insert("items", 200, []core.Value{core.IntVal(200), core.IntVal(9)}))
+	do(t, e.Update("items", 100, core.Update{Cols: []int{1}, Vals: []core.Value{core.IntVal(-7)}}))
+	do(t, e.Abort())
+
+	if _, ok, _ := e.Get("users", 2); ok {
+		t.Error("aborted users insert visible")
+	}
+	if _, ok, _ := e.Get("items", 200); ok {
+		t.Error("aborted items insert visible")
+	}
+	row, ok, _ := e.Get("items", 100)
+	if !ok || row[1].I != 5 {
+		t.Errorf("cross-table abort corrupted items: %v ok=%v", row, ok)
+	}
+
+	// Durability across tables after a crash.
+	do(t, e.Flush())
+	e2 := reopen(t, f, env, core.Options{})
+	if _, ok, _ := e2.Get("users", 1); !ok {
+		t.Error("users row lost")
+	}
+	if _, ok, _ := e2.Get("items", 100); !ok {
+		t.Error("items row lost")
+	}
+}
+
+func testScanRangeBoundaries(t *testing.T, f Factory) {
+	env := newEnv(t)
+	e := mustEngine(t, f, env, core.Options{})
+	do(t, e.Begin())
+	for _, k := range []uint64{1, 5, 10, 15, 20} {
+		do(t, e.Insert("items", k, []core.Value{core.IntVal(int64(k)), core.IntVal(1)}))
+	}
+	do(t, e.Commit())
+
+	collect := func(from, to uint64) []uint64 {
+		var got []uint64
+		do(t, e.ScanRange("items", from, to, func(pk uint64, row []core.Value) bool {
+			got = append(got, pk)
+			return true
+		}))
+		return got
+	}
+	if got := collect(5, 15); len(got) != 2 || got[0] != 5 || got[1] != 10 {
+		t.Errorf("[5,15) = %v, want [5 10]", got)
+	}
+	if got := collect(0, 1); len(got) != 0 {
+		t.Errorf("[0,1) = %v, want empty", got)
+	}
+	if got := collect(21, 100); len(got) != 0 {
+		t.Errorf("[21,100) = %v, want empty", got)
+	}
+	if got := collect(0, ^uint64(0)); len(got) != 5 {
+		t.Errorf("full scan = %v, want 5 keys", got)
+	}
+	// Early termination.
+	n := 0
+	do(t, e.ScanRange("items", 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
+		n++
+		return n < 2
+	}))
+	if n != 2 {
+		t.Errorf("early-stop scan visited %d", n)
+	}
+}
+
+func testEmptyAndLargeStrings(t *testing.T, f Factory) {
+	env := newEnv(t)
+	e := mustEngine(t, f, env, core.Options{})
+	long := strings.Repeat("x", 190)
+	do(t, e.Begin())
+	do(t, e.Insert("users", 1, []core.Value{
+		core.IntVal(1), core.IntVal(3), core.StrVal(""), core.StrVal(long),
+	}))
+	do(t, e.Commit())
+	do(t, e.Flush())
+
+	e2 := reopen(t, f, env, core.Options{})
+	row, ok, _ := e2.Get("users", 1)
+	if !ok {
+		t.Fatal("row lost")
+	}
+	if len(row[2].S) != 0 {
+		t.Errorf("empty string came back as %q", row[2].S)
+	}
+	if string(row[3].S) != long {
+		t.Errorf("long string corrupted: %d bytes", len(row[3].S))
+	}
+	// Shrinking and growing a string column across recovery.
+	do(t, e2.Begin())
+	do(t, e2.Update("users", 1, core.Update{Cols: []int{3}, Vals: []core.Value{core.StrVal("tiny")}}))
+	do(t, e2.Commit())
+	do(t, e2.Begin())
+	do(t, e2.Update("users", 1, core.Update{Cols: []int{2}, Vals: []core.Value{core.StrVal(long)}}))
+	do(t, e2.Commit())
+	row, _, _ = e2.Get("users", 1)
+	if string(row[3].S) != "tiny" || string(row[2].S) != long {
+		t.Errorf("resized strings wrong: %d/%d bytes", len(row[2].S), len(row[3].S))
+	}
+}
+
+func testDeleteReinsert(t *testing.T, f Factory) {
+	env := newEnv(t)
+	e := mustEngine(t, f, env, core.Options{})
+	for round := int64(0); round < 5; round++ {
+		do(t, e.Begin())
+		row := userRow(7)
+		row[1].I = round
+		do(t, e.Insert("users", 7, row))
+		do(t, e.Commit())
+		got, ok, _ := e.Get("users", 7)
+		if !ok || got[1].I != round {
+			t.Fatalf("round %d: %v ok=%v", round, got, ok)
+		}
+		do(t, e.Begin())
+		do(t, e.Delete("users", 7))
+		do(t, e.Commit())
+	}
+	// Delete + reinsert inside one transaction.
+	do(t, e.Begin())
+	do(t, e.Insert("users", 8, userRow(8)))
+	do(t, e.Delete("users", 8))
+	do(t, e.Insert("users", 8, userRow(88)))
+	do(t, e.Commit())
+	got, ok, _ := e.Get("users", 8)
+	if !ok || string(got[2].S) != "user-88" {
+		t.Fatalf("delete+reinsert in txn: %v ok=%v", got, ok)
+	}
+	do(t, e.Flush())
+	e2 := reopen(t, f, env, core.Options{})
+	got, ok, _ = e2.Get("users", 8)
+	if !ok || string(got[2].S) != "user-88" {
+		t.Fatalf("after crash: %v ok=%v", got, ok)
+	}
+	if _, ok, _ := e2.Get("users", 7); ok {
+		t.Error("deleted key 7 resurrected")
+	}
+}
+
+func testSecondaryDuplicates(t *testing.T, f Factory) {
+	env := newEnv(t)
+	e := mustEngine(t, f, env, core.Options{})
+	// 40 rows all with the same balance: the composite keys must keep them
+	// all retrievable.
+	do(t, e.Begin())
+	for i := int64(1); i <= 40; i++ {
+		row := userRow(i)
+		row[1].I = 777
+		do(t, e.Insert("users", uint64(i), row))
+	}
+	do(t, e.Commit())
+	var pks []uint64
+	do(t, e.ScanSecondary("users", "by_balance", 777, func(pk uint64) bool {
+		pks = append(pks, pk)
+		return true
+	}))
+	if len(pks) != 40 {
+		t.Fatalf("found %d of 40 duplicates", len(pks))
+	}
+	// Remove half; the rest stay findable.
+	do(t, e.Begin())
+	for i := int64(1); i <= 20; i++ {
+		do(t, e.Delete("users", uint64(i)))
+	}
+	do(t, e.Commit())
+	pks = pks[:0]
+	do(t, e.ScanSecondary("users", "by_balance", 777, func(pk uint64) bool {
+		pks = append(pks, pk)
+		return true
+	}))
+	if len(pks) != 20 {
+		t.Fatalf("found %d of 20 after deletes", len(pks))
+	}
+}

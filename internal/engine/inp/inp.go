@@ -1,0 +1,565 @@
+// Package inp implements the in-place updates engine (InP, §3.1), modelled
+// on VoltDB: a single version of each tuple, updated in place, with an
+// ARIES-style write-ahead log on the filesystem interface and periodic
+// gzip-compressed checkpoints. Tuple storage and the STX-style B+tree
+// indexes live in memory obtained from the allocator interface but are
+// treated as volatile: after a crash the engine reloads the last checkpoint,
+// replays the WAL, and rebuilds all indexes (§3.1).
+package inp
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nstore/internal/btree"
+	"nstore/internal/core"
+	"nstore/internal/pmalloc"
+	"nstore/internal/pmfs"
+)
+
+const (
+	walFile  = "inp.wal"
+	ckptFile = "inp.ckpt"
+	ckptTmp  = "inp.ckpt.tmp"
+)
+
+// Engine is the in-place updates engine.
+type Engine struct {
+	core.Base
+	opts core.Options
+
+	heaps   []*core.Heap  // per table
+	primary []*btree.Tree // per table: pk -> slot ptr
+	second  [][]*btree.Tree
+
+	wal *core.FsWAL
+
+	walMark      int // buffer mark at txn begin, for abort
+	undo         []undoRec
+	sinceCkpt    int
+	ckptSeq      uint64
+	ckptDurable  int64 // durable checkpoint size (Fig. 14)
+	recoveredTxn uint64
+}
+
+type undoRec struct {
+	op     uint8 // core.WalInsert etc.
+	table  int
+	key    uint64
+	before []core.Value // update/delete
+}
+
+// New creates a fresh InP engine on the partition environment.
+func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	e := &Engine{opts: opts.WithDefaults()}
+	e.InitBase(env, schemas)
+	wal, err := core.NewFsWAL(env.FS, walFile, e.opts.GroupCommitSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := wal.UseArenaBuffer(env.Arena); err != nil {
+		return nil, err
+	}
+	e.wal = wal
+	e.buildVolatile()
+	return e, nil
+}
+
+// buildVolatile creates the heaps and indexes in (volatile) allocator
+// memory.
+func (e *Engine) buildVolatile() {
+	e.heaps = nil
+	e.primary = nil
+	e.second = nil
+	for _, tm := range e.Tables {
+		e.heaps = append(e.heaps, core.NewHeap(e.Env.Arena, tm.Schema, false))
+		e.primary = append(e.primary, btree.New(e.Env.Arena, e.opts.BTreeNodeSize))
+		var secs []*btree.Tree
+		for range tm.Schema.Secondary {
+			secs = append(secs, btree.New(e.Env.Arena, e.opts.BTreeNodeSize))
+		}
+		e.second = append(e.second, secs)
+	}
+}
+
+// Open recovers an InP engine after a restart: load the last checkpoint,
+// replay the WAL, and rebuild the indexes. The allocator memory is treated
+// as volatile, so the caller must pass a freshly formatted arena.
+func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	e := &Engine{opts: opts.WithDefaults()}
+	e.InitBase(env, schemas)
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	defer stop()
+
+	e.buildVolatile()
+	if env.FS.Exists(ckptFile) {
+		if err := e.loadCheckpoint(); err != nil {
+			return nil, fmt.Errorf("inp: checkpoint load: %w", err)
+		}
+	}
+	wal, err := core.OpenFsWAL(env.FS, walFile, e.opts.GroupCommitSize)
+	if err != nil {
+		if err != pmfs.ErrNotExist {
+			return nil, err
+		}
+		wal, err = core.NewFsWAL(env.FS, walFile, e.opts.GroupCommitSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.wal = wal
+	if err := e.replayWAL(); err != nil {
+		return nil, fmt.Errorf("inp: wal replay: %w", err)
+	}
+	e.TxnID = e.recoveredTxn
+	return e, nil
+}
+
+func (e *Engine) replayWAL() error {
+	return e.wal.Replay(func(r core.WalRecord) error {
+		if r.TxnID > e.recoveredTxn {
+			e.recoveredTxn = r.TxnID
+		}
+		tm := e.Tables[r.Table]
+		switch r.Type {
+		case core.WalInsert:
+			row, err := core.DecodeRow(tm.Schema, r.After)
+			if err != nil {
+				return err
+			}
+			e.apply(tm, r.Key, row)
+		case core.WalUpdate:
+			upd, err := core.DecodeDelta(tm.Schema, r.After)
+			if err != nil {
+				return err
+			}
+			e.applyUpdate(tm, r.Key, upd)
+		case core.WalDelete:
+			e.applyDelete(tm, r.Key)
+		}
+		return nil
+	})
+}
+
+// apply installs a row (used by replay and checkpoint load).
+func (e *Engine) apply(tm *core.TableMeta, key uint64, row []core.Value) {
+	h := e.heaps[tm.ID]
+	if slot, ok := e.primary[tm.ID].Get(key); ok {
+		// Replayed insert over checkpointed tuple: replace.
+		e.removeSecondaries(tm, key, h.ReadRow(slot))
+		h.FreeSlot(slot)
+		e.primary[tm.ID].Delete(key)
+	}
+	slot := h.AllocSlot(key)
+	h.WriteRow(slot, row)
+	h.PersistSlot(slot)
+	e.primary[tm.ID].Put(key, slot)
+	e.insertSecondaries(tm, key, row)
+}
+
+func (e *Engine) applyUpdate(tm *core.TableMeta, key uint64, upd core.Update) {
+	h := e.heaps[tm.ID]
+	slot, ok := e.primary[tm.ID].Get(key)
+	if !ok {
+		return
+	}
+	old := h.ReadRow(slot)
+	e.removeSecondaries(tm, key, old)
+	for j, ci := range upd.Cols {
+		if tm.Schema.Columns[ci].Type == core.TString {
+			h.FreeVar(h.ColVarPtr(slot, ci))
+		}
+		h.WriteCol(slot, ci, upd.Vals[j])
+	}
+	now := core.CloneRow(old)
+	core.ApplyDelta(now, upd)
+	e.insertSecondaries(tm, key, now)
+}
+
+func (e *Engine) applyDelete(tm *core.TableMeta, key uint64) {
+	h := e.heaps[tm.ID]
+	slot, ok := e.primary[tm.ID].Get(key)
+	if !ok {
+		return
+	}
+	e.removeSecondaries(tm, key, h.ReadRow(slot))
+	h.FreeSlot(slot)
+	e.primary[tm.ID].Delete(key)
+}
+
+func (e *Engine) insertSecondaries(tm *core.TableMeta, key uint64, row []core.Value) {
+	for j, ix := range tm.Schema.Secondary {
+		e.second[tm.ID][j].Put(core.SecComposite(ix.SecKey(row), key), key)
+	}
+}
+
+func (e *Engine) removeSecondaries(tm *core.TableMeta, key uint64, row []core.Value) {
+	for j, ix := range tm.Schema.Secondary {
+		e.second[tm.ID][j].Delete(core.SecComposite(ix.SecKey(row), key))
+	}
+}
+
+// Name returns "inp".
+func (e *Engine) Name() string { return "inp" }
+
+// Begin starts a transaction.
+func (e *Engine) Begin() error {
+	if err := e.BeginTx(); err != nil {
+		return err
+	}
+	e.walMark = e.wal.Mark()
+	e.undo = e.undo[:0]
+	return nil
+}
+
+// Commit appends the commit record and group-commits.
+func (e *Engine) Commit() error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	err := e.wal.TxnCommitted(e.TxnID)
+	stop()
+	if err != nil {
+		return err
+	}
+	// Checkpoints bound WAL replay; only transactions that wrote count.
+	if len(e.undo) > 0 {
+		e.sinceCkpt++
+	}
+	if e.opts.CheckpointEvery > 0 && e.sinceCkpt >= e.opts.CheckpointEvery {
+		if err := e.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return e.EndTx()
+}
+
+// Abort rolls back the transaction in memory and drops its WAL records.
+func (e *Engine) Abort() error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	for i := len(e.undo) - 1; i >= 0; i-- {
+		u := e.undo[i]
+		tm := e.Tables[u.table]
+		switch u.op {
+		case core.WalInsert:
+			e.applyDelete(tm, u.key)
+		case core.WalUpdate:
+			e.apply(tm, u.key, u.before)
+		case core.WalDelete:
+			e.apply(tm, u.key, u.before)
+		}
+	}
+	e.wal.DropTail(e.walMark)
+	return e.EndTx()
+}
+
+// Insert adds a tuple (§3.1: WAL first, then table storage, then indexes).
+func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	_, exists := e.primary[tm.ID].Get(key)
+	stopIdx()
+	if exists {
+		return core.ErrKeyExists
+	}
+
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	e.wal.Append(core.WalRecord{Type: core.WalInsert, TxnID: e.TxnID,
+		Table: tm.ID, Key: key, After: core.EncodeRow(tm.Schema, row)})
+	stop()
+
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	h := e.heaps[tm.ID]
+	slot := h.AllocSlot(key)
+	h.WriteRow(slot, row)
+	h.PersistSlot(slot)
+	stopSt()
+
+	stopIdx = e.Bd.Timer(&e.Bd.Index)
+	e.primary[tm.ID].Put(key, slot)
+	e.insertSecondaries(tm, key, row)
+	stopIdx()
+
+	e.undo = append(e.undo, undoRec{op: core.WalInsert, table: tm.ID, key: key})
+	return nil
+}
+
+// Update modifies columns of an existing tuple in place.
+func (e *Engine) Update(table string, key uint64, upd core.Update) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	slot, ok := e.primary[tm.ID].Get(key)
+	stopIdx()
+	if !ok {
+		return core.ErrKeyNotFound
+	}
+	h := e.heaps[tm.ID]
+
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	old := h.ReadRow(slot)
+	stopSt()
+
+	// Before image: the old values of the updated columns.
+	beforeUpd := core.Update{Cols: upd.Cols, Vals: make([]core.Value, len(upd.Cols))}
+	for j, ci := range upd.Cols {
+		beforeUpd.Vals[j] = old[ci]
+	}
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	e.wal.Append(core.WalRecord{Type: core.WalUpdate, TxnID: e.TxnID,
+		Table: tm.ID, Key: key,
+		Before: core.EncodeDelta(tm.Schema, beforeUpd),
+		After:  core.EncodeDelta(tm.Schema, upd)})
+	stop()
+
+	stopSt = e.Bd.Timer(&e.Bd.Storage)
+	for j, ci := range upd.Cols {
+		if tm.Schema.Columns[ci].Type == core.TString {
+			h.FreeVar(h.ColVarPtr(slot, ci))
+		}
+		h.WriteCol(slot, ci, upd.Vals[j])
+	}
+	stopSt()
+
+	stopIdx = e.Bd.Timer(&e.Bd.Index)
+	now := core.CloneRow(old)
+	core.ApplyDelta(now, upd)
+	e.refreshSecondaries(tm, key, old, now)
+	stopIdx()
+
+	e.undo = append(e.undo, undoRec{op: core.WalUpdate, table: tm.ID, key: key, before: old})
+	return nil
+}
+
+// refreshSecondaries re-keys secondary entries whose key changed.
+func (e *Engine) refreshSecondaries(tm *core.TableMeta, key uint64, old, now []core.Value) {
+	for j, ix := range tm.Schema.Secondary {
+		ok, nk := ix.SecKey(old), ix.SecKey(now)
+		if ok != nk {
+			e.second[tm.ID][j].Delete(core.SecComposite(ok, key))
+			e.second[tm.ID][j].Put(core.SecComposite(nk, key), key)
+		}
+	}
+}
+
+// Delete removes a tuple.
+func (e *Engine) Delete(table string, key uint64) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	slot, ok := e.primary[tm.ID].Get(key)
+	stopIdx()
+	if !ok {
+		return core.ErrKeyNotFound
+	}
+	h := e.heaps[tm.ID]
+	old := h.ReadRow(slot)
+
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	e.wal.Append(core.WalRecord{Type: core.WalDelete, TxnID: e.TxnID,
+		Table: tm.ID, Key: key, Before: core.EncodeRow(tm.Schema, old)})
+	stop()
+
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	h.FreeSlot(slot)
+	stopSt()
+	stopIdx = e.Bd.Timer(&e.Bd.Index)
+	e.primary[tm.ID].Delete(key)
+	e.removeSecondaries(tm, key, old)
+	stopIdx()
+
+	e.undo = append(e.undo, undoRec{op: core.WalDelete, table: tm.ID, key: key, before: old})
+	return nil
+}
+
+// Get reads a tuple by primary key.
+func (e *Engine) Get(table string, key uint64) ([]core.Value, bool, error) {
+	tm, err := e.Table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	slot, ok := e.primary[tm.ID].Get(key)
+	stopIdx()
+	if !ok {
+		return nil, false, nil
+	}
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	row := e.heaps[tm.ID].ReadRow(slot)
+	stopSt()
+	return row, true, nil
+}
+
+// ScanSecondary iterates primary keys matching a secondary key.
+func (e *Engine) ScanSecondary(table, index string, sec uint32, fn func(pk uint64) bool) error {
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	j, ok := tm.SecPos(index)
+	if !ok {
+		return fmt.Errorf("inp: unknown index %q", index)
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	defer stopIdx()
+	lo, hi := core.SecRange(sec)
+	e.second[tm.ID][j].Iter(lo, func(k, pk uint64) bool {
+		if k >= hi {
+			return false
+		}
+		return fn(pk)
+	})
+	return nil
+}
+
+// ScanRange iterates rows with primary key in [from, to).
+func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row []core.Value) bool) error {
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	h := e.heaps[tm.ID]
+	e.primary[tm.ID].Iter(from, func(k, slot uint64) bool {
+		if k >= to {
+			return false
+		}
+		return fn(k, h.ReadRow(slot))
+	})
+	return nil
+}
+
+// Flush forces the pending group commit to disk.
+func (e *Engine) Flush() error {
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	defer stop()
+	return e.wal.Flush()
+}
+
+// Checkpoint serializes all live tuples to a gzip-compressed checkpoint
+// file, swaps it in atomically, and truncates the WAL (§3.1).
+func (e *Engine) Checkpoint() error {
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	defer stop()
+	if err := e.wal.Flush(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	var rec [20]byte
+	for _, tm := range e.Tables {
+		h := e.heaps[tm.ID]
+		var werr error
+		h.Scan(func(slot uint64) bool {
+			row := h.ReadRow(slot)
+			img := core.EncodeRow(tm.Schema, row)
+			binary.LittleEndian.PutUint32(rec[0:], uint32(tm.ID))
+			binary.LittleEndian.PutUint64(rec[4:], h.Key(slot))
+			binary.LittleEndian.PutUint64(rec[12:], uint64(len(img)))
+			if _, werr = zw.Write(rec[:]); werr != nil {
+				return false
+			}
+			if _, werr = zw.Write(img); werr != nil {
+				return false
+			}
+			return true
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	if e.Env.FS.Exists(ckptTmp) {
+		e.Env.FS.Remove(ckptTmp)
+	}
+	f, err := e.Env.FS.Create(ckptTmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(buf.Bytes(), 0); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := e.Env.FS.Rename(ckptTmp, ckptFile); err != nil {
+		return err
+	}
+	e.ckptDurable = int64(buf.Len())
+	e.ckptSeq++
+	e.sinceCkpt = 0
+	return e.wal.Truncate()
+}
+
+// loadCheckpoint restores tuples from the checkpoint file.
+func (e *Engine) loadCheckpoint() error {
+	f, err := e.Env.FS.OpenFile(ckptFile)
+	if err != nil {
+		return err
+	}
+	raw := make([]byte, f.Size())
+	if _, err := f.ReadAt(raw, 0); err != nil {
+		return err
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		return err
+	}
+	e.ckptDurable = f.Size()
+	off := 0
+	for off+20 <= len(data) {
+		tid := int(binary.LittleEndian.Uint32(data[off:]))
+		key := binary.LittleEndian.Uint64(data[off+4:])
+		n := int(binary.LittleEndian.Uint64(data[off+12:]))
+		off += 20
+		if off+n > len(data) || tid >= len(e.Tables) {
+			return fmt.Errorf("inp: corrupt checkpoint")
+		}
+		tm := e.Tables[tid]
+		row, err := core.DecodeRow(tm.Schema, data[off:off+n])
+		if err != nil {
+			return err
+		}
+		off += n
+		e.apply(tm, key, row)
+	}
+	return nil
+}
+
+// Footprint reports durable plus in-memory storage usage (Fig. 14).
+func (e *Engine) Footprint() core.Footprint {
+	u := e.Env.Arena.Usage()
+	return core.Footprint{
+		Table:      u[pmalloc.TagTable],
+		Index:      u[pmalloc.TagIndex],
+		Log:        e.wal.SizeBytes(),
+		Checkpoint: e.ckptDurable,
+	}
+}

@@ -1,0 +1,102 @@
+package inp
+
+import (
+	"testing"
+
+	"nstore/internal/core"
+	"nstore/internal/engine/enginetest"
+)
+
+func factory() enginetest.Factory {
+	return enginetest.Factory{
+		Name: "inp",
+		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return New(env, schemas, opts)
+		},
+		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return Open(env, schemas, opts)
+		},
+		Volatile: true,
+	}
+}
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, factory())
+}
+
+func TestCheckpointAndTruncate(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 256 << 20})
+	schemas := []*core.Schema{{
+		Name:    "t",
+		Columns: []core.Column{{Name: "id", Type: core.TInt}, {Name: "v", Type: core.TString, Size: 100}},
+	}}
+	e, err := New(env, schemas, core.Options{CheckpointEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 350; i++ {
+		if err := e.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Insert("t", uint64(i), []core.Value{core.IntVal(i), core.StrVal("payload payload payload")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.ckptSeq < 3 {
+		t.Errorf("expected >=3 checkpoints, got %d", e.ckptSeq)
+	}
+	fp := e.Footprint()
+	if fp.Checkpoint == 0 {
+		t.Error("no checkpoint footprint")
+	}
+	// The WAL was truncated at the last checkpoint, so it holds at most
+	// CheckpointEvery transactions' records.
+	if fp.Log > 100*200 {
+		t.Errorf("log footprint %d suggests truncation failed", fp.Log)
+	}
+
+	// Recovery from checkpoint + WAL tail restores all rows.
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	env.Dev.Crash()
+	env2, err := env.ReopenVolatile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(env2, schemas, core.Options{CheckpointEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 350; i++ {
+		if _, ok, _ := e2.Get("t", uint64(i)); !ok {
+			t.Fatalf("key %d lost (checkpoint recovery)", i)
+		}
+	}
+}
+
+func TestCheckpointCompression(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 256 << 20})
+	schemas := []*core.Schema{{
+		Name:    "t",
+		Columns: []core.Column{{Name: "id", Type: core.TInt}, {Name: "v", Type: core.TString, Size: 1000}},
+	}}
+	e, _ := New(env, schemas, core.Options{CheckpointEvery: 0})
+	pad := make([]byte, 500) // zero padding compresses well
+	e.Begin()
+	for i := int64(1); i <= 200; i++ {
+		e.Insert("t", uint64(i), []core.Value{core.IntVal(i), core.BytesVal(pad)})
+	}
+	e.Commit()
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	raw := int64(200 * 520)
+	if e.Footprint().Checkpoint >= raw/5 {
+		t.Errorf("checkpoint %d bytes; gzip should compress 100 KB of zeros well below %d",
+			e.Footprint().Checkpoint, raw/5)
+	}
+}

@@ -1,0 +1,842 @@
+// Package logeng implements the log-structured updates engine (Log, §3.3),
+// modelled on LevelDB: changes are batched in a MemTable (with a WAL on the
+// filesystem for durability) and periodically flushed as immutable SSTables
+// organized in a leveled LSM tree with bloom filters and a compaction
+// process that bounds read amplification. Reads reconstruct tuples by
+// coalescing entries spread across the MemTable and the runs.
+package logeng
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nstore/internal/btree"
+	"nstore/internal/core"
+	"nstore/internal/engine/lsm"
+	"nstore/internal/pmalloc"
+)
+
+const (
+	walFile      = "log.wal"
+	manifestFile = "log.manifest"
+	manifestTmp  = "log.manifest.tmp"
+)
+
+// Engine is the log-structured updates engine.
+type Engine struct {
+	core.Base
+	opts  core.Options
+	cache *blockCache
+
+	mem      *btree.Tree // packed tree key -> memtable entry chunk
+	memCount int
+	second   [][]*btree.Tree // volatile secondary indexes
+
+	wal    *core.FsWAL
+	levels []*sstable // levels[i] holds one run, ~k^i MemTables big
+	seq    uint64
+
+	walMark  int
+	undo     []memUndo
+	secUndo  []secUndo
+	txnFrees []pmalloc.Ptr // superseded chunks, freed at commit
+
+	recoveredTxn uint64
+	compactions  int
+}
+
+type memUndo struct {
+	key    uint64
+	oldPtr uint64 // 0 = key absent before
+	newPtr uint64
+}
+
+type secUndo struct {
+	table, idx int
+	composite  uint64
+	pk         uint64
+	added      bool // true: entry was added (undo = delete)
+}
+
+// New creates a fresh Log engine.
+func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	e := &Engine{opts: opts.WithDefaults()}
+	e.InitBase(env, schemas)
+	wal, err := core.NewFsWAL(env.FS, walFile, e.opts.GroupCommitSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := wal.UseArenaBuffer(env.Arena); err != nil {
+		return nil, err
+	}
+	e.wal = wal
+	e.cache = newBlockCache(env.Arena, 0)
+	e.buildVolatile()
+	if err := e.writeManifest(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) buildVolatile() {
+	e.mem = btree.New(e.Env.Arena, e.opts.BTreeNodeSize)
+	e.second = nil
+	for _, tm := range e.Tables {
+		var secs []*btree.Tree
+		for range tm.Schema.Secondary {
+			secs = append(secs, btree.New(e.Env.Arena, e.opts.BTreeNodeSize))
+		}
+		e.second = append(e.second, secs)
+	}
+}
+
+// Open recovers a Log engine: reopen the SSTables from the manifest,
+// rebuild the MemTable from the WAL, remove orphaned runs from interrupted
+// compactions, and rebuild the secondary indexes (§3.3).
+func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	e := &Engine{opts: opts.WithDefaults()}
+	e.InitBase(env, schemas)
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	defer stop()
+	e.cache = newBlockCache(env.Arena, 0)
+	e.buildVolatile()
+
+	if err := e.loadManifest(); err != nil {
+		return nil, err
+	}
+	e.removeOrphans()
+
+	wal, err := core.OpenFsWAL(env.FS, walFile, e.opts.GroupCommitSize)
+	if err != nil {
+		wal, err = core.NewFsWAL(env.FS, walFile, e.opts.GroupCommitSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.wal = wal
+	if err := e.replayWAL(); err != nil {
+		return nil, err
+	}
+	e.TxnID = e.recoveredTxn
+	if err := e.rebuildSecondaries(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) replayWAL() error {
+	return e.wal.Replay(func(r core.WalRecord) error {
+		if r.TxnID > e.recoveredTxn {
+			e.recoveredTxn = r.TxnID
+		}
+		tk := core.TreePrimary(r.Table, r.Key)
+		var ent lsm.Entry
+		switch r.Type {
+		case core.WalInsert:
+			ent = lsm.Entry{Kind: lsm.KindFull, Payload: r.After}
+		case core.WalUpdate:
+			ent = lsm.Entry{Kind: lsm.KindDelta, Payload: r.After}
+		case core.WalDelete:
+			ent = lsm.Entry{Kind: lsm.KindTomb}
+		default:
+			return nil
+		}
+		oldPtr, _ := e.putMem(e.Tables[r.Table].Schema, tk, ent)
+		if oldPtr != 0 {
+			e.Env.Arena.Free(oldPtr)
+		}
+		return nil
+	})
+}
+
+func (e *Engine) rebuildSecondaries() error {
+	for _, tm := range e.Tables {
+		if len(tm.Schema.Secondary) == 0 {
+			continue
+		}
+		err := e.ScanRange(tm.Schema.Name, 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
+			for j, ix := range tm.Schema.Secondary {
+				e.second[tm.ID][j].Put(core.SecComposite(ix.SecKey(row), pk), pk)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MemTable entry chunks: kind u8, len u32, payload.
+
+func (e *Engine) writeEntryChunk(ent lsm.Entry) pmalloc.Ptr {
+	p, err := e.Env.Arena.Alloc(5+len(ent.Payload), pmalloc.TagTable)
+	if err != nil {
+		panic(err)
+	}
+	dev := e.Env.Dev
+	dev.WriteU8(int64(p), ent.Kind)
+	dev.WriteU32(int64(p)+1, uint32(len(ent.Payload)))
+	dev.Write(int64(p)+5, ent.Payload)
+	return p
+}
+
+func (e *Engine) readEntryChunk(p uint64) lsm.Entry {
+	dev := e.Env.Dev
+	kind := dev.ReadU8(int64(p))
+	n := int(dev.ReadU32(int64(p) + 1))
+	payload := make([]byte, n)
+	dev.Read(int64(p)+5, payload)
+	return lsm.Entry{Kind: kind, Payload: payload}
+}
+
+// putMem merges ent over any existing memtable entry for tk and installs
+// the merged chunk. The superseded chunk is returned for deferred freeing.
+func (e *Engine) putMem(s *core.Schema, tk uint64, ent lsm.Entry) (oldPtr, newPtr uint64) {
+	if old, ok := e.mem.Get(tk); ok {
+		merged := lsm.Merge(s, ent, e.readEntryChunk(old))
+		np := e.writeEntryChunk(merged)
+		e.mem.Put(tk, np)
+		return old, np
+	}
+	np := e.writeEntryChunk(ent)
+	e.mem.Put(tk, np)
+	e.memCount++
+	return 0, np
+}
+
+// Name returns "log".
+func (e *Engine) Name() string { return "log" }
+
+// Begin starts a transaction.
+func (e *Engine) Begin() error {
+	if err := e.BeginTx(); err != nil {
+		return err
+	}
+	e.walMark = e.wal.Mark()
+	e.undo = e.undo[:0]
+	e.secUndo = e.secUndo[:0]
+	e.txnFrees = e.txnFrees[:0]
+	return nil
+}
+
+// Commit group-commits the WAL and flushes the MemTable when full.
+func (e *Engine) Commit() error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	err := e.wal.TxnCommitted(e.TxnID)
+	stop()
+	if err != nil {
+		return err
+	}
+	for _, p := range e.txnFrees {
+		e.Env.Arena.Free(p)
+	}
+	e.txnFrees = e.txnFrees[:0]
+	if e.memCount >= e.opts.MemTableCap {
+		if err := e.flushMemTable(); err != nil {
+			return err
+		}
+	}
+	return e.EndTx()
+}
+
+// Abort rolls back memtable and secondary-index changes.
+func (e *Engine) Abort() error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	for i := len(e.undo) - 1; i >= 0; i-- {
+		u := e.undo[i]
+		if u.oldPtr != 0 {
+			e.mem.Put(u.key, u.oldPtr)
+		} else {
+			e.mem.Delete(u.key)
+			e.memCount--
+		}
+		e.Env.Arena.Free(u.newPtr)
+	}
+	for i := len(e.secUndo) - 1; i >= 0; i-- {
+		u := e.secUndo[i]
+		if u.added {
+			e.second[u.table][u.idx].Delete(u.composite)
+		} else {
+			e.second[u.table][u.idx].Put(u.composite, u.pk)
+		}
+	}
+	e.wal.DropTail(e.walMark)
+	e.txnFrees = e.txnFrees[:0]
+	return e.EndTx()
+}
+
+func (e *Engine) secAdd(tm *core.TableMeta, j int, sec uint32, pk uint64) {
+	c := core.SecComposite(sec, pk)
+	e.second[tm.ID][j].Put(c, pk)
+	e.secUndo = append(e.secUndo, secUndo{table: tm.ID, idx: j, composite: c, pk: pk, added: true})
+}
+
+func (e *Engine) secDel(tm *core.TableMeta, j int, sec uint32, pk uint64) {
+	c := core.SecComposite(sec, pk)
+	e.second[tm.ID][j].Delete(c)
+	e.secUndo = append(e.secUndo, secUndo{table: tm.ID, idx: j, composite: c, pk: pk, added: false})
+}
+
+// applyMem routes one logical change through the memtable with undo
+// tracking.
+func (e *Engine) applyMem(tm *core.TableMeta, key uint64, ent lsm.Entry) {
+	tk := core.TreePrimary(tm.ID, key)
+	oldPtr, newPtr := e.putMem(tm.Schema, tk, ent)
+	e.undo = append(e.undo, memUndo{key: tk, oldPtr: oldPtr, newPtr: newPtr})
+	if oldPtr != 0 {
+		e.txnFrees = append(e.txnFrees, oldPtr)
+	}
+}
+
+// Insert adds a tuple.
+func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	_, exists, err := e.Get(table, key)
+	if err != nil {
+		return err
+	}
+	if exists {
+		return core.ErrKeyExists
+	}
+	img := core.EncodeRow(tm.Schema, row)
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	e.wal.Append(core.WalRecord{Type: core.WalInsert, TxnID: e.TxnID,
+		Table: tm.ID, Key: key, After: img})
+	stop()
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	e.applyMem(tm, key, lsm.Entry{Kind: lsm.KindFull, Payload: img})
+	stopSt()
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	for j, ix := range tm.Schema.Secondary {
+		e.secAdd(tm, j, ix.SecKey(row), key)
+	}
+	stopIdx()
+	return nil
+}
+
+// Update records the updated fields as a delta entry.
+func (e *Engine) Update(table string, key uint64, upd core.Update) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	old, exists, err := e.Get(table, key)
+	if err != nil {
+		return err
+	}
+	if !exists {
+		return core.ErrKeyNotFound
+	}
+	beforeUpd := core.Update{Cols: upd.Cols, Vals: make([]core.Value, len(upd.Cols))}
+	for j, ci := range upd.Cols {
+		beforeUpd.Vals[j] = old[ci]
+	}
+	delta := core.EncodeDelta(tm.Schema, upd)
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	e.wal.Append(core.WalRecord{Type: core.WalUpdate, TxnID: e.TxnID,
+		Table: tm.ID, Key: key,
+		Before: core.EncodeDelta(tm.Schema, beforeUpd), After: delta})
+	stop()
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	e.applyMem(tm, key, lsm.Entry{Kind: lsm.KindDelta, Payload: delta})
+	stopSt()
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	now := core.CloneRow(old)
+	core.ApplyDelta(now, upd)
+	for j, ix := range tm.Schema.Secondary {
+		ok, nk := ix.SecKey(old), ix.SecKey(now)
+		if ok != nk {
+			e.secDel(tm, j, ok, key)
+			e.secAdd(tm, j, nk, key)
+		}
+	}
+	stopIdx()
+	return nil
+}
+
+// Delete marks the tuple with a tombstone; space is reclaimed during
+// compaction (§3.3).
+func (e *Engine) Delete(table string, key uint64) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	old, exists, err := e.Get(table, key)
+	if err != nil {
+		return err
+	}
+	if !exists {
+		return core.ErrKeyNotFound
+	}
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	e.wal.Append(core.WalRecord{Type: core.WalDelete, TxnID: e.TxnID,
+		Table: tm.ID, Key: key, Before: core.EncodeRow(tm.Schema, old)})
+	stop()
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	e.applyMem(tm, key, lsm.Entry{Kind: lsm.KindTomb})
+	stopSt()
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	for j, ix := range tm.Schema.Secondary {
+		e.secDel(tm, j, ix.SecKey(old), key)
+	}
+	stopIdx()
+	return nil
+}
+
+// Get reconstructs a tuple by coalescing entries from the MemTable and the
+// LSM runs, newest first, stopping at the first full image or tombstone.
+func (e *Engine) Get(table string, key uint64) ([]core.Value, bool, error) {
+	tm, err := e.Table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	tk := core.TreePrimary(tm.ID, key)
+	var acc lsm.Entry
+	have := false
+
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	if p, ok := e.mem.Get(tk); ok {
+		acc = e.readEntryChunk(p)
+		have = true
+	}
+	stopSt()
+	if !have || acc.Kind == lsm.KindDelta {
+		stopIdx := e.Bd.Timer(&e.Bd.Index)
+		defer stopIdx()
+		for _, run := range e.levels {
+			if run == nil {
+				continue
+			}
+			ent, ok, err := run.get(e.cache, e.Env.Dev, tk)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+			if have {
+				acc = lsm.Merge(tm.Schema, acc, ent)
+			} else {
+				acc = ent
+				have = true
+			}
+			if acc.Kind != lsm.KindDelta {
+				break
+			}
+		}
+	}
+	if !have || acc.Kind != lsm.KindFull {
+		return nil, false, nil
+	}
+	row, err := core.DecodeRow(tm.Schema, acc.Payload)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// ScanSecondary iterates primary keys matching a secondary key.
+func (e *Engine) ScanSecondary(table, index string, sec uint32, fn func(pk uint64) bool) error {
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	j, ok := tm.SecPos(index)
+	if !ok {
+		return fmt.Errorf("logeng: unknown index %q", index)
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	defer stopIdx()
+	lo, hi := core.SecRange(sec)
+	e.second[tm.ID][j].Iter(lo, func(k, pk uint64) bool {
+		if k >= hi {
+			return false
+		}
+		return fn(pk)
+	})
+	return nil
+}
+
+// ScanRange merges the MemTable and every run over the key range,
+// coalescing per key.
+func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row []core.Value) bool) error {
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	lo, hi := core.TreePrimaryRange(tm.ID, from, to)
+	if to > core.TreePK(^uint64(0)) {
+		hi = core.TreePrimary(tm.ID, core.TreePK(^uint64(0)))
+	}
+
+	// MemTable slice of the range (memtables are small).
+	type kv struct {
+		k uint64
+		e lsm.Entry
+	}
+	var memRange []kv
+	e.mem.Iter(lo, func(k, p uint64) bool {
+		if k >= hi {
+			return false
+		}
+		memRange = append(memRange, kv{k, e.readEntryChunk(p)})
+		return true
+	})
+	memIdx := 0
+
+	var iters []*sstIter
+	for _, run := range e.levels {
+		if run == nil {
+			continue
+		}
+		pos, err := run.lowerBound(e.cache, lo)
+		if err != nil {
+			return err
+		}
+		iters = append(iters, &sstIter{t: run, c: e.cache, pos: pos})
+	}
+
+	for {
+		// Find the smallest next key across sources.
+		minKey := ^uint64(0)
+		if memIdx < len(memRange) {
+			minKey = memRange[memIdx].k
+		}
+		for _, it := range iters {
+			if !it.valid() {
+				continue
+			}
+			k, _, err := it.entry()
+			if err != nil {
+				return err
+			}
+			if k < minKey {
+				minKey = k
+			}
+		}
+		if minKey >= hi {
+			return nil
+		}
+		// Gather entries for minKey, newest source first.
+		var entries []lsm.Entry
+		if memIdx < len(memRange) && memRange[memIdx].k == minKey {
+			entries = append(entries, memRange[memIdx].e)
+			memIdx++
+		}
+		for _, it := range iters {
+			if !it.valid() {
+				continue
+			}
+			k, ent, err := it.entry()
+			if err != nil {
+				return err
+			}
+			if k == minKey {
+				entries = append(entries, ent)
+				it.next()
+			}
+		}
+		row, exists, _ := lsm.Coalesce(tm.Schema, entries)
+		if exists {
+			if !fn(core.TreePK(minKey), row) {
+				return nil
+			}
+		}
+	}
+}
+
+// Flush forces the pending group commit (not a MemTable flush).
+func (e *Engine) Flush() error {
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	defer stop()
+	return e.wal.Flush()
+}
+
+// FlushMemTable forces the MemTable to an SSTable (test/bench hook).
+func (e *Engine) FlushMemTable() error { return e.flushMemTable() }
+
+// Compactions returns the number of merge compactions performed.
+func (e *Engine) Compactions() int { return e.compactions }
+
+// flushMemTable writes the MemTable as a run and cascades merges so each
+// level holds one run, each deeper run larger than its parent (§3.3).
+func (e *Engine) flushMemTable() error {
+	if e.memCount == 0 {
+		return nil
+	}
+	stop := e.Bd.Timer(&e.Bd.Storage)
+	defer stop()
+	if err := e.wal.Flush(); err != nil {
+		return err
+	}
+
+	e.seq++
+	name := fmt.Sprintf("sst-%06d", e.seq)
+	w, err := newSSTWriter(e.Env.FS, name)
+	if err != nil {
+		return err
+	}
+	var freeList []uint64
+	e.mem.Iter(0, func(k, p uint64) bool {
+		w.add(k, e.readEntryChunk(p))
+		freeList = append(freeList, p)
+		return true
+	})
+	if err := w.finish(); err != nil {
+		return err
+	}
+	run, err := openSSTable(e.Env.FS, e.Env.Arena, name)
+	if err != nil {
+		return err
+	}
+
+	// Cascade: find the run's resting level and whether deeper data exists
+	// (tombstones may only be dropped if nothing older remains below).
+	rest := 0
+	for rest < len(e.levels) && e.levels[rest] != nil {
+		rest++
+	}
+	deeper := false
+	for j := rest + 1; j < len(e.levels); j++ {
+		if e.levels[j] != nil {
+			deeper = true
+		}
+	}
+	var obsolete []*sstable
+	for i := 0; i < rest; i++ {
+		// Tombstones may only be dropped on the final merge of the cascade,
+		// and only when no deeper run could still hold the shadowed tuples.
+		dropTombs := i == rest-1 && !deeper
+		merged, err := e.mergeRuns(run, e.levels[i], dropTombs)
+		if err != nil {
+			return err
+		}
+		obsolete = append(obsolete, run, e.levels[i])
+		e.levels[i] = nil
+		run = merged
+		e.compactions++
+	}
+	for len(e.levels) <= rest {
+		e.levels = append(e.levels, nil)
+	}
+	e.levels[rest] = run
+
+	// Durability order: manifest swap first, then WAL truncation, then
+	// removal of superseded runs (orphans are cleaned at open).
+	if err := e.writeManifest(); err != nil {
+		return err
+	}
+	if err := e.wal.Truncate(); err != nil {
+		return err
+	}
+	for _, o := range obsolete {
+		o.release(e.Env.Arena, e.cache)
+		e.Env.FS.Remove(o.name)
+	}
+
+	// Reset the MemTable.
+	for _, p := range freeList {
+		e.Env.Arena.Free(p)
+	}
+	e.mem.Release()
+	e.mem = btree.New(e.Env.Arena, e.opts.BTreeNodeSize)
+	e.memCount = 0
+	return nil
+}
+
+// mergeRuns merges a newer run over an older one into a fresh SSTable.
+func (e *Engine) mergeRuns(newer, older *sstable, dropTombs bool) (*sstable, error) {
+	e.seq++
+	name := fmt.Sprintf("sst-%06d", e.seq)
+	w, err := newSSTWriter(e.Env.FS, name)
+	if err != nil {
+		return nil, err
+	}
+	a := &sstIter{t: newer, c: e.cache}
+	b := &sstIter{t: older, c: e.cache}
+	emit := func(k uint64, ent lsm.Entry) {
+		if dropTombs && ent.Kind == lsm.KindTomb {
+			return
+		}
+		w.add(k, ent)
+	}
+	for a.valid() || b.valid() {
+		switch {
+		case !b.valid():
+			k, ent, err := a.entry()
+			if err != nil {
+				return nil, err
+			}
+			emit(k, ent)
+			a.next()
+		case !a.valid():
+			k, ent, err := b.entry()
+			if err != nil {
+				return nil, err
+			}
+			emit(k, ent)
+			b.next()
+		default:
+			ka, ea, err := a.entry()
+			if err != nil {
+				return nil, err
+			}
+			kb, eb, err := b.entry()
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case ka < kb:
+				emit(ka, ea)
+				a.next()
+			case kb < ka:
+				emit(kb, eb)
+				b.next()
+			default:
+				// Schema for Merge: decode the table from the packed key.
+				tm := e.Tables[int(ka>>60)]
+				emit(ka, lsm.Merge(tm.Schema, ea, eb))
+				a.next()
+				b.next()
+			}
+		}
+	}
+	if err := w.finish(); err != nil {
+		return nil, err
+	}
+	return openSSTable(e.Env.FS, e.Env.Arena, name)
+}
+
+// Manifest: seq u64, count u32, then {level u32, nameLen u32, name}.
+
+func (e *Engine) writeManifest() error {
+	var buf []byte
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], e.seq)
+	buf = append(buf, b8[:]...)
+	var entries [][]byte
+	for i, run := range e.levels {
+		if run == nil {
+			continue
+		}
+		var ent []byte
+		var b4 [4]byte
+		binary.LittleEndian.PutUint32(b4[:], uint32(i))
+		ent = append(ent, b4[:]...)
+		binary.LittleEndian.PutUint32(b4[:], uint32(len(run.name)))
+		ent = append(ent, b4[:]...)
+		ent = append(ent, run.name...)
+		entries = append(entries, ent)
+	}
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(entries)))
+	buf = append(buf, b4[:]...)
+	for _, ent := range entries {
+		buf = append(buf, ent...)
+	}
+	if e.Env.FS.Exists(manifestTmp) {
+		e.Env.FS.Remove(manifestTmp)
+	}
+	f, err := e.Env.FS.Create(manifestTmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return e.Env.FS.Rename(manifestTmp, manifestFile)
+}
+
+func (e *Engine) loadManifest() error {
+	f, err := e.Env.FS.OpenFile(manifestFile)
+	if err != nil {
+		return fmt.Errorf("logeng: no manifest: %w", err)
+	}
+	buf := make([]byte, f.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	if len(buf) < 12 {
+		return fmt.Errorf("logeng: manifest truncated")
+	}
+	e.seq = binary.LittleEndian.Uint64(buf)
+	n := int(binary.LittleEndian.Uint32(buf[8:]))
+	off := 12
+	for i := 0; i < n; i++ {
+		if off+8 > len(buf) {
+			return fmt.Errorf("logeng: manifest truncated")
+		}
+		level := int(binary.LittleEndian.Uint32(buf[off:]))
+		nameLen := int(binary.LittleEndian.Uint32(buf[off+4:]))
+		off += 8
+		if off+nameLen > len(buf) {
+			return fmt.Errorf("logeng: manifest truncated")
+		}
+		name := string(buf[off : off+nameLen])
+		off += nameLen
+		run, err := openSSTable(e.Env.FS, e.Env.Arena, name)
+		if err != nil {
+			return err
+		}
+		for len(e.levels) <= level {
+			e.levels = append(e.levels, nil)
+		}
+		e.levels[level] = run
+	}
+	return nil
+}
+
+// removeOrphans deletes SSTable files not referenced by the manifest
+// (leftovers from a compaction interrupted by the crash).
+func (e *Engine) removeOrphans() {
+	ref := make(map[string]bool)
+	for _, run := range e.levels {
+		if run != nil {
+			ref[run.name] = true
+		}
+	}
+	for _, name := range e.Env.FS.List() {
+		if len(name) >= 4 && name[:4] == "sst-" && !ref[name] {
+			e.Env.FS.Remove(name)
+		}
+	}
+}
+
+// Footprint reports storage usage (Fig. 14).
+func (e *Engine) Footprint() core.Footprint {
+	u := e.Env.Arena.Usage()
+	var sst int64
+	for _, run := range e.levels {
+		if run != nil {
+			sst += run.size
+		}
+	}
+	return core.Footprint{
+		Table:      sst + u[pmalloc.TagTable],
+		Index:      u[pmalloc.TagIndex],
+		Log:        e.wal.SizeBytes(),
+		Checkpoint: 0,
+		Other:      e.cache.bytes(),
+	}
+}

@@ -1,0 +1,186 @@
+package logeng
+
+import (
+	"testing"
+
+	"nstore/internal/core"
+	"nstore/internal/engine/enginetest"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, enginetest.Factory{
+		Name: "log",
+		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			opts.MemTableCap = 64 // force flushes and compactions during the battery
+			return New(env, schemas, opts)
+		},
+		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			opts.MemTableCap = 64
+			return Open(env, schemas, opts)
+		},
+		Volatile: true,
+	})
+}
+
+func simpleSchema() []*core.Schema {
+	return []*core.Schema{{
+		Name: "t",
+		Columns: []core.Column{
+			{Name: "id", Type: core.TInt},
+			{Name: "a", Type: core.TInt},
+			{Name: "b", Type: core.TString, Size: 100},
+		},
+	}}
+}
+
+func row(i int64) []core.Value {
+	return []core.Value{core.IntVal(i), core.IntVal(i * 2), core.StrVal("payload")}
+}
+
+func TestFlushAndCompaction(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 256 << 20})
+	e, err := New(env, simpleSchema(), core.Options{MemTableCap: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 500; i++ {
+		e.Begin()
+		if err := e.Insert("t", uint64(i), row(i)); err != nil {
+			t.Fatal(err)
+		}
+		e.Commit()
+	}
+	if e.Compactions() == 0 {
+		t.Error("no compactions after 10 memtable flushes")
+	}
+	occupied := 0
+	for _, run := range e.levels {
+		if run != nil {
+			occupied++
+		}
+	}
+	if occupied == 0 {
+		t.Fatal("no SSTable runs")
+	}
+	// Every key readable, including those merged through multiple levels.
+	for i := int64(1); i <= 500; i++ {
+		r, ok, err := e.Get("t", uint64(i))
+		if err != nil || !ok || r[1].I != i*2 {
+			t.Fatalf("Get(%d) = %v,%v,%v", i, r, ok, err)
+		}
+	}
+}
+
+func TestDeltaCoalescingAcrossRuns(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 256 << 20})
+	e, _ := New(env, simpleSchema(), core.Options{MemTableCap: 1 << 30})
+	e.Begin()
+	for i := int64(1); i <= 20; i++ {
+		e.Insert("t", uint64(i), row(i))
+	}
+	e.Commit()
+	if err := e.FlushMemTable(); err != nil {
+		t.Fatal(err)
+	}
+	// Updates land in a separate run as deltas.
+	e.Begin()
+	for i := int64(1); i <= 20; i++ {
+		e.Update("t", uint64(i), core.Update{Cols: []int{1}, Vals: []core.Value{core.IntVal(i * 100)}})
+	}
+	e.Commit()
+	if err := e.FlushMemTable(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 20; i++ {
+		r, ok, _ := e.Get("t", uint64(i))
+		if !ok || r[1].I != i*100 || string(r[2].S) != "payload" {
+			t.Fatalf("coalesced Get(%d) = %v,%v", i, r, ok)
+		}
+	}
+}
+
+func TestTombstonesDroppedAtDeepestLevel(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 256 << 20})
+	e, _ := New(env, simpleSchema(), core.Options{MemTableCap: 1 << 30})
+	e.Begin()
+	for i := int64(1); i <= 100; i++ {
+		e.Insert("t", uint64(i), row(i))
+	}
+	e.Commit()
+	e.FlushMemTable()
+	e.Begin()
+	for i := int64(1); i <= 100; i++ {
+		e.Delete("t", uint64(i))
+	}
+	e.Commit()
+	e.FlushMemTable() // merges tombstones over inserts; nothing deeper
+	var total int64
+	for _, run := range e.levels {
+		if run != nil {
+			total += run.count
+		}
+	}
+	if total != 0 {
+		t.Errorf("deepest-level merge kept %d entries; tombstones not dropped", total)
+	}
+	for i := int64(1); i <= 100; i++ {
+		if _, ok, _ := e.Get("t", uint64(i)); ok {
+			t.Fatalf("deleted key %d visible", i)
+		}
+	}
+}
+
+func TestBloomFiltersSkipRuns(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 256 << 20})
+	e, _ := New(env, simpleSchema(), core.Options{MemTableCap: 1 << 30})
+	e.Begin()
+	for i := int64(1); i <= 1000; i++ {
+		e.Insert("t", uint64(i*2), row(i))
+	}
+	e.Commit()
+	e.FlushMemTable()
+	run := e.levels[0]
+	if run == nil {
+		t.Fatal("no run at level 0")
+	}
+	hits := 0
+	for i := uint64(1); i <= 1000; i++ {
+		if run.mayContain(env.Dev, core.TreePrimary(0, i*2-1)) { // absent keys
+			hits++
+		}
+	}
+	if hits > 50 {
+		t.Errorf("bloom filter passed %d/1000 absent keys", hits)
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		if !run.mayContain(env.Dev, core.TreePrimary(0, i*2)) {
+			t.Fatal("bloom false negative")
+		}
+	}
+}
+
+func TestRecoveryAfterCompactionCrash(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 256 << 20})
+	opts := core.Options{MemTableCap: 40, GroupCommitSize: 4}
+	e, _ := New(env, simpleSchema(), opts)
+	for i := int64(1); i <= 300; i++ {
+		e.Begin()
+		e.Insert("t", uint64(i), row(i))
+		e.Commit()
+	}
+	e.Flush()
+	env.Dev.Crash()
+	env2, err := env.ReopenVolatile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(env2, simpleSchema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 300; i++ {
+		if _, ok, _ := e2.Get("t", uint64(i)); !ok {
+			t.Fatalf("key %d lost across flush/compaction crash", i)
+		}
+	}
+}

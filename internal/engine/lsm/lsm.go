@@ -1,0 +1,100 @@
+// Package lsm holds the log-structured-update machinery shared by the Log
+// engine (§3.3) and the NVM-Log engine (§4.3): the entry model recording
+// changes performed on tuples (full images for inserts, updated fields for
+// updates, tombstone markers for deletes) and the coalescing logic that
+// reconstructs a tuple from entries spread across LSM runs.
+package lsm
+
+import "nstore/internal/core"
+
+// Entry kinds.
+const (
+	KindFull  uint8 = 1 // full tuple image (insert)
+	KindDelta uint8 = 2 // updated fields only (update)
+	KindTomb  uint8 = 3 // tombstone (delete)
+)
+
+// Entry is one change record for a key.
+type Entry struct {
+	Kind    uint8
+	Payload []byte // KindFull: inline row; KindDelta: delta; KindTomb: empty
+}
+
+// Merge folds a newer entry over an older one, producing the equivalent
+// single entry. It is associative in application order (newest first).
+func Merge(s *core.Schema, newer, older Entry) Entry {
+	switch newer.Kind {
+	case KindFull, KindTomb:
+		return newer
+	case KindDelta:
+		switch older.Kind {
+		case KindFull:
+			row, err := core.DecodeRow(s, older.Payload)
+			if err != nil {
+				return newer
+			}
+			upd, err := core.DecodeDelta(s, newer.Payload)
+			if err != nil {
+				return newer
+			}
+			core.ApplyDelta(row, upd)
+			return Entry{Kind: KindFull, Payload: core.EncodeRow(s, row)}
+		case KindDelta:
+			oldUpd, err1 := core.DecodeDelta(s, older.Payload)
+			newUpd, err2 := core.DecodeDelta(s, newer.Payload)
+			if err1 != nil || err2 != nil {
+				return newer
+			}
+			// Newer columns win; older columns not overwritten survive.
+			merged := core.Update{}
+			seen := make(map[int]bool)
+			for j, ci := range newUpd.Cols {
+				merged.Cols = append(merged.Cols, ci)
+				merged.Vals = append(merged.Vals, newUpd.Vals[j])
+				seen[ci] = true
+			}
+			for j, ci := range oldUpd.Cols {
+				if !seen[ci] {
+					merged.Cols = append(merged.Cols, ci)
+					merged.Vals = append(merged.Vals, oldUpd.Vals[j])
+				}
+			}
+			return Entry{Kind: KindDelta, Payload: core.EncodeDelta(s, merged)}
+		default:
+			return newer
+		}
+	}
+	return newer
+}
+
+// Coalesce reconstructs the current tuple from entries ordered newest
+// first (the paper's tuple-coalescing read path). It reports:
+//
+//	row, true, true   — the key exists with this row
+//	nil, false, true  — the key is deleted (resolved by a tombstone)
+//	nil, false, false — unresolved: only deltas seen, caller must read
+//	                    deeper runs
+func Coalesce(s *core.Schema, entries []Entry) (row []core.Value, exists bool, resolved bool) {
+	if len(entries) == 0 {
+		return nil, false, false
+	}
+	acc := entries[0]
+	for _, e := range entries[1:] {
+		acc = Merge(s, acc, e)
+		if acc.Kind != KindDelta {
+			break
+		}
+	}
+	switch acc.Kind {
+	case KindTomb:
+		return nil, false, true
+	case KindFull:
+		r, err := core.DecodeRow(s, acc.Payload)
+		if err != nil {
+			return nil, false, true
+		}
+		return r, true, true
+	default:
+		return nil, false, false
+	}
+}

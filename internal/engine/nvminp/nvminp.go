@@ -1,0 +1,608 @@
+// Package nvminp implements the NVM-aware in-place updates engine (NVM-InP,
+// §4.1) — the engine the paper finds best overall. Differences from the
+// traditional InP engine:
+//
+//   - The WAL is a non-volatile linked list of entries that record
+//     non-volatile *pointers* to tuples (inserts/deletes) and before-images
+//     of just the updated fields (updates) — no full after-images, since
+//     the referenced data is itself durable on NVM.
+//   - Changes are persisted with the allocator interface's sync primitive
+//     when they happen; commit is a single atomic durable write of the
+//     committed-transaction marker, after which the log is truncated.
+//   - Indexes are non-volatile B+trees usable immediately after restart.
+//   - Recovery has no redo phase: it only undoes the transactions that were
+//     in flight at the crash, so its latency is independent of the number
+//     of executed transactions (Fig. 12).
+package nvminp
+
+import (
+	"fmt"
+
+	"nstore/internal/core"
+	"nstore/internal/nvbtree"
+	"nstore/internal/nvm"
+	"nstore/internal/pmalloc"
+)
+
+const (
+	hdrMagic = 0x4e564d494e503131 // "NVMINP11"
+
+	rootSlot = 0
+
+	// Engine header layout.
+	hMagic     = 0
+	hCommitted = 8
+	hWalHead   = 16
+	hNTables   = 24
+	hAnchors   = 32
+
+	// WAL entry layout (chunk, tagged TagLog).
+	wNext  = 0
+	wTxn   = 8
+	wType  = 16 // core.WalInsert / WalUpdate / WalDelete
+	wTable = 17
+	wNCols = 18
+	wNSec  = 19
+	wKey   = 24
+	wSlot  = 32
+	wData  = 40 // update before-image: nCols x (col u8, value u64), then
+	// the secondary repair list: nSec x (idx u8, op u8, composite u64).
+	// Undo replays the repair list with absolute, idempotent operations
+	// (op 1 = was added, undo deletes; op 2 = was removed, undo re-adds),
+	// so a crash anywhere inside an interrupted undo re-converges.
+	colRec = 9
+	secRec = 10
+)
+
+// secFix describes one secondary-index change for idempotent WAL undo.
+type secFix struct {
+	idx       int
+	added     bool
+	composite uint64
+}
+
+// Engine is the NVM-aware in-place updates engine.
+type Engine struct {
+	core.Base
+	opts core.Options
+
+	hdr     pmalloc.Ptr
+	heaps   []*core.Heap
+	primary []*nvbtree.Tree
+	second  [][]*nvbtree.Tree
+
+	// Volatile transaction state.
+	ops []txnOp
+}
+
+type txnOp struct {
+	typ     uint8
+	table   int
+	key     uint64
+	slot    uint64
+	entry   pmalloc.Ptr
+	oldVars []uint64 // var-slots superseded by this update (freed at commit)
+	delSlot uint64   // delete: slot reclaimed at commit
+}
+
+func (e *Engine) dev() *nvm.Device { return e.Env.Dev }
+
+// anchorsPerTable returns the number of u64 anchors table t needs.
+func anchorsPerTable(s *core.Schema) int { return 2 + len(s.Secondary) }
+
+// New creates a fresh NVM-InP engine anchored at arena root slot 0.
+func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	e := &Engine{opts: opts.WithDefaults()}
+	e.InitBase(env, schemas)
+	n := 0
+	for _, s := range schemas {
+		n += anchorsPerTable(s)
+	}
+	hdr, err := env.Arena.Alloc(hAnchors+8*n, pmalloc.TagOther)
+	if err != nil {
+		return nil, err
+	}
+	e.hdr = hdr
+	d := e.dev()
+	d.WriteU64(int64(hdr)+hMagic, hdrMagic)
+	d.WriteU64(int64(hdr)+hCommitted, 0)
+	d.WriteU64(int64(hdr)+hWalHead, 0)
+	d.WriteU64(int64(hdr)+hNTables, uint64(len(schemas)))
+
+	off := int64(hAnchors)
+	for _, tm := range e.Tables {
+		h := core.NewHeap(env.Arena, tm.Schema, true)
+		e.heaps = append(e.heaps, h)
+		d.WriteU64(int64(hdr)+off, h.Header())
+		off += 8
+		pt := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+		e.primary = append(e.primary, pt)
+		d.WriteU64(int64(hdr)+off, pt.Header())
+		off += 8
+		var secs []*nvbtree.Tree
+		for range tm.Schema.Secondary {
+			st := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+			secs = append(secs, st)
+			d.WriteU64(int64(hdr)+off, st.Header())
+			off += 8
+		}
+		e.second = append(e.second, secs)
+	}
+	d.Sync(int64(hdr), hAnchors+8*n)
+	env.Arena.SetPersisted(hdr)
+	env.Arena.SetRoot(rootSlot, hdr)
+	return e, nil
+}
+
+// Open recovers the engine after a crash: reopen the non-volatile indexes
+// and heaps, undo in-flight transactions via the WAL, and truncate it. No
+// redo phase, no index rebuild (§4.1).
+func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	e := &Engine{opts: opts.WithDefaults()}
+	e.InitBase(env, schemas)
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	defer stop()
+
+	hdr := env.Arena.Root(rootSlot)
+	if hdr == 0 || env.Dev.ReadU64(int64(hdr)+hMagic) != hdrMagic {
+		return nil, fmt.Errorf("nvminp: no engine header")
+	}
+	e.hdr = hdr
+	d := e.dev()
+	if int(d.ReadU64(int64(hdr)+hNTables)) != len(schemas) {
+		return nil, fmt.Errorf("nvminp: schema mismatch")
+	}
+	// Open trees first (their journals replay before any allocation), then
+	// the heaps.
+	off := int64(hAnchors)
+	heapHdrs := make([]pmalloc.Ptr, len(e.Tables))
+	for _, tm := range e.Tables {
+		heapHdrs[tm.ID] = d.ReadU64(int64(hdr) + off)
+		off += 8
+		pt, err := nvbtree.Open(env.Arena, d.ReadU64(int64(hdr)+off))
+		if err != nil {
+			return nil, err
+		}
+		e.primary = append(e.primary, pt)
+		off += 8
+		var secs []*nvbtree.Tree
+		for range tm.Schema.Secondary {
+			st, err := nvbtree.Open(env.Arena, d.ReadU64(int64(hdr)+off))
+			if err != nil {
+				return nil, err
+			}
+			secs = append(secs, st)
+			off += 8
+		}
+		e.second = append(e.second, secs)
+	}
+	for _, tm := range e.Tables {
+		e.heaps = append(e.heaps, core.OpenHeap(env.Arena, tm.Schema, heapHdrs[tm.ID]))
+	}
+	if err := e.undoWAL(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// undoWAL removes the effects of the transactions in flight at the crash
+// (newest entry first — the list head is the most recent append).
+func (e *Engine) undoWAL() error {
+	d := e.dev()
+	head := d.ReadU64(int64(e.hdr) + hWalHead)
+	var frees []pmalloc.Ptr
+	for p := head; p != 0; p = d.ReadU64(int64(p) + wNext) {
+		frees = append(frees, p)
+		// Truncation is the commit point: any entry still linked belongs to
+		// an uncommitted transaction.
+		e.undoEntry(p)
+	}
+	// Truncate: head reset is the atomic point; chunk frees follow.
+	d.WriteU64Durable(int64(e.hdr)+hWalHead, 0)
+	for _, p := range frees {
+		if e.Env.Arena.StateOf(p) != pmalloc.StateFree {
+			e.Env.Arena.Free(p)
+		}
+	}
+	// Sweep WAL-tagged chunks orphaned by a crash between the commit
+	// marker and the chunk frees.
+	e.Env.Arena.Chunks(func(p pmalloc.Ptr, size int, tag pmalloc.Tag, st pmalloc.State) {
+		if tag == pmalloc.TagLog && st == pmalloc.StatePersisted {
+			e.Env.Arena.Free(p)
+		}
+	})
+	return nil
+}
+
+// undoEntry reverses one WAL entry's operation.
+func (e *Engine) undoEntry(p pmalloc.Ptr) {
+	d := e.dev()
+	typ := d.ReadU8(int64(p) + wType)
+	table := int(d.ReadU8(int64(p) + wTable))
+	key := d.ReadU64(int64(p) + wKey)
+	slot := d.ReadU64(int64(p) + wSlot)
+	tm := e.Tables[table]
+	h := e.heaps[table]
+
+	switch typ {
+	case core.WalInsert:
+		// Release the tuple's storage using the pointer recorded in the WAL
+		// entry, and drop its index entries.
+		if h.State(slot) != core.SlotFree {
+			row := h.ReadRow(slot)
+			e.primary[table].Delete(key)
+			for j, ix := range tm.Schema.Secondary {
+				e.second[table][j].Delete(core.SecComposite(ix.SecKey(row), key))
+			}
+			h.FreeSlot(slot)
+		}
+	case core.WalUpdate:
+		if h.State(slot) == core.SlotFree {
+			return
+		}
+		n := int(d.ReadU8(int64(p) + wNCols))
+		for i := 0; i < n; i++ {
+			base := int64(p) + wData + int64(i)*colRec
+			ci := int(d.ReadU8(base))
+			val := d.ReadU64(base + 1)
+			if tm.Schema.Columns[ci].Type == core.TInt {
+				h.WriteCol(slot, ci, core.Value{I: int64(val)})
+			} else {
+				// Free the new var-slot and restore the old pointer.
+				cur := h.ColVarPtr(slot, ci)
+				if cur != 0 && cur != val {
+					h.FreeVar(cur)
+				}
+				e.restoreVarPtr(slot, ci, val)
+			}
+		}
+		h.SyncTuple(slot)
+		// Replay the logged secondary repair list: absolute, idempotent
+		// operations, safe to re-run if a crash interrupts this undo.
+		nSec := int(d.ReadU8(int64(p) + wNSec))
+		secBase := int64(p) + wData + int64(n)*colRec
+		for i := 0; i < nSec; i++ {
+			base := secBase + int64(i)*secRec
+			idx := int(d.ReadU8(base))
+			op := d.ReadU8(base + 1)
+			composite := d.ReadU64(base + 2)
+			if op == 1 {
+				e.second[table][idx].Delete(composite)
+			} else {
+				e.second[table][idx].Put(composite, core.SecPK(composite))
+			}
+		}
+	case core.WalDelete:
+		// The tuple slot was only logically discarded; re-link the indexes.
+		if h.State(slot) == core.SlotFree {
+			return
+		}
+		row := h.ReadRow(slot)
+		e.primary[table].Put(key, slot)
+		for j, ix := range tm.Schema.Secondary {
+			e.second[table][j].Put(core.SecComposite(ix.SecKey(row), key), key)
+		}
+	}
+}
+
+// restoreVarPtr writes a raw var-slot pointer back into a string field.
+func (e *Engine) restoreVarPtr(slot uint64, col int, vp uint64) {
+	e.dev().WriteU64(int64(slot)+16+int64(col*8), vp)
+}
+
+// appendWAL builds a WAL entry chunk, syncs it, and links it with an atomic
+// durable head update.
+func (e *Engine) appendWAL(typ uint8, table int, key, slot uint64, befCols []int, befVals []uint64, fixes []secFix) pmalloc.Ptr {
+	d := e.dev()
+	size := wData + colRec*len(befCols) + secRec*len(fixes)
+	p, err := e.Env.Arena.Alloc(size, pmalloc.TagLog)
+	if err != nil {
+		panic(err)
+	}
+	d.WriteU64(int64(p)+wNext, d.ReadU64(int64(e.hdr)+hWalHead))
+	d.WriteU64(int64(p)+wTxn, e.TxnID)
+	d.WriteU8(int64(p)+wType, typ)
+	d.WriteU8(int64(p)+wTable, uint8(table))
+	d.WriteU8(int64(p)+wNCols, uint8(len(befCols)))
+	d.WriteU8(int64(p)+wNSec, uint8(len(fixes)))
+	d.WriteU64(int64(p)+wKey, key)
+	d.WriteU64(int64(p)+wSlot, slot)
+	for i, ci := range befCols {
+		base := int64(p) + wData + int64(i)*colRec
+		d.WriteU8(base, uint8(ci))
+		d.WriteU64(base+1, befVals[i])
+	}
+	secBase := int64(p) + wData + int64(len(befCols))*colRec
+	for i, f := range fixes {
+		base := secBase + int64(i)*secRec
+		d.WriteU8(base, uint8(f.idx))
+		op := uint8(2)
+		if f.added {
+			op = 1
+		}
+		d.WriteU8(base+1, op)
+		d.WriteU64(base+2, f.composite)
+	}
+	d.Sync(int64(p), size)
+	e.Env.Arena.SetPersisted(p)
+	d.WriteU64Durable(int64(e.hdr)+hWalHead, p)
+	return p
+}
+
+// Name returns "nvm-inp".
+func (e *Engine) Name() string { return "nvm-inp" }
+
+// Begin starts a transaction.
+func (e *Engine) Begin() error {
+	if err := e.BeginTx(); err != nil {
+		return err
+	}
+	e.ops = e.ops[:0]
+	return nil
+}
+
+// Commit truncates the WAL with one atomic durable write — since the WAL is
+// undo-only and every change was persisted as it happened, an empty WAL *is*
+// the committed state — then reclaims space owed by deletes and updates
+// (Table 2: "Reclaim space at the end of transaction").
+func (e *Engine) Commit() error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	defer stop()
+	d := e.dev()
+	// The atomic commit point: after this, recovery has nothing to undo.
+	d.WriteU64Durable(int64(e.hdr)+hWalHead, 0)
+	for _, op := range e.ops {
+		for _, vp := range op.oldVars {
+			e.heaps[op.table].FreeVar(vp)
+		}
+		if op.typ == core.WalDelete {
+			e.heaps[op.table].FreeSlot(op.delSlot)
+		}
+		if op.entry != 0 {
+			e.Env.Arena.Free(op.entry)
+		}
+	}
+	return e.EndTx()
+}
+
+// Abort undoes the transaction using the in-memory op list (equivalently
+// the WAL), then truncates the log.
+func (e *Engine) Abort() error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	for i := len(e.ops) - 1; i >= 0; i-- {
+		e.undoEntry(e.ops[i].entry)
+	}
+	d := e.dev()
+	d.WriteU64Durable(int64(e.hdr)+hWalHead, 0)
+	for _, op := range e.ops {
+		if op.entry != 0 {
+			e.Env.Arena.Free(op.entry)
+		}
+	}
+	return e.EndTx()
+}
+
+// Insert adds a tuple per Table 2: sync tuple, record its pointer in the
+// WAL, sync the entry, mark the slot persisted, add the index entries.
+func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	_, exists := e.primary[tm.ID].Get(key)
+	stopIdx()
+	if exists {
+		return core.ErrKeyExists
+	}
+	h := e.heaps[tm.ID]
+
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	slot := h.AllocSlot(key)
+	h.WriteRow(slot, row)
+	h.SyncTuple(slot)
+	stopSt()
+
+	stopRec := e.Bd.Timer(&e.Bd.Recovery)
+	entry := e.appendWAL(core.WalInsert, tm.ID, key, slot, nil, nil, nil)
+	stopRec()
+
+	stopSt = e.Bd.Timer(&e.Bd.Storage)
+	h.PersistSlot(slot)
+	stopSt()
+
+	stopIdx = e.Bd.Timer(&e.Bd.Index)
+	e.primary[tm.ID].Put(key, slot)
+	for j, ix := range tm.Schema.Secondary {
+		e.second[tm.ID][j].Put(core.SecComposite(ix.SecKey(row), key), key)
+	}
+	stopIdx()
+
+	e.ops = append(e.ops, txnOp{typ: core.WalInsert, table: tm.ID, key: key, slot: slot, entry: entry})
+	return nil
+}
+
+// Update records the before-image (field values / var-slot pointers) in the
+// WAL, then modifies the tuple in place and syncs the changes.
+func (e *Engine) Update(table string, key uint64, upd core.Update) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	slot, ok := e.primary[tm.ID].Get(key)
+	stopIdx()
+	if !ok {
+		return core.ErrKeyNotFound
+	}
+	h := e.heaps[tm.ID]
+	old := h.ReadRow(slot)
+
+	befCols := make([]int, len(upd.Cols))
+	befVals := make([]uint64, len(upd.Cols))
+	var oldVars []uint64
+	for j, ci := range upd.Cols {
+		befCols[j] = ci
+		if tm.Schema.Columns[ci].Type == core.TInt {
+			befVals[j] = uint64(old[ci].I)
+		} else {
+			vp := h.ColVarPtr(slot, ci)
+			befVals[j] = vp
+			oldVars = append(oldVars, vp)
+		}
+	}
+
+	now := core.CloneRow(old)
+	core.ApplyDelta(now, upd)
+	var fixes []secFix
+	for j, ix := range tm.Schema.Secondary {
+		ok, nk := ix.SecKey(old), ix.SecKey(now)
+		if ok != nk {
+			fixes = append(fixes,
+				secFix{idx: j, added: true, composite: core.SecComposite(nk, key)},
+				secFix{idx: j, added: false, composite: core.SecComposite(ok, key)})
+		}
+	}
+
+	stopRec := e.Bd.Timer(&e.Bd.Recovery)
+	entry := e.appendWAL(core.WalUpdate, tm.ID, key, slot, befCols, befVals, fixes)
+	stopRec()
+
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	for j, ci := range upd.Cols {
+		h.WriteCol(slot, ci, upd.Vals[j])
+	}
+	h.SyncTuple(slot)
+	h.PersistSlot(slot) // re-persist new var-slots
+	stopSt()
+
+	stopIdx = e.Bd.Timer(&e.Bd.Index)
+	for _, f := range fixes {
+		if f.added {
+			e.second[tm.ID][f.idx].Put(f.composite, core.SecPK(f.composite))
+		} else {
+			e.second[tm.ID][f.idx].Delete(f.composite)
+		}
+	}
+	stopIdx()
+
+	e.ops = append(e.ops, txnOp{typ: core.WalUpdate, table: tm.ID, key: key,
+		slot: slot, entry: entry, oldVars: oldVars})
+	return nil
+}
+
+// Delete logs the tuple pointer, discards the index entries, and reclaims
+// the slot at commit (Table 2).
+func (e *Engine) Delete(table string, key uint64) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	slot, ok := e.primary[tm.ID].Get(key)
+	stopIdx()
+	if !ok {
+		return core.ErrKeyNotFound
+	}
+	h := e.heaps[tm.ID]
+	row := h.ReadRow(slot)
+
+	stopRec := e.Bd.Timer(&e.Bd.Recovery)
+	entry := e.appendWAL(core.WalDelete, tm.ID, key, slot, nil, nil, nil)
+	stopRec()
+
+	stopIdx = e.Bd.Timer(&e.Bd.Index)
+	e.primary[tm.ID].Delete(key)
+	for j, ix := range tm.Schema.Secondary {
+		e.second[tm.ID][j].Delete(core.SecComposite(ix.SecKey(row), key))
+	}
+	stopIdx()
+
+	e.ops = append(e.ops, txnOp{typ: core.WalDelete, table: tm.ID, key: key,
+		slot: slot, entry: entry, delSlot: slot})
+	return nil
+}
+
+// Get reads a tuple through the non-volatile primary index.
+func (e *Engine) Get(table string, key uint64) ([]core.Value, bool, error) {
+	tm, err := e.Table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	slot, ok := e.primary[tm.ID].Get(key)
+	stopIdx()
+	if !ok {
+		return nil, false, nil
+	}
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	row := e.heaps[tm.ID].ReadRow(slot)
+	stopSt()
+	return row, true, nil
+}
+
+// ScanSecondary iterates primary keys matching a secondary key.
+func (e *Engine) ScanSecondary(table, index string, sec uint32, fn func(pk uint64) bool) error {
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	j, ok := tm.SecPos(index)
+	if !ok {
+		return fmt.Errorf("nvminp: unknown index %q", index)
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	defer stopIdx()
+	lo, hi := core.SecRange(sec)
+	e.second[tm.ID][j].Iter(lo, func(k, pk uint64) bool {
+		if k >= hi {
+			return false
+		}
+		return fn(pk)
+	})
+	return nil
+}
+
+// ScanRange iterates rows with primary key in [from, to).
+func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row []core.Value) bool) error {
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	h := e.heaps[tm.ID]
+	e.primary[tm.ID].Iter(from, func(k, slot uint64) bool {
+		if k >= to {
+			return false
+		}
+		return fn(k, h.ReadRow(slot))
+	})
+	return nil
+}
+
+// Flush is a no-op: every commit is immediately durable.
+func (e *Engine) Flush() error { return nil }
+
+// Footprint reports storage usage (Fig. 14).
+func (e *Engine) Footprint() core.Footprint {
+	u := e.Env.Arena.Usage()
+	return core.Footprint{
+		Table: u[pmalloc.TagTable],
+		Index: u[pmalloc.TagIndex],
+		Log:   u[pmalloc.TagLog],
+		Other: u[pmalloc.TagOther],
+	}
+}

@@ -1,0 +1,169 @@
+package nvminp
+
+import (
+	"testing"
+
+	"nstore/internal/core"
+	"nstore/internal/engine/enginetest"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, enginetest.Factory{
+		Name: "nvm-inp",
+		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return New(env, schemas, opts)
+		},
+		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return Open(env, schemas, opts)
+		},
+	})
+}
+
+func simpleSchema() []*core.Schema {
+	return []*core.Schema{{
+		Name: "t",
+		Columns: []core.Column{
+			{Name: "id", Type: core.TInt},
+			{Name: "a", Type: core.TInt},
+			{Name: "b", Type: core.TString, Size: 100},
+		},
+	}}
+}
+
+// TestImmediateDurability: NVM-InP commits are durable with no Flush.
+func TestImmediateDurability(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 128 << 20})
+	e, err := New(env, simpleSchema(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Begin()
+	e.Insert("t", 1, []core.Value{core.IntVal(1), core.IntVal(2), core.StrVal("x")})
+	e.Commit()
+	// No Flush — crash immediately.
+	env.Dev.Crash()
+	env2, err := env.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(env2, simpleSchema(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok, _ := e2.Get("t", 1)
+	if !ok || row[1].I != 2 {
+		t.Fatalf("commit not durable without group flush: %v,%v", row, ok)
+	}
+}
+
+// TestNoRedoOnRecovery: after a clean crash with nothing in flight, the WAL
+// is empty — recovery has nothing to replay regardless of history length.
+func TestNoRedoOnRecovery(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 256 << 20})
+	e, _ := New(env, simpleSchema(), core.Options{})
+	for i := int64(1); i <= 2000; i++ {
+		e.Begin()
+		e.Insert("t", uint64(i), []core.Value{core.IntVal(i), core.IntVal(i), core.StrVal("payload")})
+		e.Commit()
+	}
+	env.Dev.Crash()
+	env2, _ := env.Reopen()
+	before := env2.Dev.Stats()
+	e2, err := Open(env2, simpleSchema(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := env2.Dev.Stats().Sub(before)
+	// Opening must not scale with the 2000 executed txns: no checkpoint
+	// load, no WAL replay, no index rebuild. The heap open scans block
+	// headers (bounded by live data), so just assert reads stay far below
+	// one-pass-over-all-tuple-content territory AND the engine works.
+	if _, ok, _ := e2.Get("t", 1500); !ok {
+		t.Fatal("data missing after instant recovery")
+	}
+	if diff.Stores > 2000 {
+		t.Errorf("recovery performed %d NVM stores; expected near-zero write work", diff.Stores)
+	}
+}
+
+// TestWALRecordsPointersNotData: the WAL footprint per insert is tiny
+// compared to the tuple, since only pointers are logged (§4.1).
+func TestWALRecordsPointersNotData(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 128 << 20})
+	e, _ := New(env, simpleSchema(), core.Options{})
+	e.Begin()
+	big := make([]byte, 4000)
+	e.Insert("t", 1, []core.Value{core.IntVal(1), core.IntVal(2), core.BytesVal(big)})
+	fp := e.Footprint()
+	if fp.Log > 256 {
+		t.Errorf("WAL holds %d bytes for one insert of a 4 KB tuple; should be pointer-sized", fp.Log)
+	}
+	e.Commit()
+	if got := e.Footprint().Log; got != 0 {
+		t.Errorf("WAL not truncated at commit: %d bytes", got)
+	}
+}
+
+// TestRecoveryLatencyIndependentOfHistory measures Fig. 12's key property.
+func TestRecoveryLatencyIndependentOfHistory(t *testing.T) {
+	// Fixed database size; vary only the number of executed transactions.
+	// InP/Log must replay them all; NVM-InP's recovery work must not grow.
+	measure := func(txns int) int64 {
+		env := core.NewEnv(core.EnvConfig{DeviceSize: 512 << 20})
+		e, _ := New(env, simpleSchema(), core.Options{})
+		e.Begin()
+		for i := 1; i <= 2000; i++ {
+			e.Insert("t", uint64(i), []core.Value{core.IntVal(int64(i)), core.IntVal(1), core.StrVal("row")})
+		}
+		e.Commit()
+		for i := 1; i <= txns; i++ {
+			e.Begin()
+			e.Update("t", uint64(i%2000)+1, core.Update{Cols: []int{1}, Vals: []core.Value{core.IntVal(int64(i))}})
+			e.Commit()
+		}
+		env.Dev.Crash()
+		env2, _ := env.Reopen()
+		before := env2.Dev.Stats()
+		if _, err := Open(env2, simpleSchema(), core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		d := env2.Dev.Stats().Sub(before)
+		return int64(d.Loads)
+	}
+	small := measure(500)
+	large := measure(5000)
+	if large > small*3/2 {
+		t.Errorf("recovery loads grew %d -> %d with 10x the transactions; not history-independent", small, large)
+	}
+}
+
+// TestVarSlotReclaimedOnUpdateCommit checks Table 2's space reclamation.
+func TestVarSlotReclaimedOnUpdateCommit(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 128 << 20})
+	e, _ := New(env, simpleSchema(), core.Options{})
+	e.Begin()
+	e.Insert("t", 1, []core.Value{core.IntVal(1), core.IntVal(2), core.BytesVal(make([]byte, 1000))})
+	e.Commit()
+	stable := e.Environment().Arena.Allocated()
+	for i := 0; i < 50; i++ {
+		e.Begin()
+		e.Update("t", 1, core.Update{Cols: []int{2}, Vals: []core.Value{core.BytesVal(make([]byte, 1000))}})
+		e.Commit()
+	}
+	after := e.Environment().Arena.Allocated()
+	if after > stable+2048 {
+		t.Errorf("allocator grew %d -> %d over 50 same-size updates; old var-slots leak", stable, after)
+	}
+}
+
+func TestCrashInjection(t *testing.T) {
+	enginetest.RunCrashInjection(t, enginetest.Factory{
+		Name: "nvminp",
+		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return New(env, schemas, opts)
+		},
+		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return Open(env, schemas, opts)
+		},
+	}, 25)
+}

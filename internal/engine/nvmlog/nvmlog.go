@@ -1,0 +1,810 @@
+// Package nvmlog implements the NVM-aware log-structured updates engine
+// (NVM-Log, §4.3). Differences from the traditional Log engine:
+//
+//   - MemTables are never flushed to the filesystem: a full MemTable is
+//     simply marked immutable (it is already durable on NVM) and a new
+//     mutable MemTable starts. Compaction merges the immutable MemTables
+//     into a new, larger MemTable.
+//   - The WAL is a non-volatile linked list whose purpose is only to *undo*
+//     uncommitted transactions — the MemTable itself is durable, so there
+//     is no redo/rebuild at recovery (§4.3: "Its recovery latency is
+//     therefore lower than the Log engine as it no longer needs to rebuild
+//     the MemTable").
+//   - Each immutable MemTable carries a Bloom filter to skip index
+//     look-ups while coalescing tuples across runs.
+package nvmlog
+
+import (
+	"fmt"
+	"sort"
+
+	"nstore/internal/bloom"
+	"nstore/internal/core"
+	"nstore/internal/engine/lsm"
+	"nstore/internal/nvbtree"
+	"nstore/internal/pmalloc"
+)
+
+const (
+	hdrMagic = 0x4e564d4c4f473131 // "NVMLOG11"
+	rootSlot = 0
+
+	// Engine header layout.
+	hMagic     = 0
+	hCommitted = 8
+	hWalHead   = 16
+	hMutable   = 24 // current mutable MemTable tree header
+	hRunList   = 32 // immutable run list chunk (0 = none)
+	hNTables   = 40
+	hAnchors   = 48 // per table: secondary tree headers
+
+	// Run list chunk: n u64, then per run {treeHdr, bloomPtr, bloomMeta}.
+	// bloomMeta packs words<<8 | k. Runs are ordered newest first.
+	runEntSize = 24
+
+	// WAL entry layout (TagLog chunk).
+	wNext   = 0
+	wTxn    = 8
+	wType   = 16
+	wTable  = 17
+	wNSec   = 18
+	wKey    = 24
+	wOldPtr = 32
+	wNewPtr = 40
+	wSec    = 48 // nSec x {idx u8, op u8 (1 added, 2 removed), composite u64}
+	secRec  = 10
+)
+
+// run is one immutable MemTable.
+type run struct {
+	tree       *nvbtree.Tree
+	bloomPtr   pmalloc.Ptr
+	bloomWords uint64
+	bloomK     int
+}
+
+// Engine is the NVM-aware log-structured updates engine.
+type Engine struct {
+	core.Base
+	opts core.Options
+
+	hdr      pmalloc.Ptr
+	mem      *nvbtree.Tree
+	memCount int
+	runs     []*run // newest first
+	second   [][]*nvbtree.Tree
+
+	ops         []txnOp
+	compactions int
+}
+
+type txnOp struct {
+	entry  pmalloc.Ptr
+	oldPtr uint64 // superseded entry chunk, freed at commit
+}
+
+// New creates a fresh NVM-Log engine anchored at arena root slot 0.
+func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	e := &Engine{opts: opts.WithDefaults()}
+	e.InitBase(env, schemas)
+	nSec := 0
+	for _, s := range schemas {
+		nSec += len(s.Secondary)
+	}
+	hdr, err := env.Arena.Alloc(hAnchors+8*nSec, pmalloc.TagOther)
+	if err != nil {
+		return nil, err
+	}
+	e.hdr = hdr
+	d := env.Dev
+	d.WriteU64(int64(hdr)+hMagic, hdrMagic)
+	d.WriteU64(int64(hdr)+hCommitted, 0)
+	d.WriteU64(int64(hdr)+hWalHead, 0)
+	d.WriteU64(int64(hdr)+hRunList, 0)
+	d.WriteU64(int64(hdr)+hNTables, uint64(len(schemas)))
+	e.mem = nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+	d.WriteU64(int64(hdr)+hMutable, e.mem.Header())
+	off := int64(hAnchors)
+	for _, tm := range e.Tables {
+		var secs []*nvbtree.Tree
+		for range tm.Schema.Secondary {
+			st := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+			secs = append(secs, st)
+			d.WriteU64(int64(hdr)+off, st.Header())
+			off += 8
+		}
+		e.second = append(e.second, secs)
+	}
+	d.Sync(int64(hdr), hAnchors+8*nSec)
+	env.Arena.SetPersisted(hdr)
+	env.Arena.SetRoot(rootSlot, hdr)
+	return e, nil
+}
+
+// Open recovers the engine: reopen the durable MemTables and indexes, undo
+// in-flight transactions via the WAL, complete any interrupted rotation,
+// and sweep orphaned chunks. No MemTable rebuild (§4.3).
+func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	e := &Engine{opts: opts.WithDefaults()}
+	e.InitBase(env, schemas)
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	defer stop()
+
+	hdr := env.Arena.Root(rootSlot)
+	if hdr == 0 || env.Dev.ReadU64(int64(hdr)+hMagic) != hdrMagic {
+		return nil, fmt.Errorf("nvmlog: no engine header")
+	}
+	e.hdr = hdr
+	d := env.Dev
+	if int(d.ReadU64(int64(hdr)+hNTables)) != len(schemas) {
+		return nil, fmt.Errorf("nvmlog: schema mismatch")
+	}
+	mem, err := nvbtree.Open(env.Arena, d.ReadU64(int64(hdr)+hMutable))
+	if err != nil {
+		return nil, err
+	}
+	e.mem = mem
+	if err := e.loadRuns(); err != nil {
+		return nil, err
+	}
+	// A crash between the run-list swap and the mutable swap leaves the
+	// same tree both mutable and newest-immutable; finish the rotation.
+	if len(e.runs) > 0 && e.runs[0].tree.Header() == e.mem.Header() {
+		e.mem = nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+		d.WriteU64Durable(int64(e.hdr)+hMutable, e.mem.Header())
+	}
+	off := int64(hAnchors)
+	for _, tm := range e.Tables {
+		var secs []*nvbtree.Tree
+		for range tm.Schema.Secondary {
+			st, err := nvbtree.Open(env.Arena, d.ReadU64(int64(hdr)+off))
+			if err != nil {
+				return nil, err
+			}
+			secs = append(secs, st)
+			off += 8
+		}
+		e.second = append(e.second, secs)
+	}
+	if err := e.undoWAL(); err != nil {
+		return nil, err
+	}
+	e.memCount = e.mem.Count()
+	e.sweep()
+	return e, nil
+}
+
+func (e *Engine) loadRuns() error {
+	d := e.Env.Dev
+	list := d.ReadU64(int64(e.hdr) + hRunList)
+	if list == 0 {
+		return nil
+	}
+	n := int(d.ReadU64(int64(list)))
+	for i := 0; i < n; i++ {
+		base := int64(list) + 8 + int64(i)*runEntSize
+		tr, err := nvbtree.Open(e.Env.Arena, d.ReadU64(base))
+		if err != nil {
+			return err
+		}
+		meta := d.ReadU64(base + 16)
+		e.runs = append(e.runs, &run{
+			tree:       tr,
+			bloomPtr:   d.ReadU64(base + 8),
+			bloomWords: meta >> 8,
+			bloomK:     int(meta & 0xff),
+		})
+	}
+	return nil
+}
+
+// sweep reclaims persisted chunks orphaned by crashes during rotation,
+// compaction, or WAL truncation.
+func (e *Engine) sweep() {
+	reach := make(map[pmalloc.Ptr]bool)
+	mark := func(p pmalloc.Ptr) { reach[p] = true }
+	reach[e.hdr] = true
+	if list := e.Env.Dev.ReadU64(int64(e.hdr) + hRunList); list != 0 {
+		reach[list] = true
+	}
+	markTree := func(t *nvbtree.Tree) {
+		t.Nodes(mark)
+		t.Iter(0, func(k, v uint64) bool {
+			reach[v] = true
+			return true
+		})
+	}
+	markTree(e.mem)
+	for _, r := range e.runs {
+		markTree(r.tree)
+		reach[r.bloomPtr] = true
+	}
+	for _, secs := range e.second {
+		for _, st := range secs {
+			st.Nodes(mark)
+		}
+	}
+	e.Env.Arena.Chunks(func(p pmalloc.Ptr, size int, tag pmalloc.Tag, st pmalloc.State) {
+		if st != pmalloc.StatePersisted || reach[p] {
+			return
+		}
+		switch tag {
+		case pmalloc.TagTable, pmalloc.TagIndex, pmalloc.TagLog:
+			e.Env.Arena.Free(p)
+		}
+	})
+}
+
+// Entry chunks: kind u8, len u32, payload (TagTable, persisted).
+
+func (e *Engine) writeEntryChunk(ent lsm.Entry) pmalloc.Ptr {
+	p, err := e.Env.Arena.Alloc(5+len(ent.Payload), pmalloc.TagTable)
+	if err != nil {
+		panic(err)
+	}
+	d := e.Env.Dev
+	d.WriteU8(int64(p), ent.Kind)
+	d.WriteU32(int64(p)+1, uint32(len(ent.Payload)))
+	d.Write(int64(p)+5, ent.Payload)
+	d.Sync(int64(p), 5+len(ent.Payload))
+	e.Env.Arena.SetPersisted(p)
+	return p
+}
+
+func (e *Engine) readEntryChunk(p uint64) lsm.Entry {
+	d := e.Env.Dev
+	kind := d.ReadU8(int64(p))
+	n := int(d.ReadU32(int64(p) + 1))
+	payload := make([]byte, n)
+	d.Read(int64(p)+5, payload)
+	return lsm.Entry{Kind: kind, Payload: payload}
+}
+
+// secFix describes a secondary-index change for WAL undo.
+type secFix struct {
+	idx       int
+	added     bool
+	composite uint64
+}
+
+// appendWAL logs one MemTable operation: which mapping changed (old/new
+// entry-chunk pointers) and the secondary entries touched.
+func (e *Engine) appendWAL(typ uint8, table int, key, oldPtr, newPtr uint64, fixes []secFix) pmalloc.Ptr {
+	d := e.Env.Dev
+	size := wSec + secRec*len(fixes)
+	p, err := e.Env.Arena.Alloc(size, pmalloc.TagLog)
+	if err != nil {
+		panic(err)
+	}
+	d.WriteU64(int64(p)+wNext, d.ReadU64(int64(e.hdr)+hWalHead))
+	d.WriteU64(int64(p)+wTxn, e.TxnID)
+	d.WriteU8(int64(p)+wType, typ)
+	d.WriteU8(int64(p)+wTable, uint8(table))
+	d.WriteU8(int64(p)+wNSec, uint8(len(fixes)))
+	d.WriteU64(int64(p)+wKey, key)
+	d.WriteU64(int64(p)+wOldPtr, oldPtr)
+	d.WriteU64(int64(p)+wNewPtr, newPtr)
+	for i, f := range fixes {
+		base := int64(p) + wSec + int64(i)*secRec
+		d.WriteU8(base, uint8(f.idx))
+		op := uint8(2)
+		if f.added {
+			op = 1
+		}
+		d.WriteU8(base+1, op)
+		d.WriteU64(base+2, f.composite)
+	}
+	d.Sync(int64(p), size)
+	e.Env.Arena.SetPersisted(p)
+	d.WriteU64Durable(int64(e.hdr)+hWalHead, p)
+	return p
+}
+
+// undoWAL reverses in-flight transactions (newest entry first) and
+// truncates the log.
+func (e *Engine) undoWAL() error {
+	d := e.Env.Dev
+	head := d.ReadU64(int64(e.hdr) + hWalHead)
+	var frees []pmalloc.Ptr
+	for p := head; p != 0; p = d.ReadU64(int64(p) + wNext) {
+		frees = append(frees, p)
+		// Truncation is the commit point: linked entries are uncommitted.
+		e.undoEntry(p)
+	}
+	d.WriteU64Durable(int64(e.hdr)+hWalHead, 0)
+	for _, p := range frees {
+		if e.Env.Arena.StateOf(p) != pmalloc.StateFree {
+			e.Env.Arena.Free(p)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) undoEntry(p pmalloc.Ptr) {
+	d := e.Env.Dev
+	table := int(d.ReadU8(int64(p) + wTable))
+	key := d.ReadU64(int64(p) + wKey)
+	oldPtr := d.ReadU64(int64(p) + wOldPtr)
+	newPtr := d.ReadU64(int64(p) + wNewPtr)
+	tk := core.TreePrimary(table, key)
+	if oldPtr != 0 {
+		e.mem.Put(tk, oldPtr)
+	} else {
+		e.mem.Delete(tk)
+	}
+	if newPtr != 0 && e.Env.Arena.StateOf(newPtr) != pmalloc.StateFree {
+		e.Env.Arena.Free(newPtr)
+	}
+	n := int(d.ReadU8(int64(p) + wNSec))
+	for i := 0; i < n; i++ {
+		base := int64(p) + wSec + int64(i)*secRec
+		idx := int(d.ReadU8(base))
+		op := d.ReadU8(base + 1)
+		composite := d.ReadU64(base + 2)
+		if op == 1 {
+			e.second[table][idx].Delete(composite)
+		} else {
+			e.second[table][idx].Put(composite, core.SecPK(composite))
+		}
+	}
+}
+
+// applyMem merges an entry into the mutable MemTable, logging undo info.
+func (e *Engine) applyMem(tm *core.TableMeta, typ uint8, key uint64, ent lsm.Entry, fixes []secFix) {
+	tk := core.TreePrimary(tm.ID, key)
+	var oldPtr uint64
+	if p, ok := e.mem.Get(tk); ok {
+		oldPtr = p
+		ent = lsm.Merge(tm.Schema, ent, e.readEntryChunk(p))
+	} else {
+		e.memCount++
+	}
+	newPtr := e.writeEntryChunk(ent)
+	entry := e.appendWAL(typ, tm.ID, key, oldPtr, uint64(newPtr), fixes)
+	e.mem.Put(tk, uint64(newPtr))
+	for _, f := range fixes {
+		if f.added {
+			e.second[tm.ID][f.idx].Put(f.composite, core.SecPK(f.composite))
+		} else {
+			e.second[tm.ID][f.idx].Delete(f.composite)
+		}
+	}
+	e.ops = append(e.ops, txnOp{entry: entry, oldPtr: oldPtr})
+}
+
+// Name returns "nvm-log".
+func (e *Engine) Name() string { return "nvm-log" }
+
+// Begin starts a transaction.
+func (e *Engine) Begin() error {
+	if err := e.BeginTx(); err != nil {
+		return err
+	}
+	e.ops = e.ops[:0]
+	return nil
+}
+
+// Commit durably marks the transaction committed, truncates the WAL, and
+// rotates/compacts MemTables as needed.
+func (e *Engine) Commit() error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	stop := e.Bd.Timer(&e.Bd.Recovery)
+	d := e.Env.Dev
+	// Truncating the undo log is the atomic commit point (§4.3).
+	d.WriteU64Durable(int64(e.hdr)+hWalHead, 0)
+	for _, op := range e.ops {
+		if op.oldPtr != 0 && e.Env.Arena.StateOf(op.oldPtr) != pmalloc.StateFree {
+			e.Env.Arena.Free(op.oldPtr)
+		}
+		e.Env.Arena.Free(op.entry)
+	}
+	stop()
+	if e.memCount >= e.opts.MemTableCap {
+		if err := e.rotate(); err != nil {
+			return err
+		}
+		if len(e.runs) >= e.opts.LSMGrowth {
+			if err := e.compact(); err != nil {
+				return err
+			}
+		}
+	}
+	return e.EndTx()
+}
+
+// Abort undoes the transaction via its WAL entries and truncates the log.
+func (e *Engine) Abort() error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	for i := len(e.ops) - 1; i >= 0; i-- {
+		e.undoEntry(e.ops[i].entry)
+		// undoEntry adjusts the mapping; fix the volatile count.
+	}
+	e.memCount = e.mem.Count()
+	d := e.Env.Dev
+	d.WriteU64Durable(int64(e.hdr)+hWalHead, 0)
+	for _, op := range e.ops {
+		e.Env.Arena.Free(op.entry)
+	}
+	return e.EndTx()
+}
+
+// rotate marks the mutable MemTable immutable: build its Bloom filter,
+// prepend it to the run list, and start a fresh MemTable (§4.3 — the
+// MemTable is not flushed anywhere; it is already durable).
+func (e *Engine) rotate() error {
+	stop := e.Bd.Timer(&e.Bd.Storage)
+	defer stop()
+	var keys []uint64
+	e.mem.Iter(0, func(k, v uint64) bool { keys = append(keys, k); return true })
+	fl := bloom.New(len(keys), 10)
+	for _, k := range keys {
+		fl.Add(k)
+	}
+	newRun, err := e.storeRun(e.mem, fl)
+	if err != nil {
+		return err
+	}
+	if err := e.swapRunList(append([]*run{newRun}, e.runs...)); err != nil {
+		return err
+	}
+	// Start the fresh mutable MemTable (recovery completes this step if a
+	// crash lands between the two swaps).
+	e.mem = nvbtree.Create(e.Env.Arena, e.opts.BTreeNodeSize)
+	e.Env.Dev.WriteU64Durable(int64(e.hdr)+hMutable, e.mem.Header())
+	e.memCount = 0
+	return nil
+}
+
+// storeRun persists a bloom filter chunk and returns the run descriptor.
+func (e *Engine) storeRun(tree *nvbtree.Tree, fl *bloom.Filter) (*run, error) {
+	bm := fl.Marshal()
+	p, err := e.Env.Arena.Alloc(len(bm)-8, pmalloc.TagIndex)
+	if err != nil {
+		return nil, err
+	}
+	d := e.Env.Dev
+	d.Write(int64(p), bm[8:])
+	d.Sync(int64(p), len(bm)-8)
+	e.Env.Arena.SetPersisted(p)
+	return &run{
+		tree:       tree,
+		bloomPtr:   p,
+		bloomWords: uint64((len(bm) - 8) / 8),
+		bloomK:     fl.K(),
+	}, nil
+}
+
+// swapRunList atomically installs a new immutable-run list.
+func (e *Engine) swapRunList(runs []*run) error {
+	d := e.Env.Dev
+	old := d.ReadU64(int64(e.hdr) + hRunList)
+	var list pmalloc.Ptr
+	if len(runs) > 0 {
+		var err error
+		list, err = e.Env.Arena.Alloc(8+runEntSize*len(runs), pmalloc.TagOther)
+		if err != nil {
+			return err
+		}
+		d.WriteU64(int64(list), uint64(len(runs)))
+		for i, r := range runs {
+			base := int64(list) + 8 + int64(i)*runEntSize
+			d.WriteU64(base, r.tree.Header())
+			d.WriteU64(base+8, r.bloomPtr)
+			d.WriteU64(base+16, r.bloomWords<<8|uint64(r.bloomK))
+		}
+		d.Sync(int64(list), 8+runEntSize*len(runs))
+		e.Env.Arena.SetPersisted(list)
+	}
+	d.WriteU64Durable(int64(e.hdr)+hRunList, uint64(list))
+	if old != 0 {
+		e.Env.Arena.Free(old)
+	}
+	e.runs = runs
+	return nil
+}
+
+// compact merges a subset of the immutable MemTables — the two oldest —
+// into one new, larger MemTable with a fresh Bloom filter (§4.3: "we also
+// modified the compaction process to merge a set of these MemTables").
+// Merging only the deepest pair bounds the transient space to roughly the
+// size of that pair; tombstones are dropped because nothing older remains
+// below them.
+func (e *Engine) compact() error {
+	stop := e.Bd.Timer(&e.Bd.Storage)
+	defer stop()
+	if len(e.runs) < 2 {
+		return nil
+	}
+	e.compactions++
+	victims := e.runs[len(e.runs)-2:] // newest-first order: the two oldest
+
+	// Collect: for each key, entries newest-run first.
+	entries := make(map[uint64][]lsm.Entry)
+	var order []uint64
+	for _, r := range victims {
+		r.tree.Iter(0, func(k, v uint64) bool {
+			if _, ok := entries[k]; !ok {
+				order = append(order, k)
+			}
+			entries[k] = append(entries[k], e.readEntryChunk(v))
+			return true
+		})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	merged := nvbtree.Create(e.Env.Arena, e.opts.BTreeNodeSize)
+	fl := bloom.New(len(order), 10)
+	for _, k := range order {
+		es := entries[k]
+		acc := es[0]
+		for _, ent := range es[1:] {
+			acc = lsm.Merge(e.Tables[int(k>>60)].Schema, acc, ent)
+			if acc.Kind != lsm.KindDelta {
+				break
+			}
+		}
+		if acc.Kind == lsm.KindTomb {
+			continue // reclaim space during compaction (Table 2)
+		}
+		merged.Put(k, uint64(e.writeEntryChunk(acc)))
+		fl.Add(k)
+	}
+	newRun, err := e.storeRun(merged, fl)
+	if err != nil {
+		return err
+	}
+	oldRuns := e.runs
+	newList := append(append([]*run{}, e.runs[:len(e.runs)-2]...), newRun)
+	if err := e.swapRunList(newList); err != nil {
+		return err
+	}
+	// Release the merged-away runs: their entry chunks, trees, and blooms.
+	for _, r := range oldRuns[len(oldRuns)-2:] {
+		r.tree.Iter(0, func(k, v uint64) bool {
+			if e.Env.Arena.StateOf(v) != pmalloc.StateFree {
+				e.Env.Arena.Free(v)
+			}
+			return true
+		})
+		r.tree.Release()
+		e.Env.Arena.Free(r.bloomPtr)
+	}
+	return nil
+}
+
+// Insert adds a tuple (Table 2: sync tuple, log pointer, add to MemTable).
+func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	_, exists, err := e.Get(table, key)
+	if err != nil {
+		return err
+	}
+	if exists {
+		return core.ErrKeyExists
+	}
+	var fixes []secFix
+	for j, ix := range tm.Schema.Secondary {
+		fixes = append(fixes, secFix{idx: j, added: true, composite: core.SecComposite(ix.SecKey(row), key)})
+	}
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	e.applyMem(tm, core.WalInsert, key, lsm.Entry{Kind: lsm.KindFull, Payload: core.EncodeRow(tm.Schema, row)}, fixes)
+	stopSt()
+	return nil
+}
+
+// Update records the updated fields in the MemTable.
+func (e *Engine) Update(table string, key uint64, upd core.Update) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	old, exists, err := e.Get(table, key)
+	if err != nil {
+		return err
+	}
+	if !exists {
+		return core.ErrKeyNotFound
+	}
+	now := core.CloneRow(old)
+	core.ApplyDelta(now, upd)
+	var fixes []secFix
+	for j, ix := range tm.Schema.Secondary {
+		ok, nk := ix.SecKey(old), ix.SecKey(now)
+		if ok != nk {
+			fixes = append(fixes,
+				secFix{idx: j, added: false, composite: core.SecComposite(ok, key)},
+				secFix{idx: j, added: true, composite: core.SecComposite(nk, key)})
+		}
+	}
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	e.applyMem(tm, core.WalUpdate, key, lsm.Entry{Kind: lsm.KindDelta, Payload: core.EncodeDelta(tm.Schema, upd)}, fixes)
+	stopSt()
+	return nil
+}
+
+// Delete marks the tuple with a tombstone in the MemTable.
+func (e *Engine) Delete(table string, key uint64) error {
+	if err := e.RequireTx(); err != nil {
+		return err
+	}
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	old, exists, err := e.Get(table, key)
+	if err != nil {
+		return err
+	}
+	if !exists {
+		return core.ErrKeyNotFound
+	}
+	var fixes []secFix
+	for j, ix := range tm.Schema.Secondary {
+		fixes = append(fixes, secFix{idx: j, added: false, composite: core.SecComposite(ix.SecKey(old), key)})
+	}
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	e.applyMem(tm, core.WalDelete, key, lsm.Entry{Kind: lsm.KindTomb}, fixes)
+	stopSt()
+	return nil
+}
+
+// Get coalesces entries from the mutable MemTable and the immutable runs
+// (newest first), probing each run's Bloom filter first (Table 2).
+func (e *Engine) Get(table string, key uint64) ([]core.Value, bool, error) {
+	tm, err := e.Table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	tk := core.TreePrimary(tm.ID, key)
+	var acc lsm.Entry
+	have := false
+	stopSt := e.Bd.Timer(&e.Bd.Storage)
+	if p, ok := e.mem.Get(tk); ok {
+		acc = e.readEntryChunk(p)
+		have = true
+	}
+	stopSt()
+	if !have || acc.Kind == lsm.KindDelta {
+		stopIdx := e.Bd.Timer(&e.Bd.Index)
+		for _, r := range e.runs {
+			if !e.bloomHas(r, tk) {
+				continue
+			}
+			p, ok := r.tree.Get(tk)
+			if !ok {
+				continue
+			}
+			ent := e.readEntryChunk(p)
+			if have {
+				acc = lsm.Merge(tm.Schema, acc, ent)
+			} else {
+				acc = ent
+				have = true
+			}
+			if acc.Kind != lsm.KindDelta {
+				break
+			}
+		}
+		stopIdx()
+	}
+	if !have || acc.Kind != lsm.KindFull {
+		return nil, false, nil
+	}
+	row, err := core.DecodeRow(tm.Schema, acc.Payload)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+func (e *Engine) bloomHas(r *run, key uint64) bool {
+	if r.bloomWords == 0 {
+		return true
+	}
+	d := e.Env.Dev
+	ok := true
+	bloom.Probes(key, r.bloomK, r.bloomWords*64, func(bit uint64) bool {
+		w := d.ReadU64(int64(r.bloomPtr) + int64(bit/64)*8)
+		if w&(1<<(bit%64)) == 0 {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// ScanSecondary iterates primary keys matching a secondary key.
+func (e *Engine) ScanSecondary(table, index string, sec uint32, fn func(pk uint64) bool) error {
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	j, ok := tm.SecPos(index)
+	if !ok {
+		return fmt.Errorf("nvmlog: unknown index %q", index)
+	}
+	stopIdx := e.Bd.Timer(&e.Bd.Index)
+	defer stopIdx()
+	lo, hi := core.SecRange(sec)
+	e.second[tm.ID][j].Iter(lo, func(k, pk uint64) bool {
+		if k >= hi {
+			return false
+		}
+		return fn(pk)
+	})
+	return nil
+}
+
+// ScanRange merges the MemTable and the runs over the key range.
+func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row []core.Value) bool) error {
+	tm, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	lo, hi := core.TreePrimaryRange(tm.ID, from, to)
+	if to > core.TreePK(^uint64(0)) {
+		hi = core.TreePrimary(tm.ID, core.TreePK(^uint64(0)))
+	}
+	entries := make(map[uint64][]lsm.Entry)
+	var order []uint64
+	collect := func(t *nvbtree.Tree) {
+		t.Iter(lo, func(k, v uint64) bool {
+			if k >= hi {
+				return false
+			}
+			if _, ok := entries[k]; !ok {
+				order = append(order, k)
+			}
+			entries[k] = append(entries[k], e.readEntryChunk(v))
+			return true
+		})
+	}
+	collect(e.mem)
+	for _, r := range e.runs {
+		collect(r.tree)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, k := range order {
+		row, exists, _ := lsm.Coalesce(tm.Schema, entries[k])
+		if exists {
+			if !fn(core.TreePK(k), row) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Flush is a no-op: every commit is immediately durable.
+func (e *Engine) Flush() error { return nil }
+
+// Compactions returns the number of MemTable merges performed.
+func (e *Engine) Compactions() int { return e.compactions }
+
+// Runs returns the number of immutable MemTables.
+func (e *Engine) Runs() int { return len(e.runs) }
+
+// Footprint reports storage usage (Fig. 14).
+func (e *Engine) Footprint() core.Footprint {
+	u := e.Env.Arena.Usage()
+	return core.Footprint{
+		Table: u[pmalloc.TagTable],
+		Index: u[pmalloc.TagIndex],
+		Log:   u[pmalloc.TagLog],
+		Other: u[pmalloc.TagOther],
+	}
+}

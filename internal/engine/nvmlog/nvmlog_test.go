@@ -1,0 +1,162 @@
+package nvmlog
+
+import (
+	"testing"
+
+	"nstore/internal/core"
+	"nstore/internal/engine/enginetest"
+)
+
+func TestConformance(t *testing.T) {
+	enginetest.Run(t, enginetest.Factory{
+		Name: "nvm-log",
+		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			opts.MemTableCap = 64 // force rotations and compactions
+			opts.LSMGrowth = 3
+			return New(env, schemas, opts)
+		},
+		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			opts.MemTableCap = 64
+			opts.LSMGrowth = 3
+			return Open(env, schemas, opts)
+		},
+	})
+}
+
+func simpleSchema() []*core.Schema {
+	return []*core.Schema{{
+		Name: "t",
+		Columns: []core.Column{
+			{Name: "id", Type: core.TInt},
+			{Name: "a", Type: core.TInt},
+			{Name: "b", Type: core.TString, Size: 100},
+		},
+	}}
+}
+
+func row(i int64) []core.Value {
+	return []core.Value{core.IntVal(i), core.IntVal(i * 2), core.StrVal("payload")}
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 512 << 20})
+	e, err := New(env, simpleSchema(), core.Options{MemTableCap: 50, LSMGrowth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 600; i++ {
+		e.Begin()
+		if err := e.Insert("t", uint64(i), row(i)); err != nil {
+			t.Fatal(err)
+		}
+		e.Commit()
+	}
+	if e.Compactions() == 0 {
+		t.Error("no compactions after 12 rotations")
+	}
+	if e.Runs() >= 600/50 {
+		t.Errorf("%d immutable runs; compaction not bounding the tree", e.Runs())
+	}
+	for i := int64(1); i <= 600; i++ {
+		r, ok, err := e.Get("t", uint64(i))
+		if err != nil || !ok || r[1].I != i*2 {
+			t.Fatalf("Get(%d) = %v,%v,%v", i, r, ok, err)
+		}
+	}
+}
+
+func TestImmediateDurabilityAcrossRotation(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 512 << 20})
+	opts := core.Options{MemTableCap: 40, LSMGrowth: 3}
+	e, _ := New(env, simpleSchema(), opts)
+	for i := int64(1); i <= 300; i++ {
+		e.Begin()
+		e.Insert("t", uint64(i), row(i))
+		e.Commit()
+	}
+	// Crash with no Flush: everything committed must survive — the
+	// MemTables are already durable, nothing needs rebuilding.
+	env.Dev.Crash()
+	env2, err := env.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(env2, simpleSchema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 300; i++ {
+		r, ok, _ := e2.Get("t", uint64(i))
+		if !ok || r[1].I != i*2 {
+			t.Fatalf("key %d wrong after crash (ok=%v)", i, ok)
+		}
+	}
+	// Deltas written before the crash coalesce correctly afterwards.
+	e2.Begin()
+	e2.Update("t", 5, core.Update{Cols: []int{1}, Vals: []core.Value{core.IntVal(999)}})
+	e2.Commit()
+	r, _, _ := e2.Get("t", 5)
+	if r[1].I != 999 || string(r[2].S) != "payload" {
+		t.Fatalf("post-recovery update wrong: %v", r)
+	}
+}
+
+func TestTombstonesReclaimedDuringCompaction(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 512 << 20})
+	e, _ := New(env, simpleSchema(), core.Options{MemTableCap: 50, LSMGrowth: 2})
+	for i := int64(1); i <= 100; i++ {
+		e.Begin()
+		e.Insert("t", uint64(i), row(i))
+		e.Commit()
+	}
+	for i := int64(1); i <= 100; i++ {
+		e.Begin()
+		e.Delete("t", uint64(i))
+		e.Commit()
+	}
+	// Force enough churn that everything reaches a compaction.
+	for i := int64(1000); i <= 1200; i++ {
+		e.Begin()
+		e.Insert("t", uint64(i), row(i))
+		e.Commit()
+	}
+	for i := int64(1); i <= 100; i++ {
+		if _, ok, _ := e.Get("t", uint64(i)); ok {
+			t.Fatalf("deleted key %d visible", i)
+		}
+	}
+	total := 0
+	for _, r := range e.runs {
+		total += r.tree.Count()
+	}
+	// After compactions the runs should not hold ~200 entries of dead keys.
+	if total > 350 {
+		t.Errorf("runs hold %d entries; tombstoned pairs not reclaimed", total)
+	}
+}
+
+func TestWALTruncatedAtCommit(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 128 << 20})
+	e, _ := New(env, simpleSchema(), core.Options{})
+	e.Begin()
+	e.Insert("t", 1, row(1))
+	if e.Footprint().Log == 0 {
+		t.Error("no WAL footprint during transaction")
+	}
+	e.Commit()
+	if got := e.Footprint().Log; got != 0 {
+		t.Errorf("WAL not truncated at commit: %d bytes", got)
+	}
+}
+
+func TestCrashInjection(t *testing.T) {
+	enginetest.RunCrashInjection(t, enginetest.Factory{
+		Name: "nvmlog",
+		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return New(env, schemas, opts)
+		},
+		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return Open(env, schemas, opts)
+		},
+	}, 25)
+}

@@ -1,0 +1,633 @@
+// Package nvbtree is the non-volatile B+tree used by the NVM-aware engines
+// for their indexes (§4.1). Unlike the volatile STX-style tree, every
+// structural change follows a durability discipline that keeps the tree
+// consistent on NVM at all times, so it "can be safely accessed immediately
+// after the system restarts" without being rebuilt.
+//
+// Following the paper's modification of the STX B+tree: "when adding an
+// entry to a B+tree node, instead of inserting the key in a sorted order, it
+// appends the entry to a list of entries in the node". Node entries are an
+// append-only unsorted list. An append writes the new entries, syncs them,
+// and then durably bumps the node's committed-entry count with a single
+// atomic 8-byte write — the commit point. Deletions and replacements append
+// shadowing entries (a tombstone bit in the value word); full nodes are
+// resolved and rewritten copy-on-write, with the swap journaled in the tree
+// header so a crash at any point either completes or rolls back cleanly in
+// concert with the allocator's durability states.
+//
+// Keys are unique uint64s; values are uint64s below 2^63 (the top bit is the
+// tombstone flag). Not safe for concurrent use.
+package nvbtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"nstore/internal/nvm"
+	"nstore/internal/pmalloc"
+)
+
+// DefaultNodeSize matches the paper's STX B+tree configuration (512 B).
+const DefaultNodeSize = 512
+
+const (
+	tombstone = uint64(1) << 63
+
+	// Node layout.
+	nFlags   = 0  // u8: 1 = leaf
+	nCount   = 8  // u64: committed entry count (atomic commit point)
+	nEntries = 16 // (key u64, val u64) pairs, append-only, unsorted
+	entSize  = 16
+
+	// Header chunk layout (the tree's durable anchor).
+	hMagic    = 0
+	hRoot     = 8
+	hNodeSize = 16
+	hJOld     = 24 // journal: node being replaced
+	hJParent  = 32 // journal: its parent (0 = root replace)
+	hJProbe   = 40 // journal: commit probe (new node that becomes reachable)
+	hJNew     = 48 // journal: up to 3 new nodes
+	hdrBytes  = 48 + 3*8
+
+	headerMagic = 0x4e56425452454531 // "NVBTREE1"
+
+	// minFree is the preemptive threshold: inner nodes visited during a
+	// descent are rewritten/split if they have fewer free slots, so that a
+	// child replacement (1 tombstone + up to 2 new routing entries) always
+	// fits in its parent.
+	minFree = 3
+)
+
+type entry struct{ k, v uint64 }
+
+// Tree is a non-volatile B+tree anchored at a durable header chunk.
+type Tree struct {
+	arena *pmalloc.Arena
+	dev   *nvm.Device
+	hdr   pmalloc.Ptr
+	nsize int
+	cap   int
+
+	// Single-threaded scratch for whole-node reads and shadow resolution,
+	// avoiding per-entry device calls and per-lookup allocations.
+	scratch []byte
+	seen    []uint64
+}
+
+// Create allocates a new empty tree and returns it. Store Header() in an
+// arena root slot to find the tree again after a restart.
+func Create(arena *pmalloc.Arena, nodeSize int) *Tree {
+	if nodeSize == 0 {
+		nodeSize = DefaultNodeSize
+	}
+	if nodeSize < nEntries+4*entSize {
+		panic("nvbtree: node size too small")
+	}
+	t := &Tree{arena: arena, dev: arena.Device(), nsize: nodeSize, cap: (nodeSize - nEntries) / entSize}
+	hdr, err := arena.Alloc(hdrBytes, pmalloc.TagIndex)
+	if err != nil {
+		panic(err)
+	}
+	t.hdr = hdr
+	root := t.newNode(true)
+	arena.SetPersisted(root)
+	d := t.dev
+	d.WriteU64(int64(hdr)+hMagic, headerMagic)
+	d.WriteU64(int64(hdr)+hRoot, root)
+	d.WriteU64(int64(hdr)+hNodeSize, uint64(nodeSize))
+	for o := int64(hJOld); o < hdrBytes; o += 8 {
+		d.WriteU64(int64(hdr)+o, 0)
+	}
+	d.Sync(int64(hdr), hdrBytes)
+	arena.SetPersisted(hdr)
+	return t
+}
+
+// Open attaches to an existing tree at header ptr and completes or rolls
+// back any structural change interrupted by a crash.
+func Open(arena *pmalloc.Arena, hdr pmalloc.Ptr) (*Tree, error) {
+	d := arena.Device()
+	if d.ReadU64(int64(hdr)+hMagic) != headerMagic {
+		return nil, fmt.Errorf("nvbtree: no tree header at %d", hdr)
+	}
+	t := &Tree{arena: arena, dev: d, hdr: hdr}
+	t.nsize = int(d.ReadU64(int64(hdr) + hNodeSize))
+	t.cap = (t.nsize - nEntries) / entSize
+	t.recoverJournal()
+	return t, nil
+}
+
+// Header returns the tree's durable anchor pointer (the naming handle).
+func (t *Tree) Header() pmalloc.Ptr { return t.hdr }
+
+// NodeSize returns the configured node size.
+func (t *Tree) NodeSize() int { return t.nsize }
+
+func (t *Tree) root() uint64 { return t.dev.ReadU64(int64(t.hdr) + hRoot) }
+
+func (t *Tree) setRootDurable(n uint64) {
+	t.dev.WriteU64Durable(int64(t.hdr)+hRoot, n)
+}
+
+func (t *Tree) newNode(leaf bool) uint64 {
+	p, err := t.arena.Alloc(t.nsize, pmalloc.TagIndex)
+	if err != nil {
+		panic(err)
+	}
+	var fl byte
+	if leaf {
+		fl = 1
+	}
+	t.dev.WriteU8(int64(p)+nFlags, fl)
+	t.dev.WriteU64(int64(p)+nCount, 0)
+	return uint64(p)
+}
+
+func (t *Tree) isLeaf(n uint64) bool { return t.dev.ReadU8(int64(n)+nFlags) == 1 }
+func (t *Tree) count(n uint64) int   { return int(t.dev.ReadU64(int64(n) + nCount)) }
+
+func (t *Tree) entAt(n uint64, i int) entry {
+	off := int64(n) + nEntries + int64(i)*entSize
+	return entry{t.dev.ReadU64(off), t.dev.ReadU64(off + 8)}
+}
+
+// readNode fills the tree's scratch buffer with node n's committed entries
+// and returns (buffer, count). One bulk device read replaces per-entry
+// reads on the hot paths.
+func (t *Tree) readNode(n uint64) ([]byte, int) {
+	if cap(t.scratch) < t.nsize {
+		t.scratch = make([]byte, t.nsize)
+	}
+	buf := t.scratch[:t.nsize]
+	t.dev.Read(int64(n), buf)
+	c := int(binary.LittleEndian.Uint64(buf[nCount:]))
+	if c > t.cap {
+		c = t.cap
+	}
+	return buf, c
+}
+
+func bufEnt(buf []byte, i int) entry {
+	off := nEntries + i*entSize
+	return entry{
+		k: binary.LittleEndian.Uint64(buf[off:]),
+		v: binary.LittleEndian.Uint64(buf[off+8:]),
+	}
+}
+
+// appendEntries writes entries at the end of node n and commits them with a
+// single atomic durable count update (the multi-entry commit point).
+func (t *Tree) appendEntries(n uint64, es ...entry) {
+	c := t.count(n)
+	if c+len(es) > t.cap {
+		panic("nvbtree: append past node capacity")
+	}
+	base := int64(n) + nEntries + int64(c)*entSize
+	for i, e := range es {
+		t.dev.WriteU64(base+int64(i)*entSize, e.k)
+		t.dev.WriteU64(base+int64(i)*entSize+8, e.v)
+	}
+	t.dev.Sync(base, len(es)*entSize)
+	t.dev.WriteU64Durable(int64(n)+nCount, uint64(c+len(es)))
+}
+
+// resolve returns the live (shadow- and tombstone-resolved) entries of node
+// n, sorted by key. Later appends win over earlier ones.
+func (t *Tree) resolve(n uint64) []entry {
+	buf, c := t.readNode(n)
+	m := make(map[uint64]uint64, c)
+	order := make([]uint64, 0, c)
+	for i := 0; i < c; i++ {
+		e := bufEnt(buf, i)
+		if _, seen := m[e.k]; !seen {
+			order = append(order, e.k)
+		}
+		m[e.k] = e.v
+	}
+	live := make([]entry, 0, len(order))
+	for _, k := range order {
+		if v := m[k]; v&tombstone == 0 {
+			live = append(live, entry{k, v})
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].k < live[j].k })
+	return live
+}
+
+// lookupIn scans node n backwards for key k; the newest entry wins.
+func (t *Tree) lookupIn(n uint64, k uint64) (uint64, bool) {
+	buf, c := t.readNode(n)
+	for i := c - 1; i >= 0; i-- {
+		e := bufEnt(buf, i)
+		if e.k == k {
+			if e.v&tombstone != 0 {
+				return 0, false
+			}
+			return e.v, true
+		}
+	}
+	return 0, false
+}
+
+// routeChild picks the child of inner node n covering key k: the live
+// routing entry with the largest separator <= k, or the smallest separator
+// if k precedes all of them. Shadow resolution runs backwards over the
+// committed entries without allocating.
+func (t *Tree) routeChild(n uint64, k uint64) uint64 {
+	buf, c := t.readNode(n)
+	if cap(t.seen) < t.cap {
+		t.seen = make([]uint64, 0, t.cap)
+	}
+	seen := t.seen[:0]
+	var bestK, bestV uint64
+	haveBest := false
+	var minK, minV uint64
+	haveMin := false
+	for i := c - 1; i >= 0; i-- {
+		e := bufEnt(buf, i)
+		dup := false
+		for _, sk := range seen {
+			if sk == e.k {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen = append(seen, e.k)
+		if e.v&tombstone != 0 {
+			continue
+		}
+		if e.k <= k && (!haveBest || e.k > bestK) {
+			bestK, bestV, haveBest = e.k, e.v, true
+		}
+		if !haveMin || e.k < minK {
+			minK, minV, haveMin = e.k, e.v, true
+		}
+	}
+	if haveBest {
+		return bestV
+	}
+	if haveMin {
+		return minV
+	}
+	panic("nvbtree: inner node with no live children")
+}
+
+// Get returns the value stored for key k.
+func (t *Tree) Get(k uint64) (uint64, bool) {
+	n := t.root()
+	for !t.isLeaf(n) {
+		n = t.routeChild(n, k)
+	}
+	return t.lookupIn(n, k)
+}
+
+// Put inserts or replaces k=v. v must be below 2^63.
+func (t *Tree) Put(k, v uint64) {
+	if v&tombstone != 0 {
+		panic("nvbtree: value uses the tombstone bit")
+	}
+	t.modify(k, v)
+}
+
+// Delete removes key k, reporting whether it was present.
+func (t *Tree) Delete(k uint64) bool {
+	if _, ok := t.Get(k); !ok {
+		return false
+	}
+	t.modify(k, tombstone)
+	return true
+}
+
+// modify appends (k, v) — possibly a tombstone — into the correct leaf,
+// rewriting/splitting nodes as needed.
+func (t *Tree) modify(k, v uint64) {
+	// Descend, preemptively rewriting any node too full to absorb a child
+	// replacement (inner) or the append itself (leaf).
+	for {
+		var parent uint64
+		n := t.root()
+		restart := false
+		for !t.isLeaf(n) {
+			if t.cap-t.count(n) < minFree {
+				t.rewrite(n, parent, nil)
+				restart = true
+				break
+			}
+			parent = n
+			n = t.routeChild(n, k)
+		}
+		if restart {
+			continue
+		}
+		if t.count(n) < t.cap {
+			t.appendEntries(n, entry{k, v})
+			return
+		}
+		// Full leaf: rewrite it with the pending entry folded in.
+		t.rewrite(n, parent, &entry{k, v})
+		return
+	}
+}
+
+// rewrite resolves node n and replaces it with one or two fresh nodes
+// (copy-on-write), optionally folding in a pending entry, and journals the
+// swap so a crash cannot corrupt or leak the tree.
+func (t *Tree) rewrite(n, parent uint64, pending *entry) {
+	live := t.resolve(n)
+	if pending != nil {
+		// Fold the pending (k,v) into the live set.
+		replaced := false
+		for i := range live {
+			if live[i].k == pending.k {
+				live[i].v = pending.v
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			live = append(live, *pending)
+			sort.Slice(live, func(i, j int) bool { return live[i].k < live[j].k })
+		}
+		// Drop tombstones folded into a rewrite.
+		out := live[:0]
+		for _, e := range live {
+			if e.v&tombstone == 0 {
+				out = append(out, e)
+			}
+		}
+		live = out
+	}
+	leaf := t.isLeaf(n)
+
+	// The separator the parent currently uses for n; an empty rewrite keeps
+	// it so separator keys stay unique within the parent.
+	var sepOld uint64
+	if parent != 0 {
+		var ok bool
+		sepOld, ok = t.routingKeyFor(parent, n)
+		if !ok {
+			panic("nvbtree: old child not routed by parent")
+		}
+	}
+
+	// Build replacement node(s). Split if the live set doesn't leave
+	// headroom in a single node.
+	var newNodes []uint64
+	var seps []uint64
+	buildNode := func(es []entry) uint64 {
+		nn := t.newNode(leaf)
+		c := len(es)
+		base := int64(nn) + nEntries
+		for i, e := range es {
+			t.dev.WriteU64(base+int64(i)*entSize, e.k)
+			t.dev.WriteU64(base+int64(i)*entSize+8, e.v)
+		}
+		t.dev.WriteU64(int64(nn)+nCount, uint64(c))
+		t.dev.Sync(int64(nn), t.nsize)
+		return nn
+	}
+	sepOf := func(es []entry) uint64 {
+		if len(es) == 0 {
+			return 0
+		}
+		return es[0].k
+	}
+	if len(live) > t.cap-minFree {
+		mid := len(live) / 2
+		l, r := live[:mid], live[mid:]
+		newNodes = []uint64{buildNode(l), buildNode(r)}
+		seps = []uint64{sepOf(l), sepOf(r)}
+	} else {
+		newNodes = []uint64{buildNode(live)}
+		sep := sepOf(live)
+		if len(live) == 0 && parent != 0 {
+			sep = sepOld
+		}
+		seps = []uint64{sep}
+	}
+
+	var newRoot uint64
+	probe := newNodes[0]
+	if parent == 0 && len(newNodes) == 2 {
+		// Root split: a fresh root routes to the two halves.
+		newRoot = t.newNode(false)
+		base := int64(newRoot) + nEntries
+		for i := range newNodes {
+			t.dev.WriteU64(base+int64(i)*entSize, seps[i])
+			t.dev.WriteU64(base+int64(i)*entSize+8, newNodes[i])
+		}
+		t.dev.WriteU64(int64(newRoot)+nCount, 2)
+		t.dev.Sync(int64(newRoot), t.nsize)
+		probe = newRoot
+	} else if parent == 0 {
+		probe = newNodes[0]
+	}
+
+	// Journal the swap: {old, parent, probe, new...}, durably, before the
+	// new nodes are marked persisted.
+	jNew := [3]uint64{}
+	copy(jNew[:], newNodes)
+	if newRoot != 0 {
+		jNew[len(newNodes)] = newRoot
+	}
+	d := t.dev
+	d.WriteU64(int64(t.hdr)+hJOld, n)
+	d.WriteU64(int64(t.hdr)+hJParent, parent)
+	d.WriteU64(int64(t.hdr)+hJProbe, probe)
+	for i, p := range jNew {
+		d.WriteU64(int64(t.hdr)+hJNew+int64(i)*8, p)
+	}
+	d.Sync(int64(t.hdr)+hJOld, hdrBytes-hJOld)
+
+	for _, p := range jNew {
+		if p != 0 {
+			t.arena.SetPersisted(pmalloc.Ptr(p))
+		}
+	}
+
+	// Commit: make the new nodes reachable with one atomic step.
+	if parent == 0 {
+		t.setRootDurable(probe)
+	} else {
+		es := make([]entry, 0, 3)
+		es = append(es, entry{sepOld, n | tombstone})
+		for i, nn := range newNodes {
+			es = append(es, entry{seps[i], nn})
+		}
+		t.appendEntries(parent, es...)
+	}
+
+	// Release the replaced node, then clear the journal.
+	t.arena.Free(pmalloc.Ptr(n))
+	d.WriteU64(int64(t.hdr)+hJOld, 0)
+	d.Sync(int64(t.hdr)+hJOld, 8)
+}
+
+// routingKeyFor returns the separator key of parent's live routing entry
+// whose child is c.
+func (t *Tree) routingKeyFor(parent, c uint64) (uint64, bool) {
+	for _, e := range t.resolve(parent) {
+		if e.v == c {
+			return e.k, true
+		}
+	}
+	return 0, false
+}
+
+// recoverJournal completes or rolls back a rewrite interrupted by a crash.
+func (t *Tree) recoverJournal() {
+	d := t.dev
+	old := d.ReadU64(int64(t.hdr) + hJOld)
+	if old == 0 {
+		return
+	}
+	parent := d.ReadU64(int64(t.hdr) + hJParent)
+	probe := d.ReadU64(int64(t.hdr) + hJProbe)
+	var news [3]uint64
+	for i := range news {
+		news[i] = d.ReadU64(int64(t.hdr) + hJNew + int64(i)*8)
+	}
+	committed := false
+	if parent == 0 {
+		committed = t.root() == probe
+	} else {
+		// Scan the parent's committed entries for a live route to probe.
+		for i := t.count(parent) - 1; i >= 0; i-- {
+			if e := t.entAt(parent, i); e.v == probe {
+				committed = true
+				break
+			}
+		}
+	}
+	if committed {
+		// The swap is visible: discard the replaced node if still live.
+		if t.arena.StateOf(pmalloc.Ptr(old)) != pmalloc.StateFree {
+			t.arena.Free(pmalloc.Ptr(old))
+		}
+	} else {
+		// The swap never became visible: discard any new node that was
+		// already marked persisted (un-persisted ones were reclaimed by the
+		// allocator's own recovery scan).
+		for _, p := range news {
+			if p != 0 && t.arena.StateOf(pmalloc.Ptr(p)) == pmalloc.StatePersisted {
+				t.arena.Free(pmalloc.Ptr(p))
+			}
+		}
+	}
+	d.WriteU64(int64(t.hdr)+hJOld, 0)
+	d.Sync(int64(t.hdr)+hJOld, 8)
+}
+
+// Iter calls fn for each key >= from in ascending order until fn returns
+// false. It re-descends between leaves (the tree keeps no leaf chain, since
+// leaves are replaced copy-on-write).
+func (t *Tree) Iter(from uint64, fn func(k, v uint64) bool) {
+	for {
+		n := t.root()
+		for !t.isLeaf(n) {
+			n = t.routeChild(n, from)
+		}
+		live := t.resolve(n)
+		emitted := false
+		var last uint64
+		for _, e := range live {
+			if e.k < from {
+				continue
+			}
+			if !fn(e.k, e.v) {
+				return
+			}
+			emitted = true
+			last = e.k
+		}
+		if emitted {
+			if last == ^uint64(0) {
+				return
+			}
+			from = last + 1
+			continue
+		}
+		// Nothing >= from in this leaf; probe the next key range. The leaf
+		// with the largest keys simply ends the iteration.
+		next, ok := t.successorLeafStart(from)
+		if !ok {
+			return
+		}
+		from = next
+	}
+}
+
+// successorLeafStart finds the smallest key >= from anywhere in the tree,
+// used when a descent lands on a leaf with no matching entries.
+func (t *Tree) successorLeafStart(from uint64) (uint64, bool) {
+	var best uint64
+	found := false
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		if t.isLeaf(n) {
+			for _, e := range t.resolve(n) {
+				if e.k >= from && (!found || e.k < best) {
+					best, found = e.k, true
+				}
+			}
+			return
+		}
+		live := t.resolve(n)
+		for i, e := range live {
+			// Subtree i covers [sep_i, sep_{i+1}); skip those entirely
+			// below from.
+			if i+1 < len(live) && live[i+1].k <= from {
+				continue
+			}
+			walk(e.v)
+			if found {
+				return
+			}
+		}
+	}
+	walk(t.root())
+	return best, found
+}
+
+// Count walks the tree and returns the number of live keys (test helper;
+// the engines track row counts themselves).
+func (t *Tree) Count() int {
+	n := 0
+	t.Iter(0, func(k, v uint64) bool { n++; return true })
+	return n
+}
+
+// Nodes calls fn with every node chunk pointer of the tree plus its header
+// chunk. Recovery sweeps use it to mark reachable index storage.
+func (t *Tree) Nodes(fn func(p pmalloc.Ptr)) {
+	fn(t.hdr)
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		fn(pmalloc.Ptr(n))
+		if !t.isLeaf(n) {
+			for _, e := range t.resolve(n) {
+				walk(e.v)
+			}
+		}
+	}
+	walk(t.root())
+}
+
+// Release frees every node and the header. The tree must not be used after.
+func (t *Tree) Release() {
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		if !t.isLeaf(n) {
+			for _, e := range t.resolve(n) {
+				walk(e.v)
+			}
+		}
+		t.arena.Free(pmalloc.Ptr(n))
+	}
+	walk(t.root())
+	t.arena.Free(t.hdr)
+}

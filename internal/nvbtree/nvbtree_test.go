@@ -1,0 +1,336 @@
+package nvbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nstore/internal/nvm"
+	"nstore/internal/pmalloc"
+)
+
+func newTree(t testing.TB, nodeSize int) (*nvm.Device, *pmalloc.Arena, *Tree) {
+	t.Helper()
+	dev := nvm.NewDevice(nvm.DefaultConfig(64 << 20))
+	arena := pmalloc.Format(dev, 0, 64<<20)
+	return dev, arena, Create(arena, nodeSize)
+}
+
+func TestPutGetDelete(t *testing.T) {
+	_, _, tr := newTree(t, 0)
+	tr.Put(5, 50)
+	if v, ok := tr.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	tr.Put(5, 51)
+	if v, _ := tr.Get(5); v != 51 {
+		t.Errorf("value after replace = %d", v)
+	}
+	if !tr.Delete(5) {
+		t.Error("Delete missed existing key")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Error("deleted key still present")
+	}
+	if tr.Delete(5) {
+		t.Error("second delete succeeded")
+	}
+}
+
+func TestManyKeys(t *testing.T) {
+	_, _, tr := newTree(t, 0)
+	rng := rand.New(rand.NewSource(2))
+	keys := rng.Perm(20000)
+	for _, k := range keys {
+		tr.Put(uint64(k)+1, uint64(k)*5)
+	}
+	for _, k := range keys {
+		if v, ok := tr.Get(uint64(k) + 1); !ok || v != uint64(k)*5 {
+			t.Fatalf("Get(%d) = %d,%v", k+1, v, ok)
+		}
+	}
+	if tr.Count() != 20000 {
+		t.Errorf("Count = %d", tr.Count())
+	}
+}
+
+func TestIterOrdered(t *testing.T) {
+	_, _, tr := newTree(t, 256)
+	for i := 0; i < 3000; i++ {
+		tr.Put(uint64(i*13%3000)+1, uint64(i))
+	}
+	var got []uint64
+	tr.Iter(0, func(k, v uint64) bool { got = append(got, k); return true })
+	if len(got) != 3000 {
+		t.Fatalf("iterated %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("iteration out of order")
+	}
+	// Range start mid-tree.
+	var ranged []uint64
+	tr.Iter(1500, func(k, v uint64) bool {
+		if k >= 1600 {
+			return false
+		}
+		ranged = append(ranged, k)
+		return true
+	})
+	if len(ranged) != 100 {
+		t.Fatalf("range scan found %d keys, want 100", len(ranged))
+	}
+}
+
+func TestSurvivesCleanCrash(t *testing.T) {
+	dev, arena, tr := newTree(t, 0)
+	for i := uint64(1); i <= 5000; i++ {
+		tr.Put(i, i*2)
+	}
+	hdr := tr.Header()
+	arena.SetRoot(0, hdr)
+	dev.Crash()
+	arena2, err := pmalloc.Open(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(arena2, arena2.Root(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5000; i++ {
+		if v, ok := tr2.Get(i); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v after crash", i, v, ok)
+		}
+	}
+}
+
+func TestDeletesSurviveCrash(t *testing.T) {
+	dev, arena, tr := newTree(t, 128)
+	for i := uint64(1); i <= 1000; i++ {
+		tr.Put(i, i)
+	}
+	for i := uint64(1); i <= 1000; i += 2 {
+		tr.Delete(i)
+	}
+	arena.SetRoot(0, tr.Header())
+	dev.Crash()
+	arena2, _ := pmalloc.Open(dev, 0)
+	tr2, err := Open(arena2, arena2.Root(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		_, ok := tr2.Get(i)
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("key %d present=%v after crash, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestNodeSizes(t *testing.T) {
+	for _, ns := range []int{128, 256, 512, 1024, 4096} {
+		_, _, tr := newTree(t, ns)
+		for i := uint64(1); i <= 3000; i++ {
+			tr.Put(i, i+7)
+		}
+		for i := uint64(1); i <= 3000; i++ {
+			if v, ok := tr.Get(i); !ok || v != i+7 {
+				t.Fatalf("nodeSize %d: Get(%d) = %d,%v", ns, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestTombstoneValuePanics(t *testing.T) {
+	_, _, tr := newTree(t, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Put with tombstone bit did not panic")
+		}
+	}()
+	tr.Put(1, 1<<63)
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	_, arena, _ := newTree(t, 0)
+	p, _ := arena.Alloc(64, pmalloc.TagOther)
+	if _, err := Open(arena, p); err == nil {
+		t.Fatal("Open accepted a non-tree chunk")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	_, arena, tr := newTree(t, 256)
+	for i := uint64(1); i <= 2000; i++ {
+		tr.Put(i, i)
+	}
+	before := arena.Allocated()
+	tr.Release()
+	if arena.Allocated() >= before {
+		t.Errorf("Release freed nothing: %d -> %d", before, arena.Allocated())
+	}
+}
+
+// Property: tree matches a map model under arbitrary operation sequences,
+// across clean restarts.
+func TestQuickAgainstMapWithRestarts(t *testing.T) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(256 << 20))
+	arena := pmalloc.Format(dev, 0, 256<<20)
+	tr := Create(arena, 128)
+	arena.SetRoot(0, tr.Header())
+	model := make(map[uint64]uint64)
+	steps := 0
+
+	fn := func(k, v uint64, del bool) bool {
+		k = k%4000 + 1
+		v &^= 1 << 63
+		if del {
+			_, inModel := model[k]
+			if tr.Delete(k) != inModel {
+				return false
+			}
+			delete(model, k)
+		} else {
+			tr.Put(k, v)
+			model[k] = v
+		}
+		steps++
+		if steps%500 == 0 {
+			// Clean crash + reopen mid-sequence.
+			dev.Crash()
+			var err error
+			arena, err = pmalloc.Open(dev, 0)
+			if err != nil {
+				return false
+			}
+			tr, err = Open(arena, arena.Root(0))
+			if err != nil {
+				return false
+			}
+		}
+		got, ok := tr.Get(k)
+		want, inModel := model[k]
+		return ok == inModel && (!ok || got == want)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	// Full ordered scan against the model.
+	var keys []uint64
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var got []uint64
+	tr.Iter(0, func(k, v uint64) bool { got = append(got, k); return true })
+	if len(got) != len(keys) {
+		t.Fatalf("scan found %d keys, model has %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], keys[i])
+		}
+	}
+}
+
+// Property: a crash injected at ANY fence boundary leaves the tree
+// consistent: every operation that completed before the crash is fully
+// visible; the interrupted operation is atomic (either fully applied or
+// absent); and the tree remains usable.
+func TestQuickCrashInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 120; iter++ {
+		dev := nvm.NewDevice(nvm.DefaultConfig(32 << 20))
+		arena := pmalloc.Format(dev, 0, 32<<20)
+		tr := Create(arena, 128)
+		arena.SetRoot(0, tr.Header())
+		model := make(map[uint64]uint64)
+
+		// Arm a crash at a random fence within the workload.
+		dev.FailAfterFences(rng.Intn(600))
+		crashed := false
+		var inflightKey uint64
+		var inflightDel bool
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != nvm.ErrInjectedCrash {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			for i := 0; i < 400; i++ {
+				k := uint64(rng.Intn(500)) + 1
+				if rng.Intn(4) == 0 {
+					inflightKey, inflightDel = k, true
+					tr.Delete(k)
+					delete(model, k)
+				} else {
+					v := uint64(rng.Intn(1 << 20))
+					inflightKey, inflightDel = k, false
+					tr.Put(k, v)
+					model[k] = v
+				}
+			}
+		}()
+		dev.Crash()
+		arena2, err := pmalloc.Open(dev, 0)
+		if err != nil {
+			t.Fatalf("iter %d: arena open: %v", iter, err)
+		}
+		tr2, err := Open(arena2, arena2.Root(0))
+		if err != nil {
+			t.Fatalf("iter %d: tree open: %v", iter, err)
+		}
+		for k := uint64(1); k <= 500; k++ {
+			got, ok := tr2.Get(k)
+			want, inModel := model[k]
+			if crashed && k == inflightKey {
+				// The interrupted op may or may not have applied; both the
+				// pre- and post-states are acceptable, but the read must not
+				// return garbage.
+				if ok && !inflightDel && got != want && got != 0 {
+					// Value must be either the new value (applied) or the
+					// previous one; we didn't track the previous, so only
+					// assert it's not a torn/corrupt value by re-reading.
+					if got2, ok2 := tr2.Get(k); got2 != got || ok2 != ok {
+						t.Fatalf("iter %d: unstable read for in-flight key", iter)
+					}
+				}
+				continue
+			}
+			if ok != inModel || (ok && got != want) {
+				t.Fatalf("iter %d (crashed=%v): key %d = (%d,%v), model (%d,%v)",
+					iter, crashed, k, got, ok, want, inModel)
+			}
+		}
+		// Tree must remain fully usable after recovery.
+		tr2.Put(9999, 1)
+		if _, ok := tr2.Get(9999); !ok {
+			t.Fatalf("iter %d: tree unusable after recovery", iter)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(1 << 30))
+	tr := Create(pmalloc.Format(dev, 0, 1<<30), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(uint64(i)+1, uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(1 << 30))
+	tr := Create(pmalloc.Format(dev, 0, 1<<30), 0)
+	for i := uint64(1); i <= 1<<20; i++ {
+		tr.Put(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i)%(1<<20) + 1)
+	}
+}

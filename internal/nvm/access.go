@@ -1,0 +1,71 @@
+package nvm
+
+import "encoding/binary"
+
+// Typed accessors over the device. All multi-byte values use little-endian
+// encoding, matching the x86 platform the paper targets. An 8-byte aligned
+// U64 write never straddles a cache line, so flushing it is a single-line
+// operation — this is the "atomic durable write" primitive the NVM-aware
+// engines rely on for master records and linked-list appends.
+
+// ReadU64 reads a little-endian uint64 at off.
+func (d *Device) ReadU64(off int64) uint64 {
+	var b [8]byte
+	d.Read(off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64 writes a little-endian uint64 at off.
+func (d *Device) WriteU64(off int64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	d.Write(off, b[:])
+}
+
+// ReadU32 reads a little-endian uint32 at off.
+func (d *Device) ReadU32(off int64) uint32 {
+	var b [4]byte
+	d.Read(off, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteU32 writes a little-endian uint32 at off.
+func (d *Device) WriteU32(off int64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	d.Write(off, b[:])
+}
+
+// ReadU16 reads a little-endian uint16 at off.
+func (d *Device) ReadU16(off int64) uint16 {
+	var b [2]byte
+	d.Read(off, b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+// WriteU16 writes a little-endian uint16 at off.
+func (d *Device) WriteU16(off int64, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	d.Write(off, b[:])
+}
+
+// ReadU8 reads a byte at off.
+func (d *Device) ReadU8(off int64) uint8 {
+	var b [1]byte
+	d.Read(off, b[:])
+	return b[0]
+}
+
+// WriteU8 writes a byte at off.
+func (d *Device) WriteU8(off int64, v uint8) {
+	d.Write(off, []byte{v})
+}
+
+// WriteU64Durable performs an 8-byte atomic durable write: store, flush the
+// line, fence. This is the primitive used for master-record updates and WAL
+// linked-list appends (§4).
+func (d *Device) WriteU64Durable(off int64, v uint64) {
+	d.WriteU64(off, v)
+	d.Sync(off, 8)
+}

@@ -1,0 +1,126 @@
+package nvm
+
+// cache is a set-associative write-back, write-allocate cache simulation.
+// Tags store lineIndex+1 so that zero means invalid. Replacement is LRU via
+// a global tick stamp per way.
+type cache struct {
+	sets  int
+	assoc int
+
+	tags   []uint64 // sets*assoc; lineIndex+1, 0 = invalid
+	dirty  []bool   // sets*assoc
+	stamps []uint64 // sets*assoc; LRU recency
+	data   []byte   // sets*assoc*LineSize
+	tick   uint64
+}
+
+func (c *cache) init(size, assoc int) {
+	lines := size / LineSize
+	if lines < assoc {
+		lines = assoc
+	}
+	c.sets = lines / assoc
+	if c.sets == 0 {
+		c.sets = 1
+	}
+	c.assoc = assoc
+	n := c.sets * c.assoc
+	c.tags = make([]uint64, n)
+	c.dirty = make([]bool, n)
+	c.stamps = make([]uint64, n)
+	c.data = make([]byte, n*LineSize)
+}
+
+func (c *cache) setOf(line int64) int {
+	return int((line / LineSize) % int64(c.sets))
+}
+
+// lookup finds (or allocates) a slot for the line at the given line-aligned
+// offset. It returns the slot's data buffer, whether the line was already
+// present, and — on a miss that evicts a dirty victim — victim=true with the
+// victim's line offset (the buffer then still holds the victim's data; the
+// caller must write it back before refilling the buffer).
+func (c *cache) lookup(line int64) (buf []byte, hit bool, victim bool, victimLine int64) {
+	tag := uint64(line/LineSize) + 1
+	set := c.setOf(line)
+	base := set * c.assoc
+	c.tick++
+	// Hit?
+	for way := 0; way < c.assoc; way++ {
+		i := base + way
+		if c.tags[i] == tag {
+			c.stamps[i] = c.tick
+			return c.data[i*LineSize : i*LineSize+LineSize], true, false, 0
+		}
+	}
+	// Miss: pick invalid slot or LRU victim.
+	pick := base
+	var oldest uint64 = ^uint64(0)
+	for way := 0; way < c.assoc; way++ {
+		i := base + way
+		if c.tags[i] == 0 {
+			pick = i
+			oldest = 0
+			break
+		}
+		if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			pick = i
+		}
+	}
+	buf = c.data[pick*LineSize : pick*LineSize+LineSize]
+	if c.tags[pick] != 0 && c.dirty[pick] {
+		victim = true
+		victimLine = int64(c.tags[pick]-1) * LineSize
+	}
+	c.tags[pick] = tag
+	c.dirty[pick] = false
+	c.stamps[pick] = c.tick
+	return buf, false, victim, victimLine
+}
+
+func (c *cache) slotOf(line int64) int {
+	tag := uint64(line/LineSize) + 1
+	base := c.setOf(line) * c.assoc
+	for way := 0; way < c.assoc; way++ {
+		if c.tags[base+way] == tag {
+			return base + way
+		}
+	}
+	return -1
+}
+
+func (c *cache) markDirty(line int64) {
+	if i := c.slotOf(line); i >= 0 {
+		c.dirty[i] = true
+	}
+}
+
+// peek returns the line's buffer and state without fills or LRU updates.
+func (c *cache) peek(line int64) (buf []byte, present, dirty bool) {
+	i := c.slotOf(line)
+	if i < 0 {
+		return nil, false, false
+	}
+	return c.data[i*LineSize : i*LineSize+LineSize], true, c.dirty[i]
+}
+
+func (c *cache) invalidate(line int64) {
+	if i := c.slotOf(line); i >= 0 {
+		c.tags[i] = 0
+		c.dirty[i] = false
+	}
+}
+
+func (c *cache) clean(line int64) {
+	if i := c.slotOf(line); i >= 0 {
+		c.dirty[i] = false
+	}
+}
+
+func (c *cache) dropAll() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.dirty[i] = false
+	}
+}

@@ -1,0 +1,393 @@
+// Package nvm emulates a byte-addressable non-volatile memory device with a
+// volatile CPU cache in front of it, following the Intel Labs hardware
+// emulator used in the paper (Dulloor et al., EuroSys 2014).
+//
+// The device is a flat arena of bytes (the durable medium). All application
+// loads and stores go through a set-associative write-back cache simulation.
+// A store is NOT durable until its cache line is written back, either by an
+// explicit Flush (CLFLUSH/CLWB) followed by Fence (SFENCE), or by an eviction
+// (the memory controller may evict cache lines at any time). Crash discards
+// the cache, so only written-back bytes survive — exactly the durability
+// hazard NVM-aware recovery protocols must handle.
+//
+// The device also keeps the perf counters the paper reads (NVM loads =
+// line fills from the medium, NVM stores = line write-backs to the medium)
+// and a simulated stall clock that accrues the extra latency NVM adds over
+// DRAM. Throughput experiments report txns / (wall time + stall).
+//
+// A Device is not safe for concurrent use; the testbed gives each database
+// partition its own device.
+package nvm
+
+import (
+	"fmt"
+	"time"
+)
+
+// LineSize is the cache line granularity of the simulated CPU cache.
+const LineSize = 64
+
+// Config describes the emulated device and its latency profile.
+type Config struct {
+	// Size is the capacity of the NVM arena in bytes.
+	Size int64
+	// CacheSize is the total capacity of the volatile CPU cache in bytes.
+	CacheSize int
+	// CacheAssoc is the cache associativity (ways per set).
+	CacheAssoc int
+
+	// ReadMissExtra is the additional latency, relative to DRAM, charged for
+	// every cache line filled from NVM.
+	ReadMissExtra time.Duration
+	// WriteBackExtra is the additional latency charged for every cache line
+	// written back to NVM (bandwidth model).
+	WriteBackExtra time.Duration
+	// FlushLineCost is the cost of a CLFLUSH/CLWB instruction per line.
+	FlushLineCost time.Duration
+	// FenceCost is the cost of an SFENCE instruction.
+	FenceCost time.Duration
+	// SyncExtra is additional latency charged per Fence, used to emulate the
+	// PCOMMIT-style sync primitive latencies of Appendix C.
+	SyncExtra time.Duration
+}
+
+// DefaultConfig returns a device configuration with the DRAM latency profile
+// and a cache sized proportionally to the paper's 20 MB L3.
+func DefaultConfig(size int64) Config {
+	c := Config{
+		Size:       size,
+		CacheSize:  4 << 20,
+		CacheAssoc: 8,
+	}
+	ProfileDRAM.Apply(&c)
+	return c
+}
+
+// Stats holds the device's perf counters, mirroring what the paper collects
+// with the Linux perf framework on the hardware emulator.
+type Stats struct {
+	// Loads is the number of cache lines filled from the NVM medium.
+	Loads uint64
+	// Stores is the number of cache lines written back to the NVM medium
+	// (explicit flushes plus dirty evictions).
+	Stores uint64
+	// Flushes is the number of CLFLUSH/CLWB line operations issued.
+	Flushes uint64
+	// Fences is the number of SFENCE operations issued.
+	Fences uint64
+	// BytesRead and BytesWritten count application-level access volume
+	// (before the cache), used for write-amplification analysis.
+	BytesRead    uint64
+	BytesWritten uint64
+	// Stall is the accumulated simulated extra latency of NVM over DRAM.
+	Stall time.Duration
+}
+
+// Sub returns the difference s - prev, counter by counter.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Loads:        s.Loads - prev.Loads,
+		Stores:       s.Stores - prev.Stores,
+		Flushes:      s.Flushes - prev.Flushes,
+		Fences:       s.Fences - prev.Fences,
+		BytesRead:    s.BytesRead - prev.BytesRead,
+		BytesWritten: s.BytesWritten - prev.BytesWritten,
+		Stall:        s.Stall - prev.Stall,
+	}
+}
+
+// Add returns the sum s + o, counter by counter.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Loads:        s.Loads + o.Loads,
+		Stores:       s.Stores + o.Stores,
+		Flushes:      s.Flushes + o.Flushes,
+		Fences:       s.Fences + o.Fences,
+		BytesRead:    s.BytesRead + o.BytesRead,
+		BytesWritten: s.BytesWritten + o.BytesWritten,
+		Stall:        s.Stall + o.Stall,
+	}
+}
+
+// Device is an emulated NVM device.
+type Device struct {
+	cfg   Config
+	data  []byte // the durable medium
+	cache cache
+	stats Stats
+	// pending buffers flushed lines inside the "memory controller": a
+	// CLFLUSH'd line is not durable until an SFENCE drains it (§2.3:
+	// "otherwise this data might still be buffered in the memory controller
+	// and lost in case of a power failure").
+	pending     map[int64][LineSize]byte
+	pendingKeys []int64 // insertion-ordered keys of pending (drain list)
+	syncCLWB    bool    // Sync uses CLWB instead of CLFLUSH (Appendix C)
+	failFences  int     // fault injection: panic(ErrInjectedCrash) after N fences
+	failArmed   bool
+}
+
+// ErrInjectedCrash is the panic value raised by fault injection (see
+// FailAfterFences). Tests recover it, call Crash, and re-open.
+type injectedCrash struct{}
+
+func (injectedCrash) Error() string { return "nvm: injected crash" }
+
+// ErrInjectedCrash is the value panicked by an armed fault injection.
+var ErrInjectedCrash error = injectedCrash{}
+
+// FailAfterFences arms fault injection: after n further Fence calls, the
+// next Fence panics with ErrInjectedCrash before ordering its flushes,
+// simulating a power failure at an arbitrary durability boundary.
+func (d *Device) FailAfterFences(n int) {
+	d.failFences = n
+	d.failArmed = true
+}
+
+// DisarmFail cancels pending fault injection.
+func (d *Device) DisarmFail() { d.failArmed = false }
+
+// NewDevice creates a device with the given configuration.
+func NewDevice(cfg Config) *Device {
+	if cfg.Size <= 0 {
+		panic("nvm: device size must be positive")
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 4 << 20
+	}
+	if cfg.CacheAssoc <= 0 {
+		cfg.CacheAssoc = 8
+	}
+	d := &Device{
+		cfg:     cfg,
+		data:    make([]byte, cfg.Size),
+		pending: make(map[int64][LineSize]byte),
+	}
+	d.cache.init(cfg.CacheSize, cfg.CacheAssoc)
+	return d
+}
+
+// Size returns the capacity of the arena in bytes.
+func (d *Device) Size() int64 { return d.cfg.Size }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the perf counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the perf counters.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// SetLatency swaps the latency profile of a live device. Used by experiments
+// that sweep NVM latency on the same loaded database.
+func (d *Device) SetLatency(p Profile) { p.Apply(&d.cfg) }
+
+// SetSyncExtra sets the additional per-fence latency (Appendix C sweep).
+func (d *Device) SetSyncExtra(lat time.Duration) { d.cfg.SyncExtra = lat }
+
+// SetSyncCLWB switches the sync primitive from CLFLUSH (write back and
+// invalidate) to CLWB semantics (write back, retain the line in the cache),
+// the instruction-set extension studied in Appendix C. CLWB avoids the
+// cache miss on the next access to a just-synced line.
+func (d *Device) SetSyncCLWB(on bool) { d.syncCLWB = on }
+
+func (d *Device) checkRange(off int64, n int) {
+	if off < 0 || n < 0 || off+int64(n) > d.cfg.Size {
+		panic(fmt.Sprintf("nvm: access [%d,%d) out of range (size %d)", off, off+int64(n), d.cfg.Size))
+	}
+}
+
+// Read copies len(p) bytes at offset off into p, through the cache.
+func (d *Device) Read(off int64, p []byte) {
+	d.checkRange(off, len(p))
+	d.stats.BytesRead += uint64(len(p))
+	for len(p) > 0 {
+		line := off &^ (LineSize - 1)
+		lo := int(off - line)
+		n := LineSize - lo
+		if n > len(p) {
+			n = len(p)
+		}
+		buf := d.lineFor(line, false)
+		copy(p[:n], buf[lo:lo+n])
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// Write copies p to offset off, through the cache. The write is volatile
+// until the covered lines are flushed (or evicted).
+func (d *Device) Write(off int64, p []byte) {
+	d.checkRange(off, len(p))
+	d.stats.BytesWritten += uint64(len(p))
+	for len(p) > 0 {
+		line := off &^ (LineSize - 1)
+		lo := int(off - line)
+		n := LineSize - lo
+		if n > len(p) {
+			n = len(p)
+		}
+		buf := d.lineFor(line, true)
+		copy(buf[lo:lo+n], p[:n])
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// lineFor returns the cache-resident buffer for the line at the given
+// (line-aligned) offset, filling it from the medium on a miss. If markDirty
+// is set the line is marked dirty.
+func (d *Device) lineFor(line int64, markDirty bool) []byte {
+	buf, hit, victim, victimLine := d.cache.lookup(line)
+	if !hit {
+		if victim {
+			// Dirty eviction: the memory controller writes the line back to
+			// NVM. This can make un-flushed stores durable at any time. The
+			// evicted contents supersede any older pending flush of the line.
+			copy(d.data[victimLine:victimLine+LineSize], buf)
+			delete(d.pending, victimLine)
+			d.stats.Stores++
+			d.stats.Stall += d.cfg.WriteBackExtra
+		}
+		copy(buf, d.data[line:line+LineSize])
+		if pl, ok := d.pending[line]; ok {
+			copy(buf, pl[:])
+		}
+		d.stats.Loads++
+		d.stats.Stall += d.cfg.ReadMissExtra
+	}
+	if markDirty {
+		d.cache.markDirty(line)
+	}
+	return buf
+}
+
+// Flush writes back and invalidates every cache line overlapping
+// [off, off+n), like CLFLUSH. The data is not guaranteed durable until a
+// following Fence.
+func (d *Device) Flush(off int64, n int) {
+	d.flushRange(off, n, true)
+}
+
+// FlushOpt writes back every cache line overlapping [off, off+n) but keeps
+// the lines valid and clean, like CLWB (Appendix C).
+func (d *Device) FlushOpt(off int64, n int) {
+	d.flushRange(off, n, false)
+}
+
+func (d *Device) flushRange(off int64, n int, invalidate bool) {
+	d.checkRange(off, n)
+	first := off &^ (LineSize - 1)
+	last := (off + int64(n) + LineSize - 1) &^ (LineSize - 1)
+	for line := first; line < last; line += LineSize {
+		d.stats.Flushes++
+		d.stats.Stall += d.cfg.FlushLineCost
+		buf, present, dirty := d.cache.peek(line)
+		if present && dirty {
+			var pl [LineSize]byte
+			copy(pl[:], buf)
+			if _, ok := d.pending[line]; !ok {
+				d.pendingKeys = append(d.pendingKeys, line)
+			}
+			d.pending[line] = pl
+			d.stats.Stores++
+			d.stats.Stall += d.cfg.WriteBackExtra
+		}
+		if present {
+			if invalidate {
+				d.cache.invalidate(line)
+			} else {
+				d.cache.clean(line)
+			}
+		}
+	}
+}
+
+// AddStall charges additional simulated latency to the stall clock. Higher
+// layers use it to model costs outside the cache/medium path, e.g. the
+// kernel VFS overhead of the filesystem interface (§2.2).
+func (d *Device) AddStall(t time.Duration) {
+	d.stats.Stall += t
+}
+
+// Fence orders preceding flushes, like SFENCE. After Flush+Fence the flushed
+// bytes are durable.
+func (d *Device) Fence() {
+	if d.failArmed {
+		if d.failFences <= 0 {
+			d.failArmed = false
+			panic(ErrInjectedCrash)
+		}
+		d.failFences--
+	}
+	d.stats.Fences++
+	d.stats.Stall += d.cfg.FenceCost + d.cfg.SyncExtra
+	for _, line := range d.pendingKeys {
+		if pl, ok := d.pending[line]; ok {
+			copy(d.data[line:line+LineSize], pl[:])
+			delete(d.pending, line)
+		}
+	}
+	d.pendingKeys = d.pendingKeys[:0]
+	// Go maps never shrink; rebuild after a large burst so later fences
+	// stay cheap.
+	if cap(d.pendingKeys) > 4096 {
+		d.pending = make(map[int64][LineSize]byte)
+		d.pendingKeys = nil
+	}
+}
+
+// Sync is the paper's sync primitive: CLFLUSH over the range, then SFENCE
+// (or CLWB + SFENCE when SetSyncCLWB is enabled, per Appendix C).
+func (d *Device) Sync(off int64, n int) {
+	if d.syncCLWB {
+		d.FlushOpt(off, n)
+	} else {
+		d.Flush(off, n)
+	}
+	d.Fence()
+}
+
+// Crash simulates a power failure: every cache line that has not been
+// written back is lost. The durable medium is untouched.
+func (d *Device) Crash() {
+	d.cache.dropAll()
+	d.pending = make(map[int64][LineSize]byte)
+	d.pendingKeys = nil
+	d.failArmed = false
+}
+
+// EvictAll forcibly writes back and drops every dirty cache line, simulating
+// the memory controller draining the cache. It makes *all* pending stores
+// durable — including those of uncommitted transactions — which is the
+// adversarial case undo-based recovery must handle.
+func (d *Device) EvictAll() {
+	for set := 0; set < d.cache.sets; set++ {
+		for way := 0; way < d.cache.assoc; way++ {
+			i := set*d.cache.assoc + way
+			if d.cache.tags[i] != 0 && d.cache.dirty[i] {
+				line := int64(d.cache.tags[i]-1) * LineSize
+				buf := d.cache.data[i*LineSize : i*LineSize+LineSize]
+				copy(d.data[line:line+LineSize], buf)
+				delete(d.pending, line)
+				d.stats.Stores++
+				d.stats.Stall += d.cfg.WriteBackExtra
+			}
+			d.cache.tags[i] = 0
+			d.cache.dirty[i] = false
+		}
+	}
+}
+
+// DurableEqual reports whether the durable medium matches p at offset off.
+// It bypasses the cache; tests use it to assert durability.
+func (d *Device) DurableEqual(off int64, p []byte) bool {
+	d.checkRange(off, len(p))
+	got := d.data[off : off+int64(len(p))]
+	for i := range p {
+		if got[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}

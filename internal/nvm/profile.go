@@ -1,0 +1,80 @@
+package nvm
+
+import "time"
+
+// Profile is a latency configuration for the emulated device, expressed as
+// the extra latency NVM adds over the DRAM baseline (the paper's 160 ns).
+type Profile struct {
+	Name string
+	// ReadMissExtra is charged per cache line filled from NVM.
+	ReadMissExtra time.Duration
+	// WriteBackExtra is charged per cache line written back to NVM. The
+	// paper throttles NVM write bandwidth to 9.5 GB/s (8x below DRAM);
+	// 64 B at 9.5 GB/s is ~7 ns versus ~1 ns on DRAM.
+	WriteBackExtra time.Duration
+	// FlushLineCost and FenceCost model CLFLUSH/SFENCE instruction costs,
+	// which the engines pay on both DRAM and NVM configurations.
+	FlushLineCost time.Duration
+	FenceCost     time.Duration
+}
+
+// Apply copies the profile's latencies into a device config.
+func (p Profile) Apply(c *Config) {
+	c.ReadMissExtra = p.ReadMissExtra
+	c.WriteBackExtra = p.WriteBackExtra
+	c.FlushLineCost = p.FlushLineCost
+	c.FenceCost = p.FenceCost
+}
+
+// The three latency configurations of §5.2: DRAM baseline (160 ns), low NVM
+// latency (2x = 320 ns, i.e. +160 ns per miss), and high NVM latency
+// (8x = 1280 ns, i.e. +1120 ns per miss).
+var (
+	ProfileDRAM = Profile{
+		Name:          "dram",
+		FlushLineCost: 40 * time.Nanosecond,
+		FenceCost:     10 * time.Nanosecond,
+	}
+	ProfileLowNVM = Profile{
+		Name:           "low-nvm-2x",
+		ReadMissExtra:  160 * time.Nanosecond,
+		WriteBackExtra: 6 * time.Nanosecond,
+		FlushLineCost:  40 * time.Nanosecond,
+		FenceCost:      10 * time.Nanosecond,
+	}
+	ProfileHighNVM = Profile{
+		Name:           "high-nvm-8x",
+		ReadMissExtra:  1120 * time.Nanosecond,
+		WriteBackExtra: 6 * time.Nanosecond,
+		FlushLineCost:  40 * time.Nanosecond,
+		FenceCost:      10 * time.Nanosecond,
+	}
+)
+
+// Profiles lists the latency configurations in evaluation order.
+var Profiles = []Profile{ProfileDRAM, ProfileLowNVM, ProfileHighNVM}
+
+// Technology describes an entry of Table 1 (comparison of storage
+// technologies). Values are encoded for reference and for deriving custom
+// profiles; the evaluation itself uses the three Profiles above, which are
+// technology-agnostic like the hardware emulator.
+type Technology struct {
+	Name         string
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	ByteAddress  bool
+	Volatile     bool
+	// Endurance is the approximate number of write cycles per bit, as a
+	// power of ten (e.g. 16 means >10^16).
+	Endurance int
+}
+
+// Table1 reproduces the paper's Table 1.
+var Table1 = []Technology{
+	{Name: "DRAM", ReadLatency: 60 * time.Nanosecond, WriteLatency: 60 * time.Nanosecond, ByteAddress: true, Volatile: true, Endurance: 16},
+	{Name: "PCM", ReadLatency: 50 * time.Nanosecond, WriteLatency: 150 * time.Nanosecond, ByteAddress: true, Volatile: false, Endurance: 10},
+	{Name: "RRAM", ReadLatency: 100 * time.Nanosecond, WriteLatency: 100 * time.Nanosecond, ByteAddress: true, Volatile: false, Endurance: 8},
+	{Name: "MRAM", ReadLatency: 20 * time.Nanosecond, WriteLatency: 20 * time.Nanosecond, ByteAddress: true, Volatile: false, Endurance: 15},
+	{Name: "SSD", ReadLatency: 25 * time.Microsecond, WriteLatency: 300 * time.Microsecond, ByteAddress: false, Volatile: false, Endurance: 5},
+	{Name: "HDD", ReadLatency: 10 * time.Millisecond, WriteLatency: 10 * time.Millisecond, ByteAddress: false, Volatile: false, Endurance: 16},
+}

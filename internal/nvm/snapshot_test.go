@@ -1,0 +1,65 @@
+package nvm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(1 << 20)
+	ProfileLowNVM.Apply(&cfg)
+	d := NewDevice(cfg)
+	durable := []byte("this survives the snapshot")
+	volatile := []byte("this does not")
+	d.Write(0, durable)
+	d.Sync(0, len(durable))
+	d.Write(4096, volatile) // never flushed
+
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != d.Size() {
+		t.Fatalf("size %d != %d", d2.Size(), d.Size())
+	}
+	got := make([]byte, len(durable))
+	d2.Read(0, got)
+	if !bytes.Equal(got, durable) {
+		t.Fatalf("durable data lost: %q", got)
+	}
+	got2 := make([]byte, len(volatile))
+	d2.Read(4096, got2)
+	if bytes.Equal(got2, volatile) {
+		t.Fatal("volatile (unflushed) data leaked into the snapshot")
+	}
+	// Latency config restored.
+	if d2.Config().ReadMissExtra != ProfileLowNVM.ReadMissExtra {
+		t.Errorf("latency config lost: %v", d2.Config().ReadMissExtra)
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader(make([]byte, 100))); err == nil {
+		t.Fatal("accepted garbage snapshot")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Fatal("accepted empty snapshot")
+	}
+}
+
+func TestSnapshotCompresses(t *testing.T) {
+	d := NewDevice(DefaultConfig(8 << 20)) // mostly zeros
+	d.Write(0, []byte("tiny payload"))
+	d.Sync(0, 12)
+	var buf bytes.Buffer
+	if err := d.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 1<<20 {
+		t.Errorf("snapshot of 8 MB of zeros is %d bytes; compression broken", buf.Len())
+	}
+}

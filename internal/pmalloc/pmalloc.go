@@ -1,0 +1,389 @@
+// Package pmalloc is an NVM-aware memory allocator, modelled on the paper's
+// extension of libpmem (§2.3). It provides:
+//
+//   - a durability mechanism: the sync primitive (CLFLUSH + SFENCE via the
+//     device) plus per-chunk durability states, so that storage occupied by
+//     transactions that were uncommitted at a crash can be reclaimed;
+//   - a naming mechanism: a fixed directory of root pointers so that
+//     non-volatile pointers (device offsets) remain valid after restart;
+//   - a rotating best-fit allocation policy that spreads allocations across
+//     the heap to level wear on the NVM device.
+//
+// Chunk layout: every chunk has a 16-byte header followed by the payload.
+// The first header word packs the payload size, durability state, and a
+// usage tag (for the storage-footprint accounting of Fig. 14). Headers are
+// synced on every state change, so a recovery scan can walk the heap and
+// rebuild the free lists, reclaiming chunks that were allocated but never
+// marked persisted ("non-volatile memory leaks", §4.1).
+package pmalloc
+
+import (
+	"errors"
+	"fmt"
+
+	"nstore/internal/nvm"
+)
+
+// Ptr is a non-volatile pointer: an absolute offset into the NVM device.
+// The zero value is the nil pointer.
+type Ptr = uint64
+
+// State is the durability state of a chunk (§4.1: a slot can be unallocated,
+// allocated but not persisted, or persisted).
+type State uint8
+
+// Chunk durability states.
+const (
+	StateFree State = iota
+	StateAllocated
+	StatePersisted
+)
+
+// Tag categorizes an allocation for storage-footprint accounting (Fig. 14).
+type Tag uint8
+
+// Allocation categories.
+const (
+	TagOther Tag = iota
+	TagTable
+	TagIndex
+	TagLog
+	TagCheckpoint
+	numTags
+)
+
+// TagNames maps tags to the labels used in Fig. 14.
+var TagNames = [numTags]string{"other", "table", "index", "log", "checkpoint"}
+
+const (
+	magic      = 0x4e56414c4c4f4331 // "NVALLOC1"
+	headerSize = 16                 // per-chunk header
+	minPayload = 16
+	alignMask  = 15
+
+	// NumRoots is the number of named root-pointer slots.
+	NumRoots = 56
+
+	// Arena header layout (one region at base):
+	//   +0  magic
+	//   +8  arena size
+	//   +16 durable heap end (bump pointer)
+	//   +24 reserved
+	//   +64 root directory (NumRoots * 8 bytes)
+	//   +512 heap start
+	offMagic   = 0
+	offSize    = 8
+	offHeapEnd = 16
+	rootDirOff = 64
+	heapStart  = 512
+
+	numClasses = 32
+	// bestFitScan bounds the number of free chunks examined per class.
+	bestFitScan = 64
+)
+
+// ErrOutOfMemory is returned when the arena cannot satisfy an allocation.
+var ErrOutOfMemory = errors.New("pmalloc: out of memory")
+
+// Arena is an allocator over a region of an NVM device.
+type Arena struct {
+	dev  *nvm.Device
+	base int64
+	size int64
+
+	heapEnd int64 // volatile mirror of the durable bump pointer
+	// free lists are volatile and rebuilt by the recovery scan on Open.
+	free [numClasses][]int64 // chunk header offsets
+	// rotate implements the rotating policy: each class starts its best-fit
+	// scan at a moving position so allocations spread across the heap.
+	rotate [numClasses]int
+
+	usage     [numTags]int64 // live payload bytes per tag
+	allocated int64          // total live payload bytes
+}
+
+// Format initializes a fresh arena over dev[base, base+size) and returns it.
+func Format(dev *nvm.Device, base, size int64) *Arena {
+	if size < heapStart+headerSize+minPayload {
+		panic("pmalloc: arena too small")
+	}
+	a := &Arena{dev: dev, base: base, size: size, heapEnd: base + heapStart}
+	zero := make([]byte, rootDirOff+NumRoots*8)
+	dev.Write(base, zero)
+	dev.WriteU64(base+offMagic, magic)
+	dev.WriteU64(base+offSize, uint64(size))
+	dev.WriteU64(base+offHeapEnd, uint64(a.heapEnd))
+	dev.Sync(base, heapStart)
+	return a
+}
+
+// Open attaches to an existing arena and runs the recovery scan: free lists
+// are rebuilt, and chunks in StateAllocated (allocated by a transaction that
+// never persisted them before the crash) are reclaimed.
+func Open(dev *nvm.Device, base int64) (*Arena, error) {
+	if dev.ReadU64(base+offMagic) != magic {
+		return nil, fmt.Errorf("pmalloc: no arena at offset %d", base)
+	}
+	a := &Arena{
+		dev:     dev,
+		base:    base,
+		size:    int64(dev.ReadU64(base + offSize)),
+		heapEnd: int64(dev.ReadU64(base + offHeapEnd)),
+	}
+	a.recoverScan()
+	return a, nil
+}
+
+// header word: size<<16 | tag<<8 | state
+func packHeader(size int64, tag Tag, st State) uint64 {
+	return uint64(size)<<16 | uint64(tag)<<8 | uint64(st)
+}
+
+func unpackHeader(w uint64) (size int64, tag Tag, st State) {
+	return int64(w >> 16), Tag(w >> 8 & 0xff), State(w & 0xff)
+}
+
+func classOf(n int64) int {
+	c := 0
+	for s := int64(minPayload); s < n && c < numClasses-1; s <<= 1 {
+		c++
+	}
+	return c
+}
+
+func alignUp(n int64) int64 { return (n + alignMask) &^ alignMask }
+
+// recoverScan walks the heap, coalescing adjacent free chunks, reclaiming
+// allocated-but-not-persisted chunks, and rebuilding the free lists and
+// usage accounting.
+func (a *Arena) recoverScan() {
+	off := a.base + heapStart
+	for off < a.heapEnd {
+		w := a.dev.ReadU64(off)
+		size, tag, st := unpackHeader(w)
+		if size <= 0 || off+headerSize+size > a.heapEnd {
+			// Torn heap tail (crash between header write and bump-pointer
+			// update): everything from here is beyond the durable end.
+			break
+		}
+		if st == StateAllocated {
+			// Reclaim the non-volatile memory leak.
+			a.writeHeader(off, size, tag, StateFree)
+			st = StateFree
+		}
+		if st == StateFree {
+			// Coalesce with following free chunks.
+			next := off + headerSize + size
+			for next < a.heapEnd {
+				nw := a.dev.ReadU64(next)
+				nsize, _, nst := unpackHeader(nw)
+				if nst != StateFree || nsize <= 0 || next+headerSize+nsize > a.heapEnd {
+					break
+				}
+				size += headerSize + nsize
+				next += headerSize + nsize
+			}
+			a.writeHeader(off, size, TagOther, StateFree)
+			a.pushFree(off, size)
+		} else {
+			a.usage[tag] += size
+			a.allocated += size
+		}
+		off += headerSize + size
+	}
+}
+
+// writeHeader durably writes a chunk header. Size-changing writes must be
+// durable before any dependent data persists, or the recovery heap walk
+// would misparse the chain.
+func (a *Arena) writeHeader(off, size int64, tag Tag, st State) {
+	a.dev.WriteU64(off, packHeader(size, tag, st))
+	a.dev.Sync(off, 8)
+}
+
+// writeHeaderLazy writes a header without syncing: valid only for
+// state/tag-only transitions (or fresh bump chunks whose durable bytes are
+// zero), where a stale durable header still parses to a same-size chunk.
+func (a *Arena) writeHeaderLazy(off, size int64, tag Tag, st State) {
+	a.dev.WriteU64(off, packHeader(size, tag, st))
+}
+
+func (a *Arena) pushFree(off, size int64) {
+	c := classOf(size)
+	a.free[c] = append(a.free[c], off)
+}
+
+// Alloc allocates n payload bytes tagged with tag and returns a non-volatile
+// pointer to the payload. The chunk is in StateAllocated; if the caller does
+// not mark it persisted (SetPersisted) before a crash, recovery reclaims it.
+func (a *Arena) Alloc(n int, tag Tag) (Ptr, error) {
+	if n <= 0 {
+		n = 1
+	}
+	need := alignUp(int64(n))
+	if need < minPayload {
+		need = minPayload
+	}
+	// Rotating best-fit across the free lists, starting at the size class.
+	for c := classOf(need); c < numClasses; c++ {
+		if off := a.takeFrom(c, need, tag); off != 0 {
+			return off, nil
+		}
+	}
+	// Fresh memory from the bump region.
+	off := a.heapEnd
+	if off+headerSize+need > a.base+a.size {
+		return 0, ErrOutOfMemory
+	}
+	// Fresh bump chunk: the durable bytes here are zero, so a crash before
+	// the chunk is persisted leaves a clean walk terminator; no sync needed.
+	a.writeHeaderLazy(off, need, tag, StateAllocated)
+	a.heapEnd = off + headerSize + need
+	a.dev.WriteU64Durable(a.base+offHeapEnd, uint64(a.heapEnd))
+	a.usage[tag] += need
+	a.allocated += need
+	return Ptr(off + headerSize), nil
+}
+
+// takeFrom does a bounded best-fit scan of class c's free list, starting at
+// the rotating cursor. It returns the payload pointer, or 0 if no fit.
+func (a *Arena) takeFrom(c int, need int64, tag Tag) Ptr {
+	list := a.free[c]
+	if len(list) == 0 {
+		return 0
+	}
+	limit := len(list)
+	if limit > bestFitScan {
+		limit = bestFitScan
+	}
+	start := a.rotate[c] % len(list)
+	bestIdx, bestSize := -1, int64(-1)
+	for k := 0; k < limit; k++ {
+		i := (start + k) % len(list)
+		off := list[i]
+		size, _, _ := unpackHeader(a.dev.ReadU64(off))
+		if size >= need && (bestSize < 0 || size < bestSize) {
+			bestIdx, bestSize = i, size
+			if size == need {
+				break
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return 0
+	}
+	a.rotate[c]++
+	off := list[bestIdx]
+	list[bestIdx] = list[len(list)-1]
+	a.free[c] = list[:len(list)-1]
+
+	// Split if the remainder is worth keeping. Splits change chunk sizes
+	// and must be durable; whole-chunk reuse is a state-only transition.
+	if rem := bestSize - need; rem >= headerSize+minPayload {
+		remOff := off + headerSize + need
+		a.writeHeader(remOff, rem-headerSize, TagOther, StateFree)
+		a.pushFree(remOff, rem-headerSize)
+		a.writeHeader(off, need, tag, StateAllocated)
+	} else {
+		need = bestSize
+		a.writeHeaderLazy(off, need, tag, StateAllocated)
+	}
+	a.usage[tag] += need
+	a.allocated += need
+	return Ptr(off + headerSize)
+}
+
+// Free releases the chunk whose payload starts at p. The state change is
+// written but not synced: the chunk's size is unchanged, so the recovery
+// heap walk stays valid either way; at worst a crash resurrects the chunk
+// as allocated/persisted, which the engines' sweeps reclaim.
+func (a *Arena) Free(p Ptr) {
+	off := int64(p) - headerSize
+	size, tag, st := unpackHeader(a.dev.ReadU64(off))
+	if st == StateFree {
+		panic("pmalloc: double free")
+	}
+	a.usage[tag] -= size
+	a.allocated -= size
+	a.dev.WriteU64(off, packHeader(size, TagOther, StateFree))
+	a.pushFree(off, size)
+}
+
+// SetPersisted durably marks the chunk persisted. After this, the chunk
+// survives the recovery scan. Callers must sync the payload contents first.
+func (a *Arena) SetPersisted(p Ptr) {
+	off := int64(p) - headerSize
+	size, tag, st := unpackHeader(a.dev.ReadU64(off))
+	if st == StateFree {
+		panic("pmalloc: SetPersisted on free chunk")
+	}
+	a.writeHeader(off, size, tag, StatePersisted)
+}
+
+// StateOf returns the durability state of the chunk at p.
+func (a *Arena) StateOf(p Ptr) State {
+	_, _, st := unpackHeader(a.dev.ReadU64(int64(p) - headerSize))
+	return st
+}
+
+// SizeOf returns the payload capacity of the chunk at p.
+func (a *Arena) SizeOf(p Ptr) int {
+	size, _, _ := unpackHeader(a.dev.ReadU64(int64(p) - headerSize))
+	return int(size)
+}
+
+// Root returns the value of root-pointer slot i (the naming mechanism).
+func (a *Arena) Root(i int) Ptr {
+	if i < 0 || i >= NumRoots {
+		panic("pmalloc: root index out of range")
+	}
+	return a.dev.ReadU64(a.base + rootDirOff + int64(i)*8)
+}
+
+// SetRoot durably sets root-pointer slot i with an atomic 8-byte write.
+func (a *Arena) SetRoot(i int, v Ptr) {
+	if i < 0 || i >= NumRoots {
+		panic("pmalloc: root index out of range")
+	}
+	a.dev.WriteU64Durable(a.base+rootDirOff+int64(i)*8, v)
+}
+
+// Device returns the underlying NVM device.
+func (a *Arena) Device() *nvm.Device { return a.dev }
+
+// Sync runs the sync primitive over the payload range [p, p+n).
+func (a *Arena) Sync(p Ptr, n int) { a.dev.Sync(int64(p), n) }
+
+// Usage returns live payload bytes per allocation tag.
+func (a *Arena) Usage() map[Tag]int64 {
+	m := make(map[Tag]int64, numTags)
+	for t := Tag(0); t < numTags; t++ {
+		if a.usage[t] != 0 {
+			m[t] = a.usage[t]
+		}
+	}
+	return m
+}
+
+// Allocated returns total live payload bytes.
+func (a *Arena) Allocated() int64 { return a.allocated }
+
+// HeapBytes returns the bytes of heap consumed (bump high-water mark),
+// which is the arena's storage footprint.
+func (a *Arena) HeapBytes() int64 { return a.heapEnd - (a.base + heapStart) }
+
+// Chunks walks every chunk in the heap in address order, calling fn with the
+// payload pointer, capacity, tag, and state. Engines use it for reachability
+// sweeps that asynchronously reclaim storage orphaned by a crash (§3.2).
+// fn must not allocate or free.
+func (a *Arena) Chunks(fn func(p Ptr, size int, tag Tag, st State)) {
+	off := a.base + heapStart
+	for off < a.heapEnd {
+		size, tag, st := unpackHeader(a.dev.ReadU64(off))
+		if size <= 0 || off+headerSize+size > a.heapEnd {
+			return
+		}
+		fn(Ptr(off+headerSize), int(size), tag, st)
+		off += headerSize + size
+	}
+}

@@ -1,0 +1,371 @@
+package pmfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nstore/internal/nvm"
+)
+
+func newFS(t testing.TB, size int64) (*nvm.Device, *FS) {
+	t.Helper()
+	dev := nvm.NewDevice(nvm.DefaultConfig(size))
+	return dev, Format(dev, 0, size, Config{ExtentSize: 4096})
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	_, fs := newFS(t, 4<<20)
+	f, err := fs.Create("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello filesystem")
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+	if f.Size() != int64(len(data)) {
+		t.Errorf("size = %d, want %d", f.Size(), len(data))
+	}
+}
+
+func TestCreateExistingFails(t *testing.T) {
+	_, fs := newFS(t, 4<<20)
+	if _, err := fs.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("a"); err != ErrExist {
+		t.Fatalf("got %v, want ErrExist", err)
+	}
+}
+
+func TestOpenMissingFails(t *testing.T) {
+	_, fs := newFS(t, 4<<20)
+	if _, err := fs.OpenFile("nope"); err != ErrNotExist {
+		t.Fatalf("got %v, want ErrNotExist", err)
+	}
+}
+
+func TestAppendAcrossExtents(t *testing.T) {
+	_, fs := newFS(t, 8<<20)
+	f, _ := fs.Create("big")
+	chunk := make([]byte, 1000)
+	var want []byte
+	for i := 0; i < 20; i++ { // 20 KB across 4 KB extents
+		for j := range chunk {
+			chunk[j] = byte(i)
+		}
+		off, err := f.Append(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != int64(i*1000) {
+			t.Fatalf("append offset = %d, want %d", off, i*1000)
+		}
+		want = append(want, chunk...)
+	}
+	got := make([]byte, len(want))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("multi-extent contents mismatch")
+	}
+}
+
+func TestSyncDurability(t *testing.T) {
+	dev, fs := newFS(t, 4<<20)
+	f, _ := fs.Create("log")
+	durable := []byte("synced entry")
+	f.WriteAt(durable, 0)
+	f.Sync()
+	lost := []byte("unsynced entry")
+	f.WriteAt(lost, 4096)
+
+	dev.Crash()
+	fs2, err := Open(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fs2.OpenFile("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(durable))
+	if _, err := f2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, durable) {
+		t.Errorf("synced data lost: %q", got)
+	}
+	// The unsynced write extended the file size only volatilely.
+	if f2.Size() != int64(len(durable)) {
+		t.Errorf("durable size = %d, want %d (unsynced growth must not survive)", f2.Size(), len(durable))
+	}
+}
+
+func TestRemoveFreesExtents(t *testing.T) {
+	_, fs := newFS(t, 1<<20)
+	// Fill most of the disk, remove, and refill: must succeed if extents are
+	// recycled.
+	for round := 0; round < 3; round++ {
+		f, err := fs.Create("tmp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 64<<10)
+		for i := 0; i < 7; i++ {
+			if _, err := f.Append(buf); err != nil {
+				t.Fatalf("round %d append %d: %v", round, i, err)
+			}
+		}
+		if err := fs.Remove("tmp"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.Exists("tmp") {
+		t.Error("removed file still exists")
+	}
+}
+
+func TestRename(t *testing.T) {
+	_, fs := newFS(t, 4<<20)
+	f, _ := fs.Create("old")
+	f.WriteAt([]byte("payload"), 0)
+	f.Sync()
+	// Target exists: rename replaces it (checkpoint-swap pattern).
+	g, _ := fs.Create("new")
+	g.WriteAt([]byte("stale"), 0)
+	g.Sync()
+	if err := fs.Rename("old", "new"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("old") {
+		t.Error("old name still present after rename")
+	}
+	h, err := fs.OpenFile("new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 7)
+	h.ReadAt(got, 0)
+	if string(got) != "payload" {
+		t.Errorf("renamed contents = %q", got)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	_, fs := newFS(t, 4<<20)
+	f, _ := fs.Create("t")
+	f.Append(make([]byte, 10000))
+	if err := f.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 100 {
+		t.Errorf("size after truncate = %d", f.Size())
+	}
+	if err := f.Truncate(5000); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 5000 {
+		t.Errorf("size after grow = %d", f.Size())
+	}
+}
+
+func TestList(t *testing.T) {
+	_, fs := newFS(t, 4<<20)
+	for _, n := range []string{"c", "a", "b"} {
+		fs.Create(n)
+	}
+	got := fs.List()
+	want := []string{"a", "b", "c"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("List = %v, want %v", got, want)
+	}
+}
+
+func TestUsedBytesAndFileSize(t *testing.T) {
+	_, fs := newFS(t, 4<<20)
+	f, _ := fs.Create("a")
+	f.Append(make([]byte, 1234))
+	f.Sync()
+	g, _ := fs.Create("b")
+	g.Append(make([]byte, 766))
+	g.Sync()
+	if got := fs.UsedBytes(); got != 2000 {
+		t.Errorf("UsedBytes = %d, want 2000", got)
+	}
+	if n, _ := fs.FileSize("a"); n != 1234 {
+		t.Errorf("FileSize(a) = %d", n)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	_, fs := newFS(t, 4<<20)
+	f, _ := fs.Create("s")
+	f.Append([]byte("abc"))
+	if _, err := f.ReadAt(make([]byte, 10), 0); err == nil {
+		t.Error("read past EOF succeeded")
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	_, fs := newFS(t, 300<<10) // tiny disk
+	f, _ := fs.Create("f")
+	var lastErr error
+	for i := 0; i < 1000; i++ {
+		if _, err := f.Append(make([]byte, 16<<10)); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr != ErrNoSpace {
+		t.Fatalf("got %v, want ErrNoSpace", lastErr)
+	}
+}
+
+func TestCrashRecoveryRebuildFreeList(t *testing.T) {
+	dev, fs := newFS(t, 2<<20)
+	f, _ := fs.Create("keep")
+	f.Append(make([]byte, 100<<10))
+	f.Sync()
+	fs.Create("empty")
+	dev.Crash()
+	fs2, err := Open(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recovered FS can still allocate all remaining space exactly once.
+	g, err := fs2.Create("fill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for {
+		if _, err := g.Append(make([]byte, 4096)); err != nil {
+			break
+		}
+		total += 4096
+	}
+	// keep(100KB=25 extents) + superblock overhead; remaining extents must
+	// not overlap keep's data.
+	k, _ := fs2.OpenFile("keep")
+	buf := make([]byte, 100<<10)
+	k.ReadAt(buf, 0)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("keep corrupted at %d: %d", i, b)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no extents allocatable after recovery")
+	}
+}
+
+func TestVFSOverheadCharged(t *testing.T) {
+	dev, fs := newFS(t, 4<<20)
+	f, _ := fs.Create("x")
+	before := dev.Stats().Stall
+	f.WriteAt(make([]byte, 64), 0)
+	f.Sync()
+	if got := dev.Stats().Stall - before; got < 2*VFSCost {
+		t.Errorf("fs write+sync charged %v, want >= %v", got, 2*VFSCost)
+	}
+}
+
+// Property: random writes at random offsets always read back, and durable
+// contents after crash+reopen match the last-synced prefix state.
+func TestQuickWriteReadConsistency(t *testing.T) {
+	dev, fs := newFS(t, 8<<20)
+	f, err := fs.Create("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxSize = 400 << 10
+	shadow := make([]byte, maxSize)
+	var size int64
+	rng := rand.New(rand.NewSource(5))
+
+	fn := func(off32 uint32, n16 uint16) bool {
+		off := int64(off32) % (maxSize - 4096)
+		n := int(n16)%4000 + 1
+		data := make([]byte, n)
+		rng.Read(data)
+		if _, err := f.WriteAt(data, off); err != nil {
+			return false
+		}
+		copy(shadow[off:], data)
+		if off+int64(n) > size {
+			size = off + int64(n)
+		}
+		got := make([]byte, n)
+		if _, err := f.ReadAt(got, off); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data) && f.Size() == size
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync()
+	dev.Crash()
+	fs2, err := Open(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := fs2.OpenFile("q")
+	if f2.Size() != size {
+		t.Fatalf("durable size %d != synced size %d", f2.Size(), size)
+	}
+	got := make([]byte, size)
+	f2.ReadAt(got, 0)
+	if !bytes.Equal(got, shadow[:size]) {
+		t.Fatal("durable contents diverged after crash")
+	}
+}
+
+func TestManyFiles(t *testing.T) {
+	_, fs := newFS(t, 16<<20)
+	for i := 0; i < 100; i++ {
+		f, err := fs.Create(fileName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Append([]byte{byte(i)})
+		f.Sync()
+	}
+	for i := 0; i < 100; i++ {
+		f, err := fs.OpenFile(fileName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]byte, 1)
+		f.ReadAt(b, 0)
+		if b[0] != byte(i) {
+			t.Fatalf("file %d contents = %d", i, b[0])
+		}
+	}
+}
+
+func fileName(i int) string { return fmt.Sprintf("sst-%03d", i) }
+
+func BenchmarkFSAppendSync(b *testing.B) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(1 << 30))
+	fs := Format(dev, 0, 1<<30, Config{})
+	f, _ := fs.Create("bench")
+	buf := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Append(buf)
+		f.Sync()
+	}
+}

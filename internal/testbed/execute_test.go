@@ -1,0 +1,87 @@
+package testbed
+
+import (
+	"testing"
+
+	"nstore/internal/core"
+)
+
+// TestSequentialAndParallelEquivalent: both execution modes must commit the
+// same transactions and leave identical database state.
+func TestSequentialAndParallelEquivalent(t *testing.T) {
+	build := func() (*DB, [][]Txn) {
+		db := newDB(t, NVMInP)
+		work := make([][]Txn, 4)
+		for p := 0; p < 4; p++ {
+			for i := 0; i < 40; i++ {
+				key := uint64(i*4 + p)
+				work[p] = append(work[p], func(e core.Engine) error {
+					return e.Insert("t", key, []core.Value{core.IntVal(int64(key)), core.IntVal(int64(key * 3))})
+				})
+				if i%5 == 4 {
+					k2 := key
+					work[p] = append(work[p], func(e core.Engine) error {
+						return e.Update("t", k2, core.Update{Cols: []int{1}, Vals: []core.Value{core.IntVal(-1)}})
+					})
+				}
+			}
+		}
+		return db, work
+	}
+
+	dbA, workA := build()
+	resA, err := dbA.Execute(workA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbB, workB := build()
+	resB, err := dbB.ExecuteSequential(workB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Committed != resB.Committed || resA.Txns != resB.Txns {
+		t.Fatalf("commit counts differ: %d/%d vs %d/%d",
+			resA.Committed, resA.Txns, resB.Committed, resB.Txns)
+	}
+	for key := uint64(0); key < 160; key++ {
+		a, okA, _ := dbA.Engine(dbA.Route(key)).Get("t", key)
+		b, okB, _ := dbB.Engine(dbB.Route(key)).Get("t", key)
+		if okA != okB {
+			t.Fatalf("key %d presence differs", key)
+		}
+		if okA && (a[1].I != b[1].I) {
+			t.Fatalf("key %d values differ: %d vs %d", key, a[1].I, b[1].I)
+		}
+	}
+	// NVM traffic must be identical too: execution order within a
+	// partition is the same and partitions have private devices.
+	if resA.Stats.BytesWritten != resB.Stats.BytesWritten {
+		t.Errorf("bytes written differ: %d vs %d", resA.Stats.BytesWritten, resB.Stats.BytesWritten)
+	}
+}
+
+func TestExecuteRejectsWrongPartitionCount(t *testing.T) {
+	db := newDB(t, InP)
+	if _, err := db.Execute(make([][]Txn, 3)); err == nil {
+		t.Fatal("accepted mismatched txn lists")
+	}
+}
+
+func TestResultThroughputZeroOnEmpty(t *testing.T) {
+	var r Result
+	if r.Throughput() != 0 {
+		t.Fatal("zero-elapsed throughput not zero")
+	}
+}
+
+func TestNVMAwareEnginesGetBiggerArena(t *testing.T) {
+	dbT := newDB(t, InP)
+	dbN := newDB(t, NVMInP)
+	// Same device size; the NVM-aware configuration gives nearly the whole
+	// device to the allocator interface.
+	fsSizeT := dbT.Env(0).Dev.ReadU64(8)
+	fsSizeN := dbN.Env(0).Dev.ReadU64(8)
+	if fsSizeN >= fsSizeT {
+		t.Fatalf("NVM-aware fs region %d >= traditional %d", fsSizeN, fsSizeT)
+	}
+}

@@ -1,0 +1,148 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLastNameSpec(t *testing.T) {
+	// TPC-C §4.3.2.3 examples.
+	cases := map[int]string{
+		0:   "BARBARBAR",
+		1:   "BARBAROUGHT",
+		371: "PRICALLYOUGHT",
+		999: "EINGEINGEING",
+	}
+	for num, want := range cases {
+		if got := LastName(num); got != want {
+			t.Errorf("LastName(%d) = %q, want %q", num, got, want)
+		}
+	}
+}
+
+func TestNURandRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := nuRand(rng, 1023, 259, 1, 3000)
+		if v < 1 || v > 3000 {
+			t.Fatalf("nuRand out of range: %d", v)
+		}
+	}
+}
+
+func TestNURandIsNonUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 3001)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[nuRand(rng, 1023, 259, 1, 3000)]++
+	}
+	// The OR-fold makes some residues far more likely than uniform.
+	max, min := 0, draws
+	for v := 1; v <= 3000; v++ {
+		if counts[v] > max {
+			max = counts[v]
+		}
+		if counts[v] < min {
+			min = counts[v]
+		}
+	}
+	if max < min*2 {
+		t.Errorf("NURand looks uniform: max %d vs min %d", max, min)
+	}
+}
+
+func TestKeyEncodingsDisjoint(t *testing.T) {
+	// Keys of different (w, d, o, ol) must never collide within a table.
+	seen := make(map[uint64]string)
+	check := func(k uint64, what string) {
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("key collision: %s and %s both encode %#x", prev, what, k)
+		}
+		seen[k] = what
+	}
+	for w := 1; w <= 3; w++ {
+		for d := 1; d <= 10; d++ {
+			for o := 1; o <= 20; o++ {
+				check(OrderKey(w, d, o), "order")
+			}
+		}
+	}
+	seen = make(map[uint64]string)
+	for w := 1; w <= 3; w++ {
+		for d := 1; d <= 10; d++ {
+			for c := 1; c <= 50; c++ {
+				check(CustomerKey(w, d, c), "customer")
+			}
+		}
+	}
+	seen = make(map[uint64]string)
+	for w := 1; w <= 3; w++ {
+		for i := 1; i <= 500; i++ {
+			check(StockKey(w, i), "stock")
+		}
+	}
+	// Order-line keys nest under their order key range.
+	ol1 := OrderLineKey(1, 2, 3, 4)
+	lo := OrderKey(1, 2, 3) << 4
+	hi := OrderKey(1, 2, 4) << 4
+	if ol1 < lo || ol1 >= hi {
+		t.Fatalf("order line key %#x outside its order range [%#x,%#x)", ol1, lo, hi)
+	}
+}
+
+func TestSecondaryKeysFit24BitPKs(t *testing.T) {
+	// The CoW engines pack secondary-indexed tables' pks into 24 bits.
+	if k := CustomerKey(8, 10, 4095); k >= 1<<24 {
+		t.Fatalf("max customer key %#x exceeds 24 bits", k)
+	}
+	if k := OrderKey(8, 10, 65535); k >= 1<<24 {
+		t.Fatalf("max order key %#x exceeds 24 bits", k)
+	}
+}
+
+func TestGenerateMixRatios(t *testing.T) {
+	cfg := Config{Warehouses: 4, Districts: 2, Customers: 30, Items: 100,
+		Txns: 20000, Partitions: 4, Seed: 9}.withDefaults()
+	// Generation is deterministic and partition lists have the right sizes.
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != cfg.Partitions || len(b) != cfg.Partitions {
+		t.Fatal("wrong partition count")
+	}
+	total := 0
+	for p := range a {
+		if len(a[p]) != len(b[p]) {
+			t.Fatalf("nondeterministic generation at partition %d", p)
+		}
+		total += len(a[p])
+	}
+	if total != cfg.Txns {
+		t.Fatalf("generated %d txns, want %d", total, cfg.Txns)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized customers accepted")
+		}
+	}()
+	Config{Customers: 5000}.withDefaults()
+}
+
+func TestLastNameOfCoversLoadedNames(t *testing.T) {
+	// Every name randLastNum can draw must exist among loaded customers.
+	const customers = 40
+	loaded := map[string]bool{}
+	for c := 1; c <= customers; c++ {
+		loaded[lastNameOf(c, customers)] = true
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		name := LastName(randLastNum(rng, customers))
+		if !loaded[name] {
+			t.Fatalf("drawable name %q never loaded", name)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"nstore/internal/core"
+	"nstore/internal/testbed"
+)
+
+func smallCfg() Config {
+	return Config{Tuples: 800, Txns: 400, Partitions: 4, Mix: Balanced, Skew: LowSkew, Seed: 1}
+}
+
+func newDB(t testing.TB, kind testbed.EngineKind, cfg Config) *testbed.DB {
+	t.Helper()
+	db, err := testbed.New(testbed.Config{
+		Engine:     kind,
+		Partitions: cfg.Partitions,
+		Env:        core.EnvConfig{DeviceSize: 128 << 20},
+		Schemas:    Schema(cfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestLoadAndRunAllEngines(t *testing.T) {
+	cfg := smallCfg()
+	for _, kind := range testbed.Kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			db := newDB(t, kind, cfg)
+			if err := Load(db, cfg); err != nil {
+				t.Fatal(err)
+			}
+			res, err := db.Execute(Generate(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed != cfg.Txns {
+				t.Errorf("committed %d of %d", res.Committed, cfg.Txns)
+			}
+			if res.Throughput() <= 0 {
+				t.Error("zero throughput")
+			}
+		})
+	}
+}
+
+func TestWorkloadIsDeterministic(t *testing.T) {
+	cfg := smallCfg()
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != len(b) {
+		t.Fatal("partition counts differ")
+	}
+	// Execute both on identical databases; results must match exactly.
+	dbA := newDB(t, testbed.NVMInP, cfg)
+	dbB := newDB(t, testbed.NVMInP, cfg)
+	if err := Load(dbA, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(dbB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := dbA.Execute(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := dbB.Execute(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Stats.BytesWritten != rb.Stats.BytesWritten {
+		t.Errorf("nondeterministic writes: %d vs %d", ra.Stats.BytesWritten, rb.Stats.BytesWritten)
+	}
+}
+
+func TestSkewProducesHotspot(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Skew = HighSkew
+	rng := rand.New(rand.NewSource(3))
+	perPart := cfg.Tuples / cfg.Partitions
+	hot := int(float64(perPart) * cfg.Skew.TupleFrac)
+	inHot := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		key := pickKey(cfg, 0, rng)
+		if int(key)/cfg.Partitions < hot {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / draws
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("high skew hot fraction = %.3f, want ~0.90", frac)
+	}
+}
+
+func TestKeysStayInPartition(t *testing.T) {
+	cfg := smallCfg()
+	rng := rand.New(rand.NewSource(4))
+	for p := 0; p < cfg.Partitions; p++ {
+		for i := 0; i < 1000; i++ {
+			key := pickKey(cfg, p, rng)
+			if int(key)%cfg.Partitions != p {
+				t.Fatalf("key %d escaped partition %d", key, p)
+			}
+			if key >= uint64(cfg.Tuples) {
+				t.Fatalf("key %d out of range", key)
+			}
+		}
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Txns = 8000
+	cfg.Mix = ReadHeavy
+	db := newDB(t, testbed.InP, cfg)
+	if err := Load(db, cfg); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Stats().BytesWritten
+	if _, err := db.Execute(Generate(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	writesRH := db.Stats().BytesWritten - before
+
+	cfg2 := cfg
+	cfg2.Mix = WriteHeavy
+	db2 := newDB(t, testbed.InP, cfg2)
+	if err := Load(db2, cfg2); err != nil {
+		t.Fatal(err)
+	}
+	before2 := db2.Stats().BytesWritten
+	if _, err := db2.Execute(Generate(cfg2)); err != nil {
+		t.Fatal(err)
+	}
+	writesWH := db2.Stats().BytesWritten - before2
+	if writesWH < writesRH*4 {
+		t.Errorf("write-heavy wrote %d, read-heavy %d; mixture ratios look wrong", writesWH, writesRH)
+	}
+}

@@ -1,0 +1,321 @@
+// Package nstore is a Go reproduction of "Let's Talk About Storage &
+// Recovery Methods for Non-Volatile Memory Database Systems" (Arulraj,
+// Pavlo, Dulloor — SIGMOD 2015).
+//
+// It provides a partitioned OLTP DBMS testbed with six pluggable storage
+// engines — in-place updates (InP), copy-on-write updates (CoW), and
+// log-structured updates (Log), plus the paper's NVM-aware variants
+// (NVM-InP, NVM-CoW, NVM-Log) — running on an emulated byte-addressable
+// NVM device with a write-back CPU-cache simulation, perf counters, and a
+// configurable latency model.
+//
+// Quick start:
+//
+//	db, err := nstore.Open(nstore.Config{
+//		Engine:  nstore.NVMInP,
+//		Schemas: []*nstore.Schema{mySchema},
+//	})
+//	...
+//	err = db.Txn(db.Route(key), func(tx nstore.Tx) error {
+//		return tx.Insert("mytable", key, row)
+//	})
+//
+// See the examples directory for runnable walkthroughs and cmd/nvbench for
+// the paper's experiment suite.
+package nstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nstore/internal/core"
+	"nstore/internal/nvm"
+	"nstore/internal/testbed"
+)
+
+// EngineKind selects one of the six storage engines.
+type EngineKind = testbed.EngineKind
+
+// The six storage engines of the study (§3, §4).
+const (
+	InP    = testbed.InP
+	CoW    = testbed.CoW
+	Log    = testbed.Log
+	NVMInP = testbed.NVMInP
+	NVMCoW = testbed.NVMCoW
+	NVMLog = testbed.NVMLog
+)
+
+// EngineKinds lists all six engines in the paper's order.
+var EngineKinds = testbed.Kinds
+
+// Schema and data model types.
+type (
+	// Schema describes a table.
+	Schema = core.Schema
+	// Column describes one column.
+	Column = core.Column
+	// IndexSpec declares a secondary index.
+	IndexSpec = core.IndexSpec
+	// Value is one column value.
+	Value = core.Value
+	// Update is a partial tuple modification.
+	Update = core.Update
+	// Options tunes engine behaviour.
+	Options = core.Options
+	// Footprint reports storage usage by category.
+	Footprint = core.Footprint
+	// Breakdown reports execution time per engine component.
+	Breakdown = core.Breakdown
+	// LatencyProfile is an NVM latency configuration.
+	LatencyProfile = nvm.Profile
+	// DeviceStats are the NVM perf counters.
+	DeviceStats = nvm.Stats
+)
+
+// Column types.
+const (
+	TInt    = core.TInt
+	TString = core.TString
+)
+
+// Value constructors.
+var (
+	IntVal   = core.IntVal
+	StrVal   = core.StrVal
+	BytesVal = core.BytesVal
+)
+
+// Common errors.
+var (
+	ErrKeyExists   = core.ErrKeyExists
+	ErrKeyNotFound = core.ErrKeyNotFound
+	// ErrAbort, returned from a Txn body, rolls the transaction back.
+	ErrAbort = testbed.ErrAbort
+)
+
+// The paper's three latency configurations (§5.2) and the technology survey
+// of Table 1.
+var (
+	ProfileDRAM    = nvm.ProfileDRAM
+	ProfileLowNVM  = nvm.ProfileLowNVM
+	ProfileHighNVM = nvm.ProfileHighNVM
+	Profiles       = nvm.Profiles
+)
+
+// Tx is the operation surface available inside a transaction.
+type Tx interface {
+	Insert(table string, key uint64, row []Value) error
+	Update(table string, key uint64, upd Update) error
+	Delete(table string, key uint64) error
+	Get(table string, key uint64) ([]Value, bool, error)
+	ScanSecondary(table, index string, sec uint32, fn func(pk uint64) bool) error
+	ScanRange(table string, from, to uint64, fn func(pk uint64, row []Value) bool) error
+}
+
+// Config describes a database.
+type Config struct {
+	// Engine selects the storage engine (default NVMInP).
+	Engine EngineKind
+	// Partitions is the number of partitions / executor threads (default 8).
+	Partitions int
+	// DeviceSize is the total emulated NVM capacity (default 2 GiB,
+	// divided among partitions).
+	DeviceSize int64
+	// Profile is the NVM latency configuration (default DRAM).
+	Profile LatencyProfile
+	// Options tunes the engine.
+	Options Options
+	// Schemas declares the tables.
+	Schemas []*Schema
+}
+
+// DB is a database handle. The underlying testbed runs transactions
+// serially within each partition; DB methods must not be called
+// concurrently except through Execute-style batch entry points.
+type DB struct {
+	inner *testbed.DB
+	cfg   Config
+}
+
+// Open creates a database with freshly formatted storage.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Engine == "" {
+		cfg.Engine = NVMInP
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 8
+	}
+	if cfg.DeviceSize == 0 {
+		cfg.DeviceSize = 2 << 30
+	}
+	inner, err := testbed.New(testbed.Config{
+		Engine:     cfg.Engine,
+		Partitions: cfg.Partitions,
+		Env: core.EnvConfig{
+			DeviceSize: cfg.DeviceSize / int64(cfg.Partitions),
+			Profile:    cfg.Profile,
+		},
+		Options: cfg.Options,
+		Schemas: cfg.Schemas,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner, cfg: cfg}, nil
+}
+
+// Engine returns the configured engine kind.
+func (db *DB) Engine() EngineKind { return db.cfg.Engine }
+
+// Partitions returns the partition count.
+func (db *DB) Partitions() int { return db.inner.Partitions() }
+
+// Route maps a primary key to its home partition.
+func (db *DB) Route(key uint64) int { return db.inner.Route(key) }
+
+// Txn runs fn as one transaction on the given partition, committing on nil
+// and rolling back on error (ErrAbort rolls back and returns nil).
+func (db *DB) Txn(partition int, fn func(tx Tx) error) error {
+	eng := db.inner.Engine(partition)
+	if err := eng.Begin(); err != nil {
+		return err
+	}
+	err := fn(eng)
+	switch {
+	case err == nil:
+		return eng.Commit()
+	case err == ErrAbort:
+		return eng.Abort()
+	default:
+		eng.Abort()
+		return err
+	}
+}
+
+// View runs fn read-only on a partition (still a transaction internally).
+func (db *DB) View(partition int, fn func(tx Tx) error) error {
+	return db.Txn(partition, fn)
+}
+
+// ExecuteBatches runs pre-generated per-partition transaction batches
+// concurrently (one executor per partition) and reports the merged result.
+func (db *DB) ExecuteBatches(perPartition [][]func(tx Tx) error) (Result, error) {
+	work := make([][]testbed.Txn, len(perPartition))
+	for p, list := range perPartition {
+		for _, fn := range list {
+			fn := fn
+			work[p] = append(work[p], func(e core.Engine) error { return fn(e) })
+		}
+	}
+	res, err := db.inner.Execute(work)
+	return Result(res), err
+}
+
+// Result summarizes a batch execution.
+type Result testbed.Result
+
+// Throughput returns transactions per second of effective time (wall clock
+// plus simulated NVM stall).
+func (r Result) Throughput() float64 { return testbed.Result(r).Throughput() }
+
+// Flush forces batched durability work (group commits, checkpoints).
+func (db *DB) Flush() error { return db.inner.Flush() }
+
+// Crash simulates a power failure: all volatile CPU-cache state is lost;
+// only data the engine made durable survives.
+func (db *DB) Crash() { db.inner.Crash() }
+
+// Recover reopens the database after a Crash, running the engine's
+// recovery protocol, and returns the recovery latency.
+func (db *DB) Recover() (time.Duration, error) { return db.inner.Recover() }
+
+// SetLatency switches the NVM latency profile at runtime.
+func (db *DB) SetLatency(p LatencyProfile) { db.inner.SetLatency(p) }
+
+// Stats returns the aggregated NVM perf counters (loads, stores, flushes,
+// fences, stall).
+func (db *DB) Stats() DeviceStats { return db.inner.Stats() }
+
+// ResetStats zeroes the perf counters.
+func (db *DB) ResetStats() { db.inner.ResetStats() }
+
+// FootprintReport returns storage usage by category (Fig. 14).
+func (db *DB) FootprintReport() Footprint { return db.inner.Footprint() }
+
+// BreakdownReport returns cumulative execution time per engine component
+// (Fig. 13).
+func (db *DB) BreakdownReport() Breakdown { return db.inner.Breakdown() }
+
+// Testbed exposes the underlying testbed database for benchmark harnesses.
+func (db *DB) Testbed() *testbed.DB { return db.inner }
+
+// Save writes a snapshot of every partition's durable NVM contents to one
+// file. Only durable bytes are saved — exactly what a power failure would
+// preserve — so Load always runs the engine's recovery protocol. Call Flush
+// first if batched work must be included.
+func (db *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hdr [16]byte
+	copy(hdr[:8], "NSTSNAP1")
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(db.Partitions()))
+	if _, err := f.Write(hdr[:]); err != nil {
+		return err
+	}
+	for p := 0; p < db.Partitions(); p++ {
+		if err := db.inner.Env(p).Dev.WriteSnapshot(f); err != nil {
+			return fmt.Errorf("nstore: partition %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// Load reopens a database saved with Save. Schemas (including secondary-key
+// functions) are code, not data, so the caller supplies the same Config used
+// to create the database; Partitions is taken from the file.
+func Load(path string, cfg Config) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [16]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, err
+	}
+	if string(hdr[:8]) != "NSTSNAP1" {
+		return nil, fmt.Errorf("nstore: %s is not a database snapshot", path)
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[8:]))
+	if n <= 0 || n > 1024 {
+		return nil, fmt.Errorf("nstore: implausible partition count %d", n)
+	}
+	devs := make([]*nvm.Device, n)
+	for p := 0; p < n; p++ {
+		dev, err := nvm.ReadSnapshot(f)
+		if err != nil {
+			return nil, fmt.Errorf("nstore: partition %d: %w", p, err)
+		}
+		devs[p] = dev
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = NVMInP
+	}
+	inner, err := testbed.Attach(testbed.Config{
+		Engine:  cfg.Engine,
+		Options: cfg.Options,
+		Schemas: cfg.Schemas,
+	}, devs)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Partitions = n
+	return &DB{inner: inner, cfg: cfg}, nil
+}

@@ -1,0 +1,237 @@
+package nstore_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nstore"
+)
+
+func demoSchema() *nstore.Schema {
+	return &nstore.Schema{
+		Name: "kv",
+		Columns: []nstore.Column{
+			{Name: "k", Type: nstore.TInt},
+			{Name: "v", Type: nstore.TString, Size: 64},
+			{Name: "n", Type: nstore.TInt},
+		},
+		Secondary: []nstore.IndexSpec{{
+			Name:   "by_n",
+			SecKey: func(row []nstore.Value) uint32 { return uint32(row[2].I) },
+		}},
+	}
+}
+
+func openDB(t testing.TB, kind nstore.EngineKind) *nstore.DB {
+	t.Helper()
+	db, err := nstore.Open(nstore.Config{
+		Engine:     kind,
+		Partitions: 2,
+		DeviceSize: 256 << 20,
+		Schemas:    []*nstore.Schema{demoSchema()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIAllEngines(t *testing.T) {
+	for _, kind := range nstore.EngineKinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			db := openDB(t, kind)
+			for i := uint64(0); i < 50; i++ {
+				i := i
+				err := db.Txn(db.Route(i), func(tx nstore.Tx) error {
+					return tx.Insert("kv", i, []nstore.Value{
+						nstore.IntVal(int64(i)),
+						nstore.StrVal(fmt.Sprintf("val-%d", i)),
+						nstore.IntVal(int64(i % 5)),
+					})
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Read back.
+			err := db.View(db.Route(7), func(tx nstore.Tx) error {
+				row, ok, err := tx.Get("kv", 7)
+				if err != nil || !ok {
+					return fmt.Errorf("get: %v ok=%v", err, ok)
+				}
+				if string(row[1].S) != "val-7" {
+					return fmt.Errorf("value %q", row[1].S)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// ErrAbort rolls back and returns nil.
+			err = db.Txn(db.Route(7), func(tx nstore.Tx) error {
+				if err := tx.Delete("kv", 7); err != nil {
+					return err
+				}
+				return nstore.ErrAbort
+			})
+			if err != nil {
+				t.Fatalf("ErrAbort surfaced: %v", err)
+			}
+			if err := db.View(db.Route(7), func(tx nstore.Tx) error {
+				_, ok, _ := tx.Get("kv", 7)
+				if !ok {
+					return fmt.Errorf("aborted delete applied")
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			// Crash + recover via the facade.
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			db.Crash()
+			if _, err := db.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(0); i < 50; i++ {
+				if err := db.View(db.Route(i), func(tx nstore.Tx) error {
+					_, ok, err := tx.Get("kv", i)
+					if err != nil || !ok {
+						return fmt.Errorf("key %d lost after recovery", i)
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestExecuteBatches(t *testing.T) {
+	db := openDB(t, nstore.NVMCoW)
+	batches := make([][]func(tx nstore.Tx) error, db.Partitions())
+	for p := 0; p < db.Partitions(); p++ {
+		for i := 0; i < 20; i++ {
+			key := uint64(i*db.Partitions() + p)
+			batches[p] = append(batches[p], func(tx nstore.Tx) error {
+				return tx.Insert("kv", key, []nstore.Value{
+					nstore.IntVal(int64(key)), nstore.StrVal("x"), nstore.IntVal(0),
+				})
+			})
+		}
+	}
+	res, err := db.ExecuteBatches(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 40 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestStatsAndReports(t *testing.T) {
+	db := openDB(t, nstore.InP)
+	for i := uint64(0); i < 30; i++ {
+		i := i
+		if err := db.Txn(db.Route(i), func(tx nstore.Tx) error {
+			return tx.Insert("kv", i, []nstore.Value{
+				nstore.IntVal(int64(i)), nstore.StrVal("y"), nstore.IntVal(1),
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Stores == 0 {
+		t.Error("no NVM stores recorded")
+	}
+	if db.FootprintReport().Total() == 0 {
+		t.Error("no footprint")
+	}
+	bd := db.BreakdownReport()
+	if bd.Total() == 0 {
+		t.Error("no breakdown")
+	}
+	db.SetLatency(nstore.ProfileHighNVM)
+	db.ResetStats()
+	if err := db.View(db.Route(1), func(tx nstore.Tx) error {
+		_, _, err := tx.Get("kv", 1)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/db.nvm"
+	for _, kind := range []nstore.EngineKind{nstore.NVMInP, nstore.NVMCoW, nstore.NVMLog, nstore.InP, nstore.CoW, nstore.Log} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := nstore.Config{
+				Engine:     kind,
+				Partitions: 2,
+				DeviceSize: 256 << 20,
+				Schemas:    []*nstore.Schema{demoSchema()},
+			}
+			db, err := nstore.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(0); i < 60; i++ {
+				i := i
+				if err := db.Txn(db.Route(i), func(tx nstore.Tx) error {
+					return tx.Insert("kv", i, []nstore.Value{
+						nstore.IntVal(int64(i)), nstore.StrVal("persisted"), nstore.IntVal(int64(i % 4)),
+					})
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			db2, err := nstore.Load(path, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if db2.Partitions() != 2 {
+				t.Fatalf("partitions = %d", db2.Partitions())
+			}
+			for i := uint64(0); i < 60; i++ {
+				i := i
+				if err := db2.View(db2.Route(i), func(tx nstore.Tx) error {
+					row, ok, err := tx.Get("kv", i)
+					if err != nil || !ok {
+						return fmt.Errorf("key %d lost: %v", i, err)
+					}
+					if string(row[1].S) != "persisted" {
+						return fmt.Errorf("key %d corrupted: %q", i, row[1].S)
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// The reloaded database accepts new transactions.
+			if err := db2.Txn(0, func(tx nstore.Tx) error {
+				return tx.Insert("kv", 1000, []nstore.Value{
+					nstore.IntVal(1000), nstore.StrVal("post-load"), nstore.IntVal(0),
+				})
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
