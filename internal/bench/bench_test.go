@@ -20,11 +20,16 @@ func tinyScale() Scale {
 	s.TPCCCustomers = 40
 	s.TPCCItems = 100
 	s.TPCCTxns = 600
-	s.RecoveryTxns = []int{400, 1600}
+	// A wide spread so replay work dominates the fixed (load-size) part of
+	// recovery even when the test runs on a loaded machine.
+	s.RecoveryTxns = []int{400, 6400}
 	return s
 }
 
 func TestFig1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	r := New(tinyScale(), io.Discard)
 	res, err := r.Fig1()
 	if err != nil {
@@ -210,6 +215,9 @@ func TestBreakdownAndFootprint(t *testing.T) {
 }
 
 func TestCostModelRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	s := tinyScale()
 	r := New(s, io.Discard)
 	if err := r.CostModel(); err != nil {

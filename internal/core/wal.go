@@ -2,11 +2,14 @@ package core
 
 import (
 	"encoding/binary"
-	"fmt"
+	"hash/crc32"
 
 	"nstore/internal/pmalloc"
 	"nstore/internal/pmfs"
 )
+
+// walTable is the CRC polynomial table for WAL record checksums.
+var walTable = crc32.MakeTable(crc32.Castagnoli)
 
 // FsWAL is the filesystem-backed write-ahead log of the traditional engines
 // (§3.1, §3.3). Records carry the transaction identifier, the table
@@ -124,11 +127,15 @@ func (w *FsWAL) bufAppend(b []byte) {
 // Append buffers a record. It becomes durable at the next group-commit
 // flush.
 func (w *FsWAL) Append(r WalRecord) {
-	// size u32 | type u8 | table u8 | txnid u64 | key u64 |
+	// size u32 | crc u32 | type u8 | table u8 | txnid u64 | key u64 |
 	// beforeLen u32 | before | afterLen u32 | after
+	//
+	// crc covers the body. A crash can leave the file tail holding a torn
+	// append or stale bytes from a reused extent; the checksum lets replay
+	// tell a valid record from debris.
 	body := 1 + 1 + 8 + 8 + 4 + len(r.Before) + 4 + len(r.After)
-	rec := make([]byte, 0, 4+body)
-	var hdr [4]byte
+	rec := make([]byte, 0, 8+body)
+	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(body))
 	rec = append(rec, hdr[:]...)
 	rec = append(rec, r.Type, uint8(r.Table))
@@ -144,6 +151,7 @@ func (w *FsWAL) Append(r WalRecord) {
 	binary.LittleEndian.PutUint32(b4[:], uint32(len(r.After)))
 	rec = append(rec, b4[:]...)
 	rec = append(rec, r.After...)
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(rec[8:], walTable))
 	w.bufAppend(rec)
 }
 
@@ -189,47 +197,69 @@ func (w *FsWAL) Flush() error {
 }
 
 // Replay parses the durable log and calls fn for every record of a
-// committed transaction, in log order. Records of transactions without a
-// commit record (in-flight at the crash) are skipped, implementing the
-// "changes made by uncommitted transactions are not propagated" rule.
-func (w *FsWAL) Replay(fn func(r WalRecord) error) error {
+// committed transaction with TxnID > minTxn, in log order. Records of
+// transactions without a commit record (in-flight at the crash) are
+// skipped, implementing the "changes made by uncommitted transactions are
+// not propagated" rule; minTxn filters records already covered by a
+// checkpoint or SSTable flush, which can resurface when a truncated log's
+// extents are reused. Replay stops at the first torn or corrupt record and
+// truncates the durable file back to the valid prefix, so later appends
+// never land beyond crash debris. It returns the highest TxnID seen in any
+// valid record (committed or not); the engine must restart its TxnID
+// counter above it so old in-flight records can never pair with a new
+// commit record.
+func (w *FsWAL) Replay(minTxn uint64, fn func(r WalRecord) error) (maxTxn uint64, err error) {
 	size := w.f.Size()
 	data := make([]byte, size)
 	if size > 0 {
 		if _, err := w.f.ReadAt(data, 0); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	// Pass 1: find committed txns.
+	// Pass 1: find committed txns and the valid prefix length.
 	committed := make(map[uint64]bool)
-	if err := walkRecords(data, func(r WalRecord) error {
+	valid, _ := walkRecords(data, func(r WalRecord) error {
+		if r.TxnID > maxTxn {
+			maxTxn = r.TxnID
+		}
 		if r.Type == WalCommit {
 			committed[r.TxnID] = true
 		}
 		return nil
-	}); err != nil {
-		return err
+	})
+	if int64(valid) < size {
+		// Crash debris past the valid prefix: cut it off durably before the
+		// engine appends anything new behind it.
+		if err := w.f.Truncate(int64(valid)); err != nil {
+			return maxTxn, err
+		}
 	}
 	// Pass 2: redo committed records in order.
-	return walkRecords(data, func(r WalRecord) error {
-		if r.Type != WalCommit && committed[r.TxnID] {
+	_, err = walkRecords(data[:valid], func(r WalRecord) error {
+		if r.Type != WalCommit && committed[r.TxnID] && r.TxnID > minTxn {
 			return fn(r)
 		}
 		return nil
 	})
+	return maxTxn, err
 }
 
-func walkRecords(data []byte, fn func(r WalRecord) error) error {
+// walkRecords parses records from data until the first torn or corrupt
+// record, returning the length of the valid prefix. Damage is expected
+// after a crash (unflushed group tails, reused extents) and simply ends the
+// walk; only fn errors propagate.
+func walkRecords(data []byte, fn func(r WalRecord) error) (valid int, err error) {
 	off := 0
-	for off+4 <= len(data) {
+	for off+8 <= len(data) {
 		body := int(binary.LittleEndian.Uint32(data[off:]))
-		off += 4
-		if body < 26 || off+body > len(data) {
-			// Torn tail from an unflushed group; stop.
-			return nil
+		if body < 26 || off+8+body > len(data) {
+			return off, nil
 		}
-		rec := data[off : off+body]
-		off += body
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		rec := data[off+8 : off+8+body]
+		if crc32.Checksum(rec, walTable) != crc {
+			return off, nil
+		}
 		r := WalRecord{
 			Type:  rec[0],
 			Table: int(rec[1]),
@@ -238,22 +268,23 @@ func walkRecords(data []byte, fn func(r WalRecord) error) error {
 		}
 		bl := int(binary.LittleEndian.Uint32(rec[18:]))
 		if 22+bl > body {
-			return nil
+			return off, nil
 		}
 		r.Before = rec[22 : 22+bl]
 		al := int(binary.LittleEndian.Uint32(rec[22+bl:]))
 		if 26+bl+al > body {
-			return nil
+			return off, nil
 		}
 		r.After = rec[26+bl : 26+bl+al]
 		if r.Type == 0 || r.Type > WalCommit {
-			return fmt.Errorf("core: corrupt WAL record type %d", r.Type)
+			return off, nil
 		}
+		off += 8 + body
 		if err := fn(r); err != nil {
-			return err
+			return off, err
 		}
 	}
-	return nil
+	return off, nil
 }
 
 // Truncate discards the durable log (after a checkpoint).

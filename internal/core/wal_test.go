@@ -26,14 +26,18 @@ func TestWalReplayCommittedOnly(t *testing.T) {
 	w.Flush()
 
 	var keys []uint64
-	if err := w.Replay(func(r WalRecord) error {
+	maxTxn, err := w.Replay(0, func(r WalRecord) error {
 		keys = append(keys, r.Key)
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(keys) != 1 || keys[0] != 10 {
 		t.Fatalf("replayed %v, want [10]", keys)
+	}
+	if maxTxn != 2 {
+		t.Fatalf("maxTxn = %d, want 2 (in-flight txns count too)", maxTxn)
 	}
 }
 
@@ -65,7 +69,7 @@ func TestWalDropTail(t *testing.T) {
 	w.DropTail(mark) // abort txn 2
 	w.Flush()
 	var n int
-	w.Replay(func(r WalRecord) error { n++; return nil })
+	w.Replay(0, func(r WalRecord) error { n++; return nil })
 	if n != 1 {
 		t.Fatalf("replayed %d records after DropTail, want 1", n)
 	}
@@ -79,6 +83,7 @@ func TestWalTornTailIgnored(t *testing.T) {
 	// Simulate a torn tail: unsynced growth lost in a crash is handled by
 	// pmfs, but a partially valid record must also be tolerated. Append
 	// garbage length prefix directly.
+	validLen := w.SizeBytes()
 	f, _ := fs.OpenFile("wal")
 	f.Append([]byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3})
 	f.Sync()
@@ -88,11 +93,17 @@ func TestWalTornTailIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := 0
-	if err := w2.Replay(func(r WalRecord) error { n++; return nil }); err != nil {
+	if _, err := w2.Replay(0, func(r WalRecord) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 1 {
 		t.Fatalf("replayed %d records with torn tail", n)
+	}
+	// Replay truncated the debris; new appends land right after the last
+	// valid record instead of beyond the garbage.
+	if w2.SizeBytes() != validLen {
+		t.Fatalf("log size %d after replay, want debris truncated to %d",
+			w2.SizeBytes(), validLen)
 	}
 }
 
@@ -119,7 +130,11 @@ func TestWalBeforeAfterImages(t *testing.T) {
 		Before: []byte("before image"), After: []byte("after image")})
 	w.TxnCommitted(3)
 	var got WalRecord
-	w.Replay(func(r WalRecord) error { got = r; return nil })
+	w.Replay(0, func(r WalRecord) error {
+		got = WalRecord{Type: r.Type, TxnID: r.TxnID, Table: r.Table, Key: r.Key,
+			Before: append([]byte(nil), r.Before...), After: append([]byte(nil), r.After...)}
+		return nil
+	})
 	if got.Table != 2 || got.Key != 77 ||
 		string(got.Before) != "before image" || string(got.After) != "after image" {
 		t.Fatalf("record mismatch: %+v", got)

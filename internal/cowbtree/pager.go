@@ -11,8 +11,26 @@ import (
 // metaMagic seeds the master-record checksum so torn writes are detected.
 const metaMagic = 0x434f574d45544131 // "COWMETA1"
 
+// metaSum mixes the master-record fields through an avalanching hash
+// (splitmix64 finalizer per field). A plain XOR is not enough under
+// 8-byte-granularity torn writes: a slot where e.g. seq changed 10→12 and
+// root changed 3→5 XOR-cancels and a half-written slot would validate.
 func metaSum(seq, root, npages, user uint64) uint64 {
-	return seq ^ root ^ npages ^ user ^ metaMagic
+	mix := func(h, v uint64) uint64 {
+		h += v + 0x9e3779b97f4a7c15
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+		return h
+	}
+	h := uint64(metaMagic)
+	h = mix(h, seq)
+	h = mix(h, root)
+	h = mix(h, npages)
+	h = mix(h, user)
+	return h
 }
 
 // FilePager stores pages in a pmfs file, the way the CoW engine keeps its

@@ -94,3 +94,16 @@ func TestWriteAmplification(t *testing.T) {
 		t.Errorf("write amplification too low: %d bytes written for %d logical", d.BytesWritten, logical)
 	}
 }
+
+func TestRecoveryConformance(t *testing.T) {
+	enginetest.RunRecoveryConformance(t, enginetest.Factory{
+		Name: "cow",
+		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return New(env, schemas, opts)
+		},
+		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return Open(env, schemas, opts)
+		},
+		Volatile: true,
+	}, 200)
+}

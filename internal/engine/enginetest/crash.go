@@ -16,8 +16,13 @@ import (
 // entirely absent.
 func RunCrashInjection(t *testing.T, f Factory, iterations int) {
 	schema := testSchema()
-	rng := rand.New(rand.NewSource(2024))
+	base := BaseSeed()
 	for iter := 0; iter < iterations; iter++ {
+		// Per-iteration seed, so a failure names the exact schedule and
+		// replays with -seed=N (the log only surfaces when the test fails).
+		seed := base + int64(iter)
+		t.Logf("crash-injection iter %d: seed %d (replay: go test -run CrashInjection -seed=%d)", iter, seed, seed)
+		rng := rand.New(rand.NewSource(seed))
 		env := core.NewEnv(core.EnvConfig{DeviceSize: 256 << 20})
 		// GroupCommitSize 1: the CoW engines persist per batch, so the
 		// strongest durable-at-commit contract needs one-txn batches.

@@ -12,6 +12,7 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"nstore/internal/btree"
@@ -21,10 +22,20 @@ import (
 )
 
 const (
-	walFile  = "inp.wal"
-	ckptFile = "inp.ckpt"
-	ckptTmp  = "inp.ckpt.tmp"
+	walFile = "inp.wal"
+	// Checkpoints alternate between two slot files: the writer never touches
+	// the newest valid checkpoint, so a crash anywhere mid-write (including a
+	// torn fsync) costs at most the in-progress slot. This replaces a
+	// tmp-file + rename swap, which is not crash-atomic on pmfs.
+	ckptSlotA = "inp.ckpt.0"
+	ckptSlotB = "inp.ckpt.1"
+
+	ckptMagic   = 0x4e53434b50543031 // "NSCKPT01"
+	ckptHdrSize = 40                 // magic, seq, txn floor, payload len (u64) + payload crc (u32) + pad
 )
+
+// ckptCRC is the checksum polynomial for checkpoint slot validation.
+var ckptCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // Engine is the in-place updates engine.
 type Engine struct {
@@ -37,12 +48,12 @@ type Engine struct {
 
 	wal *core.FsWAL
 
-	walMark      int // buffer mark at txn begin, for abort
-	undo         []undoRec
-	sinceCkpt    int
-	ckptSeq      uint64
-	ckptDurable  int64 // durable checkpoint size (Fig. 14)
-	recoveredTxn uint64
+	walMark     int // buffer mark at txn begin, for abort
+	undo        []undoRec
+	sinceCkpt   int
+	ckptSeq     uint64
+	ckptTxn     uint64 // highest TxnID covered by the loaded/written checkpoint
+	ckptDurable int64  // durable checkpoint size (Fig. 14)
 }
 
 type undoRec struct {
@@ -95,10 +106,8 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 	defer stop()
 
 	e.buildVolatile()
-	if env.FS.Exists(ckptFile) {
-		if err := e.loadCheckpoint(); err != nil {
-			return nil, fmt.Errorf("inp: checkpoint load: %w", err)
-		}
+	if err := e.loadCheckpoint(); err != nil {
+		return nil, fmt.Errorf("inp: checkpoint load: %w", err)
 	}
 	wal, err := core.OpenFsWAL(env.FS, walFile, e.opts.GroupCommitSize)
 	if err != nil {
@@ -111,18 +120,22 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 		}
 	}
 	e.wal = wal
-	if err := e.replayWAL(); err != nil {
+	maxTxn, err := e.replayWAL()
+	if err != nil {
 		return nil, fmt.Errorf("inp: wal replay: %w", err)
 	}
-	e.TxnID = e.recoveredTxn
+	e.TxnID = maxTxn
+	if e.ckptTxn > e.TxnID {
+		e.TxnID = e.ckptTxn
+	}
 	return e, nil
 }
 
-func (e *Engine) replayWAL() error {
-	return e.wal.Replay(func(r core.WalRecord) error {
-		if r.TxnID > e.recoveredTxn {
-			e.recoveredTxn = r.TxnID
-		}
+func (e *Engine) replayWAL() (uint64, error) {
+	// Records at or below the checkpoint's transaction floor are already in
+	// the checkpoint image; they reappear when a truncated log's extents are
+	// reused and must not be applied twice (or out of order).
+	return e.wal.Replay(e.ckptTxn, func(r core.WalRecord) error {
 		tm := e.Tables[r.Table]
 		switch r.Type {
 		case core.WalInsert:
@@ -492,39 +505,82 @@ func (e *Engine) Checkpoint() error {
 	if err := zw.Close(); err != nil {
 		return err
 	}
-	if e.Env.FS.Exists(ckptTmp) {
-		e.Env.FS.Remove(ckptTmp)
+	// Write the next slot: header (seq, txn floor, payload crc) + payload,
+	// one fsync. The newest valid slot is never the one being overwritten,
+	// so any crash here leaves the previous checkpoint intact; the WAL is
+	// truncated only after the new slot is durable.
+	seq := e.ckptSeq + 1
+	name := ckptSlotA
+	if seq%2 == 1 {
+		name = ckptSlotB
 	}
-	f, err := e.Env.FS.Create(ckptTmp)
+	payload := buf.Bytes()
+	img := make([]byte, ckptHdrSize+len(payload))
+	binary.LittleEndian.PutUint64(img[0:], ckptMagic)
+	binary.LittleEndian.PutUint64(img[8:], seq)
+	binary.LittleEndian.PutUint64(img[16:], e.TxnID)
+	binary.LittleEndian.PutUint64(img[24:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(img[32:], crc32.Checksum(payload, ckptCRC))
+	copy(img[ckptHdrSize:], payload)
+	f, err := e.Env.FS.OpenOrCreate(name)
 	if err != nil {
 		return err
 	}
-	if _, err := f.WriteAt(buf.Bytes(), 0); err != nil {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(img, 0); err != nil {
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		return err
 	}
-	if err := e.Env.FS.Rename(ckptTmp, ckptFile); err != nil {
-		return err
-	}
-	e.ckptDurable = int64(buf.Len())
-	e.ckptSeq++
+	e.ckptDurable = int64(len(img))
+	e.ckptSeq = seq
+	e.ckptTxn = e.TxnID
 	e.sinceCkpt = 0
 	return e.wal.Truncate()
 }
 
-// loadCheckpoint restores tuples from the checkpoint file.
-func (e *Engine) loadCheckpoint() error {
-	f, err := e.Env.FS.OpenFile(ckptFile)
-	if err != nil {
-		return err
+// readCkptSlot parses one checkpoint slot, returning its sequence number,
+// transaction floor, and decompressed payload, or ok=false if the slot is
+// missing, torn, or stale debris.
+func (e *Engine) readCkptSlot(name string) (seq, txn uint64, payload []byte, ok bool) {
+	f, err := e.Env.FS.OpenFile(name)
+	if err != nil || f.Size() < ckptHdrSize {
+		return 0, 0, nil, false
 	}
 	raw := make([]byte, f.Size())
 	if _, err := f.ReadAt(raw, 0); err != nil {
-		return err
+		return 0, 0, nil, false
 	}
-	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if binary.LittleEndian.Uint64(raw[0:]) != ckptMagic {
+		return 0, 0, nil, false
+	}
+	n := binary.LittleEndian.Uint64(raw[24:])
+	if ckptHdrSize+n > uint64(len(raw)) {
+		return 0, 0, nil, false
+	}
+	payload = raw[ckptHdrSize : ckptHdrSize+n]
+	if crc32.Checksum(payload, ckptCRC) != binary.LittleEndian.Uint32(raw[32:]) {
+		return 0, 0, nil, false
+	}
+	return binary.LittleEndian.Uint64(raw[8:]), binary.LittleEndian.Uint64(raw[16:]), payload, true
+}
+
+// loadCheckpoint restores tuples from the newest valid checkpoint slot, if
+// any.
+func (e *Engine) loadCheckpoint() error {
+	var payload []byte
+	for _, name := range []string{ckptSlotA, ckptSlotB} {
+		if seq, txn, p, ok := e.readCkptSlot(name); ok && seq > e.ckptSeq {
+			e.ckptSeq, e.ckptTxn, payload = seq, txn, p
+		}
+	}
+	if payload == nil {
+		return nil
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(payload))
 	if err != nil {
 		return err
 	}
@@ -532,7 +588,7 @@ func (e *Engine) loadCheckpoint() error {
 	if err != nil {
 		return err
 	}
-	e.ckptDurable = f.Size()
+	e.ckptDurable = int64(ckptHdrSize + len(payload))
 	off := 0
 	for off+20 <= len(data) {
 		tid := int(binary.LittleEndian.Uint32(data[off:]))

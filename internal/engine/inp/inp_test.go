@@ -100,3 +100,7 @@ func TestCheckpointCompression(t *testing.T) {
 			e.Footprint().Checkpoint, raw/5)
 	}
 }
+
+func TestRecoveryConformance(t *testing.T) {
+	enginetest.RunRecoveryConformance(t, factory(), 200)
+}

@@ -9,6 +9,7 @@ package logeng
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"nstore/internal/btree"
 	"nstore/internal/core"
@@ -17,10 +18,22 @@ import (
 )
 
 const (
-	walFile      = "log.wal"
-	manifestFile = "log.manifest"
-	manifestTmp  = "log.manifest.tmp"
+	walFile = "log.wal"
+	// The manifest alternates between two slot files so the newest valid
+	// manifest is never the one being overwritten: a crash mid-write
+	// (including a torn fsync) invalidates at most the in-progress slot and
+	// recovery falls back to the previous generation, whose SSTables are
+	// only removed after the next generation is durable. This replaces a
+	// tmp-file + rename swap, which is not crash-atomic on pmfs.
+	manifestSlotA = "log.manifest.0"
+	manifestSlotB = "log.manifest.1"
+
+	manifestMagic   = 0x4e534d414e463031 // "NSMANF01"
+	manifestHdrSize = 32                 // magic, gen, payload len (u64) + payload crc (u32) + pad
 )
+
+// manCRC is the checksum polynomial for manifest slot validation.
+var manCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // Engine is the log-structured updates engine.
 type Engine struct {
@@ -35,14 +48,17 @@ type Engine struct {
 	wal    *core.FsWAL
 	levels []*sstable // levels[i] holds one run, ~k^i MemTables big
 	seq    uint64
+	manGen uint64 // manifest generation (newest valid slot wins)
+	// walFloor is the highest TxnID fully contained in the SSTables; WAL
+	// records at or below it are stale debris from reused extents.
+	walFloor uint64
 
 	walMark  int
 	undo     []memUndo
 	secUndo  []secUndo
 	txnFrees []pmalloc.Ptr // superseded chunks, freed at commit
 
-	recoveredTxn uint64
-	compactions  int
+	compactions int
 }
 
 type memUndo struct {
@@ -114,21 +130,22 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 		}
 	}
 	e.wal = wal
-	if err := e.replayWAL(); err != nil {
+	maxTxn, err := e.replayWAL()
+	if err != nil {
 		return nil, err
 	}
-	e.TxnID = e.recoveredTxn
+	e.TxnID = maxTxn
+	if e.walFloor > e.TxnID {
+		e.TxnID = e.walFloor
+	}
 	if err := e.rebuildSecondaries(); err != nil {
 		return nil, err
 	}
 	return e, nil
 }
 
-func (e *Engine) replayWAL() error {
-	return e.wal.Replay(func(r core.WalRecord) error {
-		if r.TxnID > e.recoveredTxn {
-			e.recoveredTxn = r.TxnID
-		}
+func (e *Engine) replayWAL() (uint64, error) {
+	return e.wal.Replay(e.walFloor, func(r core.WalRecord) error {
 		tk := core.TreePrimary(r.Table, r.Key)
 		var ent lsm.Entry
 		switch r.Type {
@@ -725,12 +742,16 @@ func (e *Engine) mergeRuns(newer, older *sstable, dropTombs bool) (*sstable, err
 	return openSSTable(e.Env.FS, e.Env.Arena, name)
 }
 
-// Manifest: seq u64, count u32, then {level u32, nameLen u32, name}.
+// Manifest payload: seq u64, txnFloor u64, count u32, then
+// {level u32, nameLen u32, name}. The payload sits behind a slot header
+// (magic, generation, length, CRC); the newest valid slot wins at open.
 
 func (e *Engine) writeManifest() error {
 	var buf []byte
 	var b8 [8]byte
 	binary.LittleEndian.PutUint64(b8[:], e.seq)
+	buf = append(buf, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], e.TxnID)
 	buf = append(buf, b8[:]...)
 	var entries [][]byte
 	for i, run := range e.levels {
@@ -752,46 +773,99 @@ func (e *Engine) writeManifest() error {
 	for _, ent := range entries {
 		buf = append(buf, ent...)
 	}
-	if e.Env.FS.Exists(manifestTmp) {
-		e.Env.FS.Remove(manifestTmp)
+
+	gen := e.manGen + 1
+	img := make([]byte, manifestHdrSize+len(buf))
+	binary.LittleEndian.PutUint64(img[0:], manifestMagic)
+	binary.LittleEndian.PutUint64(img[8:], gen)
+	binary.LittleEndian.PutUint64(img[16:], uint64(len(buf)))
+	binary.LittleEndian.PutUint32(img[24:], crc32.Checksum(buf, manCRC))
+	copy(img[manifestHdrSize:], buf)
+
+	// Generation parity picks the slot NOT holding the newest valid
+	// manifest; manGen only advances on durable success, so a failed
+	// attempt retries into the same (expendable) slot.
+	slot := manifestSlotA
+	if gen%2 == 1 {
+		slot = manifestSlotB
 	}
-	f, err := e.Env.FS.Create(manifestTmp)
+	f, err := e.Env.FS.OpenOrCreate(slot)
 	if err != nil {
 		return err
 	}
-	if _, err := f.WriteAt(buf, 0); err != nil {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(img, 0); err != nil {
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		return err
 	}
-	return e.Env.FS.Rename(manifestTmp, manifestFile)
+	e.manGen = gen
+	e.walFloor = e.TxnID
+	return nil
 }
 
-func (e *Engine) loadManifest() error {
-	f, err := e.Env.FS.OpenFile(manifestFile)
+// readManifestSlot validates one slot file; ok is false for a missing,
+// torn, or corrupt slot (all expected after a crash).
+func (e *Engine) readManifestSlot(name string) (gen uint64, payload []byte, ok bool) {
+	f, err := e.Env.FS.OpenFile(name)
 	if err != nil {
-		return fmt.Errorf("logeng: no manifest: %w", err)
+		return 0, nil, false
 	}
-	buf := make([]byte, f.Size())
-	if _, err := f.ReadAt(buf, 0); err != nil {
-		return err
+	size := f.Size()
+	if size < manifestHdrSize {
+		return 0, nil, false
 	}
-	if len(buf) < 12 {
-		return fmt.Errorf("logeng: manifest truncated")
+	img := make([]byte, size)
+	if _, err := f.ReadAt(img, 0); err != nil {
+		return 0, nil, false
+	}
+	if binary.LittleEndian.Uint64(img[0:]) != manifestMagic {
+		return 0, nil, false
+	}
+	gen = binary.LittleEndian.Uint64(img[8:])
+	plen := binary.LittleEndian.Uint64(img[16:])
+	if plen > uint64(size-manifestHdrSize) {
+		return 0, nil, false
+	}
+	payload = img[manifestHdrSize : manifestHdrSize+int(plen)]
+	if crc32.Checksum(payload, manCRC) != binary.LittleEndian.Uint32(img[24:]) {
+		return 0, nil, false
+	}
+	return gen, payload, true
+}
+
+// loadManifest restores state from the newest valid manifest slot. No
+// valid slot means no MemTable flush ever completed (or the very first
+// manifest write tore): the WAL still holds every committed transaction,
+// so starting with empty levels is correct.
+func (e *Engine) loadManifest() error {
+	gen, buf, ok := e.readManifestSlot(manifestSlotA)
+	if g2, b2, ok2 := e.readManifestSlot(manifestSlotB); ok2 && (!ok || g2 > gen) {
+		gen, buf, ok = g2, b2, true
+	}
+	if !ok {
+		return nil
+	}
+	e.manGen = gen
+	if len(buf) < 20 {
+		return fmt.Errorf("logeng: manifest payload truncated")
 	}
 	e.seq = binary.LittleEndian.Uint64(buf)
-	n := int(binary.LittleEndian.Uint32(buf[8:]))
-	off := 12
+	e.walFloor = binary.LittleEndian.Uint64(buf[8:])
+	n := int(binary.LittleEndian.Uint32(buf[16:]))
+	off := 20
 	for i := 0; i < n; i++ {
 		if off+8 > len(buf) {
-			return fmt.Errorf("logeng: manifest truncated")
+			return fmt.Errorf("logeng: manifest payload truncated")
 		}
 		level := int(binary.LittleEndian.Uint32(buf[off:]))
 		nameLen := int(binary.LittleEndian.Uint32(buf[off+4:]))
 		off += 8
 		if off+nameLen > len(buf) {
-			return fmt.Errorf("logeng: manifest truncated")
+			return fmt.Errorf("logeng: manifest payload truncated")
 		}
 		name := string(buf[off : off+nameLen])
 		off += nameLen

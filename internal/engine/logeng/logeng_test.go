@@ -184,3 +184,16 @@ func TestRecoveryAfterCompactionCrash(t *testing.T) {
 		}
 	}
 }
+
+func TestRecoveryConformance(t *testing.T) {
+	enginetest.RunRecoveryConformance(t, enginetest.Factory{
+		Name: "log",
+		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return New(env, schemas, opts)
+		},
+		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return Open(env, schemas, opts)
+		},
+		Volatile: true,
+	}, 200)
+}

@@ -150,3 +150,15 @@ func TestCrashInjection(t *testing.T) {
 		},
 	}, 25)
 }
+
+func TestRecoveryConformance(t *testing.T) {
+	enginetest.RunRecoveryConformance(t, enginetest.Factory{
+		Name: "nvm-cow",
+		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return New(env, schemas, opts)
+		},
+		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return Open(env, schemas, opts)
+		},
+	}, 200)
+}

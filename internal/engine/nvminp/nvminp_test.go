@@ -167,3 +167,42 @@ func TestCrashInjection(t *testing.T) {
 		},
 	}, 25)
 }
+
+func TestRecoveryConformance(t *testing.T) {
+	enginetest.RunRecoveryConformance(t, enginetest.Factory{
+		Name: "nvminp",
+		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return New(env, schemas, opts)
+		},
+		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			return Open(env, schemas, opts)
+		},
+	}, 200)
+}
+
+// TestConformanceCatchesMissingFence is the harness's self-test: an engine
+// whose commit-path SFENCE has been removed (fences become no-ops during
+// the workload, restored for recovery) must make the battery report a
+// failure. If this test ever passes vacuously, the conformance suite has
+// lost its teeth.
+func TestConformanceCatchesMissingFence(t *testing.T) {
+	broken := enginetest.Factory{
+		Name: "nvminp-nofence",
+		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			e, err := New(env, schemas, opts)
+			if err == nil {
+				env.Dev.SetFenceNoop(true)
+			}
+			return e, err
+		},
+		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
+			env.Dev.SetFenceNoop(false)
+			return Open(env, schemas, opts)
+		},
+	}
+	err := enginetest.CheckRecoveryConformance(broken, 12, enginetest.BaseSeed())
+	if err == nil {
+		t.Fatal("conformance battery did not catch an engine whose commit fence was removed")
+	}
+	t.Logf("caught as expected: %v", err)
+}

@@ -122,8 +122,11 @@ type Device struct {
 	pending     map[int64][LineSize]byte
 	pendingKeys []int64 // insertion-ordered keys of pending (drain list)
 	syncCLWB    bool    // Sync uses CLWB instead of CLFLUSH (Appendix C)
-	failFences  int     // fault injection: panic(ErrInjectedCrash) after N fences
-	failArmed   bool
+	// Fault injection (see fault.go).
+	plan      FaultPlan
+	planSet   bool // a plan is installed; Crash applies its effects
+	planArmed bool // the plan's fence-countdown crash trigger is live
+	fenceNoop bool // simulated protocol bug: Fence loses its durability effect
 }
 
 // ErrInjectedCrash is the panic value raised by fault injection (see
@@ -137,14 +140,14 @@ var ErrInjectedCrash error = injectedCrash{}
 
 // FailAfterFences arms fault injection: after n further Fence calls, the
 // next Fence panics with ErrInjectedCrash before ordering its flushes,
-// simulating a power failure at an arbitrary durability boundary.
+// simulating a power failure at an arbitrary durability boundary. It is the
+// legacy spelling of InjectFaults with the lose-all fault mode.
 func (d *Device) FailAfterFences(n int) {
-	d.failFences = n
-	d.failArmed = true
+	d.InjectFaults(FaultPlan{Mode: FaultLoseAll, CrashAfterFences: n})
 }
 
 // DisarmFail cancels pending fault injection.
-func (d *Device) DisarmFail() { d.failArmed = false }
+func (d *Device) DisarmFail() { d.ClearFaults() }
 
 // NewDevice creates a device with the given configuration.
 func NewDevice(cfg Config) *Device {
@@ -313,15 +316,20 @@ func (d *Device) AddStall(t time.Duration) {
 // Fence orders preceding flushes, like SFENCE. After Flush+Fence the flushed
 // bytes are durable.
 func (d *Device) Fence() {
-	if d.failArmed {
-		if d.failFences <= 0 {
-			d.failArmed = false
+	if d.planArmed {
+		if d.plan.CrashAfterFences <= 0 {
+			// The plan stays installed: Crash still applies its durability
+			// effects to the un-fenced lines.
+			d.planArmed = false
 			panic(ErrInjectedCrash)
 		}
-		d.failFences--
+		d.plan.CrashAfterFences--
 	}
 	d.stats.Fences++
 	d.stats.Stall += d.cfg.FenceCost + d.cfg.SyncExtra
+	if d.fenceNoop {
+		return
+	}
 	for _, line := range d.pendingKeys {
 		if pl, ok := d.pending[line]; ok {
 			copy(d.data[line:line+LineSize], pl[:])
@@ -349,12 +357,17 @@ func (d *Device) Sync(off int64, n int) {
 }
 
 // Crash simulates a power failure: every cache line that has not been
-// written back is lost. The durable medium is untouched.
+// written back is lost and the durable medium keeps its contents — except
+// that an installed FaultPlan may first persist a seeded subset of the
+// un-fenced lines (possibly torn), modelling reordered write-backs. The
+// plan is consumed: recovery after the crash runs fault-free.
 func (d *Device) Crash() {
+	d.applyFaults()
 	d.cache.dropAll()
 	d.pending = make(map[int64][LineSize]byte)
 	d.pendingKeys = nil
-	d.failArmed = false
+	d.planSet = false
+	d.planArmed = false
 }
 
 // EvictAll forcibly writes back and drops every dirty cache line, simulating

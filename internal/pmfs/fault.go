@@ -1,0 +1,112 @@
+// Fault injection for the filesystem interface: seeded, replayable fsync
+// failures. These model what a real PMFS-like filesystem can do to a
+// database at power failure — drop writes that were never fsync'd, tear an
+// fsync so only a prefix of the appended bytes reaches the medium, or cut
+// power just after the fsync retires. The storage engines' WAL, checkpoint,
+// and SSTable protocols must recover from all three.
+package pmfs
+
+import (
+	"math/rand"
+
+	"nstore/internal/nvm"
+)
+
+// SyncFaultMode selects where inside an fsync the injected crash strikes.
+type SyncFaultMode int
+
+const (
+	// SyncCrashLost crashes at fsync entry: nothing from this fsync is
+	// flushed, so all of the file's written-but-unsynced data is dropped.
+	SyncCrashLost SyncFaultMode = iota
+	// SyncCrashTorn crashes mid-fsync: a seeded prefix of the file's dirty
+	// byte ranges is flushed and fenced (and the inode metadata with
+	// probability 1/2), then power fails. This is the torn-append case —
+	// the durable file may keep a garbage tail or lose its tail entirely.
+	SyncCrashTorn
+	// SyncCrashAfter completes the fsync and then crashes: everything the
+	// fsync covered must be durable.
+	SyncCrashAfter
+)
+
+// String names the sync fault mode for logs and failure reports.
+func (m SyncFaultMode) String() string {
+	switch m {
+	case SyncCrashLost:
+		return "fsync-lost"
+	case SyncCrashTorn:
+		return "fsync-torn"
+	case SyncCrashAfter:
+		return "fsync-after"
+	}
+	return "unknown"
+}
+
+// SyncFault is a seeded, replayable fsync failure: after AfterSyncs further
+// File.Sync calls (on any file), the next Sync applies Mode and panics with
+// nvm.ErrInjectedCrash. Tests recover the panic, call Device.Crash, and
+// reopen the filesystem.
+type SyncFault struct {
+	Seed       int64
+	AfterSyncs int
+	Mode       SyncFaultMode
+}
+
+// InjectSyncFault installs a sync fault. Any previously installed fault is
+// replaced.
+func (fs *FS) InjectSyncFault(f SyncFault) {
+	fs.syncFault = f
+	fs.syncFaultSet = true
+}
+
+// ClearSyncFault removes an installed sync fault without firing it.
+func (fs *FS) ClearSyncFault() { fs.syncFaultSet = false }
+
+// crashSync fires the installed sync fault during an fsync of inode ino.
+// It never returns.
+func (fs *FS) crashSync(ino int) {
+	fault := fs.syncFault
+	fs.syncFaultSet = false
+	switch fault.Mode {
+	case SyncCrashTorn:
+		rng := rand.New(rand.NewSource(fault.Seed))
+		spans := fs.dirty[ino]
+		var total int64
+		for _, s := range spans {
+			total += s.end - s.off
+		}
+		if total > 0 {
+			// Flush a seeded byte prefix of the dirty ranges, in write order
+			// (line granularity: the line containing the cut is flushed whole).
+			cut := rng.Int63n(total + 1)
+			for _, s := range spans {
+				n := s.end - s.off
+				if n > cut {
+					n = cut
+				}
+				if n > 0 {
+					fs.dev.Flush(s.off, int(n))
+				}
+				cut -= n
+				if cut <= 0 {
+					break
+				}
+			}
+		}
+		if fs.metaDirty[ino] && rng.Intn(2) == 0 {
+			fs.dev.Flush(fs.inodeOff(ino), inodeSize)
+		}
+		fs.dev.Fence()
+	case SyncCrashAfter:
+		for _, s := range fs.dirty[ino] {
+			fs.dev.Flush(s.off, int(s.end-s.off))
+		}
+		delete(fs.dirty, ino)
+		if fs.metaDirty[ino] {
+			fs.dev.Flush(fs.inodeOff(ino), inodeSize)
+			delete(fs.metaDirty, ino)
+		}
+		fs.dev.Fence()
+	}
+	panic(nvm.ErrInjectedCrash)
+}

@@ -87,6 +87,10 @@ type FS struct {
 	// metaDirty marks inodes whose metadata (size, extents) changed since
 	// the last fsync, so fsync only flushes metadata when needed.
 	metaDirty map[int]bool
+
+	// Fault injection (see fault.go).
+	syncFault    SyncFault
+	syncFaultSet bool
 }
 
 type span struct{ off, end int64 }
@@ -149,12 +153,24 @@ func Open(dev *nvm.Device, base int64) (*FS, error) {
 		if dev.ReadU64(ino+inoFlags) != 1 {
 			continue
 		}
-		nExt := fs.extentsFor(int64(dev.ReadU64(ino + inoSize)))
+		size := int64(dev.ReadU64(ino + inoSize))
+		// Crash scrub: a torn inode flush can leave a durable size whose
+		// tail extents were never recorded. Clamp the size to the contiguous
+		// prefix of valid extent pointers; the lost tail is exactly what an
+		// fsync-less crash is allowed to discard.
+		nExt := fs.extentsFor(size)
 		for e := 0; e < nExt; e++ {
 			idx := int64(dev.ReadU64(ino+inoExt+int64(e)*8)) - 1
-			if idx >= 0 && idx < fs.extCount {
-				used[idx] = true
+			if idx < 0 || idx >= fs.extCount {
+				size = int64(e) * fs.extSize
+				dev.WriteU64(ino+inoSize, uint64(size))
+				dev.Sync(ino+inoSize, 8)
+				nExt = e
+				break
 			}
+		}
+		for e := 0; e < nExt; e++ {
+			used[int64(dev.ReadU64(ino+inoExt+int64(e)*8))-1] = true
 		}
 	}
 	for i := fs.extCount - 1; i >= 0; i-- {
@@ -366,12 +382,20 @@ func (f *File) ensureSize(size int64) error {
 	if newExt > maxExtents {
 		return ErrTooLarge
 	}
-	for e := curExt; e < newExt; e++ {
-		idx, err := f.fs.allocExtent()
-		if err != nil {
-			return err
+	if newExt > curExt {
+		for e := curExt; e < newExt; e++ {
+			idx, err := f.fs.allocExtent()
+			if err != nil {
+				return err
+			}
+			f.fs.dev.WriteU64(ino+inoExt+int64(e)*8, uint64(idx+1))
 		}
-		f.fs.dev.WriteU64(ino+inoExt+int64(e)*8, uint64(idx+1))
+		// New extent pointers must be durable before any size that covers
+		// them can persist: under reordered write-backs the inode's size
+		// word and its extent words live in different cache lines, and a
+		// durable size pointing at a never-written slot would hand the file
+		// a garbage (possibly already re-used) extent after recovery.
+		f.fs.dev.Sync(ino+inoExt+int64(curExt)*8, (newExt-curExt)*8)
 	}
 	f.fs.dev.WriteU64(ino+inoSize, uint64(size))
 	f.fs.metaDirty[f.ino] = true
@@ -454,6 +478,13 @@ func (f *File) Truncate(n int64) error {
 // the inode metadata, then fences.
 func (f *File) Sync() error {
 	f.fs.chargeCall(0)
+	if f.fs.syncFaultSet {
+		if f.fs.syncFault.AfterSyncs > 0 {
+			f.fs.syncFault.AfterSyncs--
+		} else {
+			f.fs.crashSync(f.ino) // panics with nvm.ErrInjectedCrash
+		}
+	}
 	for _, s := range f.fs.dirty[f.ino] {
 		f.fs.dev.Flush(s.off, int(s.end-s.off))
 	}
