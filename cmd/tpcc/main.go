@@ -15,6 +15,7 @@ import (
 	"nstore"
 	"nstore/internal/core"
 	"nstore/internal/nvm"
+	"nstore/internal/serve"
 	"nstore/internal/testbed"
 	"nstore/internal/workload/tpcc"
 )
@@ -30,6 +31,10 @@ func main() {
 	cache := flag.Int("cache", 128<<10, "simulated CPU cache per partition (bytes)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	doRecover := flag.Bool("recover", true, "crash and measure recovery at the end")
+	serveMode := flag.Bool("serve", false, "run through the serving runtime (concurrent clients, supervised partitions)")
+	clients := flag.Int("clients", 2, "serve mode: concurrent clients per partition")
+	fault := flag.String("fault", "none", "serve mode: mid-traffic fault on every partition: none, fsync-transient, fsync-lost, fsync-torn, fence-lose, fence-reorder")
+	faultAfter := flag.Int("fault-after", 50, "serve mode: fsyncs/fences to let through before the fault fires")
 	flag.Parse()
 
 	profile := nvm.ProfileDRAM
@@ -63,6 +68,18 @@ func main() {
 		fatal(err)
 	}
 	db.ResetStats()
+	if *serveMode {
+		// The -serve fault drill; TPC-C inserts rows, so the expected
+		// row count is unknown (-1 checks live == recovered instead).
+		err := serve.RunDrill(db, tpcc.Generate(cfg), tpcc.Schemas(), serve.DrillConfig{
+			Clients: *clients, Fault: *fault, FaultAfter: *faultAfter,
+			Seed: *seed, WantRows: -1, Out: os.Stdout, Errw: os.Stderr,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 	res, err := db.ExecuteSequential(tpcc.Generate(cfg))
 	if err != nil {
 		fatal(err)

@@ -15,6 +15,7 @@ import (
 	"nstore"
 	"nstore/internal/core"
 	"nstore/internal/nvm"
+	"nstore/internal/serve"
 	"nstore/internal/testbed"
 	"nstore/internal/workload/ycsb"
 )
@@ -28,7 +29,11 @@ func main() {
 	txns := flag.Int("txns", 20000, "transactions")
 	partitions := flag.Int("partitions", 4, "partitions")
 	cache := flag.Int("cache", 128<<10, "simulated CPU cache per partition (bytes)")
-	seed := flag.Int64("seed", 42, "workload seed")
+	seed := flag.Int64("seed", 42, "workload and fault-schedule seed")
+	serveMode := flag.Bool("serve", false, "run through the serving runtime (concurrent clients, supervised partitions)")
+	clients := flag.Int("clients", 2, "serve mode: concurrent clients per partition")
+	fault := flag.String("fault", "none", "serve mode: mid-traffic fault on every partition: none, fsync-transient, fsync-lost, fsync-torn, fence-lose, fence-reorder")
+	faultAfter := flag.Int("fault-after", 50, "serve mode: fsyncs/fences to let through before the fault fires")
 	flag.Parse()
 
 	var mix ycsb.Mix
@@ -82,6 +87,21 @@ func main() {
 		os.Exit(1)
 	}
 	db.ResetStats()
+	if *serveMode {
+		// The -serve fault drill: concurrent clients drive the workload
+		// through the supervised runtime while the chosen fault fires on
+		// every partition mid-traffic; the drill verifies committed data
+		// survives the live recoveries plus a final power cycle.
+		err := serve.RunDrill(db, ycsb.Generate(cfg), ycsb.Schema(cfg), serve.DrillConfig{
+			Clients: *clients, Fault: *fault, FaultAfter: *faultAfter,
+			Seed: *seed, WantRows: int64(*tuples), Out: os.Stdout, Errw: os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ycsb:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	res, err := db.ExecuteSequential(ycsb.Generate(cfg))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ycsb: run:", err)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 
 	"nstore/internal/pmalloc"
@@ -180,16 +181,36 @@ func (w *FsWAL) DropTail(mark int) {
 func (w *FsWAL) Mark() int { return w.bufLen }
 
 // Flush appends the buffer to the log file and fsyncs (the group commit).
+//
+// Failure leaves the WAL retryable: the buffer is kept intact and the file
+// is rewound to its pre-append size, so no half-appended group can later be
+// made durable by an unrelated successful fsync (which would resurrect
+// commit records of transactions that were reported failed). Transient sync
+// failures come back tagged ErrRetryable; if even the rewind fails the
+// error is tagged ErrCorrupt and the engine instance must be recovered.
 func (w *FsWAL) Flush() error {
+	pre := w.f.Size()
+	appended := false
 	if w.bufLen > 0 {
 		if _, err := w.f.Append(w.scratch[:w.bufLen]); err != nil {
-			return err
+			if terr := w.f.Truncate(pre); terr != nil {
+				return Corrupt(errors.Join(err, terr))
+			}
+			return ClassifyDurability(err)
 		}
-		w.bufLen = 0
-		w.scratch = w.scratch[:0]
+		appended = true
 	}
 	if err := w.f.Sync(); err != nil {
-		return err
+		if appended {
+			if terr := w.f.Truncate(pre); terr != nil {
+				return Corrupt(errors.Join(err, terr))
+			}
+		}
+		return ClassifyDurability(err)
+	}
+	if appended {
+		w.bufLen = 0
+		w.scratch = w.scratch[:0]
 	}
 	w.Fsyncs++
 	w.pendingTxn = 0

@@ -47,6 +47,12 @@ type FilePager struct {
 	meta   uint64
 	npages uint64 // file length in pages, including page 0
 	free   []uint64
+
+	// ioErr records the first ReadPage/WritePage failure (the Pager
+	// interface keeps those void). It is surfaced — and cleared — at the
+	// next Persist, which refuses to install a master record over pages
+	// that were never written; see Persist.
+	ioErr error
 }
 
 const metaSlotBytes = 40 // seq, root, npages, userMeta, sum
@@ -133,17 +139,28 @@ func (p *FilePager) writeMeta() error {
 // PageSize returns the page size in bytes.
 func (p *FilePager) PageSize() int { return p.psize }
 
-// ReadPage fills buf with page id's contents.
+// ReadPage fills buf with page id's contents. A read failure zeroes buf
+// (so the caller never parses stale bytes as a node) and is reported at the
+// next Persist.
 func (p *FilePager) ReadPage(id uint64, buf []byte) {
 	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.psize)); err != nil {
-		panic(err)
+		for i := range buf {
+			buf[i] = 0
+		}
+		if p.ioErr == nil {
+			p.ioErr = err
+		}
 	}
 }
 
 // WritePage stores buf as page id's contents (durable at the next Persist).
+// A write failure (e.g. disk full while growing the file) is reported at
+// the next Persist, which will refuse to commit.
 func (p *FilePager) WritePage(id uint64, buf []byte) {
 	if _, err := p.f.WriteAt(buf, int64(id)*int64(p.psize)); err != nil {
-		panic(err)
+		if p.ioErr == nil {
+			p.ioErr = err
+		}
 	}
 }
 
@@ -167,8 +184,15 @@ func (p *FilePager) AllocPage() (uint64, error) {
 func (p *FilePager) FreePage(id uint64) { p.free = append(p.free, id) }
 
 // Persist fsyncs the data pages, then installs the new master record with a
-// second fsync: the shadow-paging commit protocol.
+// second fsync: the shadow-paging commit protocol. If any page write or
+// read failed since the last Persist, it refuses to commit and returns that
+// error instead — the volatile tree diverged from the file and only the
+// engine's crash recovery (reopen from the old master record) is safe.
 func (p *FilePager) Persist(root, meta uint64) error {
+	if err := p.ioErr; err != nil {
+		p.ioErr = nil
+		return fmt.Errorf("cowbtree: page I/O failed since last persist: %w", err)
+	}
 	if err := p.f.Sync(); err != nil {
 		return err
 	}

@@ -97,7 +97,10 @@ func (e *Engine) Commit() error {
 	}
 	stop()
 	if err != nil {
-		return err
+		// tree.Commit already folded the txn into the volatile batch, so
+		// there is nothing left to roll back in place: only reopening
+		// from the last durable master record restores a known state.
+		return core.Corrupt(err)
 	}
 	return e.EndTx()
 }
@@ -293,10 +296,12 @@ func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row
 }
 
 // Flush persists any batched transactions (the pending directory swap).
+// A transient fsync failure is tagged retryable: Persist flushes nothing
+// on failure and may simply be retried.
 func (e *Engine) Flush() error {
 	stop := e.Bd.Timer(&e.Bd.Recovery)
 	defer stop()
-	return e.persist()
+	return core.ClassifyDurability(e.persist())
 }
 
 // Footprint reports storage usage: the tree file holds tuples and index

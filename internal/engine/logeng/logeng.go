@@ -158,7 +158,10 @@ func (e *Engine) replayWAL() (uint64, error) {
 		default:
 			return nil
 		}
-		oldPtr, _ := e.putMem(e.Tables[r.Table].Schema, tk, ent)
+		oldPtr, _, err := e.putMem(e.Tables[r.Table].Schema, tk, ent)
+		if err != nil {
+			return err
+		}
 		if oldPtr != 0 {
 			e.Env.Arena.Free(oldPtr)
 		}
@@ -186,16 +189,18 @@ func (e *Engine) rebuildSecondaries() error {
 
 // MemTable entry chunks: kind u8, len u32, payload.
 
-func (e *Engine) writeEntryChunk(ent lsm.Entry) pmalloc.Ptr {
+func (e *Engine) writeEntryChunk(ent lsm.Entry) (pmalloc.Ptr, error) {
 	p, err := e.Env.Arena.Alloc(5+len(ent.Payload), pmalloc.TagTable)
 	if err != nil {
-		panic(err)
+		// Table-arena exhaustion is reachable from normal traffic: surface
+		// it so the transaction can abort cleanly instead of panicking.
+		return 0, err
 	}
 	dev := e.Env.Dev
 	dev.WriteU8(int64(p), ent.Kind)
 	dev.WriteU32(int64(p)+1, uint32(len(ent.Payload)))
 	dev.Write(int64(p)+5, ent.Payload)
-	return p
+	return p, nil
 }
 
 func (e *Engine) readEntryChunk(p uint64) lsm.Entry {
@@ -209,17 +214,23 @@ func (e *Engine) readEntryChunk(p uint64) lsm.Entry {
 
 // putMem merges ent over any existing memtable entry for tk and installs
 // the merged chunk. The superseded chunk is returned for deferred freeing.
-func (e *Engine) putMem(s *core.Schema, tk uint64, ent lsm.Entry) (oldPtr, newPtr uint64) {
+func (e *Engine) putMem(s *core.Schema, tk uint64, ent lsm.Entry) (oldPtr, newPtr uint64, err error) {
 	if old, ok := e.mem.Get(tk); ok {
 		merged := lsm.Merge(s, ent, e.readEntryChunk(old))
-		np := e.writeEntryChunk(merged)
+		np, err := e.writeEntryChunk(merged)
+		if err != nil {
+			return 0, 0, err
+		}
 		e.mem.Put(tk, np)
-		return old, np
+		return old, np, nil
 	}
-	np := e.writeEntryChunk(ent)
+	np, err := e.writeEntryChunk(ent)
+	if err != nil {
+		return 0, 0, err
+	}
 	e.mem.Put(tk, np)
 	e.memCount++
-	return 0, np
+	return 0, np, nil
 }
 
 // Name returns "log".
@@ -302,13 +313,17 @@ func (e *Engine) secDel(tm *core.TableMeta, j int, sec uint32, pk uint64) {
 
 // applyMem routes one logical change through the memtable with undo
 // tracking.
-func (e *Engine) applyMem(tm *core.TableMeta, key uint64, ent lsm.Entry) {
+func (e *Engine) applyMem(tm *core.TableMeta, key uint64, ent lsm.Entry) error {
 	tk := core.TreePrimary(tm.ID, key)
-	oldPtr, newPtr := e.putMem(tm.Schema, tk, ent)
+	oldPtr, newPtr, err := e.putMem(tm.Schema, tk, ent)
+	if err != nil {
+		return err
+	}
 	e.undo = append(e.undo, memUndo{key: tk, oldPtr: oldPtr, newPtr: newPtr})
 	if oldPtr != 0 {
 		e.txnFrees = append(e.txnFrees, oldPtr)
 	}
+	return nil
 }
 
 // Insert adds a tuple.
@@ -333,8 +348,11 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 		Table: tm.ID, Key: key, After: img})
 	stop()
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
-	e.applyMem(tm, key, lsm.Entry{Kind: lsm.KindFull, Payload: img})
+	err = e.applyMem(tm, key, lsm.Entry{Kind: lsm.KindFull, Payload: img})
 	stopSt()
+	if err != nil {
+		return err
+	}
 	stopIdx := e.Bd.Timer(&e.Bd.Index)
 	for j, ix := range tm.Schema.Secondary {
 		e.secAdd(tm, j, ix.SecKey(row), key)
@@ -370,8 +388,11 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 		Before: core.EncodeDelta(tm.Schema, beforeUpd), After: delta})
 	stop()
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
-	e.applyMem(tm, key, lsm.Entry{Kind: lsm.KindDelta, Payload: delta})
+	err = e.applyMem(tm, key, lsm.Entry{Kind: lsm.KindDelta, Payload: delta})
 	stopSt()
+	if err != nil {
+		return err
+	}
 	stopIdx := e.Bd.Timer(&e.Bd.Index)
 	now := core.CloneRow(old)
 	core.ApplyDelta(now, upd)
@@ -408,8 +429,11 @@ func (e *Engine) Delete(table string, key uint64) error {
 		Table: tm.ID, Key: key, Before: core.EncodeRow(tm.Schema, old)})
 	stop()
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
-	e.applyMem(tm, key, lsm.Entry{Kind: lsm.KindTomb})
+	err = e.applyMem(tm, key, lsm.Entry{Kind: lsm.KindTomb})
 	stopSt()
+	if err != nil {
+		return err
+	}
 	stopIdx := e.Bd.Timer(&e.Bd.Index)
 	for j, ix := range tm.Schema.Secondary {
 		e.secDel(tm, j, ix.SecKey(old), key)

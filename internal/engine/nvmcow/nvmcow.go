@@ -87,17 +87,19 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 
 // writeTuple persists a tuple image as an allocator chunk (Table 2: "Sync
 // tuple with NVM ... update tuple state as persisted").
-func (e *Engine) writeTuple(img []byte) pmalloc.Ptr {
+func (e *Engine) writeTuple(img []byte) (pmalloc.Ptr, error) {
 	p, err := e.Env.Arena.Alloc(4+len(img), pmalloc.TagTable)
 	if err != nil {
-		panic(err)
+		// Table-arena exhaustion is reachable from normal inserts/updates:
+		// return it so the transaction can abort cleanly.
+		return 0, err
 	}
 	d := e.Env.Dev
 	d.WriteU32(int64(p), uint32(len(img)))
 	d.Write(int64(p)+4, img)
 	d.Sync(int64(p), 4+len(img))
 	e.Env.Arena.SetPersisted(p)
-	return p
+	return p, nil
 }
 
 func (e *Engine) readTuple(p pmalloc.Ptr) []byte {
@@ -201,7 +203,11 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 		return core.ErrKeyExists
 	}
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
-	p := e.writeTuple(core.EncodeRow(tm.Schema, row))
+	p, err := e.writeTuple(core.EncodeRow(tm.Schema, row))
+	if err != nil {
+		stopSt()
+		return err
+	}
 	e.txnNew = append(e.txnNew, p)
 	err = e.tree.Put(tk, ptrBytes(p))
 	stopSt()
@@ -244,7 +250,11 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 	core.ApplyDelta(now, upd)
 
 	stopSt = e.Bd.Timer(&e.Bd.Storage)
-	p := e.writeTuple(core.EncodeRow(tm.Schema, now))
+	p, err := e.writeTuple(core.EncodeRow(tm.Schema, now))
+	if err != nil {
+		stopSt()
+		return err
+	}
 	e.txnNew = append(e.txnNew, p)
 	e.txnOld = append(e.txnOld, oldPtr)
 	err = e.tree.Put(tk, ptrBytes(p))

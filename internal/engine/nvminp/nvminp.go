@@ -115,13 +115,19 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 		e.heaps = append(e.heaps, h)
 		d.WriteU64(int64(hdr)+off, h.Header())
 		off += 8
-		pt := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+		pt, err := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+		if err != nil {
+			return nil, err
+		}
 		e.primary = append(e.primary, pt)
 		d.WriteU64(int64(hdr)+off, pt.Header())
 		off += 8
 		var secs []*nvbtree.Tree
 		for range tm.Schema.Secondary {
-			st := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+			st, err := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+			if err != nil {
+				return nil, err
+			}
 			secs = append(secs, st)
 			d.WriteU64(int64(hdr)+off, st.Header())
 			off += 8
@@ -195,7 +201,9 @@ func (e *Engine) undoWAL() error {
 		frees = append(frees, p)
 		// Truncation is the commit point: any entry still linked belongs to
 		// an uncommitted transaction.
-		e.undoEntry(p)
+		if err := e.undoEntry(p); err != nil {
+			return err
+		}
 	}
 	// Truncate: head reset is the atomic point; chunk frees follow.
 	d.WriteU64Durable(int64(e.hdr)+hWalHead, 0)
@@ -215,7 +223,7 @@ func (e *Engine) undoWAL() error {
 }
 
 // undoEntry reverses one WAL entry's operation.
-func (e *Engine) undoEntry(p pmalloc.Ptr) {
+func (e *Engine) undoEntry(p pmalloc.Ptr) error {
 	d := e.dev()
 	typ := d.ReadU8(int64(p) + wType)
 	table := int(d.ReadU8(int64(p) + wTable))
@@ -230,15 +238,19 @@ func (e *Engine) undoEntry(p pmalloc.Ptr) {
 		// entry, and drop its index entries.
 		if h.State(slot) != core.SlotFree {
 			row := h.ReadRow(slot)
-			e.primary[table].Delete(key)
+			if _, err := e.primary[table].Delete(key); err != nil {
+				return err
+			}
 			for j, ix := range tm.Schema.Secondary {
-				e.second[table][j].Delete(core.SecComposite(ix.SecKey(row), key))
+				if _, err := e.second[table][j].Delete(core.SecComposite(ix.SecKey(row), key)); err != nil {
+					return err
+				}
 			}
 			h.FreeSlot(slot)
 		}
 	case core.WalUpdate:
 		if h.State(slot) == core.SlotFree {
-			return
+			return nil
 		}
 		n := int(d.ReadU8(int64(p) + wNCols))
 		for i := 0; i < n; i++ {
@@ -267,22 +279,31 @@ func (e *Engine) undoEntry(p pmalloc.Ptr) {
 			op := d.ReadU8(base + 1)
 			composite := d.ReadU64(base + 2)
 			if op == 1 {
-				e.second[table][idx].Delete(composite)
+				if _, err := e.second[table][idx].Delete(composite); err != nil {
+					return err
+				}
 			} else {
-				e.second[table][idx].Put(composite, core.SecPK(composite))
+				if err := e.second[table][idx].Put(composite, core.SecPK(composite)); err != nil {
+					return err
+				}
 			}
 		}
 	case core.WalDelete:
 		// The tuple slot was only logically discarded; re-link the indexes.
 		if h.State(slot) == core.SlotFree {
-			return
+			return nil
 		}
 		row := h.ReadRow(slot)
-		e.primary[table].Put(key, slot)
+		if err := e.primary[table].Put(key, slot); err != nil {
+			return err
+		}
 		for j, ix := range tm.Schema.Secondary {
-			e.second[table][j].Put(core.SecComposite(ix.SecKey(row), key), key)
+			if err := e.second[table][j].Put(core.SecComposite(ix.SecKey(row), key), key); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // restoreVarPtr writes a raw var-slot pointer back into a string field.
@@ -292,12 +313,14 @@ func (e *Engine) restoreVarPtr(slot uint64, col int, vp uint64) {
 
 // appendWAL builds a WAL entry chunk, syncs it, and links it with an atomic
 // durable head update.
-func (e *Engine) appendWAL(typ uint8, table int, key, slot uint64, befCols []int, befVals []uint64, fixes []secFix) pmalloc.Ptr {
+func (e *Engine) appendWAL(typ uint8, table int, key, slot uint64, befCols []int, befVals []uint64, fixes []secFix) (pmalloc.Ptr, error) {
 	d := e.dev()
 	size := wData + colRec*len(befCols) + secRec*len(fixes)
 	p, err := e.Env.Arena.Alloc(size, pmalloc.TagLog)
 	if err != nil {
-		panic(err)
+		// Log-arena exhaustion is reachable from normal traffic: surface it
+		// instead of panicking; the transaction can be aborted cleanly.
+		return 0, err
 	}
 	d.WriteU64(int64(p)+wNext, d.ReadU64(int64(e.hdr)+hWalHead))
 	d.WriteU64(int64(p)+wTxn, e.TxnID)
@@ -326,7 +349,7 @@ func (e *Engine) appendWAL(typ uint8, table int, key, slot uint64, befCols []int
 	d.Sync(int64(p), size)
 	e.Env.Arena.SetPersisted(p)
 	d.WriteU64Durable(int64(e.hdr)+hWalHead, p)
-	return p
+	return p, nil
 }
 
 // Name returns "nvm-inp".
@@ -375,7 +398,11 @@ func (e *Engine) Abort() error {
 		return err
 	}
 	for i := len(e.ops) - 1; i >= 0; i-- {
-		e.undoEntry(e.ops[i].entry)
+		if err := e.undoEntry(e.ops[i].entry); err != nil {
+			// A failed rollback leaves volatile and durable state diverged;
+			// only the engine's crash-recovery path can restore consistency.
+			return core.Corrupt(err)
+		}
 	}
 	d := e.dev()
 	d.WriteU64Durable(int64(e.hdr)+hWalHead, 0)
@@ -412,21 +439,30 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 	stopSt()
 
 	stopRec := e.Bd.Timer(&e.Bd.Recovery)
-	entry := e.appendWAL(core.WalInsert, tm.ID, key, slot, nil, nil, nil)
+	entry, err := e.appendWAL(core.WalInsert, tm.ID, key, slot, nil, nil, nil)
 	stopRec()
+	if err != nil {
+		h.FreeSlot(slot)
+		return err
+	}
+	// Record the op before touching the indexes so Abort can undo a
+	// partially applied insert if an index update fails below.
+	e.ops = append(e.ops, txnOp{typ: core.WalInsert, table: tm.ID, key: key, slot: slot, entry: entry})
 
 	stopSt = e.Bd.Timer(&e.Bd.Storage)
 	h.PersistSlot(slot)
 	stopSt()
 
 	stopIdx = e.Bd.Timer(&e.Bd.Index)
-	e.primary[tm.ID].Put(key, slot)
-	for j, ix := range tm.Schema.Secondary {
-		e.second[tm.ID][j].Put(core.SecComposite(ix.SecKey(row), key), key)
+	defer stopIdx()
+	if err := e.primary[tm.ID].Put(key, slot); err != nil {
+		return err
 	}
-	stopIdx()
-
-	e.ops = append(e.ops, txnOp{typ: core.WalInsert, table: tm.ID, key: key, slot: slot, entry: entry})
+	for j, ix := range tm.Schema.Secondary {
+		if err := e.second[tm.ID][j].Put(core.SecComposite(ix.SecKey(row), key), key); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -476,8 +512,15 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 	}
 
 	stopRec := e.Bd.Timer(&e.Bd.Recovery)
-	entry := e.appendWAL(core.WalUpdate, tm.ID, key, slot, befCols, befVals, fixes)
+	entry, err := e.appendWAL(core.WalUpdate, tm.ID, key, slot, befCols, befVals, fixes)
 	stopRec()
+	if err != nil {
+		return err
+	}
+	// Record the op before modifying anything so Abort can undo a
+	// partially applied update from the WAL entry's before-image.
+	e.ops = append(e.ops, txnOp{typ: core.WalUpdate, table: tm.ID, key: key,
+		slot: slot, entry: entry, oldVars: oldVars})
 
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
 	for j, ci := range upd.Cols {
@@ -488,17 +531,18 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 	stopSt()
 
 	stopIdx = e.Bd.Timer(&e.Bd.Index)
+	defer stopIdx()
 	for _, f := range fixes {
 		if f.added {
-			e.second[tm.ID][f.idx].Put(f.composite, core.SecPK(f.composite))
+			if err := e.second[tm.ID][f.idx].Put(f.composite, core.SecPK(f.composite)); err != nil {
+				return err
+			}
 		} else {
-			e.second[tm.ID][f.idx].Delete(f.composite)
+			if _, err := e.second[tm.ID][f.idx].Delete(f.composite); err != nil {
+				return err
+			}
 		}
 	}
-	stopIdx()
-
-	e.ops = append(e.ops, txnOp{typ: core.WalUpdate, table: tm.ID, key: key,
-		slot: slot, entry: entry, oldVars: oldVars})
 	return nil
 }
 
@@ -522,18 +566,26 @@ func (e *Engine) Delete(table string, key uint64) error {
 	row := h.ReadRow(slot)
 
 	stopRec := e.Bd.Timer(&e.Bd.Recovery)
-	entry := e.appendWAL(core.WalDelete, tm.ID, key, slot, nil, nil, nil)
+	entry, err := e.appendWAL(core.WalDelete, tm.ID, key, slot, nil, nil, nil)
 	stopRec()
-
-	stopIdx = e.Bd.Timer(&e.Bd.Index)
-	e.primary[tm.ID].Delete(key)
-	for j, ix := range tm.Schema.Secondary {
-		e.second[tm.ID][j].Delete(core.SecComposite(ix.SecKey(row), key))
+	if err != nil {
+		return err
 	}
-	stopIdx()
-
+	// Record the op first so Abort re-links the indexes if a removal below
+	// fails partway.
 	e.ops = append(e.ops, txnOp{typ: core.WalDelete, table: tm.ID, key: key,
 		slot: slot, entry: entry, delSlot: slot})
+
+	stopIdx = e.Bd.Timer(&e.Bd.Index)
+	defer stopIdx()
+	if _, err := e.primary[tm.ID].Delete(key); err != nil {
+		return err
+	}
+	for j, ix := range tm.Schema.Secondary {
+		if _, err := e.second[tm.ID][j].Delete(core.SecComposite(ix.SecKey(row), key)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

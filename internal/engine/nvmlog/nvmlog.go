@@ -102,13 +102,20 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 	d.WriteU64(int64(hdr)+hWalHead, 0)
 	d.WriteU64(int64(hdr)+hRunList, 0)
 	d.WriteU64(int64(hdr)+hNTables, uint64(len(schemas)))
-	e.mem = nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+	mem, err := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+	if err != nil {
+		return nil, err
+	}
+	e.mem = mem
 	d.WriteU64(int64(hdr)+hMutable, e.mem.Header())
 	off := int64(hAnchors)
 	for _, tm := range e.Tables {
 		var secs []*nvbtree.Tree
 		for range tm.Schema.Secondary {
-			st := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+			st, err := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+			if err != nil {
+				return nil, err
+			}
 			secs = append(secs, st)
 			d.WriteU64(int64(hdr)+off, st.Header())
 			off += 8
@@ -150,7 +157,11 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 	// A crash between the run-list swap and the mutable swap leaves the
 	// same tree both mutable and newest-immutable; finish the rotation.
 	if len(e.runs) > 0 && e.runs[0].tree.Header() == e.mem.Header() {
-		e.mem = nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+		fresh, err := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
+		if err != nil {
+			return nil, err
+		}
+		e.mem = fresh
 		d.WriteU64Durable(int64(e.hdr)+hMutable, e.mem.Header())
 	}
 	off := int64(hAnchors)
@@ -237,10 +248,11 @@ func (e *Engine) sweep() {
 
 // Entry chunks: kind u8, len u32, payload (TagTable, persisted).
 
-func (e *Engine) writeEntryChunk(ent lsm.Entry) pmalloc.Ptr {
+func (e *Engine) writeEntryChunk(ent lsm.Entry) (pmalloc.Ptr, error) {
 	p, err := e.Env.Arena.Alloc(5+len(ent.Payload), pmalloc.TagTable)
 	if err != nil {
-		panic(err)
+		// Table-arena exhaustion is reachable from normal traffic.
+		return 0, err
 	}
 	d := e.Env.Dev
 	d.WriteU8(int64(p), ent.Kind)
@@ -248,7 +260,7 @@ func (e *Engine) writeEntryChunk(ent lsm.Entry) pmalloc.Ptr {
 	d.Write(int64(p)+5, ent.Payload)
 	d.Sync(int64(p), 5+len(ent.Payload))
 	e.Env.Arena.SetPersisted(p)
-	return p
+	return p, nil
 }
 
 func (e *Engine) readEntryChunk(p uint64) lsm.Entry {
@@ -269,12 +281,13 @@ type secFix struct {
 
 // appendWAL logs one MemTable operation: which mapping changed (old/new
 // entry-chunk pointers) and the secondary entries touched.
-func (e *Engine) appendWAL(typ uint8, table int, key, oldPtr, newPtr uint64, fixes []secFix) pmalloc.Ptr {
+func (e *Engine) appendWAL(typ uint8, table int, key, oldPtr, newPtr uint64, fixes []secFix) (pmalloc.Ptr, error) {
 	d := e.Env.Dev
 	size := wSec + secRec*len(fixes)
 	p, err := e.Env.Arena.Alloc(size, pmalloc.TagLog)
 	if err != nil {
-		panic(err)
+		// Log-arena exhaustion is reachable from normal traffic.
+		return 0, err
 	}
 	d.WriteU64(int64(p)+wNext, d.ReadU64(int64(e.hdr)+hWalHead))
 	d.WriteU64(int64(p)+wTxn, e.TxnID)
@@ -297,7 +310,7 @@ func (e *Engine) appendWAL(typ uint8, table int, key, oldPtr, newPtr uint64, fix
 	d.Sync(int64(p), size)
 	e.Env.Arena.SetPersisted(p)
 	d.WriteU64Durable(int64(e.hdr)+hWalHead, p)
-	return p
+	return p, nil
 }
 
 // undoWAL reverses in-flight transactions (newest entry first) and
@@ -309,7 +322,9 @@ func (e *Engine) undoWAL() error {
 	for p := head; p != 0; p = d.ReadU64(int64(p) + wNext) {
 		frees = append(frees, p)
 		// Truncation is the commit point: linked entries are uncommitted.
-		e.undoEntry(p)
+		if err := e.undoEntry(p); err != nil {
+			return err
+		}
 	}
 	d.WriteU64Durable(int64(e.hdr)+hWalHead, 0)
 	for _, p := range frees {
@@ -320,7 +335,7 @@ func (e *Engine) undoWAL() error {
 	return nil
 }
 
-func (e *Engine) undoEntry(p pmalloc.Ptr) {
+func (e *Engine) undoEntry(p pmalloc.Ptr) error {
 	d := e.Env.Dev
 	table := int(d.ReadU8(int64(p) + wTable))
 	key := d.ReadU64(int64(p) + wKey)
@@ -328,9 +343,13 @@ func (e *Engine) undoEntry(p pmalloc.Ptr) {
 	newPtr := d.ReadU64(int64(p) + wNewPtr)
 	tk := core.TreePrimary(table, key)
 	if oldPtr != 0 {
-		e.mem.Put(tk, oldPtr)
+		if err := e.mem.Put(tk, oldPtr); err != nil {
+			return err
+		}
 	} else {
-		e.mem.Delete(tk)
+		if _, err := e.mem.Delete(tk); err != nil {
+			return err
+		}
 	}
 	if newPtr != 0 && e.Env.Arena.StateOf(newPtr) != pmalloc.StateFree {
 		e.Env.Arena.Free(newPtr)
@@ -342,34 +361,58 @@ func (e *Engine) undoEntry(p pmalloc.Ptr) {
 		op := d.ReadU8(base + 1)
 		composite := d.ReadU64(base + 2)
 		if op == 1 {
-			e.second[table][idx].Delete(composite)
+			if _, err := e.second[table][idx].Delete(composite); err != nil {
+				return err
+			}
 		} else {
-			e.second[table][idx].Put(composite, core.SecPK(composite))
+			if err := e.second[table][idx].Put(composite, core.SecPK(composite)); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // applyMem merges an entry into the mutable MemTable, logging undo info.
-func (e *Engine) applyMem(tm *core.TableMeta, typ uint8, key uint64, ent lsm.Entry, fixes []secFix) {
+func (e *Engine) applyMem(tm *core.TableMeta, typ uint8, key uint64, ent lsm.Entry, fixes []secFix) error {
 	tk := core.TreePrimary(tm.ID, key)
 	var oldPtr uint64
+	isNew := true
 	if p, ok := e.mem.Get(tk); ok {
 		oldPtr = p
+		isNew = false
 		ent = lsm.Merge(tm.Schema, ent, e.readEntryChunk(p))
-	} else {
+	}
+	newPtr, err := e.writeEntryChunk(ent)
+	if err != nil {
+		return err
+	}
+	entry, err := e.appendWAL(typ, tm.ID, key, oldPtr, uint64(newPtr), fixes)
+	if err != nil {
+		e.Env.Arena.Free(newPtr)
+		return err
+	}
+	// Record the op before touching the trees so Abort can undo a partially
+	// applied operation from the WAL entry.
+	e.ops = append(e.ops, txnOp{entry: entry, oldPtr: oldPtr})
+	if err := e.mem.Put(tk, uint64(newPtr)); err != nil {
+		return err
+	}
+	if isNew {
 		e.memCount++
 	}
-	newPtr := e.writeEntryChunk(ent)
-	entry := e.appendWAL(typ, tm.ID, key, oldPtr, uint64(newPtr), fixes)
-	e.mem.Put(tk, uint64(newPtr))
 	for _, f := range fixes {
 		if f.added {
-			e.second[tm.ID][f.idx].Put(f.composite, core.SecPK(f.composite))
+			if err := e.second[tm.ID][f.idx].Put(f.composite, core.SecPK(f.composite)); err != nil {
+				return err
+			}
 		} else {
-			e.second[tm.ID][f.idx].Delete(f.composite)
+			if _, err := e.second[tm.ID][f.idx].Delete(f.composite); err != nil {
+				return err
+			}
 		}
 	}
-	e.ops = append(e.ops, txnOp{entry: entry, oldPtr: oldPtr})
+	return nil
 }
 
 // Name returns "nvm-log".
@@ -420,8 +463,11 @@ func (e *Engine) Abort() error {
 		return err
 	}
 	for i := len(e.ops) - 1; i >= 0; i-- {
-		e.undoEntry(e.ops[i].entry)
-		// undoEntry adjusts the mapping; fix the volatile count.
+		if err := e.undoEntry(e.ops[i].entry); err != nil {
+			// A failed rollback leaves volatile and durable state diverged;
+			// only the engine's crash-recovery path can restore consistency.
+			return core.Corrupt(err)
+		}
 	}
 	e.memCount = e.mem.Count()
 	d := e.Env.Dev
@@ -453,7 +499,11 @@ func (e *Engine) rotate() error {
 	}
 	// Start the fresh mutable MemTable (recovery completes this step if a
 	// crash lands between the two swaps).
-	e.mem = nvbtree.Create(e.Env.Arena, e.opts.BTreeNodeSize)
+	fresh, err := nvbtree.Create(e.Env.Arena, e.opts.BTreeNodeSize)
+	if err != nil {
+		return err
+	}
+	e.mem = fresh
 	e.Env.Dev.WriteU64Durable(int64(e.hdr)+hMutable, e.mem.Header())
 	e.memCount = 0
 	return nil
@@ -536,7 +586,10 @@ func (e *Engine) compact() error {
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 
-	merged := nvbtree.Create(e.Env.Arena, e.opts.BTreeNodeSize)
+	merged, err := nvbtree.Create(e.Env.Arena, e.opts.BTreeNodeSize)
+	if err != nil {
+		return err
+	}
 	fl := bloom.New(len(order), 10)
 	for _, k := range order {
 		es := entries[k]
@@ -550,7 +603,13 @@ func (e *Engine) compact() error {
 		if acc.Kind == lsm.KindTomb {
 			continue // reclaim space during compaction (Table 2)
 		}
-		merged.Put(k, uint64(e.writeEntryChunk(acc)))
+		cp, err := e.writeEntryChunk(acc)
+		if err != nil {
+			return err
+		}
+		if err := merged.Put(k, uint64(cp)); err != nil {
+			return err
+		}
 		fl.Add(k)
 	}
 	newRun, err := e.storeRun(merged, fl)
@@ -597,9 +656,8 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 		fixes = append(fixes, secFix{idx: j, added: true, composite: core.SecComposite(ix.SecKey(row), key)})
 	}
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
-	e.applyMem(tm, core.WalInsert, key, lsm.Entry{Kind: lsm.KindFull, Payload: core.EncodeRow(tm.Schema, row)}, fixes)
-	stopSt()
-	return nil
+	defer stopSt()
+	return e.applyMem(tm, core.WalInsert, key, lsm.Entry{Kind: lsm.KindFull, Payload: core.EncodeRow(tm.Schema, row)}, fixes)
 }
 
 // Update records the updated fields in the MemTable.
@@ -630,9 +688,8 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 		}
 	}
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
-	e.applyMem(tm, core.WalUpdate, key, lsm.Entry{Kind: lsm.KindDelta, Payload: core.EncodeDelta(tm.Schema, upd)}, fixes)
-	stopSt()
-	return nil
+	defer stopSt()
+	return e.applyMem(tm, core.WalUpdate, key, lsm.Entry{Kind: lsm.KindDelta, Payload: core.EncodeDelta(tm.Schema, upd)}, fixes)
 }
 
 // Delete marks the tuple with a tombstone in the MemTable.
@@ -656,9 +713,8 @@ func (e *Engine) Delete(table string, key uint64) error {
 		fixes = append(fixes, secFix{idx: j, added: false, composite: core.SecComposite(ix.SecKey(old), key)})
 	}
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
-	e.applyMem(tm, core.WalDelete, key, lsm.Entry{Kind: lsm.KindTomb}, fixes)
-	stopSt()
-	return nil
+	defer stopSt()
+	return e.applyMem(tm, core.WalDelete, key, lsm.Entry{Kind: lsm.KindTomb}, fixes)
 }
 
 // Get coalesces entries from the mutable MemTable and the immutable runs

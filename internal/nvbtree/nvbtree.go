@@ -76,8 +76,10 @@ type Tree struct {
 }
 
 // Create allocates a new empty tree and returns it. Store Header() in an
-// arena root slot to find the tree again after a restart.
-func Create(arena *pmalloc.Arena, nodeSize int) *Tree {
+// arena root slot to find the tree again after a restart. Index-arena
+// exhaustion is returned as an error, never a panic: tree creation is
+// reachable from runtime table growth.
+func Create(arena *pmalloc.Arena, nodeSize int) (*Tree, error) {
 	if nodeSize == 0 {
 		nodeSize = DefaultNodeSize
 	}
@@ -87,10 +89,14 @@ func Create(arena *pmalloc.Arena, nodeSize int) *Tree {
 	t := &Tree{arena: arena, dev: arena.Device(), nsize: nodeSize, cap: (nodeSize - nEntries) / entSize}
 	hdr, err := arena.Alloc(hdrBytes, pmalloc.TagIndex)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	t.hdr = hdr
-	root := t.newNode(true)
+	root, err := t.newNode(true)
+	if err != nil {
+		arena.Free(hdr)
+		return nil, err
+	}
 	arena.SetPersisted(root)
 	d := t.dev
 	d.WriteU64(int64(hdr)+hMagic, headerMagic)
@@ -101,7 +107,7 @@ func Create(arena *pmalloc.Arena, nodeSize int) *Tree {
 	}
 	d.Sync(int64(hdr), hdrBytes)
 	arena.SetPersisted(hdr)
-	return t
+	return t, nil
 }
 
 // Open attaches to an existing tree at header ptr and completes or rolls
@@ -130,10 +136,10 @@ func (t *Tree) setRootDurable(n uint64) {
 	t.dev.WriteU64Durable(int64(t.hdr)+hRoot, n)
 }
 
-func (t *Tree) newNode(leaf bool) uint64 {
+func (t *Tree) newNode(leaf bool) (uint64, error) {
 	p, err := t.arena.Alloc(t.nsize, pmalloc.TagIndex)
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
 	var fl byte
 	if leaf {
@@ -141,7 +147,7 @@ func (t *Tree) newNode(leaf bool) uint64 {
 	}
 	t.dev.WriteU8(int64(p)+nFlags, fl)
 	t.dev.WriteU64(int64(p)+nCount, 0)
-	return uint64(p)
+	return uint64(p), nil
 }
 
 func (t *Tree) isLeaf(n uint64) bool { return t.dev.ReadU8(int64(n)+nFlags) == 1 }
@@ -285,26 +291,30 @@ func (t *Tree) Get(k uint64) (uint64, bool) {
 	return t.lookupIn(n, k)
 }
 
-// Put inserts or replaces k=v. v must be below 2^63.
-func (t *Tree) Put(k, v uint64) {
+// Put inserts or replaces k=v. v must be below 2^63. An index-arena
+// exhaustion during a node rewrite is returned as an error; the tree stays
+// consistent (the failed rewrite is never made reachable).
+func (t *Tree) Put(k, v uint64) error {
 	if v&tombstone != 0 {
 		panic("nvbtree: value uses the tombstone bit")
 	}
-	t.modify(k, v)
+	return t.modify(k, v)
 }
 
 // Delete removes key k, reporting whether it was present.
-func (t *Tree) Delete(k uint64) bool {
+func (t *Tree) Delete(k uint64) (bool, error) {
 	if _, ok := t.Get(k); !ok {
-		return false
+		return false, nil
 	}
-	t.modify(k, tombstone)
-	return true
+	if err := t.modify(k, tombstone); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // modify appends (k, v) — possibly a tombstone — into the correct leaf,
 // rewriting/splitting nodes as needed.
-func (t *Tree) modify(k, v uint64) {
+func (t *Tree) modify(k, v uint64) error {
 	// Descend, preemptively rewriting any node too full to absorb a child
 	// replacement (inner) or the append itself (leaf).
 	for {
@@ -313,7 +323,9 @@ func (t *Tree) modify(k, v uint64) {
 		restart := false
 		for !t.isLeaf(n) {
 			if t.cap-t.count(n) < minFree {
-				t.rewrite(n, parent, nil)
+				if err := t.rewrite(n, parent, nil); err != nil {
+					return err
+				}
 				restart = true
 				break
 			}
@@ -325,18 +337,19 @@ func (t *Tree) modify(k, v uint64) {
 		}
 		if t.count(n) < t.cap {
 			t.appendEntries(n, entry{k, v})
-			return
+			return nil
 		}
 		// Full leaf: rewrite it with the pending entry folded in.
-		t.rewrite(n, parent, &entry{k, v})
-		return
+		return t.rewrite(n, parent, &entry{k, v})
 	}
 }
 
 // rewrite resolves node n and replaces it with one or two fresh nodes
 // (copy-on-write), optionally folding in a pending entry, and journals the
-// swap so a crash cannot corrupt or leak the tree.
-func (t *Tree) rewrite(n, parent uint64, pending *entry) {
+// swap so a crash cannot corrupt or leak the tree. An allocation failure
+// before the journal is written returns an error with the tree untouched:
+// the partially built nodes are freed and nothing became reachable.
+func (t *Tree) rewrite(n, parent uint64, pending *entry) error {
 	live := t.resolve(n)
 	if pending != nil {
 		// Fold the pending (k,v) into the live set.
@@ -375,11 +388,21 @@ func (t *Tree) rewrite(n, parent uint64, pending *entry) {
 	}
 
 	// Build replacement node(s). Split if the live set doesn't leave
-	// headroom in a single node.
+	// headroom in a single node. On allocation failure, free what was built
+	// — none of it is journaled or reachable yet.
 	var newNodes []uint64
 	var seps []uint64
-	buildNode := func(es []entry) uint64 {
-		nn := t.newNode(leaf)
+	abandon := func(err error) error {
+		for _, p := range newNodes {
+			t.arena.Free(pmalloc.Ptr(p))
+		}
+		return err
+	}
+	buildNode := func(es []entry) (uint64, error) {
+		nn, err := t.newNode(leaf)
+		if err != nil {
+			return 0, err
+		}
 		c := len(es)
 		base := int64(nn) + nEntries
 		for i, e := range es {
@@ -388,7 +411,7 @@ func (t *Tree) rewrite(n, parent uint64, pending *entry) {
 		}
 		t.dev.WriteU64(int64(nn)+nCount, uint64(c))
 		t.dev.Sync(int64(nn), t.nsize)
-		return nn
+		return nn, nil
 	}
 	sepOf := func(es []entry) uint64 {
 		if len(es) == 0 {
@@ -399,10 +422,23 @@ func (t *Tree) rewrite(n, parent uint64, pending *entry) {
 	if len(live) > t.cap-minFree {
 		mid := len(live) / 2
 		l, r := live[:mid], live[mid:]
-		newNodes = []uint64{buildNode(l), buildNode(r)}
+		ln, err := buildNode(l)
+		if err != nil {
+			return abandon(err)
+		}
+		newNodes = append(newNodes, ln)
+		rn, err := buildNode(r)
+		if err != nil {
+			return abandon(err)
+		}
+		newNodes = append(newNodes, rn)
 		seps = []uint64{sepOf(l), sepOf(r)}
 	} else {
-		newNodes = []uint64{buildNode(live)}
+		nn, err := buildNode(live)
+		if err != nil {
+			return abandon(err)
+		}
+		newNodes = append(newNodes, nn)
 		sep := sepOf(live)
 		if len(live) == 0 && parent != 0 {
 			sep = sepOld
@@ -414,7 +450,11 @@ func (t *Tree) rewrite(n, parent uint64, pending *entry) {
 	probe := newNodes[0]
 	if parent == 0 && len(newNodes) == 2 {
 		// Root split: a fresh root routes to the two halves.
-		newRoot = t.newNode(false)
+		nr, err := t.newNode(false)
+		if err != nil {
+			return abandon(err)
+		}
+		newRoot = nr
 		base := int64(newRoot) + nEntries
 		for i := range newNodes {
 			t.dev.WriteU64(base+int64(i)*entSize, seps[i])
@@ -465,6 +505,7 @@ func (t *Tree) rewrite(n, parent uint64, pending *entry) {
 	t.arena.Free(pmalloc.Ptr(n))
 	d.WriteU64(int64(t.hdr)+hJOld, 0)
 	d.Sync(int64(t.hdr)+hJOld, 8)
+	return nil
 }
 
 // routingKeyFor returns the separator key of parent's live routing entry

@@ -14,26 +14,46 @@ func newTree(t testing.TB, nodeSize int) (*nvm.Device, *pmalloc.Arena, *Tree) {
 	t.Helper()
 	dev := nvm.NewDevice(nvm.DefaultConfig(64 << 20))
 	arena := pmalloc.Format(dev, 0, 64<<20)
-	return dev, arena, Create(arena, nodeSize)
+	tr, err := Create(arena, nodeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, arena, tr
+}
+
+func put(tb testing.TB, tr *Tree, k, v uint64) {
+	tb.Helper()
+	if err := tr.Put(k, v); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func del(tb testing.TB, tr *Tree, k uint64) bool {
+	tb.Helper()
+	ok, err := tr.Delete(k)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ok
 }
 
 func TestPutGetDelete(t *testing.T) {
 	_, _, tr := newTree(t, 0)
-	tr.Put(5, 50)
+	put(t, tr, 5, 50)
 	if v, ok := tr.Get(5); !ok || v != 50 {
 		t.Fatalf("Get(5) = %d,%v", v, ok)
 	}
-	tr.Put(5, 51)
+	put(t, tr, 5, 51)
 	if v, _ := tr.Get(5); v != 51 {
 		t.Errorf("value after replace = %d", v)
 	}
-	if !tr.Delete(5) {
+	if !del(t, tr, 5) {
 		t.Error("Delete missed existing key")
 	}
 	if _, ok := tr.Get(5); ok {
 		t.Error("deleted key still present")
 	}
-	if tr.Delete(5) {
+	if del(t, tr, 5) {
 		t.Error("second delete succeeded")
 	}
 }
@@ -43,7 +63,7 @@ func TestManyKeys(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	keys := rng.Perm(20000)
 	for _, k := range keys {
-		tr.Put(uint64(k)+1, uint64(k)*5)
+		put(t, tr, uint64(k)+1, uint64(k)*5)
 	}
 	for _, k := range keys {
 		if v, ok := tr.Get(uint64(k) + 1); !ok || v != uint64(k)*5 {
@@ -58,7 +78,7 @@ func TestManyKeys(t *testing.T) {
 func TestIterOrdered(t *testing.T) {
 	_, _, tr := newTree(t, 256)
 	for i := 0; i < 3000; i++ {
-		tr.Put(uint64(i*13%3000)+1, uint64(i))
+		put(t, tr, uint64(i*13%3000)+1, uint64(i))
 	}
 	var got []uint64
 	tr.Iter(0, func(k, v uint64) bool { got = append(got, k); return true })
@@ -85,7 +105,7 @@ func TestIterOrdered(t *testing.T) {
 func TestSurvivesCleanCrash(t *testing.T) {
 	dev, arena, tr := newTree(t, 0)
 	for i := uint64(1); i <= 5000; i++ {
-		tr.Put(i, i*2)
+		put(t, tr, i, i*2)
 	}
 	hdr := tr.Header()
 	arena.SetRoot(0, hdr)
@@ -108,10 +128,10 @@ func TestSurvivesCleanCrash(t *testing.T) {
 func TestDeletesSurviveCrash(t *testing.T) {
 	dev, arena, tr := newTree(t, 128)
 	for i := uint64(1); i <= 1000; i++ {
-		tr.Put(i, i)
+		put(t, tr, i, i)
 	}
 	for i := uint64(1); i <= 1000; i += 2 {
-		tr.Delete(i)
+		del(t, tr, i)
 	}
 	arena.SetRoot(0, tr.Header())
 	dev.Crash()
@@ -132,7 +152,7 @@ func TestNodeSizes(t *testing.T) {
 	for _, ns := range []int{128, 256, 512, 1024, 4096} {
 		_, _, tr := newTree(t, ns)
 		for i := uint64(1); i <= 3000; i++ {
-			tr.Put(i, i+7)
+			put(t, tr, i, i+7)
 		}
 		for i := uint64(1); i <= 3000; i++ {
 			if v, ok := tr.Get(i); !ok || v != i+7 {
@@ -149,7 +169,7 @@ func TestTombstoneValuePanics(t *testing.T) {
 			t.Error("Put with tombstone bit did not panic")
 		}
 	}()
-	tr.Put(1, 1<<63)
+	_ = tr.Put(1, 1<<63)
 }
 
 func TestOpenRejectsGarbage(t *testing.T) {
@@ -160,10 +180,39 @@ func TestOpenRejectsGarbage(t *testing.T) {
 	}
 }
 
+// Put must return an error — not panic, not corrupt the tree — when the
+// arena can no longer hold a node rewrite.
+func TestPutReturnsErrorWhenArenaFull(t *testing.T) {
+	dev := nvm.NewDevice(nvm.DefaultConfig(1 << 20))
+	arena := pmalloc.Format(dev, 0, 1<<20)
+	tr, err := Create(arena, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	model := make(map[uint64]uint64)
+	for i := uint64(1); i <= 1<<20; i++ {
+		if err := tr.Put(i, i); err != nil {
+			failed = true
+			break
+		}
+		model[i] = i
+	}
+	if !failed {
+		t.Fatal("arena never filled up")
+	}
+	// Every previously inserted key must still read back correctly.
+	for k, v := range model {
+		if got, ok := tr.Get(k); !ok || got != v {
+			t.Fatalf("after alloc failure: Get(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+}
+
 func TestRelease(t *testing.T) {
 	_, arena, tr := newTree(t, 256)
 	for i := uint64(1); i <= 2000; i++ {
-		tr.Put(i, i)
+		put(t, tr, i, i)
 	}
 	before := arena.Allocated()
 	tr.Release()
@@ -177,7 +226,10 @@ func TestRelease(t *testing.T) {
 func TestQuickAgainstMapWithRestarts(t *testing.T) {
 	dev := nvm.NewDevice(nvm.DefaultConfig(256 << 20))
 	arena := pmalloc.Format(dev, 0, 256<<20)
-	tr := Create(arena, 128)
+	tr, err := Create(arena, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
 	arena.SetRoot(0, tr.Header())
 	model := make(map[uint64]uint64)
 	steps := 0
@@ -187,12 +239,15 @@ func TestQuickAgainstMapWithRestarts(t *testing.T) {
 		v &^= 1 << 63
 		if del {
 			_, inModel := model[k]
-			if tr.Delete(k) != inModel {
+			removed, err := tr.Delete(k)
+			if err != nil || removed != inModel {
 				return false
 			}
 			delete(model, k)
 		} else {
-			tr.Put(k, v)
+			if tr.Put(k, v) != nil {
+				return false
+			}
 			model[k] = v
 		}
 		steps++
@@ -243,7 +298,10 @@ func TestQuickCrashInjection(t *testing.T) {
 	for iter := 0; iter < 120; iter++ {
 		dev := nvm.NewDevice(nvm.DefaultConfig(32 << 20))
 		arena := pmalloc.Format(dev, 0, 32<<20)
-		tr := Create(arena, 128)
+		tr, err := Create(arena, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
 		arena.SetRoot(0, tr.Header())
 		model := make(map[uint64]uint64)
 
@@ -265,16 +323,25 @@ func TestQuickCrashInjection(t *testing.T) {
 				k := uint64(rng.Intn(500)) + 1
 				if rng.Intn(4) == 0 {
 					inflightKey, inflightDel = k, true
-					tr.Delete(k)
+					if _, err := tr.Delete(k); err != nil {
+						t.Error(err)
+						return
+					}
 					delete(model, k)
 				} else {
 					v := uint64(rng.Intn(1 << 20))
 					inflightKey, inflightDel = k, false
-					tr.Put(k, v)
+					if err := tr.Put(k, v); err != nil {
+						t.Error(err)
+						return
+					}
 					model[k] = v
 				}
 			}
 		}()
+		if t.Failed() {
+			return
+		}
 		dev.Crash()
 		arena2, err := pmalloc.Open(dev, 0)
 		if err != nil {
@@ -307,7 +374,9 @@ func TestQuickCrashInjection(t *testing.T) {
 			}
 		}
 		// Tree must remain fully usable after recovery.
-		tr2.Put(9999, 1)
+		if err := tr2.Put(9999, 1); err != nil {
+			t.Fatal(err)
+		}
 		if _, ok := tr2.Get(9999); !ok {
 			t.Fatalf("iter %d: tree unusable after recovery", iter)
 		}
@@ -316,18 +385,28 @@ func TestQuickCrashInjection(t *testing.T) {
 
 func BenchmarkPut(b *testing.B) {
 	dev := nvm.NewDevice(nvm.DefaultConfig(1 << 30))
-	tr := Create(pmalloc.Format(dev, 0, 1<<30), 0)
+	tr, err := Create(pmalloc.Format(dev, 0, 1<<30), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Put(uint64(i)+1, uint64(i))
+		if err := tr.Put(uint64(i)+1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 func BenchmarkGet(b *testing.B) {
 	dev := nvm.NewDevice(nvm.DefaultConfig(1 << 30))
-	tr := Create(pmalloc.Format(dev, 0, 1<<30), 0)
+	tr, err := Create(pmalloc.Format(dev, 0, 1<<30), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := uint64(1); i <= 1<<20; i++ {
-		tr.Put(i, i)
+		if err := tr.Put(i, i); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

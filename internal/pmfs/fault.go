@@ -7,10 +7,28 @@
 package pmfs
 
 import (
+	"errors"
 	"math/rand"
 
 	"nstore/internal/nvm"
 )
+
+// ErrSyncFailed is returned by File.Sync when a transient sync failure is
+// injected (FailSyncs). It models an fsync returning EIO before any
+// write-back happened: nothing the fsync covered became durable, the file's
+// dirty ranges stay pending, and the process keeps running. Callers that
+// keep their write buffers intact may retry.
+var ErrSyncFailed = errors.New("pmfs: fsync failed")
+
+// FailSyncs arranges for the next `count` File.Sync calls (on any file)
+// after `after` further successful ones to fail with ErrSyncFailed without
+// flushing anything. Unlike SyncFault this is transient — no panic, no
+// crash — and is how the serving-layer tests exercise the retry path of the
+// error taxonomy. Passing count <= 0 clears any pending failure window.
+func (fs *FS) FailSyncs(after, count int) {
+	fs.failAfter = after
+	fs.failCount = count
+}
 
 // SyncFaultMode selects where inside an fsync the injected crash strikes.
 type SyncFaultMode int

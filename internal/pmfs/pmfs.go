@@ -91,6 +91,9 @@ type FS struct {
 	// Fault injection (see fault.go).
 	syncFault    SyncFault
 	syncFaultSet bool
+	// Transient sync-failure window (see FailSyncs).
+	failAfter int
+	failCount int
 }
 
 type span struct{ off, end int64 }
@@ -466,6 +469,11 @@ func (f *File) Truncate(n int64) error {
 			idx := int64(f.fs.dev.ReadU64(ino+inoExt+int64(e)*8)) - 1
 			if idx >= 0 {
 				f.fs.freeExts = append(f.fs.freeExts, idx)
+				// Drop pending dirty spans inside the freed extent: once it
+				// is reused by another file, a later fsync of this inode must
+				// not flush stale bytes into it out of the new owner's write
+				// order.
+				f.fs.dropDirty(f.ino, f.fs.extBase+idx*f.fs.extSize, f.fs.extBase+(idx+1)*f.fs.extSize)
 			}
 		}
 	}
@@ -485,6 +493,15 @@ func (f *File) Sync() error {
 			f.fs.crashSync(f.ino) // panics with nvm.ErrInjectedCrash
 		}
 	}
+	if f.fs.failCount > 0 {
+		if f.fs.failAfter > 0 {
+			f.fs.failAfter--
+		} else {
+			// Transient failure: flush nothing, keep every dirty range.
+			f.fs.failCount--
+			return ErrSyncFailed
+		}
+	}
 	for _, s := range f.fs.dirty[f.ino] {
 		f.fs.dev.Flush(s.off, int(s.end-s.off))
 	}
@@ -495,6 +512,30 @@ func (f *File) Sync() error {
 	}
 	f.fs.dev.Fence()
 	return nil
+}
+
+// dropDirty removes the [off, end) device range from inode ino's pending
+// dirty spans, splitting spans that straddle a boundary.
+func (fs *FS) dropDirty(ino int, off, end int64) {
+	spans := fs.dirty[ino]
+	out := spans[:0]
+	for _, s := range spans {
+		if s.end <= off || s.off >= end {
+			out = append(out, s)
+			continue
+		}
+		if s.off < off {
+			out = append(out, span{s.off, off})
+		}
+		if s.end > end {
+			out = append(out, span{end, s.end})
+		}
+	}
+	if len(out) == 0 {
+		delete(fs.dirty, ino)
+		return
+	}
+	fs.dirty[ino] = out
 }
 
 func (fs *FS) addDirty(ino int, off, end int64) {

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nstore/internal/core"
+	"nstore/internal/nvm"
+	"nstore/internal/testbed"
+)
+
+// DriveStats summarizes a Drive run from the clients' point of view.
+type DriveStats struct {
+	// Acked counts transactions whose commit was acknowledged (including
+	// ambiguous commits resolved by an ErrKeyExists on resubmission).
+	Acked int64
+	// Aborted counts clean client-requested rollbacks (testbed.ErrAbort).
+	Aborted int64
+	// Abandoned counts transactions given up on after bounded resubmits
+	// or failed with a non-retryable error.
+	Abandoned int64
+}
+
+// Drive feeds pre-generated per-partition transaction lists through the
+// runtime with fan concurrent clients per partition — the workload
+// drivers' serving-mode frontend. Typed retryable outcomes (backpressure,
+// in-flight recovery, contained panics) are resubmitted a bounded number
+// of times; everything else abandons that transaction and moves on, so a
+// fault never stalls the drive.
+func Drive(ctx context.Context, rt *Runtime, perPart [][]testbed.Txn, fan int) DriveStats {
+	if fan <= 0 {
+		fan = 1
+	}
+	var acked, aborted, abandoned atomic.Int64
+	var wg sync.WaitGroup
+	for p := range perPart {
+		for c := 0; c < fan; c++ {
+			wg.Add(1)
+			go func(p, c int) {
+				defer wg.Done()
+				for i := c; i < len(perPart[p]); i += fan {
+					switch submitWithRetry(ctx, rt, p, perPart[p][i]) {
+					case driveAcked:
+						acked.Add(1)
+					case driveAborted:
+						aborted.Add(1)
+					default:
+						abandoned.Add(1)
+					}
+				}
+			}(p, c)
+		}
+	}
+	wg.Wait()
+	return DriveStats{Acked: acked.Load(), Aborted: aborted.Load(), Abandoned: abandoned.Load()}
+}
+
+type driveOutcome int
+
+const (
+	driveAcked driveOutcome = iota
+	driveAborted
+	driveAbandoned
+)
+
+func submitWithRetry(ctx context.Context, rt *Runtime, part int, txn testbed.Txn) driveOutcome {
+	for attempt := 0; attempt < 12; attempt++ {
+		err := rt.SubmitPart(ctx, part, txn)
+		switch {
+		case err == nil:
+			return driveAcked
+		case errors.Is(err, testbed.ErrAbort):
+			return driveAborted
+		case errors.Is(err, core.ErrKeyExists) && attempt > 0:
+			// The ambiguous earlier attempt committed after all.
+			return driveAcked
+		case core.IsRetryable(err), errors.Is(err, nvm.ErrInjectedCrash), isPanicErr(err):
+			time.Sleep(time.Duration(200+100*attempt) * time.Microsecond)
+		default:
+			return driveAbandoned
+		}
+	}
+	return driveAbandoned
+}
+
+// Arm runs fn on partition p's executor goroutine inside an immediately
+// aborted transaction, so fault-injection state installed by fn is
+// properly ordered with the executor's engine accesses.
+func (rt *Runtime) Arm(ctx context.Context, p int, fn func()) {
+	rt.SubmitPart(ctx, p, func(core.Engine) error {
+		fn()
+		return testbed.ErrAbort
+	})
+}

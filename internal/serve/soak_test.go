@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nstore/internal/core"
+	"nstore/internal/engine/enginetest"
+	"nstore/internal/nvm"
+	"nstore/internal/pmfs"
+	"nstore/internal/testbed"
+)
+
+// TestSoakMidTrafficFaults runs concurrent clients against every engine
+// while seeded fsync crashes, transient fsync failures, and device fence
+// faults strike mid-traffic. It asserts the serving contract of the
+// supervisor: every acked commit survives (including a final full power
+// cycle), failures surface as typed errors rather than silent drops, the
+// afflicted partition heals in place, and the process never exits. Replay
+// a failure with the same schedule via `go test -seed=N`.
+func TestSoakMidTrafficFaults(t *testing.T) {
+	for _, kind := range testbed.Kinds {
+		t.Run(string(kind), func(t *testing.T) { soakOne(t, kind) })
+	}
+}
+
+func soakOne(t *testing.T, kind testbed.EngineKind) {
+	const parts = 3
+	nTxns := 400
+	if testing.Short() {
+		nTxns = 120
+	}
+	seed := enginetest.BaseSeed()
+
+	db, err := testbed.New(testbed.Config{
+		Engine:     kind,
+		Partitions: parts,
+		Env:        core.EnvConfig{DeviceSize: 32 << 20},
+		Options:    core.Options{GroupCommitSize: 1}, // durable-at-commit ack contract
+		Schemas:    schemas(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(db, Config{QueueDepth: 16, Seed: seed})
+	ctx := context.Background()
+
+	type clientRes struct {
+		acked      map[uint64]int64
+		unexpected []error
+	}
+	results := make([]clientRes, parts)
+	var wg sync.WaitGroup
+	for c := 0; c < parts; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p := c
+			rng := rand.New(rand.NewSource(seed*1000 + int64(c)))
+			acked := make(map[uint64]int64)
+			for i := 0; i < nTxns; i++ {
+				if i == nTxns/3 || i == 2*nTxns/3 {
+					injectFault(ctx, rt, db, kind, p, i > nTxns/2, seed+int64(p), rng)
+				}
+				key := uint64((c*nTxns+i)*parts + p)
+				val := rng.Int63()
+				if soakSubmit(ctx, rt, p, key, val, &results[c].unexpected) {
+					acked[key] = val
+				}
+			}
+			results[c].acked = acked
+		}(c)
+	}
+	wg.Wait()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats := rt.Stats()
+
+	for c := range results {
+		for _, err := range results[c].unexpected {
+			t.Errorf("client %d: unexpected error: %v", c, err)
+		}
+		if len(results[c].acked) == 0 {
+			t.Errorf("client %d (partition %d) got nothing acked — partition stopped committing", c, c)
+		}
+	}
+	if stats.Heals < 1 {
+		t.Errorf("no heal happened; fault schedule never fired: %+v", stats)
+	}
+	if stats.Degraded != 0 {
+		t.Errorf("a partition degraded during the soak: %+v", stats)
+	}
+
+	// Every acked commit must be visible now...
+	verify := func(when string) {
+		for c := range results {
+			for key, val := range results[c].acked {
+				row, ok, err := db.Engine(c).Get("t", key)
+				if err != nil || !ok {
+					t.Fatalf("%s: acked key %d lost (ok=%v err=%v, seed=%d)", when, key, ok, err, seed)
+				}
+				if row[1].I != val {
+					t.Fatalf("%s: acked key %d = %d, want %d (seed=%d)", when, key, row[1].I, val, seed)
+				}
+			}
+		}
+	}
+	verify("live")
+	// ...and must survive a final full power cycle on top of everything
+	// the engines already absorbed mid-traffic.
+	db.Crash()
+	if _, err := db.Recover(); err != nil {
+		t.Fatalf("final recovery: %v (seed=%d)", err, seed)
+	}
+	verify("after power cycle")
+
+	t.Logf("%s soak (seed=%d): %+v", kind, seed, stats)
+}
+
+// TestServeSurvivesWhereExecuteStops contrasts the serving runtime with
+// the raw testbed path on the same fault: a transient fsync failure makes
+// DB.Execute abandon the partition's remaining transactions (the error
+// stops the run), while the supervisor retries past it and commits the
+// whole batch.
+func TestServeSurvivesWhereExecuteStops(t *testing.T) {
+	const n = 10
+	mkTxns := func() []testbed.Txn {
+		var txns []testbed.Txn
+		for i := 0; i < n; i++ {
+			txns = append(txns, insertTxn(uint64(i), int64(i)))
+		}
+		return txns
+	}
+
+	raw := newDB(t, testbed.InP, 1, 16<<20)
+	raw.Env(0).FS.FailSyncs(1, 1)
+	if _, err := raw.Execute([][]testbed.Txn{mkTxns()}); err == nil {
+		t.Fatal("pre-serve path absorbed the sync failure; contrast test is stale")
+	}
+
+	served := newDB(t, testbed.InP, 1, 16<<20)
+	served.Env(0).FS.FailSyncs(1, 1)
+	rt := New(served, Config{})
+	defer rt.Close()
+	for _, txn := range mkTxns() {
+		if err := rt.SubmitPart(context.Background(), 0, txn); err != nil {
+			t.Fatalf("serve path: %v", err)
+		}
+	}
+	if got := rt.Stats().Committed; got != n {
+		t.Fatalf("served %d of %d", got, n)
+	}
+}
+
+// soakSubmit submits one insert with bounded client-side retries and
+// reports whether the commit was acked. An ErrKeyExists on a retry means
+// the ambiguous earlier attempt did commit; the value is deterministic per
+// key, so it counts as acked.
+func soakSubmit(ctx context.Context, rt *Runtime, part int, key uint64, val int64, unexpected *[]error) bool {
+	txn := insertTxn(key, val)
+	for attempt := 0; attempt < 12; attempt++ {
+		err := rt.SubmitPart(ctx, part, txn)
+		switch {
+		case err == nil:
+			return true
+		case errors.Is(err, core.ErrKeyExists):
+			return true
+		case core.IsRetryable(err), errors.Is(err, nvm.ErrInjectedCrash), isPanicErr(err):
+			// Typed, retryable-by-contract outcomes: back off briefly and
+			// resubmit while the partition retries or heals.
+			time.Sleep(time.Duration(200+100*attempt) * time.Microsecond)
+		default:
+			*unexpected = append(*unexpected, fmt.Errorf("key %d: %w", key, err))
+			return false
+		}
+	}
+	*unexpected = append(*unexpected, fmt.Errorf("key %d: never acked after retries", key))
+	return false
+}
+
+// injectFault arms the next fault on partition p's storage from inside a
+// submitted (and then aborted) transaction, so the fault state is ordered
+// with the executor's engine accesses. Filesystem-centric engines get a
+// transient fsync failure first and an fsync crash later; NVM-aware
+// engines get seeded fence faults (lose-all first, reorder later).
+func injectFault(ctx context.Context, rt *Runtime, db *testbed.DB, kind testbed.EngineKind, p int, late bool, seed int64, rng *rand.Rand) {
+	after := rng.Intn(5)
+	var arm testbed.Txn
+	if kind.IsNVMAware() {
+		plan := nvm.FaultPlan{Seed: seed, Mode: nvm.FaultLoseAll, CrashAfterFences: 10 + rng.Intn(40)}
+		if late {
+			plan.Mode = nvm.FaultReorder
+			plan.KeepProb = 0.5
+		}
+		arm = func(core.Engine) error {
+			db.Env(p).Dev.InjectFaults(plan)
+			return testbed.ErrAbort
+		}
+	} else if !late {
+		arm = func(core.Engine) error {
+			db.Env(p).FS.FailSyncs(after, 2)
+			return testbed.ErrAbort
+		}
+	} else {
+		mode := pmfs.SyncCrashLost
+		if rng.Intn(2) == 0 {
+			mode = pmfs.SyncCrashTorn
+		}
+		fault := pmfs.SyncFault{Seed: seed, AfterSyncs: after, Mode: mode}
+		arm = func(core.Engine) error {
+			db.Env(p).FS.InjectSyncFault(fault)
+			return testbed.ErrAbort
+		}
+	}
+	// The arming txn itself may be the one that hits the fault (e.g. a
+	// fence crash during its abort) — any outcome is fine.
+	rt.SubmitPart(ctx, p, arm)
+}

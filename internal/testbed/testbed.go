@@ -279,7 +279,12 @@ func (db *DB) execute(perPart [][]Txn, parallel bool) (Result, error) {
 				}
 				results[i].aborted++
 			default:
-				part.eng.Abort()
+				if aerr := part.eng.Abort(); aerr != nil {
+					// The rollback itself failed: the partition state is
+					// suspect, so report both causes instead of hiding the
+					// abort failure behind the transaction error.
+					err = errors.Join(err, aerr)
+				}
 				results[i].err = err
 				return
 			}
@@ -378,6 +383,35 @@ func (db *DB) Crash() {
 	}
 }
 
+// CrashPartition simulates a power failure on partition i only, leaving
+// the other partitions serving. The serving runtime uses this to fence a
+// partition whose engine failed before re-running its recovery protocol.
+func (db *DB) CrashPartition(i int) { db.parts[i].env.Dev.Crash() }
+
+// RecoverPartition reopens partition i after a crash, running the
+// engine's recovery protocol, and returns its recovery latency.
+func (db *DB) RecoverPartition(i int) (time.Duration, error) {
+	start := time.Now()
+	part := db.parts[i]
+	var env *core.Env
+	var err error
+	if db.cfg.Engine.IsNVMAware() {
+		env, err = part.env.Reopen()
+	} else {
+		env, err = part.env.ReopenVolatile()
+	}
+	if err != nil {
+		return 0, fmt.Errorf("testbed: recover partition %d: %w", i, err)
+	}
+	eng, err := buildEngine(db.cfg.Engine, env, db.cfg.Schemas, db.cfg.Options, true)
+	if err != nil {
+		return 0, fmt.Errorf("testbed: recover partition %d: %w", i, err)
+	}
+	part.env, part.eng = env, eng
+	// Include the simulated NVM stall recovery work incurred.
+	return time.Since(start), nil
+}
+
 // Recover reopens every partition after a crash, running the engine's
 // recovery protocol, and returns the wall-clock recovery latency (the
 // slowest partition, since they recover in parallel).
@@ -392,34 +426,14 @@ func (db *DB) Recover() (time.Duration, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			start := time.Now()
-			part := db.parts[i]
-			var env *core.Env
-			var err error
-			if db.cfg.Engine.IsNVMAware() {
-				env, err = part.env.Reopen()
-			} else {
-				env, err = part.env.ReopenVolatile()
-			}
-			if err != nil {
-				results[i].err = err
-				return
-			}
-			eng, err := buildEngine(db.cfg.Engine, env, db.cfg.Schemas, db.cfg.Options, true)
-			if err != nil {
-				results[i].err = err
-				return
-			}
-			part.env, part.eng = env, eng
-			// Include the simulated NVM stall recovery work incurred.
-			results[i].d = time.Since(start)
+			results[i].d, results[i].err = db.RecoverPartition(i)
 		}(i)
 	}
 	wg.Wait()
 	var max time.Duration
-	for i, r := range results {
+	for _, r := range results {
 		if r.err != nil {
-			return 0, fmt.Errorf("testbed: recover partition %d: %w", i, r.err)
+			return 0, r.err
 		}
 		if r.d > max {
 			max = r.d
