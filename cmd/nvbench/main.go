@@ -5,12 +5,19 @@
 //
 //	nvbench [-run all|fig1|ycsb|tpcc|recovery|breakdown|footprint|costmodel|nodesize|synclat]
 //	        [-scale small|medium] [-partitions N] [-tuples N] [-txns N] [-seed N]
+//	        [-short] [-out DIR]
+//
+// The ycsb and tpcc experiments additionally write machine-readable
+// BENCH_<workload>.json artifacts (the /metrics snapshot schema) into
+// -out. -short runs a tiny per-engine smoke pass instead and writes
+// BENCH_smoke.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -25,6 +32,8 @@ func main() {
 	txns := flag.Int("txns", 0, "override YCSB transaction count")
 	tpccTxns := flag.Int("tpcc-txns", 0, "override TPC-C transaction count")
 	seed := flag.Int64("seed", 0, "override workload seed")
+	short := flag.Bool("short", false, "run the tiny smoke pass only and write BENCH_smoke.json")
+	out := flag.String("out", ".", "directory for BENCH_*.json artifacts")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -53,8 +62,32 @@ func main() {
 		scale.Seed = *seed
 	}
 
-	r := bench.New(scale, os.Stdout)
+	artifact := func(workload string, ms []bench.Measurement) {
+		path := filepath.Join(*out, "BENCH_"+workload+".json")
+		if err := bench.WriteSnapshot(path, workload, ms); err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
 	start := time.Now()
+	if *short {
+		scale = bench.SmokeScale()
+		if *seed != 0 {
+			scale.Seed = *seed
+		}
+		ms, err := bench.New(scale, os.Stdout).Smoke()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: %v\n", err)
+			os.Exit(1)
+		}
+		artifact("smoke", ms)
+		fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	r := bench.New(scale, os.Stdout)
 	for _, name := range strings.Split(*run, ",") {
 		var err error
 		switch strings.TrimSpace(name) {
@@ -63,9 +96,15 @@ func main() {
 		case "fig1":
 			_, err = r.Fig1()
 		case "ycsb":
-			_, err = r.YCSB()
+			var res *bench.YCSBResult
+			if res, err = r.YCSB(); err == nil {
+				artifact("ycsb", res.Points)
+			}
 		case "tpcc":
-			_, err = r.TPCC()
+			var res *bench.TPCCResult
+			if res, err = r.TPCC(); err == nil {
+				artifact("tpcc", res.Points)
+			}
 		case "recovery":
 			_, err = r.Recovery()
 		case "breakdown":

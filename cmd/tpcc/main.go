@@ -35,6 +35,7 @@ func main() {
 	clients := flag.Int("clients", 2, "serve mode: concurrent clients per partition")
 	fault := flag.String("fault", "none", "serve mode: mid-traffic fault on every partition: none, fsync-transient, fsync-lost, fsync-torn, fence-lose, fence-reorder")
 	faultAfter := flag.Int("fault-after", 50, "serve mode: fsyncs/fences to let through before the fault fires")
+	metrics := flag.String("metrics", "", "serve mode: listen address for /metrics, /healthz and pprof (e.g. 127.0.0.1:8080, or :0 for an ephemeral port)")
 	flag.Parse()
 
 	profile := nvm.ProfileDRAM
@@ -73,7 +74,8 @@ func main() {
 		// row count is unknown (-1 checks live == recovered instead).
 		err := serve.RunDrill(db, tpcc.Generate(cfg), tpcc.Schemas(), serve.DrillConfig{
 			Clients: *clients, Fault: *fault, FaultAfter: *faultAfter,
-			Seed: *seed, WantRows: -1, Out: os.Stdout, Errw: os.Stderr,
+			Seed: *seed, WantRows: -1, Metrics: *metrics,
+			Out: os.Stdout, Errw: os.Stderr,
 		})
 		if err != nil {
 			fatal(err)

@@ -34,6 +34,7 @@ func main() {
 	clients := flag.Int("clients", 2, "serve mode: concurrent clients per partition")
 	fault := flag.String("fault", "none", "serve mode: mid-traffic fault on every partition: none, fsync-transient, fsync-lost, fsync-torn, fence-lose, fence-reorder")
 	faultAfter := flag.Int("fault-after", 50, "serve mode: fsyncs/fences to let through before the fault fires")
+	metrics := flag.String("metrics", "", "serve mode: listen address for /metrics, /healthz and pprof (e.g. 127.0.0.1:8080, or :0 for an ephemeral port)")
 	flag.Parse()
 
 	var mix ycsb.Mix
@@ -94,7 +95,8 @@ func main() {
 		// survives the live recoveries plus a final power cycle.
 		err := serve.RunDrill(db, ycsb.Generate(cfg), ycsb.Schema(cfg), serve.DrillConfig{
 			Clients: *clients, Fault: *fault, FaultAfter: *faultAfter,
-			Seed: *seed, WantRows: int64(*tuples), Out: os.Stdout, Errw: os.Stderr,
+			Seed: *seed, WantRows: int64(*tuples), Metrics: *metrics,
+			Out: os.Stdout, Errw: os.Stderr,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ycsb:", err)

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"nstore/internal/obs"
+)
+
+// WriteSnapshot writes measurements to path as an obs.Snapshot, the same
+// JSON schema the serving runtime's /metrics endpoint exposes, so one set
+// of tooling can consume live scrapes and benchmark artifacts alike. Each
+// measurement contributes a `<base>_txn_per_sec` gauge plus counters for
+// the NVM traffic it generated, where base encodes the configuration
+// (workload, engine, mixture, skew, latency — empty parts skipped).
+func WriteSnapshot(path, workload string, ms []Measurement) error {
+	reg := obs.New()
+	for _, m := range ms {
+		base := metricBase(workload, m)
+		reg.Gauge(base + "_txn_per_sec").Set(m.Throughput)
+		reg.Gauge(base + "_elapsed_ns").Set(float64(m.Elapsed))
+		reg.Counter(base + "_loads").Add(int64(m.Loads))
+		reg.Counter(base + "_stores").Add(int64(m.Stores))
+		reg.Counter(base + "_bytes_read").Add(int64(m.BytesRead))
+		reg.Counter(base + "_bytes_written").Add(int64(m.BytesWritten))
+	}
+	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// metricBase builds the metric-name prefix for one measurement. Engine
+// kinds contain '-', which the flat metric namespace spells '_'.
+func metricBase(workload string, m Measurement) string {
+	parts := []string{workload, strings.ReplaceAll(string(m.Engine), "-", "_")}
+	for _, p := range []string{m.Mix, m.Skew, m.Latency} {
+		if p != "" {
+			parts = append(parts, strings.ReplaceAll(p, "-", "_"))
+		}
+	}
+	return strings.Join(parts, "_")
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+
+	"nstore/internal/nvm"
+	"nstore/internal/workload/ycsb"
+)
+
+// SmokeScale is the tiny configuration behind `nvbench -short`: one quick
+// pass per engine, small enough for a CI smoke lane, big enough that the
+// NVM counters are non-trivial.
+func SmokeScale() Scale {
+	s := SmallScale()
+	s.Partitions = 2
+	s.DeviceSize = 128 << 20
+	s.YCSBTuples = 2000
+	s.YCSBTxns = 2000
+	s.Latencies = []nvm.Profile{nvm.ProfileDRAM}
+	return s
+}
+
+// Smoke runs a single balanced/low-skew YCSB configuration per engine at
+// the runner's scale and returns the measurements (for WriteSnapshot).
+func (r *Runner) Smoke() ([]Measurement, error) {
+	var mix ycsb.Mix
+	for _, m := range ycsb.Mixes {
+		if m.Name == "balanced" {
+			mix = m
+		}
+	}
+	if mix.Name == "" {
+		return nil, fmt.Errorf("bench: smoke: no balanced mix")
+	}
+	cfg := r.ycsbCfg(mix, ycsb.LowSkew)
+	work := ycsb.Generate(cfg)
+
+	r.section("smoke — YCSB balanced/low @dram")
+	var ms []Measurement
+	for _, kind := range r.S.Engines {
+		db, err := r.newYCSBDB(kind, cfg)
+		if err != nil {
+			return nil, err
+		}
+		db.ResetStats()
+		out, err := db.ExecuteSequential(work)
+		if err != nil {
+			return nil, fmt.Errorf("bench: smoke: %s: %w", kind, err)
+		}
+		if err := db.Flush(); err != nil {
+			return nil, fmt.Errorf("bench: smoke: %s: flush: %w", kind, err)
+		}
+		m := Measurement{
+			Engine:       kind,
+			Mix:          mix.Name,
+			Skew:         ycsb.LowSkew.Name,
+			Latency:      nvm.ProfileDRAM.Name,
+			Throughput:   out.Throughput(),
+			Loads:        out.Stats.Loads,
+			Stores:       out.Stats.Stores,
+			BytesRead:    out.Stats.BytesRead,
+			BytesWritten: out.Stats.BytesWritten,
+			Elapsed:      out.Elapsed,
+		}
+		ms = append(ms, m)
+		r.printf("%s: %s txn/sec (%d stores, %.1f MB written)\n",
+			kind, human(m.Throughput), m.Stores, float64(m.BytesWritten)/(1<<20))
+	}
+	return ms, nil
+}

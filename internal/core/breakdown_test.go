@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakdownNestedTimersNoDoubleCount proves the Fig. 9 buckets sum to
+// at most wall time when timers nest: a Storage-bucketed interval running
+// inside a Recovery-bucketed one must be charged to Storage only, with
+// Recovery keeping just its self time.
+func TestBreakdownNestedTimersNoDoubleCount(t *testing.T) {
+	var b Breakdown
+	wallStart := time.Now()
+
+	stopRecovery := b.Timer(&b.Recovery)
+	time.Sleep(4 * time.Millisecond)
+	stopStorage := b.Timer(&b.Storage)
+	time.Sleep(4 * time.Millisecond)
+	stopStorage()
+	time.Sleep(2 * time.Millisecond)
+	stopRecovery()
+
+	wall := time.Since(wallStart)
+	if b.Storage == 0 || b.Recovery == 0 {
+		t.Fatalf("buckets not charged: storage=%v recovery=%v", b.Storage, b.Recovery)
+	}
+	if b.Total() > wall {
+		t.Fatalf("buckets sum to %v > wall %v — nested interval double-counted", b.Total(), wall)
+	}
+	// Recovery must exclude the nested Storage interval: its self time is
+	// ~6ms out of the ~10ms outer interval.
+	if b.Recovery > wall-b.Storage {
+		t.Fatalf("recovery self time %v exceeds wall %v minus storage %v", b.Recovery, wall, b.Storage)
+	}
+	if b.Storage < 3*time.Millisecond {
+		t.Fatalf("storage = %v, want >= ~4ms", b.Storage)
+	}
+}
+
+// TestBreakdownDeepNesting checks three levels plus sequential siblings.
+func TestBreakdownDeepNesting(t *testing.T) {
+	var b Breakdown
+	wallStart := time.Now()
+
+	stopR := b.Timer(&b.Recovery)
+	stopS := b.Timer(&b.Storage)
+	stopI := b.Timer(&b.Index)
+	time.Sleep(2 * time.Millisecond)
+	stopI()
+	stopS()
+	stopO := b.Timer(&b.Other)
+	time.Sleep(2 * time.Millisecond)
+	stopO()
+	stopR()
+
+	wall := time.Since(wallStart)
+	if b.Total() > wall {
+		t.Fatalf("total %v > wall %v", b.Total(), wall)
+	}
+	if b.Index < time.Millisecond || b.Other < time.Millisecond {
+		t.Fatalf("inner buckets lost time: index=%v other=%v", b.Index, b.Other)
+	}
+}
+
+// TestBreakdownSnapshotMatchesBuckets checks the atomic mirrors the scraper
+// reads agree with the owner-visible buckets once timers are stopped.
+func TestBreakdownSnapshotMatchesBuckets(t *testing.T) {
+	var b Breakdown
+	stop := b.Timer(&b.Storage)
+	time.Sleep(time.Millisecond)
+	stop()
+	stop = b.Timer(&b.Index)
+	stop()
+
+	snap := b.Snapshot()
+	if snap.Storage != b.Storage || snap.Index != b.Index ||
+		snap.Recovery != b.Recovery || snap.Other != b.Other {
+		t.Fatalf("snapshot %+v diverges from buckets %+v", snap, b)
+	}
+}
+
+// TestBreakdownOutOfOrderStopIgnored documents the defensive behaviour: a
+// stop called after its frame was already popped is dropped instead of
+// corrupting another bucket's attribution.
+func TestBreakdownOutOfOrderStopIgnored(t *testing.T) {
+	var b Breakdown
+	stopOuter := b.Timer(&b.Recovery)
+	stopInner := b.Timer(&b.Storage)
+	stopInner()
+	stopInner() // double stop: must be a no-op
+	stopOuter()
+	if b.Total() <= 0 {
+		t.Fatalf("legitimate stops lost: %+v", b)
+	}
+}

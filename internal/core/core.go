@@ -6,6 +6,7 @@ package core
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"nstore/internal/nvm"
@@ -119,18 +120,87 @@ type Engine interface {
 // Breakdown accumulates time per engine component (Fig. 13): storage
 // management, recovery mechanisms (logging, checkpointing, persisting),
 // index accesses, and everything else.
+//
+// Buckets record *self time*: when timers nest (e.g. a Storage-bucketed
+// heap write inside a Recovery-bucketed checkpoint), the inner interval is
+// subtracted from the outer bucket, so the four buckets sum to at most the
+// wall time spent under timers — never double-counted.
+//
+// The exported fields are owned by the engine's executor goroutine. For
+// concurrent readers (a /metrics scrape racing a partition executor) use
+// Snapshot, which reads atomically maintained mirrors.
 type Breakdown struct {
 	Storage  time.Duration
 	Recovery time.Duration
 	Index    time.Duration
 	Other    time.Duration
+
+	// stack tracks in-flight timers for nested self-time attribution.
+	stack []bdFrame
+	// mirror holds atomic copies of the four buckets (ns), published by
+	// Timer's stop function, in field order: Storage, Recovery, Index,
+	// Other. Plain int64s accessed via sync/atomic so the struct stays
+	// copyable.
+	mirror [4]int64
+}
+
+type bdFrame struct {
+	bucket *time.Duration
+	start  time.Time
+	child  time.Duration // time consumed by nested timers
 }
 
 // Timer starts timing a component; call the returned stop function to add
-// the elapsed time to the given bucket.
+// the elapsed *self* time to the given bucket (elapsed minus any nested
+// timer intervals). Stops must be called in LIFO order, which the engines'
+// structured begin/defer usage guarantees; an out-of-order stop is ignored
+// rather than corrupting the stack.
 func (b *Breakdown) Timer(bucket *time.Duration) func() {
-	start := time.Now()
-	return func() { *bucket += time.Since(start) }
+	b.stack = append(b.stack, bdFrame{bucket: bucket, start: time.Now()})
+	depth := len(b.stack)
+	return func() {
+		if len(b.stack) != depth {
+			return // out-of-order stop; drop rather than misattribute
+		}
+		f := b.stack[depth-1]
+		b.stack = b.stack[:depth-1]
+		elapsed := time.Since(f.start)
+		self := elapsed - f.child
+		if self < 0 {
+			self = 0
+		}
+		*f.bucket += self
+		if depth > 1 {
+			b.stack[depth-2].child += elapsed
+		}
+		b.publish(f.bucket)
+	}
+}
+
+// publish copies one bucket into its atomic mirror for Snapshot readers.
+func (b *Breakdown) publish(bucket *time.Duration) {
+	switch bucket {
+	case &b.Storage:
+		atomic.StoreInt64(&b.mirror[0], int64(b.Storage))
+	case &b.Recovery:
+		atomic.StoreInt64(&b.mirror[1], int64(b.Recovery))
+	case &b.Index:
+		atomic.StoreInt64(&b.mirror[2], int64(b.Index))
+	case &b.Other:
+		atomic.StoreInt64(&b.mirror[3], int64(b.Other))
+	}
+}
+
+// Snapshot returns a scraper-safe copy of the buckets, read from the atomic
+// mirrors. It may be called from any goroutine while the owning executor
+// keeps timing.
+func (b *Breakdown) Snapshot() Breakdown {
+	return Breakdown{
+		Storage:  time.Duration(atomic.LoadInt64(&b.mirror[0])),
+		Recovery: time.Duration(atomic.LoadInt64(&b.mirror[1])),
+		Index:    time.Duration(atomic.LoadInt64(&b.mirror[2])),
+		Other:    time.Duration(atomic.LoadInt64(&b.mirror[3])),
+	}
 }
 
 // Add accumulates another breakdown into b.

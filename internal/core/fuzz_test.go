@@ -102,9 +102,9 @@ func FuzzWalkRecords(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		type rec struct {
-			typ   uint8
-			txn   uint64
-			key   uint64
+			typ           uint8
+			txn           uint64
+			key           uint64
 			before, after string
 		}
 		var first []rec

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
+	"sync/atomic"
 
 	"nstore/internal/pmalloc"
 	"nstore/internal/pmfs"
@@ -35,8 +36,37 @@ type FsWAL struct {
 	pendingTxn int // committed txns whose records are still buffered
 	groupSize  int
 
-	// Fsyncs counts durable flushes (diagnostics).
-	Fsyncs int
+	// Cumulative metrics in atomic cells: the owner appends and flushes
+	// while a metrics scraper reads Stats from another goroutine.
+	records atomic.Int64 // records appended (including later-dropped tails)
+	bytes   atomic.Int64 // record bytes appended
+	fsyncs  atomic.Int64 // durable group-commit flushes
+}
+
+// WalStats is a scraper-safe snapshot of a WAL's cumulative counters.
+type WalStats struct {
+	// Records and Bytes count appended log records and their encoded size,
+	// including records of transactions that later aborted (their buffer
+	// tail is dropped, but the append work happened).
+	Records int64
+	Bytes   int64
+	// Fsyncs counts successful group-commit flushes.
+	Fsyncs int64
+}
+
+// Stats returns the WAL's cumulative counters. Safe from any goroutine.
+func (w *FsWAL) Stats() WalStats {
+	return WalStats{
+		Records: w.records.Load(),
+		Bytes:   w.bytes.Load(),
+		Fsyncs:  w.fsyncs.Load(),
+	}
+}
+
+// WalStatser is implemented by engines that expose their WAL's counters
+// (the WAL-based engines: inp, nvm-inp via its own log, log, nvm-log).
+type WalStatser interface {
+	WalStats() WalStats
 }
 
 // WAL record types.
@@ -154,6 +184,8 @@ func (w *FsWAL) Append(r WalRecord) {
 	rec = append(rec, r.After...)
 	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(rec[8:], walTable))
 	w.bufAppend(rec)
+	w.records.Add(1)
+	w.bytes.Add(int64(len(rec)))
 }
 
 // TxnCommitted appends the commit record and flushes if the group is full.
@@ -212,7 +244,7 @@ func (w *FsWAL) Flush() error {
 		w.bufLen = 0
 		w.scratch = w.scratch[:0]
 	}
-	w.Fsyncs++
+	w.fsyncs.Add(1)
 	w.pendingTxn = 0
 	return nil
 }

@@ -48,13 +48,17 @@ func TestWalGroupCommitBatching(t *testing.T) {
 		w.Append(WalRecord{Type: WalInsert, TxnID: txn, Key: txn})
 		w.TxnCommitted(txn)
 	}
-	if w.Fsyncs != 0 {
-		t.Errorf("flushed before the group filled: %d fsyncs", w.Fsyncs)
+	if got := w.Stats().Fsyncs; got != 0 {
+		t.Errorf("flushed before the group filled: %d fsyncs", got)
 	}
 	w.Append(WalRecord{Type: WalInsert, TxnID: 8, Key: 8})
 	w.TxnCommitted(8)
-	if w.Fsyncs != 1 {
-		t.Errorf("Fsyncs = %d after full group", w.Fsyncs)
+	st := w.Stats()
+	if st.Fsyncs != 1 {
+		t.Errorf("Fsyncs = %d after full group", st.Fsyncs)
+	}
+	if st.Records != 16 || st.Bytes <= 0 {
+		t.Errorf("Records = %d (want 16), Bytes = %d (want > 0)", st.Records, st.Bytes)
 	}
 }
 

@@ -99,7 +99,10 @@ func (e *Engine) Commit() error {
 	if err != nil {
 		// tree.Commit already folded the txn into the volatile batch, so
 		// there is nothing left to roll back in place: only reopening
-		// from the last durable master record restores a known state.
+		// from the last durable master record restores a known state. The
+		// transaction itself is over either way — end it so a post-heal
+		// Begin on this instance does not trip over ErrInTxn.
+		_ = e.EndTx()
 		return core.Corrupt(err)
 	}
 	return e.EndTx()

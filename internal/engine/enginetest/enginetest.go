@@ -120,6 +120,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("EmptyAndLargeStrings", func(t *testing.T) { testEmptyAndLargeStrings(t, f) })
 	t.Run("DeleteReinsert", func(t *testing.T) { testDeleteReinsert(t, f) })
 	t.Run("SecondaryDuplicates", func(t *testing.T) { testSecondaryDuplicates(t, f) })
+	t.Run("CommitErrorUnwind", func(t *testing.T) { testCommitErrorUnwind(t, f) })
 }
 
 func testCRUD(t *testing.T, f Factory) {

@@ -1,0 +1,48 @@
+package enginetest
+
+import (
+	"testing"
+
+	"nstore/internal/core"
+)
+
+// testCommitErrorUnwind is the regression for the txn-state leak: a persist
+// failure inside Commit used to return without EndTx, so the engine stayed
+// "in transaction" and the next Begin — the first thing a healed partition
+// does — failed with ErrInTxn forever. Every engine must unwind its
+// transaction state on every Commit error path.
+func testCommitErrorUnwind(t *testing.T, f Factory) {
+	env := newEnv(t)
+	// GroupCommitSize 1 makes every commit hit the durability path, so the
+	// injected sync failure lands inside Commit rather than a later Flush.
+	opts := core.Options{GroupCommitSize: 1}
+	e := mustEngine(t, f, env, opts)
+
+	do(t, e.Begin())
+	do(t, e.Insert("users", 1, userRow(1)))
+	do(t, e.Commit())
+
+	// One transient fsync failure for the next commit's durability work.
+	env.FS.FailSyncs(0, 1)
+	do(t, e.Begin())
+	do(t, e.Insert("users", 2, userRow(2)))
+	err := e.Commit()
+	if err == nil {
+		// NVM-aware engines bypass the filesystem entirely; their commit
+		// has no fallible persist step to inject into here.
+		t.Skipf("%s: commit does not touch the filesystem", f.Name)
+	}
+
+	// Whatever the failure was classified as, the transaction must be over:
+	// the next Begin must not trip over leaked in-txn state.
+	if berr := e.Begin(); berr != nil {
+		t.Fatalf("Begin after failed commit: %v (commit err: %v)", berr, err)
+	}
+	do(t, e.Insert("users", 3, userRow(3)))
+	do(t, e.Commit())
+	do(t, e.Begin())
+	if _, ok, gerr := e.Get("users", 3); gerr != nil || !ok {
+		t.Fatalf("post-failure commit not visible: ok=%v err=%v", ok, gerr)
+	}
+	do(t, e.Commit())
+}

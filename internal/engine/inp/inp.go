@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -237,6 +238,13 @@ func (e *Engine) Commit() error {
 	err := e.wal.TxnCommitted(e.TxnID)
 	stop()
 	if err != nil {
+		// The commit record never became durable (a retryable flush keeps
+		// the buffer; the file was rewound), so the transaction did not
+		// happen: roll the in-memory state back and end the txn so the
+		// caller can Begin again and retry.
+		if rerr := e.rollback(); rerr != nil {
+			return core.Corrupt(errors.Join(err, rerr))
+		}
 		return err
 	}
 	// Checkpoints bound WAL replay; only transactions that wrote count.
@@ -245,6 +253,11 @@ func (e *Engine) Commit() error {
 	}
 	if e.opts.CheckpointEvery > 0 && e.sinceCkpt >= e.opts.CheckpointEvery {
 		if err := e.Checkpoint(); err != nil {
+			// The transaction committed (its WAL group may still be
+			// buffered, which is the normal group-commit window); only the
+			// replay-bounding checkpoint failed. sinceCkpt is not reset, so
+			// a later commit retries it. End the txn before surfacing.
+			_ = e.EndTx()
 			return err
 		}
 	}
@@ -256,6 +269,13 @@ func (e *Engine) Abort() error {
 	if err := e.RequireTx(); err != nil {
 		return err
 	}
+	return e.rollback()
+}
+
+// rollback undoes the running transaction's in-memory effects, drops its
+// buffered WAL records, and ends the transaction. Shared by Abort and the
+// commit-failure path, so every exit leaves the engine ready for Begin.
+func (e *Engine) rollback() error {
 	for i := len(e.undo) - 1; i >= 0; i-- {
 		u := e.undo[i]
 		tm := e.Tables[u.table]
@@ -469,6 +489,9 @@ func (e *Engine) Flush() error {
 	defer stop()
 	return e.wal.Flush()
 }
+
+// WalStats exposes the WAL's cumulative counters (core.WalStatser).
+func (e *Engine) WalStats() core.WalStats { return e.wal.Stats() }
 
 // Checkpoint serializes all live tuples to a gzip-compressed checkpoint
 // file, swaps it in atomically, and truncates the WAL (§3.1).

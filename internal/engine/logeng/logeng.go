@@ -8,6 +8,7 @@ package logeng
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
@@ -257,6 +258,12 @@ func (e *Engine) Commit() error {
 	err := e.wal.TxnCommitted(e.TxnID)
 	stop()
 	if err != nil {
+		// The commit record never became durable; the txn's memtable and
+		// index changes are still undoable. Roll back and end the txn so
+		// the caller can Begin again and retry.
+		if rerr := e.rollback(); rerr != nil {
+			return core.Corrupt(errors.Join(err, rerr))
+		}
 		return err
 	}
 	for _, p := range e.txnFrees {
@@ -265,6 +272,10 @@ func (e *Engine) Commit() error {
 	e.txnFrees = e.txnFrees[:0]
 	if e.memCount >= e.opts.MemTableCap {
 		if err := e.flushMemTable(); err != nil {
+			// The transaction committed; only the memtable spill failed.
+			// The memtable stays over capacity and the next commit retries
+			// the flush. End the txn before surfacing.
+			_ = e.EndTx()
 			return err
 		}
 	}
@@ -276,6 +287,14 @@ func (e *Engine) Abort() error {
 	if err := e.RequireTx(); err != nil {
 		return err
 	}
+	return e.rollback()
+}
+
+// rollback undoes the running transaction's memtable and secondary-index
+// changes, drops its buffered WAL records, and ends the transaction. Shared
+// by Abort and the commit-failure path, so every exit leaves the engine
+// ready for Begin.
+func (e *Engine) rollback() error {
 	for i := len(e.undo) - 1; i >= 0; i-- {
 		u := e.undo[i]
 		if u.oldPtr != 0 {
@@ -613,6 +632,9 @@ func (e *Engine) Flush() error {
 
 // FlushMemTable forces the MemTable to an SSTable (test/bench hook).
 func (e *Engine) FlushMemTable() error { return e.flushMemTable() }
+
+// WalStats exposes the WAL's cumulative counters (core.WalStatser).
+func (e *Engine) WalStats() core.WalStats { return e.wal.Stats() }
 
 // Compactions returns the number of merge compactions performed.
 func (e *Engine) Compactions() int { return e.compactions }

@@ -148,7 +148,11 @@ func (e *Engine) Commit() error {
 	}
 	stop()
 	if err != nil {
-		return err
+		// The txn is already folded into the volatile batch; only reopening
+		// from the last durable master record restores a known state. End
+		// the transaction so the next Begin does not trip over ErrInTxn.
+		_ = e.EndTx()
+		return core.Corrupt(err)
 	}
 	return e.EndTx()
 }

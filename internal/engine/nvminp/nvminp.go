@@ -401,6 +401,9 @@ func (e *Engine) Abort() error {
 		if err := e.undoEntry(e.ops[i].entry); err != nil {
 			// A failed rollback leaves volatile and durable state diverged;
 			// only the engine's crash-recovery path can restore consistency.
+			// The transaction is over either way — end it so recovery's
+			// replacement Begin path is not blocked by ErrInTxn.
+			_ = e.EndTx()
 			return core.Corrupt(err)
 		}
 	}

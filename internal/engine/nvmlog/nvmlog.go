@@ -445,11 +445,16 @@ func (e *Engine) Commit() error {
 	}
 	stop()
 	if e.memCount >= e.opts.MemTableCap {
+		// The transaction is already durably committed (the WAL truncation
+		// above); rotation/compaction are maintenance that a later commit
+		// retries. End the txn before surfacing their errors.
 		if err := e.rotate(); err != nil {
+			_ = e.EndTx()
 			return err
 		}
 		if len(e.runs) >= e.opts.LSMGrowth {
 			if err := e.compact(); err != nil {
+				_ = e.EndTx()
 				return err
 			}
 		}
@@ -466,6 +471,9 @@ func (e *Engine) Abort() error {
 		if err := e.undoEntry(e.ops[i].entry); err != nil {
 			// A failed rollback leaves volatile and durable state diverged;
 			// only the engine's crash-recovery path can restore consistency.
+			// The transaction is over either way — end it so recovery's
+			// replacement Begin path is not blocked by ErrInTxn.
+			_ = e.EndTx()
 			return core.Corrupt(err)
 		}
 	}

@@ -15,12 +15,19 @@
 // and a simulated stall clock that accrues the extra latency NVM adds over
 // DRAM. Throughput experiments report txns / (wall time + stall).
 //
-// A Device is not safe for concurrent use; the testbed gives each database
-// partition its own device.
+// Ownership rule: data-path operations (Read, Write, Flush, FlushOpt, Fence,
+// Sync, Crash, EvictAll, fault arming) belong to a single owner goroutine —
+// the testbed gives each database partition its own device and executes its
+// transactions serially. The observation and tuning surface — Stats,
+// ResetStats, Config, SetLatency, SetSyncExtra, AddStall — is safe to call
+// from any goroutine (atomic counters, mutex-guarded config), so a metrics
+// scraper or latency sweep may run concurrently with the owner.
 package nvm
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -109,12 +116,42 @@ func (s Stats) Add(o Stats) Stats {
 	}
 }
 
+// deviceStats holds the live perf counters in atomic cells so a metrics
+// scraper can snapshot or reset them while the owner goroutine keeps
+// driving data operations.
+type deviceStats struct {
+	loads        atomic.Uint64
+	stores       atomic.Uint64
+	flushes      atomic.Uint64
+	fences       atomic.Uint64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	stallNS      atomic.Int64
+}
+
+// latCells mirrors the Config latency fields in atomic nanosecond cells.
+// Hot-path operations charge stall from these instead of reading d.cfg, so
+// SetLatency/SetSyncExtra can retune a live device without racing them.
+type latCells struct {
+	readMiss  atomic.Int64
+	writeBack atomic.Int64
+	flushLine atomic.Int64
+	fence     atomic.Int64
+	syncExtra atomic.Int64
+}
+
 // Device is an emulated NVM device.
 type Device struct {
+	// cfgMu guards cfg against live mutation (SetLatency, SetSyncExtra)
+	// racing Config snapshots. Data paths never take it: the latency costs
+	// they charge are mirrored in lat. cfg.Size is immutable after NewDevice
+	// and may be read without the lock.
+	cfgMu sync.Mutex
 	cfg   Config
+	lat   latCells
 	data  []byte // the durable medium
 	cache cache
-	stats Stats
+	stats deviceStats
 	// pending buffers flushed lines inside the "memory controller": a
 	// CLFLUSH'd line is not durable until an SFENCE drains it (§2.3:
 	// "otherwise this data might still be buffered in the memory controller
@@ -166,27 +203,75 @@ func NewDevice(cfg Config) *Device {
 		pending: make(map[int64][LineSize]byte),
 	}
 	d.cache.init(cfg.CacheSize, cfg.CacheAssoc)
+	d.refreshLatency()
 	return d
+}
+
+// refreshLatency republishes cfg's latency fields into the atomic mirrors.
+// Callers must hold cfgMu (or be the constructor).
+func (d *Device) refreshLatency() {
+	d.lat.readMiss.Store(int64(d.cfg.ReadMissExtra))
+	d.lat.writeBack.Store(int64(d.cfg.WriteBackExtra))
+	d.lat.flushLine.Store(int64(d.cfg.FlushLineCost))
+	d.lat.fence.Store(int64(d.cfg.FenceCost))
+	d.lat.syncExtra.Store(int64(d.cfg.SyncExtra))
 }
 
 // Size returns the capacity of the arena in bytes.
 func (d *Device) Size() int64 { return d.cfg.Size }
 
-// Config returns the device configuration.
-func (d *Device) Config() Config { return d.cfg }
+// Config returns the device configuration. Safe from any goroutine.
+func (d *Device) Config() Config {
+	d.cfgMu.Lock()
+	defer d.cfgMu.Unlock()
+	return d.cfg
+}
 
-// Stats returns a snapshot of the perf counters.
-func (d *Device) Stats() Stats { return d.stats }
+// Stats returns a snapshot of the perf counters. Safe from any goroutine;
+// concurrent with the owner's data operations the snapshot is per-counter
+// consistent (each cell read atomically), which is what a scraper needs.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Loads:        d.stats.loads.Load(),
+		Stores:       d.stats.stores.Load(),
+		Flushes:      d.stats.flushes.Load(),
+		Fences:       d.stats.fences.Load(),
+		BytesRead:    d.stats.bytesRead.Load(),
+		BytesWritten: d.stats.bytesWritten.Load(),
+		Stall:        time.Duration(d.stats.stallNS.Load()),
+	}
+}
 
-// ResetStats zeroes the perf counters.
-func (d *Device) ResetStats() { d.stats = Stats{} }
+// ResetStats zeroes the perf counters. Safe from any goroutine.
+func (d *Device) ResetStats() {
+	d.stats.loads.Store(0)
+	d.stats.stores.Store(0)
+	d.stats.flushes.Store(0)
+	d.stats.fences.Store(0)
+	d.stats.bytesRead.Store(0)
+	d.stats.bytesWritten.Store(0)
+	d.stats.stallNS.Store(0)
+}
 
 // SetLatency swaps the latency profile of a live device. Used by experiments
-// that sweep NVM latency on the same loaded database.
-func (d *Device) SetLatency(p Profile) { p.Apply(&d.cfg) }
+// that sweep NVM latency on the same loaded database. Safe from any
+// goroutine: in-flight operations on the owner thread charge either the old
+// or the new cost.
+func (d *Device) SetLatency(p Profile) {
+	d.cfgMu.Lock()
+	defer d.cfgMu.Unlock()
+	p.Apply(&d.cfg)
+	d.refreshLatency()
+}
 
 // SetSyncExtra sets the additional per-fence latency (Appendix C sweep).
-func (d *Device) SetSyncExtra(lat time.Duration) { d.cfg.SyncExtra = lat }
+// Safe from any goroutine.
+func (d *Device) SetSyncExtra(lat time.Duration) {
+	d.cfgMu.Lock()
+	defer d.cfgMu.Unlock()
+	d.cfg.SyncExtra = lat
+	d.refreshLatency()
+}
 
 // SetSyncCLWB switches the sync primitive from CLFLUSH (write back and
 // invalidate) to CLWB semantics (write back, retain the line in the cache),
@@ -203,7 +288,7 @@ func (d *Device) checkRange(off int64, n int) {
 // Read copies len(p) bytes at offset off into p, through the cache.
 func (d *Device) Read(off int64, p []byte) {
 	d.checkRange(off, len(p))
-	d.stats.BytesRead += uint64(len(p))
+	d.stats.bytesRead.Add(uint64(len(p)))
 	for len(p) > 0 {
 		line := off &^ (LineSize - 1)
 		lo := int(off - line)
@@ -222,7 +307,7 @@ func (d *Device) Read(off int64, p []byte) {
 // until the covered lines are flushed (or evicted).
 func (d *Device) Write(off int64, p []byte) {
 	d.checkRange(off, len(p))
-	d.stats.BytesWritten += uint64(len(p))
+	d.stats.bytesWritten.Add(uint64(len(p)))
 	for len(p) > 0 {
 		line := off &^ (LineSize - 1)
 		lo := int(off - line)
@@ -249,15 +334,15 @@ func (d *Device) lineFor(line int64, markDirty bool) []byte {
 			// evicted contents supersede any older pending flush of the line.
 			copy(d.data[victimLine:victimLine+LineSize], buf)
 			delete(d.pending, victimLine)
-			d.stats.Stores++
-			d.stats.Stall += d.cfg.WriteBackExtra
+			d.stats.stores.Add(1)
+			d.stats.stallNS.Add(d.lat.writeBack.Load())
 		}
 		copy(buf, d.data[line:line+LineSize])
 		if pl, ok := d.pending[line]; ok {
 			copy(buf, pl[:])
 		}
-		d.stats.Loads++
-		d.stats.Stall += d.cfg.ReadMissExtra
+		d.stats.loads.Add(1)
+		d.stats.stallNS.Add(d.lat.readMiss.Load())
 	}
 	if markDirty {
 		d.cache.markDirty(line)
@@ -283,8 +368,8 @@ func (d *Device) flushRange(off int64, n int, invalidate bool) {
 	first := off &^ (LineSize - 1)
 	last := (off + int64(n) + LineSize - 1) &^ (LineSize - 1)
 	for line := first; line < last; line += LineSize {
-		d.stats.Flushes++
-		d.stats.Stall += d.cfg.FlushLineCost
+		d.stats.flushes.Add(1)
+		d.stats.stallNS.Add(d.lat.flushLine.Load())
 		buf, present, dirty := d.cache.peek(line)
 		if present && dirty {
 			var pl [LineSize]byte
@@ -293,8 +378,8 @@ func (d *Device) flushRange(off int64, n int, invalidate bool) {
 				d.pendingKeys = append(d.pendingKeys, line)
 			}
 			d.pending[line] = pl
-			d.stats.Stores++
-			d.stats.Stall += d.cfg.WriteBackExtra
+			d.stats.stores.Add(1)
+			d.stats.stallNS.Add(d.lat.writeBack.Load())
 		}
 		if present {
 			if invalidate {
@@ -308,9 +393,10 @@ func (d *Device) flushRange(off int64, n int, invalidate bool) {
 
 // AddStall charges additional simulated latency to the stall clock. Higher
 // layers use it to model costs outside the cache/medium path, e.g. the
-// kernel VFS overhead of the filesystem interface (§2.2).
+// kernel VFS overhead of the filesystem interface (§2.2). Safe from any
+// goroutine.
 func (d *Device) AddStall(t time.Duration) {
-	d.stats.Stall += t
+	d.stats.stallNS.Add(int64(t))
 }
 
 // Fence orders preceding flushes, like SFENCE. After Flush+Fence the flushed
@@ -325,8 +411,8 @@ func (d *Device) Fence() {
 		}
 		d.plan.CrashAfterFences--
 	}
-	d.stats.Fences++
-	d.stats.Stall += d.cfg.FenceCost + d.cfg.SyncExtra
+	d.stats.fences.Add(1)
+	d.stats.stallNS.Add(d.lat.fence.Load() + d.lat.syncExtra.Load())
 	if d.fenceNoop {
 		return
 	}
@@ -383,8 +469,8 @@ func (d *Device) EvictAll() {
 				buf := d.cache.data[i*LineSize : i*LineSize+LineSize]
 				copy(d.data[line:line+LineSize], buf)
 				delete(d.pending, line)
-				d.stats.Stores++
-				d.stats.Stall += d.cfg.WriteBackExtra
+				d.stats.stores.Add(1)
+				d.stats.stallNS.Add(d.lat.writeBack.Load())
 			}
 			d.cache.tags[i] = 0
 			d.cache.dirty[i] = false

@@ -120,5 +120,5 @@ func (d *Device) maybePersistLine(rng *rand.Rand, p FaultPlan, line int64, buf [
 		n = 8 * (1 + rng.Intn(LineSize/8-1))
 	}
 	copy(d.data[line:line+int64(n)], buf[:n])
-	d.stats.Stores++
+	d.stats.stores.Add(1)
 }

@@ -1,0 +1,67 @@
+package nvm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDeviceScraperRace exercises the documented ownership split under the
+// race detector: one owner goroutine drives data operations while scraper
+// goroutines snapshot stats, reset them, re-tune latency, and read the
+// config — exactly what a /metrics scrape plus a latency sweep do against a
+// live serving partition.
+func TestDeviceScraperRace(t *testing.T) {
+	d := NewDevice(DefaultConfig(1 << 20))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // owner: data path
+		defer wg.Done()
+		buf := make([]byte, 256)
+		var i int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			off := (i * 128) % (1 << 19)
+			d.Write(off, buf)
+			d.Sync(off, len(buf))
+			d.Read(off, buf)
+			d.AddStall(time.Microsecond)
+			i++
+		}
+	}()
+
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) { // scrapers and sweepers
+			defer wg.Done()
+			profiles := []Profile{ProfileDRAM, ProfileLowNVM, ProfileHighNVM}
+			for i := 0; i < 400; i++ {
+				switch i % 5 {
+				case 0:
+					s := d.Stats()
+					if s.Loads > s.Loads+s.Stores { // keep s used
+						t.Error("impossible")
+					}
+				case 1:
+					_ = d.Config()
+				case 2:
+					d.SetLatency(profiles[(g+i)%len(profiles)])
+				case 3:
+					d.SetSyncExtra(time.Duration(i) * time.Nanosecond)
+				case 4:
+					d.ResetStats()
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

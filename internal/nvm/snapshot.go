@@ -29,13 +29,14 @@ func (d *Device) WriteSnapshot(w io.Writer) error {
 	if err := zw.Close(); err != nil {
 		return err
 	}
+	cfg := d.Config()
 	var hdr [56]byte
 	binary.LittleEndian.PutUint64(hdr[0:], snapMagic)
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(d.cfg.Size))
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(d.cfg.CacheSize))
-	binary.LittleEndian.PutUint64(hdr[24:], uint64(d.cfg.CacheAssoc))
-	binary.LittleEndian.PutUint64(hdr[32:], uint64(d.cfg.ReadMissExtra))
-	binary.LittleEndian.PutUint64(hdr[40:], uint64(d.cfg.WriteBackExtra))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(cfg.Size))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(cfg.CacheSize))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(cfg.CacheAssoc))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(cfg.ReadMissExtra))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(cfg.WriteBackExtra))
 	binary.LittleEndian.PutUint64(hdr[48:], uint64(comp.Len()))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err

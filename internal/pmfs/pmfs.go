@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"nstore/internal/nvm"
@@ -94,6 +95,18 @@ type FS struct {
 	// Transient sync-failure window (see FailSyncs).
 	failAfter int
 	failCount int
+
+	// Cumulative fsync metrics in atomic cells, scraper-safe: syncs counts
+	// File.Sync calls (including failed and crash-injected ones); syncNS is
+	// the wall-clock time spent inside them.
+	syncs  atomic.Int64
+	syncNS atomic.Int64
+}
+
+// SyncStats returns the cumulative fsync count and the wall-clock
+// nanoseconds spent in File.Sync. Safe from any goroutine.
+func (fs *FS) SyncStats() (syncs, ns int64) {
+	return fs.syncs.Load(), fs.syncNS.Load()
 }
 
 type span struct{ off, end int64 }
@@ -485,6 +498,11 @@ func (f *File) Truncate(n int64) error {
 // Sync is fsync: it flushes all written-but-unsynced data of this file and
 // the inode metadata, then fences.
 func (f *File) Sync() error {
+	start := time.Now()
+	f.fs.syncs.Add(1)
+	// The deferred duration add runs on the injected-crash panic path too,
+	// so the metrics stay coherent across fault drills.
+	defer func() { f.fs.syncNS.Add(int64(time.Since(start))) }()
 	f.fs.chargeCall(0)
 	if f.fs.syncFaultSet {
 		if f.fs.syncFault.AfterSyncs > 0 {

@@ -27,6 +27,10 @@ type DrillConfig struct {
 	// WantRows, when >= 0, is the expected total row count after the
 	// final power cycle (workloads that never insert or delete).
 	WantRows int64
+	// Metrics, when non-empty, is a listen address (host:port, ":0" for
+	// ephemeral) for the /metrics + /healthz + pprof endpoint, which stays
+	// up for the duration of the drill.
+	Metrics string
 	// Out and Errw receive the report and the supervisor event log.
 	Out, Errw io.Writer
 }
@@ -42,6 +46,14 @@ func RunDrill(db *testbed.DB, perPart [][]testbed.Txn, schemas []*core.Schema, c
 	rt := New(db, Config{Seed: cfg.Seed, OnEvent: func(ev Event) {
 		fmt.Fprintf(cfg.Errw, "[part %d] %s: %v\n", ev.Part, ev.Kind, ev.Err)
 	}})
+	if cfg.Metrics != "" {
+		ms, err := rt.StartMetrics(cfg.Metrics)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Fprintf(cfg.Out, "metrics: http://%s/metrics\n", ms.Addr())
+	}
 	if err := armFault(ctx, rt, db, cfg.Fault, cfg.FaultAfter, cfg.Seed); err != nil {
 		return err
 	}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsServer is the runtime's optional HTTP observability endpoint:
+//
+//	/metrics        JSON snapshot of the metrics registry (obs.Snapshot)
+//	/healthz        200 while all partitions serve, 503 listing degraded ones
+//	/debug/pprof/   the standard Go profiler endpoints
+//
+// It binds with net.Listen so addr may be ":0" for an ephemeral port (Addr
+// reports the bound address) and serves until Close.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartMetrics starts the observability endpoint on addr. The caller must
+// Close the returned server; it does not outlive the runtime usefully, but
+// closing the runtime does not close it.
+func (rt *Runtime) StartMetrics(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: metrics listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rt.reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		var degraded []int
+		for i, ex := range rt.execs {
+			if ex.degraded.Load() {
+				degraded = append(degraded, i)
+			}
+		}
+		if len(degraded) == 0 {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded partitions: %v\n", degraded)
+	})
+	// net/http/pprof registers on DefaultServeMux at import; route the same
+	// handlers on this private mux instead.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ms := &MetricsServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = ms.srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (ms *MetricsServer) Addr() string { return ms.ln.Addr().String() }
+
+// Close stops the HTTP server.
+func (ms *MetricsServer) Close() error { return ms.srv.Close() }

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"testing"
+
+	"nstore/internal/obs"
+	"nstore/internal/testbed"
+)
+
+// scrape GETs /metrics and decodes the JSON snapshot.
+func scrape(t *testing.T, addr string) obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	return snap
+}
+
+// schemaKeys flattens a snapshot's metric names into one sorted list so two
+// scrapes can be compared for schema stability.
+func schemaKeys(s obs.Snapshot) []string {
+	var keys []string
+	for k := range s.Counters {
+		keys = append(keys, "counter:"+k)
+	}
+	for k := range s.Gauges {
+		keys = append(keys, "gauge:"+k)
+	}
+	for k := range s.Histograms {
+		keys = append(keys, "hist:"+k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestMetricsEndpoint drives traffic through a two-partition runtime while
+// scraping /metrics between batches, and asserts the contract the endpoint
+// promises: the JSON schema (the set of metric names) never changes between
+// scrapes, every counter is monotonically non-decreasing, the final scrape
+// agrees with Stats(), per-partition ack histograms record real latencies,
+// and /healthz reports 200 while nothing is degraded.
+func TestMetricsEndpoint(t *testing.T) {
+	const parts = 2
+	db := newDB(t, testbed.InP, parts, 32<<20)
+	rt := New(db, Config{QueueDepth: 8})
+	defer rt.Close()
+
+	ms, err := rt.StartMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	snaps := []obs.Snapshot{scrape(t, ms.Addr())}
+	if snaps[0].Schema != obs.SchemaVersion {
+		t.Fatalf("schema version = %d, want %d", snaps[0].Schema, obs.SchemaVersion)
+	}
+
+	key := uint64(0)
+	for batch := 0; batch < 4; batch++ {
+		for i := 0; i < 25; i++ {
+			p := int(key % parts)
+			if err := rt.SubmitPart(context.Background(), p, insertTxn(key, int64(key))); err != nil {
+				t.Fatalf("submit key %d: %v", key, err)
+			}
+			key++
+		}
+		snaps = append(snaps, scrape(t, ms.Addr()))
+	}
+
+	// Schema stability: the exact same metric names on every scrape.
+	want := schemaKeys(snaps[0])
+	for i, s := range snaps[1:] {
+		got := schemaKeys(s)
+		if len(got) != len(want) {
+			t.Fatalf("scrape %d: schema changed: %d keys vs %d", i+1, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("scrape %d: schema changed at %q vs %q", i+1, got[j], want[j])
+			}
+		}
+	}
+
+	// The advertised metric surface must actually be present.
+	for _, name := range []string{
+		"serve_committed", "serve_heals", "serve_retries",
+		"nvm_loads", "nvm_stores", "nvm_bytes_written",
+	} {
+		if _, ok := snaps[0].Counters[name]; !ok {
+			t.Errorf("counter %q missing from snapshot", name)
+		}
+	}
+	for _, name := range []string{"pmfs_fsyncs", "wal_flushes", "bd_storage_ns", "serve_part00_queue_depth"} {
+		if _, ok := snaps[0].Gauges[name]; !ok {
+			t.Errorf("gauge %q missing from snapshot", name)
+		}
+	}
+
+	// Counters are monotonic across scrapes — all of them, by contract:
+	// anything that can go backwards is registered as a gauge instead.
+	for i := 1; i < len(snaps); i++ {
+		for name, v := range snaps[i].Counters {
+			if prev := snaps[i-1].Counters[name]; v < prev {
+				t.Errorf("counter %s went backwards between scrape %d and %d: %d -> %d",
+					name, i-1, i, prev, v)
+			}
+		}
+	}
+
+	// The final scrape must agree with the supervisor's own accounting.
+	final := scrape(t, ms.Addr())
+	stats := rt.Stats()
+	for name, got := range map[string]int64{
+		"serve_committed":  final.Counters["serve_committed"],
+		"serve_aborted":    final.Counters["serve_aborted"],
+		"serve_failed":     final.Counters["serve_failed"],
+		"serve_retries":    final.Counters["serve_retries"],
+		"serve_heals":      final.Counters["serve_heals"],
+		"serve_recovering": final.Counters["serve_recovering"],
+	} {
+		var want int64
+		switch name {
+		case "serve_committed":
+			want = stats.Committed
+		case "serve_aborted":
+			want = stats.Aborted
+		case "serve_failed":
+			want = stats.Failed
+		case "serve_retries":
+			want = stats.Retries
+		case "serve_heals":
+			want = stats.Heals
+		case "serve_recovering":
+			want = stats.Recovering
+		}
+		if got != want {
+			t.Errorf("%s = %d, Stats() says %d", name, got, want)
+		}
+	}
+	if final.Counters["serve_committed"] != int64(key) {
+		t.Errorf("serve_committed = %d, submitted %d", final.Counters["serve_committed"], key)
+	}
+
+	// Per-partition ack histograms saw every commit and report quantiles.
+	var histCount int64
+	for p := 0; p < parts; p++ {
+		h, ok := final.Histograms[fmt.Sprintf("serve_part%02d_ack_ns", p)]
+		if !ok {
+			t.Fatalf("ack histogram for partition %d missing", p)
+		}
+		histCount += h.Count
+		if h.Count > 0 && (h.P50NS <= 0 || h.P99NS < h.P50NS) {
+			t.Errorf("partition %d ack quantiles implausible: %+v", p, h)
+		}
+	}
+	if histCount != int64(key) {
+		t.Errorf("ack histograms recorded %d acks, submitted %d", histCount, key)
+	}
+
+	// NVM traffic happened and was visible through the endpoint.
+	if final.Counters["nvm_stores"] == 0 {
+		t.Error("nvm_stores is zero after 100 inserts")
+	}
+
+	// Healthz: nothing degraded, so 200 "ok".
+	resp, err := http.Get("http://" + ms.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d (%s)", resp.StatusCode, body)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"nstore/internal/core"
 	"nstore/internal/nvm"
+	"nstore/internal/obs"
 	"nstore/internal/testbed"
 )
 
@@ -136,6 +137,12 @@ type Runtime struct {
 	execs []*executor
 	wg    sync.WaitGroup
 
+	// reg is the runtime's metrics registry (see metrics.go); ackHist holds
+	// the per-partition submit→ack latency histograms for fast access on
+	// the submit path.
+	reg     *obs.Registry
+	ackHist []*obs.Histogram
+
 	// mu serializes submissions against Close: Submit holds the read
 	// side while enqueueing, so Close cannot close a queue mid-send.
 	mu     sync.RWMutex
@@ -162,9 +169,17 @@ type executor struct {
 	ch   chan *request
 	rng  *rand.Rand
 
+	// groupSize > 1 defers acks: a committed transaction may still sit in
+	// the engine's volatile group-commit buffer, so its ack is withheld
+	// until the group is durably flushed (pending holds the waiting
+	// requests). This closes the ack-durability hole without forcing a
+	// flush per transaction the way DurableAck does.
+	groupSize int
+	pending   []*request
+
 	panicTimes []time.Time // sliding window for panic-storm detection
 	healFails  int         // consecutive failed heals (circuit breaker)
-	degraded   bool
+	degraded   atomic.Bool // atomic: the metrics scraper reads it live
 }
 
 // New builds a serving runtime over db and starts one executor goroutine
@@ -172,14 +187,24 @@ type executor struct {
 func New(db *testbed.DB, cfg Config) *Runtime {
 	cfg = cfg.withDefaults()
 	rt := &Runtime{db: db, cfg: cfg}
+	// With group commit and no per-txn flush, an ack must wait for the
+	// group's durability barrier (see executor.pending).
+	groupSize := 1
+	if g := db.Options().GroupCommitSize; g > 1 && !cfg.DurableAck {
+		groupSize = g
+	}
 	for i := 0; i < db.Partitions(); i++ {
 		ex := &executor{
-			rt:   rt,
-			part: i,
-			ch:   make(chan *request, cfg.QueueDepth),
-			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			rt:        rt,
+			part:      i,
+			ch:        make(chan *request, cfg.QueueDepth),
+			rng:       rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			groupSize: groupSize,
 		}
 		rt.execs = append(rt.execs, ex)
+	}
+	rt.buildMetrics()
+	for _, ex := range rt.execs {
 		rt.wg.Add(1)
 		go ex.run()
 	}
@@ -206,6 +231,7 @@ func (rt *Runtime) SubmitPart(ctx context.Context, part int, txn testbed.Txn) er
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	start := time.Now()
 	req := &request{ctx: ctx, txn: txn, done: make(chan error, 1)}
 	rt.mu.RLock()
 	if rt.closed.Load() {
@@ -222,6 +248,9 @@ func (rt *Runtime) SubmitPart(ctx context.Context, part int, txn testbed.Txn) er
 	}
 	select {
 	case err := <-req.done:
+		// Submit→ack latency: queue wait + execution + (under group
+		// commit) the durability barrier, success or failure alike.
+		rt.ackHist[part].Record(time.Since(start))
 		return err
 	case <-ctx.Done():
 		// The request stays queued; the executor observes the dead
@@ -278,12 +307,77 @@ func (ex *executor) run() {
 			req.done <- err
 			continue
 		}
-		if ex.degraded {
+		if ex.degraded.Load() {
 			req.done <- ErrDegraded
 			continue
 		}
-		req.done <- ex.serve(req)
+		err := ex.serve(req)
+		if err == nil && ex.groupSize > 1 {
+			// Committed, but possibly only into the volatile group buffer:
+			// hold the ack until the group flushes. Flush when the group is
+			// full or the queue went idle (no point delaying the clients).
+			ex.pending = append(ex.pending, req)
+			if len(ex.pending) >= ex.groupSize || len(ex.ch) == 0 {
+				ex.flushPending()
+			}
+			continue
+		}
+		if err == nil {
+			ex.rt.stats.committed.Add(1)
+		}
+		req.done <- err
 	}
+	// Close drained the queue; release any held acks durably.
+	ex.flushPending()
+}
+
+// flushPending runs the durability barrier for the held acks: the engine's
+// Flush forces the group commit, after which every pending transaction is
+// provably durable and acked. A barrier that cannot be completed (retries
+// exhausted, corruption, injected crash) means those commits were never
+// durable — the pending requests are failed and the partition heals back to
+// its last durable state.
+func (ex *executor) flushPending() {
+	if len(ex.pending) == 0 {
+		return
+	}
+	cfg := &ex.rt.cfg
+	for attempt := 0; ; attempt++ {
+		err := ex.flushQuiet()
+		if err == nil {
+			ex.rt.stats.committed.Add(int64(len(ex.pending)))
+			for _, req := range ex.pending {
+				req.done <- nil
+			}
+			ex.pending = ex.pending[:0]
+			return
+		}
+		if core.IsRetryable(err) && !errors.Is(err, nvm.ErrInjectedCrash) && attempt < cfg.MaxRetries {
+			ex.rt.stats.retries.Add(1)
+			ex.rt.event(ex.part, EventRetry, err)
+			ex.backoff(attempt)
+			continue
+		}
+		// heal fails ex.pending first (those commits are not durable).
+		ex.heal(err)
+		return
+	}
+}
+
+// flushQuiet calls Engine.Flush, converting a panic (e.g. an injected crash
+// at the fsync boundary) into a typed error for the supervisor.
+func (ex *executor) flushQuiet() (err error) {
+	eng := ex.rt.db.Engine(ex.part)
+	defer func() {
+		if r := recover(); r != nil {
+			perr, ok := r.(error)
+			if !ok {
+				perr = fmt.Errorf("%v", r)
+			}
+			err = &core.TxnError{Engine: eng.Name(), Op: "flush", Panicked: true, Err: perr}
+		}
+	}()
+	return eng.Flush()
 }
 
 // serve runs one transaction under the supervisor policy: contain panics,
@@ -294,7 +388,9 @@ func (ex *executor) serve(req *request) error {
 		err := ex.runOnce(req.txn)
 		switch {
 		case err == nil:
-			ex.rt.stats.committed.Add(1)
+			// The committed counter is bumped at ack time (run or
+			// flushPending), so it never counts a commit whose ack a failed
+			// durability barrier later revoked.
 			return nil
 
 		case errors.Is(err, testbed.ErrAbort):
@@ -380,15 +476,10 @@ func (ex *executor) runOnce(txn testbed.Txn) (err error) {
 	}
 	op = "commit"
 	if cerr := eng.Commit(); cerr != nil {
-		if core.IsCorrupt(cerr) {
-			// The engine already declared its in-memory state
-			// unrecoverable in place; an abort would only thrash it.
-			return cerr
-		}
-		op = "abort"
-		if aerr := eng.Abort(); aerr != nil {
-			return core.Corrupt(errors.Join(cerr, aerr))
-		}
+		// Engines unwind their own transaction state on every Commit error
+		// path (rollback or EndTx), so the engine is ready for Begin; an
+		// extra Abort here would just trip ErrNoTxn. Corrupt errors
+		// escalate to heal in the caller.
 		return cerr
 	}
 	if ex.rt.cfg.DurableAck {
@@ -437,6 +528,14 @@ func (ex *executor) heal(cause error) {
 	rt := ex.rt
 	rt.event(ex.part, EventHeal, cause)
 
+	// Fail the held acks first: those commits sat in a volatile group
+	// buffer that the power cycle below wipes, so they must not be acked.
+	for _, req := range ex.pending {
+		rt.stats.recovering.Add(1)
+		req.done <- ErrRecovering
+	}
+	ex.pending = ex.pending[:0]
+
 	// Fail everything already queued behind the broken engine.
 drain:
 	for {
@@ -461,7 +560,7 @@ drain:
 			rt.stats.healFails.Add(1)
 			rt.event(ex.part, EventHealFailed, err)
 			if ex.healFails >= rt.cfg.BreakerThreshold {
-				ex.degraded = true
+				ex.degraded.Store(true)
 				rt.stats.degraded.Add(1)
 				rt.event(ex.part, EventDegraded, err)
 				return

@@ -123,6 +123,113 @@ func soakOne(t *testing.T, kind testbed.EngineKind) {
 	t.Logf("%s soak (seed=%d): %+v", kind, seed, stats)
 }
 
+// TestSoakGroupCommitDeferredAck is the regression for the ack-durability
+// hole: with GroupCommitSize > 1 a commit used to be acked while its records
+// still sat in a volatile group buffer, so a mid-traffic heal or the final
+// power cycle could eat an acked transaction. The runtime now defers acks
+// until the group's durability barrier, which this soak verifies under the
+// same fault schedule as the GroupCommitSize: 1 run.
+func TestSoakGroupCommitDeferredAck(t *testing.T) {
+	for _, kind := range testbed.Kinds {
+		t.Run(string(kind), func(t *testing.T) { soakGroupOne(t, kind) })
+	}
+}
+
+func soakGroupOne(t *testing.T, kind testbed.EngineKind) {
+	const parts = 2
+	const fan = 3 // clients per partition, so group buffers actually fill
+	nTxns := 150
+	if testing.Short() {
+		nTxns = 50
+	}
+	seed := enginetest.BaseSeed()
+
+	db, err := testbed.New(testbed.Config{
+		Engine:     kind,
+		Partitions: parts,
+		Env:        core.EnvConfig{DeviceSize: 32 << 20},
+		Options:    core.Options{GroupCommitSize: 8}, // acks must wait for the group flush
+		Schemas:    schemas(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(db, Config{QueueDepth: 16, Seed: seed})
+	ctx := context.Background()
+
+	type clientRes struct {
+		acked      map[uint64]int64
+		unexpected []error
+	}
+	results := make([]clientRes, parts*fan)
+	var wg sync.WaitGroup
+	for c := 0; c < parts*fan; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p := c % parts
+			rng := rand.New(rand.NewSource(seed*1000 + int64(c)))
+			acked := make(map[uint64]int64)
+			for i := 0; i < nTxns; i++ {
+				if c < parts && (i == nTxns/3 || i == 2*nTxns/3) {
+					injectFault(ctx, rt, db, kind, p, i > nTxns/2, seed+int64(p), rng)
+				}
+				key := uint64(c*nTxns+i)*uint64(parts) + uint64(p)
+				val := rng.Int63()
+				if soakSubmit(ctx, rt, p, key, val, &results[c].unexpected) {
+					acked[key] = val
+				}
+			}
+			results[c].acked = acked
+		}(c)
+	}
+	wg.Wait()
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats := rt.Stats()
+
+	for c := range results {
+		for _, err := range results[c].unexpected {
+			t.Errorf("client %d: unexpected error: %v", c, err)
+		}
+		if len(results[c].acked) == 0 {
+			t.Errorf("client %d (partition %d) got nothing acked", c, c%parts)
+		}
+	}
+	if stats.Heals < 1 {
+		t.Errorf("no heal happened; fault schedule never fired: %+v", stats)
+	}
+	if stats.Degraded != 0 {
+		t.Errorf("a partition degraded during the soak: %+v", stats)
+	}
+
+	verify := func(when string) {
+		for c := range results {
+			p := c % parts
+			for key, val := range results[c].acked {
+				row, ok, err := db.Engine(p).Get("t", key)
+				if err != nil || !ok {
+					t.Fatalf("%s: acked key %d lost (ok=%v err=%v, seed=%d)", when, key, ok, err, seed)
+				}
+				if row[1].I != val {
+					t.Fatalf("%s: acked key %d = %d, want %d (seed=%d)", when, key, row[1].I, val, seed)
+				}
+			}
+		}
+	}
+	verify("live")
+	// The decisive check: a power cycle right after the last ack. Anything
+	// acked from a volatile group buffer dies here.
+	db.Crash()
+	if _, err := db.Recover(); err != nil {
+		t.Fatalf("final recovery: %v (seed=%d)", err, seed)
+	}
+	verify("after power cycle")
+
+	t.Logf("%s group-commit soak (seed=%d): %+v", kind, seed, stats)
+}
+
 // TestServeSurvivesWhereExecuteStops contrasts the serving runtime with
 // the raw testbed path on the same fault: a transient fsync failure makes
 // DB.Execute abandon the partition's remaining transactions (the error

@@ -79,9 +79,27 @@ type DB struct {
 	parts []*partition
 }
 
+// partition guards its env/eng pointers with mu: RecoverPartition swaps
+// them on a heal while a metrics scraper may be resolving Engine(i)/Env(i)
+// from another goroutine. Transaction execution itself stays single-owner
+// (the partition's executor goroutine) and does not need the lock beyond
+// pointer resolution.
 type partition struct {
+	mu  sync.RWMutex
 	env *core.Env
 	eng core.Engine
+}
+
+func (p *partition) engine() core.Engine {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.eng
+}
+
+func (p *partition) environ() *core.Env {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.env
 }
 
 func buildEngine(kind EngineKind, env *core.Env, schemas []*core.Schema, opts core.Options, recover bool) (core.Engine, error) {
@@ -175,11 +193,18 @@ func New(cfg Config) (*DB, error) {
 // Partitions returns the partition count.
 func (db *DB) Partitions() int { return db.cfg.Partitions }
 
-// Engine returns partition i's engine (for direct loading).
-func (db *DB) Engine(i int) core.Engine { return db.parts[i].eng }
+// Options returns the database's effective engine options (defaults
+// applied).
+func (db *DB) Options() core.Options { return db.cfg.Options.WithDefaults() }
 
-// Env returns partition i's storage environment.
-func (db *DB) Env(i int) *core.Env { return db.parts[i].env }
+// Engine returns partition i's engine (for direct loading). The pointer
+// resolution is safe against a concurrent RecoverPartition swap; the engine
+// itself is single-partition and not safe for concurrent data operations.
+func (db *DB) Engine(i int) core.Engine { return db.parts[i].engine() }
+
+// Env returns partition i's storage environment. Safe against a concurrent
+// RecoverPartition swap, like Engine.
+func (db *DB) Env(i int) *core.Env { return db.parts[i].environ() }
 
 // Route maps a primary key to its home partition.
 func (db *DB) Route(key uint64) int { return int(key % uint64(db.cfg.Partitions)) }
@@ -187,14 +212,14 @@ func (db *DB) Route(key uint64) int { return int(key % uint64(db.cfg.Partitions)
 // SetLatency switches every partition's NVM latency profile.
 func (db *DB) SetLatency(p nvm.Profile) {
 	for _, part := range db.parts {
-		part.env.Dev.SetLatency(p)
+		part.environ().Dev.SetLatency(p)
 	}
 }
 
 // SetSyncExtra sets the sync-primitive latency on every device (Fig. 16).
 func (db *DB) SetSyncExtra(lat time.Duration) {
 	for _, part := range db.parts {
-		part.env.Dev.SetSyncExtra(lat)
+		part.environ().Dev.SetSyncExtra(lat)
 	}
 }
 
@@ -202,7 +227,7 @@ func (db *DB) SetSyncExtra(lat time.Duration) {
 // CLWB semantics (Appendix C).
 func (db *DB) SetSyncCLWB(on bool) {
 	for _, part := range db.parts {
-		part.env.Dev.SetSyncCLWB(on)
+		part.environ().Dev.SetSyncCLWB(on)
 	}
 }
 
@@ -336,11 +361,13 @@ func (db *DB) Flush() error {
 	return nil
 }
 
-// Stats aggregates NVM perf counters across partitions.
+// Stats aggregates NVM perf counters across partitions. Safe from any
+// goroutine (devices survive partition heals, so the totals are monotonic
+// between explicit resets).
 func (db *DB) Stats() nvm.Stats {
 	var s nvm.Stats
 	for _, part := range db.parts {
-		s = s.Add(part.env.Dev.Stats())
+		s = s.Add(part.environ().Dev.Stats())
 	}
 	return s
 }
@@ -348,7 +375,7 @@ func (db *DB) Stats() nvm.Stats {
 // ResetStats zeroes the counters on every device.
 func (db *DB) ResetStats() {
 	for _, part := range db.parts {
-		part.env.Dev.ResetStats()
+		part.environ().Dev.ResetStats()
 	}
 }
 
@@ -407,7 +434,9 @@ func (db *DB) RecoverPartition(i int) (time.Duration, error) {
 	if err != nil {
 		return 0, fmt.Errorf("testbed: recover partition %d: %w", i, err)
 	}
+	part.mu.Lock()
 	part.env, part.eng = env, eng
+	part.mu.Unlock()
 	// Include the simulated NVM stall recovery work incurred.
 	return time.Since(start), nil
 }
