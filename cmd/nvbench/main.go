@@ -34,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override workload seed")
 	short := flag.Bool("short", false, "run the tiny smoke pass only and write BENCH_smoke.json")
 	out := flag.String("out", ".", "directory for BENCH_*.json artifacts")
+	force := flag.Bool("force", false, "overwrite existing BENCH_*.json artifacts")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -62,8 +63,21 @@ func main() {
 		scale.Seed = *seed
 	}
 
-	artifact := func(workload string, ms []bench.Measurement) {
+	// artifactPath refuses to clobber an existing artifact unless -force:
+	// bench JSONs are trajectory data and an accidental rerun should not
+	// silently rewrite them.
+	artifactPath := func(workload string) string {
 		path := filepath.Join(*out, "BENCH_"+workload+".json")
+		if !*force {
+			if _, err := os.Stat(path); err == nil {
+				fmt.Fprintf(os.Stderr, "nvbench: %s already exists; pass -force to overwrite\n", path)
+				os.Exit(1)
+			}
+		}
+		return path
+	}
+	artifact := func(workload string, ms []bench.Measurement) {
+		path := artifactPath(workload)
 		if err := bench.WriteSnapshot(path, workload, ms); err != nil {
 			fmt.Fprintf(os.Stderr, "nvbench: %v\n", err)
 			os.Exit(1)
@@ -106,7 +120,15 @@ func main() {
 				artifact("tpcc", res.Points)
 			}
 		case "recovery":
-			_, err = r.Recovery()
+			if _, err = r.Recovery(); err == nil {
+				var sweep *bench.RecoverySweepResult
+				if sweep, err = r.RecoverySweep(); err == nil {
+					path := artifactPath("recovery")
+					if err = bench.WriteRecoverySnapshot(path, sweep); err == nil {
+						fmt.Printf("wrote %s\n", path)
+					}
+				}
+			}
 		case "breakdown":
 			_, err = r.Breakdown()
 		case "footprint":

@@ -36,6 +36,7 @@ func main() {
 	fault := flag.String("fault", "none", "serve mode: mid-traffic fault on every partition: none, fsync-transient, fsync-lost, fsync-torn, fence-lose, fence-reorder")
 	faultAfter := flag.Int("fault-after", 50, "serve mode: fsyncs/fences to let through before the fault fires")
 	metrics := flag.String("metrics", "", "serve mode: listen address for /metrics, /healthz and pprof (e.g. 127.0.0.1:8080, or :0 for an ephemeral port)")
+	recoveryParallel := flag.Int("recovery-parallel", 0, "recovery fan-out per partition (0 = bounded CPU default, 1 = sequential)")
 	flag.Parse()
 
 	profile := nvm.ProfileDRAM
@@ -58,7 +59,7 @@ func main() {
 			Profile:    profile,
 			CacheSize:  *cache,
 		},
-		Options: core.Options{MemTableCap: 512},
+		Options: core.Options{MemTableCap: 512, RecoveryParallelism: *recoveryParallel},
 		Schemas: tpcc.Schemas(),
 	})
 	if err != nil {
@@ -102,6 +103,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("crash + recovery: %v\n", d)
+		for _, rs := range db.RecoveryStats() {
+			fmt.Printf("  part %d: %v (%d records, %d workers)\n", rs.Partition, rs.Wall.Round(1000), rs.Records, rs.Workers)
+		}
 	}
 }
 

@@ -35,6 +35,7 @@ func main() {
 	fault := flag.String("fault", "none", "serve mode: mid-traffic fault on every partition: none, fsync-transient, fsync-lost, fsync-torn, fence-lose, fence-reorder")
 	faultAfter := flag.Int("fault-after", 50, "serve mode: fsyncs/fences to let through before the fault fires")
 	metrics := flag.String("metrics", "", "serve mode: listen address for /metrics, /healthz and pprof (e.g. 127.0.0.1:8080, or :0 for an ephemeral port)")
+	recoveryParallel := flag.Int("recovery-parallel", 0, "recovery fan-out per partition (0 = bounded CPU default, 1 = sequential)")
 	flag.Parse()
 
 	var mix ycsb.Mix
@@ -75,7 +76,7 @@ func main() {
 			Profile:    profile,
 			CacheSize:  *cache,
 		},
-		Options: core.Options{MemTableCap: 512, CheckpointEvery: *txns / *partitions},
+		Options: core.Options{MemTableCap: 512, CheckpointEvery: *txns / *partitions, RecoveryParallelism: *recoveryParallel},
 		Schemas: ycsb.Schema(cfg),
 	})
 	if err != nil {

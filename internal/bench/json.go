@@ -33,6 +33,27 @@ func WriteSnapshot(path, workload string, ms []Measurement) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// WriteRecoverySnapshot writes the recovery sweep to path in the same
+// obs.Snapshot schema as the other BENCH_*.json artifacts. Each point
+// contributes `recovery_<engine>_wal<txns>_{seq_ns,par_ns,speedup,records,
+// workers}` gauges.
+func WriteRecoverySnapshot(path string, res *RecoverySweepResult) error {
+	reg := obs.New()
+	for _, p := range res.Points {
+		base := fmt.Sprintf("recovery_%s_wal%d", strings.ReplaceAll(string(p.Engine), "-", "_"), p.Txns)
+		reg.Gauge(base + "_seq_ns").Set(float64(p.Sequential))
+		reg.Gauge(base + "_par_ns").Set(float64(p.Parallel))
+		reg.Gauge(base + "_speedup").Set(p.Speedup())
+		reg.Gauge(base + "_records").Set(float64(p.Records))
+		reg.Gauge(base + "_workers").Set(float64(p.Workers))
+	}
+	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // metricBase builds the metric-name prefix for one measurement. Engine
 // kinds contain '-', which the flat metric namespace spells '_'.
 func metricBase(workload string, m Measurement) string {

@@ -1,0 +1,169 @@
+package btree
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"testing"
+
+	"math/rand"
+
+	"nstore/internal/nvm"
+	"nstore/internal/pmalloc"
+)
+
+// propSeed replays one failing property sequence: go test -run Property -seed=N
+var propSeed = flag.Int64("seed", 1, "base seed for the property-test sequences")
+
+// propOp is one step of a randomized tree workload.
+type propOp struct {
+	kind byte // 'p' put, 'd' delete, 'g' get, 's' scan
+	k, v uint64
+}
+
+func (o propOp) String() string {
+	switch o.kind {
+	case 'p':
+		return fmt.Sprintf("Put(%d,%d)", o.k, o.v)
+	case 'd':
+		return fmt.Sprintf("Delete(%d)", o.k)
+	case 'g':
+		return fmt.Sprintf("Get(%d)", o.k)
+	default:
+		return fmt.Sprintf("Scan(from=%d)", o.k)
+	}
+}
+
+// genProp draws a sequence over a deliberately small key space so replaces,
+// delete hits, and re-inserts of deleted keys all occur.
+func genProp(rng *rand.Rand, n int) []propOp {
+	keyspace := uint64(64 + rng.Intn(1024))
+	ops := make([]propOp, n)
+	for i := range ops {
+		k := rng.Uint64() % keyspace
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // bias toward growth so splits happen
+			ops[i] = propOp{kind: 'p', k: k, v: rng.Uint64()}
+		case 5, 6:
+			ops[i] = propOp{kind: 'd', k: k}
+		case 7, 8:
+			ops[i] = propOp{kind: 'g', k: k}
+		default:
+			ops[i] = propOp{kind: 's', k: k}
+		}
+	}
+	return ops
+}
+
+// runProp replays ops on a fresh tree against a map model, checking every
+// return value and, on scans, order and completeness vs the sorted model.
+func runProp(ops []propOp, nodeSize int) error {
+	dev := nvm.NewDevice(nvm.DefaultConfig(64 << 20))
+	tr := New(pmalloc.Format(dev, 0, 64<<20), nodeSize)
+	model := make(map[uint64]uint64)
+	for i, o := range ops {
+		switch o.kind {
+		case 'p':
+			_, had := model[o.k]
+			if inserted := tr.Put(o.k, o.v); inserted == had {
+				return fmt.Errorf("op %d %v: Put returned inserted=%v, model had=%v", i, o, inserted, had)
+			}
+			model[o.k] = o.v
+		case 'd':
+			_, had := model[o.k]
+			if ok := tr.Delete(o.k); ok != had {
+				return fmt.Errorf("op %d %v: Delete returned %v, model had=%v", i, o, ok, had)
+			}
+			delete(model, o.k)
+		case 'g':
+			want, had := model[o.k]
+			got, ok := tr.Get(o.k)
+			if ok != had || (had && got != want) {
+				return fmt.Errorf("op %d %v: Get = (%d,%v), model (%d,%v)", i, o, got, ok, want, had)
+			}
+		case 's':
+			if err := checkScan(tr, model, o.k); err != nil {
+				return fmt.Errorf("op %d %v: %w", i, o, err)
+			}
+		}
+		if tr.Len() != len(model) {
+			return fmt.Errorf("op %d %v: Len=%d, model %d", i, o, tr.Len(), len(model))
+		}
+	}
+	return checkScan(tr, model, 0)
+}
+
+// checkScan compares Iter(from) against the sorted model suffix.
+func checkScan(tr *Tree, model map[uint64]uint64, from uint64) error {
+	var want []uint64
+	for k := range model {
+		if k >= from {
+			want = append(want, k)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	i := 0
+	var scanErr error
+	tr.Iter(from, func(k, v uint64) bool {
+		if i >= len(want) {
+			scanErr = fmt.Errorf("scan from %d: extra key %d past model end", from, k)
+			return false
+		}
+		if k != want[i] || v != model[k] {
+			scanErr = fmt.Errorf("scan from %d: position %d got (%d,%d), want (%d,%d)", from, i, k, v, want[i], model[want[i]])
+			return false
+		}
+		i++
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	if i != len(want) {
+		return fmt.Errorf("scan from %d: stopped after %d keys, model has %d", from, i, len(want))
+	}
+	return nil
+}
+
+// shrinkProp greedily removes chunks of the failing sequence while the
+// failure reproduces, replaying each candidate on a fresh tree (ddmin-style).
+func shrinkProp(ops []propOp, nodeSize int) []propOp {
+	for chunk := len(ops) / 2; chunk >= 1; chunk /= 2 {
+		for lo := 0; lo+chunk <= len(ops); {
+			cand := append(append([]propOp(nil), ops[:lo]...), ops[lo+chunk:]...)
+			if runProp(cand, nodeSize) != nil {
+				ops = cand // failure survives without this chunk — keep it out
+			} else {
+				lo += chunk
+			}
+		}
+	}
+	return ops
+}
+
+// TestPropertyRandomOps drives seeded randomized insert/delete/get/scan
+// sequences against a map model across node sizes small enough to force
+// multi-level trees. A failure is shrunk to a minimal op list and reported
+// with its replay seed.
+func TestPropertyRandomOps(t *testing.T) {
+	seqs, opsPer := 60, 400
+	if testing.Short() {
+		seqs, opsPer = 12, 200
+	}
+	for _, nodeSize := range []int{128, 256, 1024} {
+		nodeSize := nodeSize
+		t.Run(fmt.Sprintf("node%d", nodeSize), func(t *testing.T) {
+			t.Parallel()
+			for s := 0; s < seqs; s++ {
+				seed := *propSeed + int64(s)
+				rng := rand.New(rand.NewSource(seed))
+				ops := genProp(rng, opsPer)
+				if err := runProp(ops, nodeSize); err != nil {
+					min := shrinkProp(ops, nodeSize)
+					t.Fatalf("seed %d (replay: go test -run Property -seed=%d): %v\nminimal sequence (%d ops of %d): %v\nshrunk failure: %v",
+						seed, seed, err, len(min), len(ops), min, runProp(min, nodeSize))
+				}
+			}
+		})
+	}
+}

@@ -25,6 +25,9 @@ type Base struct {
 	InTx   bool
 	TxnID  uint64 // monotonically increasing transaction id
 	Bd     Breakdown
+	// Rec summarizes the engine's last recovery pass (zero for engines
+	// built fresh with New).
+	Rec RecoveryReport
 }
 
 // InitBase prepares the registry for the given schemas (table ID = position).
@@ -79,6 +82,9 @@ func (b *Base) RequireTx() error {
 
 // Breakdown returns the engine's component timers.
 func (b *Base) Breakdown() *Breakdown { return &b.Bd }
+
+// RecoveryReport returns the stats of the engine's last recovery pass.
+func (b *Base) RecoveryReport() RecoveryReport { return b.Rec }
 
 // Environment returns the partition environment the engine runs on.
 func (b *Base) Environment() *Env { return b.Env }

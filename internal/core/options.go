@@ -19,6 +19,12 @@ type Options struct {
 	MemTableCap int
 	// LSMGrowth is the LSM tree growth factor k (default 4).
 	LSMGrowth int
+	// RecoveryParallelism bounds the fan-out of the recovery pipeline's
+	// CPU stages (WAL collapse, bloom rebuilds, reachability decode, slot
+	// sweeps). 0 picks a bounded number of CPUs (see RecoveryWorkers); 1
+	// forces fully sequential recovery, matching the paper's measurement
+	// methodology.
+	RecoveryParallelism int
 }
 
 // WithDefaults fills unset fields with the paper's defaults.

@@ -61,9 +61,11 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 		return nil, err
 	}
 	tr := cowbtree.Attach(pg)
+	workers := core.RecoveryWorkers(e.opts.RecoveryParallelism)
 	used := make(map[uint64]bool)
-	tr.Reachable(func(id uint64) { used[id] = true }, nil)
+	tr.ReachableParallel(workers, func(id uint64) { used[id] = true }, nil)
 	pg.InitFree(used)
+	e.Rec = core.RecoveryReport{Records: int64(len(used)), Workers: workers}
 	e.pager, e.tree = pg, tr
 	e.TxnID = tr.Meta() // highest persisted txn id rides in the master meta
 	return e, nil

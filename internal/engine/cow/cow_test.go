@@ -95,8 +95,8 @@ func TestWriteAmplification(t *testing.T) {
 	}
 }
 
-func TestRecoveryConformance(t *testing.T) {
-	enginetest.RunRecoveryConformance(t, enginetest.Factory{
+func confFactory() enginetest.Factory {
+	return enginetest.Factory{
 		Name: "cow",
 		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
 			return New(env, schemas, opts)
@@ -105,5 +105,13 @@ func TestRecoveryConformance(t *testing.T) {
 			return Open(env, schemas, opts)
 		},
 		Volatile: true,
-	}, 200)
+	}
+}
+
+func TestRecoveryConformance(t *testing.T) {
+	enginetest.RunRecoveryConformance(t, confFactory(), 200)
+}
+
+func TestConcurrentRecoveryConformance(t *testing.T) {
+	enginetest.RunConcurrentRecoveryConformance(t, confFactory(), 200)
 }

@@ -1,0 +1,252 @@
+package enginetest
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nstore/internal/core"
+	"nstore/internal/nvm"
+)
+
+// RunConcurrentRecoveryConformance drives the engine through `schedules`
+// seeded crash-during-recovery cycles: a clean workload, a first (parallel)
+// recovery that establishes the expected state digest, then a power cycle
+// with a fault armed to fire *while the next recovery is running*, and a
+// final recovery that must converge to the same digest. This is the
+// conformance check for the parallel recovery pipeline — a recovery pass
+// must be restartable at any point without changing the state it converges
+// to. Pass schedules <= 0 for the default battery (200); -short runs 40.
+func RunConcurrentRecoveryConformance(t *testing.T, f Factory, schedules int) {
+	t.Helper()
+	if schedules <= 0 {
+		schedules = 200
+	}
+	if testing.Short() && schedules > 40 {
+		schedules = 40
+	}
+	if err := CheckConcurrentRecoveryConformance(f, schedules, BaseSeed()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CheckConcurrentRecoveryConformance is the error-returning core of
+// RunConcurrentRecoveryConformance.
+func CheckConcurrentRecoveryConformance(f Factory, schedules int, baseSeed int64) error {
+	if schedules <= 0 {
+		schedules = 200
+	}
+	fams := conformanceFamilies(f.Volatile)
+	for i := 0; i < schedules; i++ {
+		seed := baseSeed + int64(i)
+		// Family from the seed (not the loop index) so -seed=N replays the
+		// same schedule.
+		fam := fams[int(uint64(seed)%uint64(len(fams)))]
+		if err := concurrentSchedule(f, fam, seed); err != nil {
+			return fmt.Errorf("%s: schedule %d [%s, seed %d]: %w\nreplay: go test -run ConcurrentRecoveryConformance -seed=%d",
+				f.Name, i, fam.name, seed, err, seed)
+		}
+	}
+	return nil
+}
+
+// concurrentSchedule runs one cycle: workload → clean crash → control
+// recovery (digest) → crash → recovery attempt with a fault armed to fire
+// mid-recovery → crash → final recovery, which must match the control
+// digest exactly.
+func concurrentSchedule(f Factory, fam faultFamily, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 64 << 20, FSExtent: 64 << 10})
+	// Small capacities force MemTable flushes, LSM merges, and checkpoints
+	// within a short workload, so recovery has real work to redo in
+	// parallel; GroupCommitSize 1 keeps the committed model exact.
+	opts := core.Options{MemTableCap: 32, LSMGrowth: 3, BTreeNodeSize: 128,
+		GroupCommitSize: 1, CheckpointEvery: 40}
+	schema := testSchema()
+	e, err := f.New(env, schema, opts)
+	if err != nil {
+		return fmt.Errorf("New: %w", err)
+	}
+
+	committed := newCmodel()
+	working := newCmodel()
+	for step := 0; step < 60; step++ {
+		if err := e.Begin(); err != nil {
+			return fmt.Errorf("step %d: Begin: %w", step, err)
+		}
+		nops := 1 + rng.Intn(3)
+		for o := 0; o < nops; o++ {
+			if rng.Intn(4) == 3 {
+				if err := itemOp(rng, e, working); err != nil {
+					return fmt.Errorf("step %d: %w", step, err)
+				}
+			} else if err := userOp(rng, e, working, step); err != nil {
+				return fmt.Errorf("step %d: %w", step, err)
+			}
+		}
+		if rng.Intn(8) == 0 {
+			if err := e.Abort(); err != nil {
+				return fmt.Errorf("step %d: Abort: %w", step, err)
+			}
+			working = committed.clone()
+		} else {
+			if err := e.Commit(); err != nil {
+				return fmt.Errorf("step %d: Commit: %w", step, err)
+			}
+			committed = working.clone()
+		}
+	}
+	if err := e.Flush(); err != nil {
+		return fmt.Errorf("Flush: %w", err)
+	}
+
+	// Control pass: clean power cycle, recover, record the expected digest.
+	// No transaction was in flight, so the committed model is unambiguous.
+	env.Dev.Crash()
+	env2, err := reopenEnv(f, env)
+	if err != nil {
+		return fmt.Errorf("control reopen: %w", err)
+	}
+	e2, err := f.Open(env2, schema, opts)
+	if err != nil {
+		return fmt.Errorf("control recovery: %w", err)
+	}
+	if err := checkState(e2, schema, committed); err != nil {
+		return fmt.Errorf("control recovery state != committed model: %w", err)
+	}
+	digCtl, err := digestEngine(e2, schema)
+	if err != nil {
+		return fmt.Errorf("control digest: %w", err)
+	}
+
+	// Power-cycle again, then arm a fault timed to fire during the *next*
+	// recovery's device traffic — the power cut lands mid-replay.
+	env2.Dev.Crash()
+	if fam.device != nil {
+		p := *fam.device
+		p.Seed = seed ^ 0x7ec0
+		p.CrashAfterFences = 1 + rng.Intn(40)
+		env2.Dev.InjectFaults(p)
+	} else {
+		sf := *fam.sync
+		sf.Seed = seed ^ 0x7ec0
+		sf.AfterSyncs = rng.Intn(10)
+		env2.FS.InjectSyncFault(sf)
+	}
+	crashed, err := attemptRecovery(f, env2, schema, opts)
+	if err != nil {
+		return fmt.Errorf("mid-recovery attempt (crashed=%v): %w", crashed, err)
+	}
+
+	// Final pass: cut the power over whatever the interrupted recovery left
+	// behind (Crash applies the plan's reorder/tear effects to un-fenced
+	// write-back) and recover once more. It must converge to the control
+	// state bit-for-bit.
+	env2.Dev.Crash()
+	env2.Dev.DisarmFail()
+	env3, err := reopenEnv(f, env2)
+	if err != nil {
+		return fmt.Errorf("final reopen (crashed=%v): %w", crashed, err)
+	}
+	e3, err := f.Open(env3, schema, opts)
+	if err != nil {
+		return fmt.Errorf("final recovery (crashed=%v): %w", crashed, err)
+	}
+	if err := checkState(e3, schema, committed); err != nil {
+		return fmt.Errorf("final state != committed model (crashed=%v): %w", crashed, err)
+	}
+	dig, err := digestEngine(e3, schema)
+	if err != nil {
+		return fmt.Errorf("final digest: %w", err)
+	}
+	if dig != digCtl {
+		return fmt.Errorf("recovery after mid-recovery crash diverged: digest %x != control %x (crashed=%v)", dig, digCtl, crashed)
+	}
+
+	// The engine must be fully usable after the double recovery.
+	if err := e3.Begin(); err != nil {
+		return fmt.Errorf("post-recovery Begin: %w", err)
+	}
+	probe := uint64(1) << 40
+	if err := e3.Insert("users", probe, userRow(int64(probe))); err != nil {
+		return fmt.Errorf("post-recovery Insert: %w", err)
+	}
+	if err := e3.Commit(); err != nil {
+		return fmt.Errorf("post-recovery Commit: %w", err)
+	}
+	if _, ok, err := e3.Get("users", probe); err != nil || !ok {
+		return fmt.Errorf("post-recovery probe row missing (ok=%v, err=%v)", ok, err)
+	}
+	return nil
+}
+
+// attemptRecovery reopens the environment and runs the engine's recovery
+// with the fault armed. A mid-recovery injected crash (panic or wrapped
+// error) reports crashed=true; a clean completion reports crashed=false (the
+// fault's trigger landed past the recovery's traffic); anything else is a
+// genuine recovery failure.
+func attemptRecovery(f Factory, env *core.Env, schema []*core.Schema, opts core.Options) (crashed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rerr, ok := r.(error)
+			if !ok || !errors.Is(rerr, nvm.ErrInjectedCrash) {
+				panic(r)
+			}
+			crashed = true
+			err = nil
+		}
+	}()
+	env2, rerr := reopenEnv(f, env)
+	if rerr != nil {
+		if errors.Is(rerr, nvm.ErrInjectedCrash) {
+			return true, nil
+		}
+		return false, rerr
+	}
+	if _, rerr := f.Open(env2, schema, opts); rerr != nil {
+		if errors.Is(rerr, nvm.ErrInjectedCrash) {
+			return true, nil
+		}
+		return false, rerr
+	}
+	return false, nil
+}
+
+// reopenEnv re-attaches the environment over the same device, volatile or
+// NVM-aware per the factory.
+func reopenEnv(f Factory, env *core.Env) (*core.Env, error) {
+	if f.Volatile {
+		return env.ReopenVolatile()
+	}
+	return env.Reopen()
+}
+
+// digestEngine canonically serializes the engine's visible state (primary
+// scans of both workload tables) and hashes it.
+func digestEngine(e core.Engine, schema []*core.Schema) ([32]byte, error) {
+	h := sha256.New()
+	var le [8]byte
+	writeU64 := func(v uint64) { binary.LittleEndian.PutUint64(le[:], v); h.Write(le[:]) }
+	for _, sch := range schema {
+		if err := e.ScanRange(sch.Name, 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
+			writeU64(pk)
+			for ci, col := range sch.Columns {
+				if col.Type == core.TInt {
+					writeU64(uint64(row[ci].I))
+				} else {
+					writeU64(uint64(len(row[ci].S)))
+					h.Write(row[ci].S)
+				}
+			}
+			return true
+		}); err != nil {
+			return [32]byte{}, err
+		}
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out, nil
+}

@@ -104,3 +104,7 @@ func TestCheckpointCompression(t *testing.T) {
 func TestRecoveryConformance(t *testing.T) {
 	enginetest.RunRecoveryConformance(t, factory(), 200)
 }
+
+func TestConcurrentRecoveryConformance(t *testing.T) {
+	enginetest.RunConcurrentRecoveryConformance(t, factory(), 200)
+}

@@ -147,6 +147,7 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 
 func (e *Engine) replayWAL() (uint64, error) {
 	return e.wal.Replay(e.walFloor, func(r core.WalRecord) error {
+		e.Rec.Records++
 		tk := core.TreePrimary(r.Table, r.Key)
 		var ent lsm.Entry
 		switch r.Type {
@@ -903,6 +904,7 @@ func (e *Engine) loadManifest() error {
 	e.walFloor = binary.LittleEndian.Uint64(buf[8:])
 	n := int(binary.LittleEndian.Uint32(buf[16:]))
 	off := 20
+	var specs []sstSpec
 	for i := 0; i < n; i++ {
 		if off+8 > len(buf) {
 			return fmt.Errorf("logeng: manifest payload truncated")
@@ -913,17 +915,81 @@ func (e *Engine) loadManifest() error {
 		if off+nameLen > len(buf) {
 			return fmt.Errorf("logeng: manifest payload truncated")
 		}
-		name := string(buf[off : off+nameLen])
+		specs = append(specs, sstSpec{level: level, name: string(buf[off : off+nameLen])})
 		off += nameLen
-		run, err := openSSTable(e.Env.FS, e.Env.Arena, name)
+	}
+	workers := core.RecoveryWorkers(e.opts.RecoveryParallelism)
+	if workers > 1 && len(specs) > 1 {
+		return e.loadRunsParallel(specs, workers)
+	}
+	for _, sp := range specs {
+		run, err := openSSTable(e.Env.FS, e.Env.Arena, sp.name)
 		if err != nil {
 			return err
 		}
-		for len(e.levels) <= level {
-			e.levels = append(e.levels, nil)
-		}
-		e.levels[level] = run
+		e.placeRun(sp.level, run)
+		e.Rec.Records += run.count
 	}
+	e.Rec.Workers = 1
+	return nil
+}
+
+func (e *Engine) placeRun(level int, run *sstable) {
+	for len(e.levels) <= level {
+		e.levels = append(e.levels, nil)
+	}
+	e.levels[level] = run
+}
+
+// loadRunsParallel loads all manifest runs with the bloom filters rebuilt
+// from the entry keys concurrently. File and device access stay on the owner
+// goroutine: the owner bulk-reads each run's entry and offset regions into
+// host buffers, workers harvest keys and rebuild the filters from those
+// buffers, and the owner installs the filter bits into allocator memory.
+func (e *Engine) loadRunsParallel(specs []sstSpec, workers int) error {
+	imgs := make([]*sstImage, len(specs))
+	for i, sp := range specs {
+		img, err := readSSTImage(e.Env.FS, sp)
+		if err != nil {
+			return err
+		}
+		imgs[i] = img
+	}
+	blooms := make([][]byte, len(specs))
+	kks := make([]int, len(specs))
+	err := core.ParallelChunks(workers, len(specs), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			bm, k, err := imgs[i].rebuildBloom()
+			if err != nil {
+				return err
+			}
+			blooms[i], kks[i] = bm, k
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, img := range imgs {
+		bm := blooms[i]
+		ptr, err := e.Env.Arena.Alloc(len(bm)-8, pmalloc.TagIndex)
+		if err != nil {
+			return err
+		}
+		e.Env.Arena.Device().Write(int64(ptr), bm[8:])
+		e.placeRun(specs[i].level, &sstable{
+			name:       img.spec.name,
+			f:          img.f,
+			count:      img.count,
+			offsetsPos: img.offsetsPos,
+			bloomPtr:   ptr,
+			bloomWords: uint64((len(bm) - 8) / 8),
+			bloomK:     kks[i],
+			size:       img.size,
+		})
+		e.Rec.Records += img.count
+	}
+	e.Rec.Workers = workers
 	return nil
 }
 

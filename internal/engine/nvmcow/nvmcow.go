@@ -71,17 +71,41 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 	e.pager, e.tree = pg, tr
 	e.TxnID = tr.Meta()
 
+	workers := core.RecoveryWorkers(e.opts.RecoveryParallelism)
 	reach := make(map[uint64]bool)
-	tr.Reachable(func(id uint64) { reach[id] = true }, func(v []byte) {
+	tr.ReachableParallel(workers, func(id uint64) { reach[id] = true }, func(v []byte) {
 		if len(v) == 8 {
 			reach[binary.LittleEndian.Uint64(v)] = true
 		}
 	})
+
+	// Collect the allocator's chunk directory on the owner goroutine (the
+	// device data path is single-owner), classify the stripes in parallel
+	// against the host-memory reach set, then free serially.
+	type chunkRec struct {
+		p   pmalloc.Ptr
+		tag pmalloc.Tag
+		st  pmalloc.State
+	}
+	var chunks []chunkRec
 	env.Arena.Chunks(func(p pmalloc.Ptr, size int, tag pmalloc.Tag, st pmalloc.State) {
-		if tag == pmalloc.TagTable && st == pmalloc.StatePersisted && !reach[p] {
+		chunks = append(chunks, chunkRec{p: p, tag: tag, st: st})
+	})
+	orphans := make([][]pmalloc.Ptr, workers)
+	_ = core.ParallelChunks(workers, len(chunks), func(w, lo, hi int) error {
+		for _, c := range chunks[lo:hi] {
+			if c.tag == pmalloc.TagTable && c.st == pmalloc.StatePersisted && !reach[c.p] {
+				orphans[w] = append(orphans[w], c.p)
+			}
+		}
+		return nil
+	})
+	for _, list := range orphans {
+		for _, p := range list {
 			env.Arena.Free(p)
 		}
-	})
+	}
+	e.Rec = core.RecoveryReport{Records: int64(len(reach) + len(chunks)), Workers: workers}
 	return e, nil
 }
 

@@ -151,8 +151,8 @@ func TestCrashInjection(t *testing.T) {
 	}, 25)
 }
 
-func TestRecoveryConformance(t *testing.T) {
-	enginetest.RunRecoveryConformance(t, enginetest.Factory{
+func confFactory() enginetest.Factory {
+	return enginetest.Factory{
 		Name: "nvm-cow",
 		New: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
 			return New(env, schemas, opts)
@@ -160,5 +160,13 @@ func TestRecoveryConformance(t *testing.T) {
 		Open: func(env *core.Env, schemas []*core.Schema, opts core.Options) (core.Engine, error) {
 			return Open(env, schemas, opts)
 		},
-	}, 200)
+	}
+}
+
+func TestRecoveryConformance(t *testing.T) {
+	enginetest.RunRecoveryConformance(t, confFactory(), 200)
+}
+
+func TestConcurrentRecoveryConformance(t *testing.T) {
+	enginetest.RunConcurrentRecoveryConformance(t, confFactory(), 200)
 }

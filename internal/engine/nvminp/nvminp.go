@@ -213,12 +213,35 @@ func (e *Engine) undoWAL() error {
 		}
 	}
 	// Sweep WAL-tagged chunks orphaned by a crash between the commit
-	// marker and the chunk frees.
+	// marker and the chunk frees. The chunk directory is collected on the
+	// owner goroutine (the device data path is single-owner); the three-state
+	// classification of the stripes is pure host-memory work and fans out,
+	// then the frees happen serially.
+	workers := core.RecoveryWorkers(e.opts.RecoveryParallelism)
+	type chunkRec struct {
+		p   pmalloc.Ptr
+		tag pmalloc.Tag
+		st  pmalloc.State
+	}
+	var chunks []chunkRec
 	e.Env.Arena.Chunks(func(p pmalloc.Ptr, size int, tag pmalloc.Tag, st pmalloc.State) {
-		if tag == pmalloc.TagLog && st == pmalloc.StatePersisted {
+		chunks = append(chunks, chunkRec{p: p, tag: tag, st: st})
+	})
+	orphans := make([][]pmalloc.Ptr, workers)
+	_ = core.ParallelChunks(workers, len(chunks), func(w, lo, hi int) error {
+		for _, c := range chunks[lo:hi] {
+			if c.tag == pmalloc.TagLog && c.st == pmalloc.StatePersisted {
+				orphans[w] = append(orphans[w], c.p)
+			}
+		}
+		return nil
+	})
+	for _, list := range orphans {
+		for _, p := range list {
 			e.Env.Arena.Free(p)
 		}
-	})
+	}
+	e.Rec = core.RecoveryReport{Records: int64(len(frees) + len(chunks)), Workers: workers}
 	return nil
 }
 

@@ -15,6 +15,7 @@
 package nvmlog
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -181,7 +182,9 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 		return nil, err
 	}
 	e.memCount = e.mem.Count()
-	e.sweep()
+	if err := e.sweep(); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -210,24 +213,34 @@ func (e *Engine) loadRuns() error {
 }
 
 // sweep reclaims persisted chunks orphaned by crashes during rotation,
-// compaction, or WAL truncation.
-func (e *Engine) sweep() {
+// compaction, or WAL truncation, and re-verifies each immutable run's Bloom
+// filter against its tree. The reachability marking and all device reads stay
+// on the owner goroutine; the chunk classification and the Bloom rebuilds are
+// host-memory work and fan out across RecoveryParallelism workers.
+func (e *Engine) sweep() error {
+	workers := core.RecoveryWorkers(e.opts.RecoveryParallelism)
 	reach := make(map[pmalloc.Ptr]bool)
 	mark := func(p pmalloc.Ptr) { reach[p] = true }
 	reach[e.hdr] = true
 	if list := e.Env.Dev.ReadU64(int64(e.hdr) + hRunList); list != 0 {
 		reach[list] = true
 	}
-	markTree := func(t *nvbtree.Tree) {
+	markTree := func(t *nvbtree.Tree, keys *[]uint64) {
 		t.Nodes(mark)
 		t.Iter(0, func(k, v uint64) bool {
 			reach[v] = true
+			if keys != nil {
+				*keys = append(*keys, k)
+			}
 			return true
 		})
 	}
-	markTree(e.mem)
-	for _, r := range e.runs {
-		markTree(r.tree)
+	markTree(e.mem, nil)
+	// The marking pass over each run doubles as the key harvest for the
+	// parallel Bloom verification below.
+	runKeys := make([][]uint64, len(e.runs))
+	for i, r := range e.runs {
+		markTree(r.tree, &runKeys[i])
 		reach[r.bloomPtr] = true
 	}
 	for _, secs := range e.second {
@@ -235,15 +248,106 @@ func (e *Engine) sweep() {
 			st.Nodes(mark)
 		}
 	}
+
+	type chunkRec struct {
+		p   pmalloc.Ptr
+		tag pmalloc.Tag
+		st  pmalloc.State
+	}
+	var chunks []chunkRec
 	e.Env.Arena.Chunks(func(p pmalloc.Ptr, size int, tag pmalloc.Tag, st pmalloc.State) {
-		if st != pmalloc.StatePersisted || reach[p] {
-			return
+		chunks = append(chunks, chunkRec{p: p, tag: tag, st: st})
+	})
+	orphans := make([][]pmalloc.Ptr, workers)
+	_ = core.ParallelChunks(workers, len(chunks), func(w, lo, hi int) error {
+		for _, c := range chunks[lo:hi] {
+			if c.st != pmalloc.StatePersisted || reach[c.p] {
+				continue
+			}
+			switch c.tag {
+			case pmalloc.TagTable, pmalloc.TagIndex, pmalloc.TagLog:
+				orphans[w] = append(orphans[w], c.p)
+			}
 		}
-		switch tag {
-		case pmalloc.TagTable, pmalloc.TagIndex, pmalloc.TagLog:
+		return nil
+	})
+	for _, list := range orphans {
+		for _, p := range list {
 			e.Env.Arena.Free(p)
 		}
+	}
+	var nkeys int64
+	for _, ks := range runKeys {
+		nkeys += int64(len(ks))
+	}
+	e.Rec = core.RecoveryReport{Records: int64(len(chunks)) + nkeys, Workers: workers}
+	return e.verifyBlooms(workers, runKeys)
+}
+
+// verifyBlooms rebuilds each immutable run's Bloom filter from its tree keys
+// (in parallel — the rebuild is pure hashing over host memory) and compares it
+// with the persisted copy; a mismatched filter would silently turn lookups
+// into false negatives, so it is repaired in place. storeRun sizes filters
+// with the same constructor, so a rebuild from the same key count is
+// bit-compatible whenever the stored metadata is intact.
+func (e *Engine) verifyBlooms(workers int, runKeys [][]uint64) error {
+	if len(e.runs) == 0 {
+		return nil
+	}
+	d := e.Env.Dev
+	stored := make([][]byte, len(e.runs))
+	for i, r := range e.runs {
+		stored[i] = make([]byte, r.bloomWords*8)
+		d.Read(int64(r.bloomPtr), stored[i])
+	}
+	rebuilt := make([][]byte, len(e.runs)) // bits only; nil = matches
+	ks := make([]int, len(e.runs))
+	_ = core.ParallelChunks(workers, len(e.runs), func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			fl := bloom.New(len(runKeys[i]), 10)
+			for _, k := range runKeys[i] {
+				fl.Add(k)
+			}
+			bits := fl.Marshal()[8:]
+			ks[i] = fl.K()
+			if ks[i] == e.runs[i].bloomK && bytes.Equal(bits, stored[i]) {
+				continue
+			}
+			rebuilt[i] = bits
+		}
+		return nil
 	})
+	relink := false
+	for i, bits := range rebuilt {
+		if bits == nil {
+			continue
+		}
+		r := e.runs[i]
+		if uint64(len(bits)) == r.bloomWords*8 && ks[i] == r.bloomK {
+			// Same geometry: repair the persisted bits in place.
+			d.Write(int64(r.bloomPtr), bits)
+			d.Sync(int64(r.bloomPtr), len(bits))
+			continue
+		}
+		// Geometry drifted (corrupt run-list metadata): persist a fresh
+		// filter chunk and relink the run list afterwards.
+		p, err := e.Env.Arena.Alloc(len(bits), pmalloc.TagIndex)
+		if err != nil {
+			return err
+		}
+		d.Write(int64(p), bits)
+		d.Sync(int64(p), len(bits))
+		e.Env.Arena.SetPersisted(p)
+		e.Env.Arena.Free(r.bloomPtr)
+		r.bloomPtr = p
+		r.bloomWords = uint64(len(bits) / 8)
+		r.bloomK = ks[i]
+		relink = true
+	}
+	if relink {
+		return e.swapRunList(e.runs)
+	}
+	return nil
 }
 
 // Entry chunks: kind u8, len u32, payload (TagTable, persisted).

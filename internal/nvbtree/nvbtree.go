@@ -445,6 +445,20 @@ func (t *Tree) rewrite(n, parent uint64, pending *entry) error {
 		}
 		seps = []uint64{sep}
 	}
+	if parent != 0 && len(live) > 0 && sepOld < seps[0] {
+		// A node's subtree can hold keys below its first entry: routeChild
+		// sends keys smaller than every separator to the smallest child, so
+		// a min child (or, for inner nodes, a subtree on the min spine)
+		// legitimately covers [sepOld, firstKey). Raising the separator to
+		// the first entry key would strand those keys — the parent would
+		// route their range to the left sibling while they stay here. The
+		// left replacement keeps min(sepOld, firstKey): the parent-routed
+		// lower bound when the first entry sits above it, the first entry
+		// key when the node is a min child already covering keys below
+		// sepOld (where keeping sepOld would hand [firstKey, sepOld) to the
+		// wrong sibling).
+		seps[0] = sepOld
+	}
 
 	var newRoot uint64
 	probe := newNodes[0]

@@ -85,6 +85,9 @@ func RunDrill(db *testbed.DB, perPart [][]testbed.Txn, schemas []*core.Schema, c
 		return fmt.Errorf("row count diverged: live %d, recovered %d, want %d", live, recovered, want)
 	}
 	fmt.Fprintf(cfg.Out, "final crash + recovery: %v; %d rows intact\n", d, recovered)
+	for _, s := range db.RecoveryStats() {
+		fmt.Fprintf(cfg.Out, "  part %d: %v (%d records, %d workers)\n", s.Partition, s.Wall.Round(1000), s.Records, s.Workers)
+	}
 	return nil
 }
 

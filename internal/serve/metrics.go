@@ -110,7 +110,30 @@ func (rt *Runtime) buildMetrics() {
 			}
 			return 0
 		})
+		// Recovery stats are rebuilt on every heal, hence gauges. They read
+		// the testbed's mutex-guarded per-partition snapshot, so a scrape is
+		// safe against a concurrent RecoverPartition.
+		part := i
+		reg.GaugeFunc(fmt.Sprintf("serve_part%02d_recovery_ns", i), func() float64 {
+			return float64(recoveryStatOf(db, part).Wall)
+		})
+		reg.GaugeFunc(fmt.Sprintf("serve_part%02d_recovery_records", i), func() float64 {
+			return float64(recoveryStatOf(db, part).Records)
+		})
+		reg.GaugeFunc(fmt.Sprintf("serve_part%02d_recovery_workers", i), func() float64 {
+			return float64(recoveryStatOf(db, part).Workers)
+		})
 	}
+}
+
+// recoveryStatOf fetches one partition's last recovery stat (zero value if
+// the partition never recovered).
+func recoveryStatOf(db *testbed.DB, part int) testbed.RecoveryStat {
+	stats := db.RecoveryStats()
+	if part < len(stats) {
+		return stats[part]
+	}
+	return testbed.RecoveryStat{}
 }
 
 // nvmStats flattens the aggregated device counters to signed ints for the

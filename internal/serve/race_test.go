@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nstore/internal/testbed"
+)
+
+// TestRecoverAllRacesSubmitAndMetrics is the race-detector regression for the
+// parallel recovery pipeline: client goroutines keep submitting transactions
+// while RecoverAll rips partitions out from under them and a scraper snapshots
+// the metrics registry (which reads per-partition recovery stats) the whole
+// time. No faults are armed — every recovery must succeed — so the only
+// acceptable submit failures are the typed fail-fast errors. Run under -race;
+// the CI recovery lane does.
+func TestRecoverAllRacesSubmitAndMetrics(t *testing.T) {
+	db := newDB(t, testbed.NVMInP, 4, 32<<20)
+	rt := New(db, Config{QueueDepth: 16})
+	defer rt.Close()
+
+	var (
+		stop      atomic.Bool
+		committed atomic.Int64
+		key       atomic.Uint64
+		wg        sync.WaitGroup
+	)
+	key.Store(1)
+
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				k := key.Add(1)
+				err := rt.Submit(context.Background(), k, insertTxn(k, int64(k)))
+				switch {
+				case err == nil:
+					committed.Add(1)
+				case errors.Is(err, ErrRecovering), errors.Is(err, ErrOverloaded):
+					// expected while a partition is being healed or backed up
+				default:
+					t.Errorf("Submit(%d): %v", k, err)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			snap := rt.Metrics().Snapshot()
+			if len(snap.Gauges)+len(snap.Counters) == 0 {
+				t.Error("metrics snapshot came back empty")
+				return
+			}
+		}
+	}()
+
+	for round := 0; round < 6; round++ {
+		if err := rt.RecoverAll(2); err != nil {
+			t.Fatalf("RecoverAll round %d: %v", round, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if committed.Load() == 0 {
+		t.Fatal("no transaction committed around the recovery storms")
+	}
+	st := rt.Stats()
+	if st.Heals < int64(6*4) {
+		t.Errorf("Stats.Heals = %d, want >= 24 (6 rounds x 4 partitions)", st.Heals)
+	}
+	if st.HealFails != 0 {
+		t.Errorf("Stats.HealFails = %d with no faults armed", st.HealFails)
+	}
+}

@@ -169,6 +169,15 @@ type executor struct {
 	ch   chan *request
 	rng  *rand.Rand
 
+	// engMu serializes engine access between the executor loop and an
+	// out-of-band RecoverAll: the engine is single-partition and must never
+	// see a transaction and its own recovery concurrently.
+	engMu sync.Mutex
+	// recovering is set for the duration of an out-of-band recovery so the
+	// submit path and the executor loop fail fast with ErrRecovering
+	// instead of queueing behind (or blocking on) the heal.
+	recovering atomic.Bool
+
 	// groupSize > 1 defers acks: a committed transaction may still sit in
 	// the engine's volatile group-commit buffer, so its ack is withheld
 	// until the group is durably flushed (pending holds the waiting
@@ -231,6 +240,10 @@ func (rt *Runtime) SubmitPart(ctx context.Context, part int, txn testbed.Txn) er
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if rt.execs[part].recovering.Load() {
+		rt.stats.recovering.Add(1)
+		return ErrRecovering
+	}
 	start := time.Now()
 	req := &request{ctx: ctx, txn: txn, done: make(chan error, 1)}
 	rt.mu.RLock()
@@ -275,6 +288,71 @@ func (rt *Runtime) Close() error {
 	return rt.db.Flush()
 }
 
+// RecoverAll power-cycles and re-recovers every partition behind a bounded
+// worker pool of the given size (<= 0 picks the RecoveryWorkers default).
+// Each partition is marked recovering first, so submissions and the executor
+// loop fail fast with ErrRecovering instead of blocking on the heal; the
+// partition returns to service the moment its own recovery completes — there
+// is no cross-partition barrier. Held group-commit acks are failed with
+// ErrRecovering (the power cycle wipes the volatile group buffer). Returns
+// the first recovery error; the remaining partitions still recover.
+func (rt *Runtime) RecoverAll(parallelism int) error {
+	if rt.closed.Load() {
+		return ErrClosed
+	}
+	for _, ex := range rt.execs {
+		ex.recovering.Store(true)
+	}
+	pool := parallelism
+	if pool <= 0 {
+		pool = core.RecoveryWorkers(0)
+	}
+	if pool > len(rt.execs) {
+		pool = len(rt.execs)
+	}
+	err := core.ParallelChunks(pool, len(rt.execs), func(_, lo, hi int) error {
+		var firstErr error
+		for i := lo; i < hi; i++ {
+			if rerr := rt.recoverOne(i); rerr != nil && firstErr == nil {
+				firstErr = rerr
+			}
+		}
+		return firstErr
+	})
+	for _, ex := range rt.execs {
+		ex.recovering.Store(false)
+	}
+	return err
+}
+
+// recoverOne runs one partition's out-of-band power cycle + recovery under
+// its engine mutex, then clears its recovering flag.
+func (rt *Runtime) recoverOne(i int) error {
+	ex := rt.execs[i]
+	ex.engMu.Lock()
+	defer func() {
+		ex.recovering.Store(false)
+		ex.engMu.Unlock()
+	}()
+	// Fail held acks: those commits sat in the volatile group buffer that
+	// the power cycle below wipes, so they must not be acked.
+	for _, req := range ex.pending {
+		rt.stats.recovering.Add(1)
+		req.done <- ErrRecovering
+	}
+	ex.pending = ex.pending[:0]
+	rt.db.Env(i).Dev.DisarmFail()
+	rt.db.CrashPartition(i)
+	if err := ex.recoverQuiet(); err != nil {
+		rt.stats.healFails.Add(1)
+		rt.event(i, EventHealFailed, err)
+		return err
+	}
+	rt.stats.heals.Add(1)
+	rt.event(i, EventHealed, nil)
+	return nil
+}
+
 // Stats snapshots the supervisor counters.
 func (rt *Runtime) Stats() Stats {
 	return Stats{
@@ -311,6 +389,14 @@ func (ex *executor) run() {
 			req.done <- ErrDegraded
 			continue
 		}
+		if ex.recovering.Load() {
+			// An out-of-band RecoverAll owns the engine right now; fail fast
+			// instead of blocking the queue on its engMu.
+			ex.rt.stats.recovering.Add(1)
+			req.done <- ErrRecovering
+			continue
+		}
+		ex.engMu.Lock()
 		err := ex.serve(req)
 		if err == nil && ex.groupSize > 1 {
 			// Committed, but possibly only into the volatile group buffer:
@@ -320,15 +406,19 @@ func (ex *executor) run() {
 			if len(ex.pending) >= ex.groupSize || len(ex.ch) == 0 {
 				ex.flushPending()
 			}
+			ex.engMu.Unlock()
 			continue
 		}
+		ex.engMu.Unlock()
 		if err == nil {
 			ex.rt.stats.committed.Add(1)
 		}
 		req.done <- err
 	}
 	// Close drained the queue; release any held acks durably.
+	ex.engMu.Lock()
 	ex.flushPending()
+	ex.engMu.Unlock()
 }
 
 // flushPending runs the durability barrier for the held acks: the engine's

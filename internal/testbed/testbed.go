@@ -77,6 +77,9 @@ type Config struct {
 type DB struct {
 	cfg   Config
 	parts []*partition
+
+	statsMu      sync.Mutex
+	lastRecovery []RecoveryStat
 }
 
 // partition guards its env/eng pointers with mu: RecoverPartition swaps
@@ -438,35 +441,19 @@ func (db *DB) RecoverPartition(i int) (time.Duration, error) {
 	part.env, part.eng = env, eng
 	part.mu.Unlock()
 	// Include the simulated NVM stall recovery work incurred.
-	return time.Since(start), nil
+	d := time.Since(start)
+	rep := core.RecoveryReport{Workers: 1}
+	if rr, ok := eng.(core.RecoveryReporter); ok {
+		rep = rr.RecoveryReport()
+	}
+	db.recordRecoveryStat(RecoveryStat{Partition: i, Wall: d, Records: rep.Records, Workers: rep.Workers})
+	return d, nil
 }
 
 // Recover reopens every partition after a crash, running the engine's
-// recovery protocol, and returns the wall-clock recovery latency (the
-// slowest partition, since they recover in parallel).
+// recovery protocol behind the default bounded worker pool, and returns the
+// wall-clock recovery latency (the slowest partition, since they recover in
+// parallel).
 func (db *DB) Recover() (time.Duration, error) {
-	type out struct {
-		d   time.Duration
-		err error
-	}
-	results := make([]out, len(db.parts))
-	var wg sync.WaitGroup
-	for i := range db.parts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i].d, results[i].err = db.RecoverPartition(i)
-		}(i)
-	}
-	wg.Wait()
-	var max time.Duration
-	for _, r := range results {
-		if r.err != nil {
-			return 0, r.err
-		}
-		if r.d > max {
-			max = r.d
-		}
-	}
-	return max, nil
+	return db.RecoverWith(0)
 }
