@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nvbench [-run all|fig1|ycsb|tpcc|recovery|breakdown|footprint|costmodel|nodesize|synclat]
+//	nvbench [-run all|fig1|ycsb|tpcc|recovery|breakdown|footprint|costmodel|nodesize|synclat|wire]
 //	        [-scale small|medium] [-partitions N] [-tuples N] [-txns N] [-seed N]
 //	        [-short] [-out DIR]
 //
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (comma-separated): all, fig1, ycsb, tpcc, recovery, breakdown, footprint, costmodel, nodesize, synclat, ablations")
+	run := flag.String("run", "all", "experiment to run (comma-separated): all, fig1, ycsb, tpcc, recovery, breakdown, footprint, costmodel, nodesize, synclat, ablations, wire")
 	scaleName := flag.String("scale", "small", "experiment scale: small or medium")
 	partitions := flag.Int("partitions", 0, "override partition count")
 	tuples := flag.Int("tuples", 0, "override YCSB tuple count")
@@ -141,6 +141,11 @@ func main() {
 			_, err = r.SyncLatency()
 		case "ablations":
 			err = r.Ablations()
+		case "wire":
+			var ms []bench.Measurement
+			if ms, err = r.Wire(); err == nil {
+				artifact("wire", ms)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	tpcc -engine nvm-inp -warehouses 8 -txns 8000 -partitions 8 -latency 2x
+//
+// Drill modes (mutually exclusive):
+//
+//	-serve          in-process fault drill through the serving runtime
+//	-listen ADDR    load the database, then serve it over the wire protocol
+//	-connect ADDR   drive payment-shaped wire transactions against a server
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 
 	"nstore"
 	"nstore/internal/core"
+	"nstore/internal/netdrill"
 	"nstore/internal/nvm"
 	"nstore/internal/serve"
 	"nstore/internal/testbed"
@@ -31,13 +38,12 @@ func main() {
 	cache := flag.Int("cache", 128<<10, "simulated CPU cache per partition (bytes)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	doRecover := flag.Bool("recover", true, "crash and measure recovery at the end")
-	serveMode := flag.Bool("serve", false, "run through the serving runtime (concurrent clients, supervised partitions)")
-	clients := flag.Int("clients", 2, "serve mode: concurrent clients per partition")
-	fault := flag.String("fault", "none", "serve mode: mid-traffic fault on every partition: none, fsync-transient, fsync-lost, fsync-torn, fence-lose, fence-reorder")
-	faultAfter := flag.Int("fault-after", 50, "serve mode: fsyncs/fences to let through before the fault fires")
-	metrics := flag.String("metrics", "", "serve mode: listen address for /metrics, /healthz and pprof (e.g. 127.0.0.1:8080, or :0 for an ephemeral port)")
-	recoveryParallel := flag.Int("recovery-parallel", 0, "recovery fan-out per partition (0 = bounded CPU default, 1 = sequential)")
+	drill := netdrill.Register(flag.CommandLine)
 	flag.Parse()
+	if err := drill.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	profile := nvm.ProfileDRAM
 	switch *latency {
@@ -51,6 +57,16 @@ func main() {
 		Warehouses: *warehouses, Customers: *customers, Items: *items,
 		Txns: *txns, Partitions: *partitions, Seed: *seed,
 	}
+	if drill.Connect != "" {
+		// Client mode: the server loaded the same warehouse configuration;
+		// this side generates payment-shaped wire transactions and drives
+		// them over the network.
+		err := netdrill.RunClient(drill.Connect, netdrill.TPCCRequests(cfg), drill.Conns, drill.Clients, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 	db, err := testbed.New(testbed.Config{
 		Engine:     nstore.EngineKind(*engine),
 		Partitions: *partitions,
@@ -59,7 +75,7 @@ func main() {
 			Profile:    profile,
 			CacheSize:  *cache,
 		},
-		Options: core.Options{MemTableCap: 512, RecoveryParallelism: *recoveryParallel},
+		Options: core.Options{MemTableCap: 512, RecoveryParallelism: drill.RecoveryParallel},
 		Schemas: tpcc.Schemas(),
 	})
 	if err != nil {
@@ -70,12 +86,21 @@ func main() {
 		fatal(err)
 	}
 	db.ResetStats()
-	if *serveMode {
+	if drill.Listen != "" {
+		err := netdrill.RunServer(db, drill.Listen, netdrill.ServerConfig{
+			Seed: *seed, Metrics: drill.Metrics, Out: os.Stdout, Errw: os.Stderr,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if drill.Serve {
 		// The -serve fault drill; TPC-C inserts rows, so the expected
 		// row count is unknown (-1 checks live == recovered instead).
 		err := serve.RunDrill(db, tpcc.Generate(cfg), tpcc.Schemas(), serve.DrillConfig{
-			Clients: *clients, Fault: *fault, FaultAfter: *faultAfter,
-			Seed: *seed, WantRows: -1, Metrics: *metrics,
+			Clients: drill.Clients, Fault: drill.Fault, FaultAfter: drill.FaultAfter,
+			Seed: *seed, WantRows: -1, Metrics: drill.Metrics,
 			Out: os.Stdout, Errw: os.Stderr,
 		})
 		if err != nil {

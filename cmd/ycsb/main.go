@@ -5,6 +5,12 @@
 //
 //	ycsb -engine nvm-inp -mix balanced -skew low -latency 2x \
 //	     -tuples 20000 -txns 20000 -partitions 4
+//
+// Drill modes (mutually exclusive):
+//
+//	-serve          in-process fault drill through the serving runtime
+//	-listen ADDR    load the database, then serve it over the wire protocol
+//	-connect ADDR   drive the same pre-generated schedule against a server
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 
 	"nstore"
 	"nstore/internal/core"
+	"nstore/internal/netdrill"
 	"nstore/internal/nvm"
 	"nstore/internal/serve"
 	"nstore/internal/testbed"
@@ -30,13 +37,12 @@ func main() {
 	partitions := flag.Int("partitions", 4, "partitions")
 	cache := flag.Int("cache", 128<<10, "simulated CPU cache per partition (bytes)")
 	seed := flag.Int64("seed", 42, "workload and fault-schedule seed")
-	serveMode := flag.Bool("serve", false, "run through the serving runtime (concurrent clients, supervised partitions)")
-	clients := flag.Int("clients", 2, "serve mode: concurrent clients per partition")
-	fault := flag.String("fault", "none", "serve mode: mid-traffic fault on every partition: none, fsync-transient, fsync-lost, fsync-torn, fence-lose, fence-reorder")
-	faultAfter := flag.Int("fault-after", 50, "serve mode: fsyncs/fences to let through before the fault fires")
-	metrics := flag.String("metrics", "", "serve mode: listen address for /metrics, /healthz and pprof (e.g. 127.0.0.1:8080, or :0 for an ephemeral port)")
-	recoveryParallel := flag.Int("recovery-parallel", 0, "recovery fan-out per partition (0 = bounded CPU default, 1 = sequential)")
+	drill := netdrill.Register(flag.CommandLine)
 	flag.Parse()
+	if err := drill.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var mix ycsb.Mix
 	for _, m := range ycsb.Mixes {
@@ -68,6 +74,17 @@ func main() {
 		Tuples: *tuples, Txns: *txns, Partitions: *partitions,
 		Mix: mix, Skew: skew, Seed: *seed,
 	}
+	if drill.Connect != "" {
+		// Client mode needs no local database: the server loaded the same
+		// -tuples/-partitions configuration; this side just generates and
+		// drives the identical schedule over the wire.
+		err := netdrill.RunClient(drill.Connect, netdrill.YCSBRequests(cfg), drill.Conns, drill.Clients, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ycsb:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	db, err := testbed.New(testbed.Config{
 		Engine:     nstore.EngineKind(*engine),
 		Partitions: *partitions,
@@ -76,7 +93,7 @@ func main() {
 			Profile:    profile,
 			CacheSize:  *cache,
 		},
-		Options: core.Options{MemTableCap: 512, CheckpointEvery: *txns / *partitions, RecoveryParallelism: *recoveryParallel},
+		Options: core.Options{MemTableCap: 512, CheckpointEvery: *txns / *partitions, RecoveryParallelism: drill.RecoveryParallel},
 		Schemas: ycsb.Schema(cfg),
 	})
 	if err != nil {
@@ -89,14 +106,24 @@ func main() {
 		os.Exit(1)
 	}
 	db.ResetStats()
-	if *serveMode {
+	if drill.Listen != "" {
+		err := netdrill.RunServer(db, drill.Listen, netdrill.ServerConfig{
+			Seed: *seed, Metrics: drill.Metrics, Out: os.Stdout, Errw: os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ycsb:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if drill.Serve {
 		// The -serve fault drill: concurrent clients drive the workload
 		// through the supervised runtime while the chosen fault fires on
 		// every partition mid-traffic; the drill verifies committed data
 		// survives the live recoveries plus a final power cycle.
 		err := serve.RunDrill(db, ycsb.Generate(cfg), ycsb.Schema(cfg), serve.DrillConfig{
-			Clients: *clients, Fault: *fault, FaultAfter: *faultAfter,
-			Seed: *seed, WantRows: int64(*tuples), Metrics: *metrics,
+			Clients: drill.Clients, Fault: drill.Fault, FaultAfter: drill.FaultAfter,
+			Seed: *seed, WantRows: int64(*tuples), Metrics: drill.Metrics,
 			Out: os.Stdout, Errw: os.Stderr,
 		})
 		if err != nil {

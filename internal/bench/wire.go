@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nstore/internal/netclient"
+	"nstore/internal/netdrill"
+	"nstore/internal/netserve"
+	"nstore/internal/serve"
+	"nstore/internal/testbed"
+	"nstore/internal/wire/chaos"
+	"nstore/internal/workload/ycsb"
+)
+
+// wireModes label the three serving paths the wire experiment compares.
+// They ride in Measurement.Mix, so BENCH_wire.json gets one metric family
+// per (engine, path) pair.
+var wireModes = []string{"inproc", "loopback", "chaos"}
+
+// Wire measures what the network boundary costs: the same balanced/low-skew
+// YCSB schedule per engine, executed (a) in-process on the raw testbed,
+// (b) over TCP loopback through the framed wire protocol and the serving
+// runtime, and (c) over loopback through a chaos proxy injecting delay and
+// torn-frame connection drops (the client retrying through them). The
+// schedule is identical in all three — GenerateOps is the single source of
+// truth — so the throughput ratios isolate the serving stack's overhead.
+func (r *Runner) Wire() ([]Measurement, error) {
+	cfg := r.ycsbCfg(ycsb.Balanced, ycsb.LowSkew)
+	r.section("wire — YCSB balanced/low: in-process vs loopback vs chaos")
+	var ms []Measurement
+	frac := make(map[string][]float64)
+	for _, kind := range r.S.Engines {
+		base := 0.0
+		for _, mode := range wireModes {
+			m, err := r.wireOne(kind, cfg, mode)
+			if err != nil {
+				return nil, fmt.Errorf("bench: wire: %s/%s: %w", kind, mode, err)
+			}
+			ms = append(ms, m)
+			if mode == "inproc" {
+				base = m.Throughput
+			} else if base > 0 {
+				frac[mode] = append(frac[mode], m.Throughput/base)
+			}
+			r.printf("%s %s: %s txn/sec\n", kind, mode, human(m.Throughput))
+		}
+	}
+	for _, mode := range wireModes[1:] {
+		if fs := frac[mode]; len(fs) > 0 {
+			sum := 0.0
+			for _, f := range fs {
+				sum += f
+			}
+			r.printf("%s retains %.0f%% of in-process throughput (mean across engines)\n",
+				mode, 100*sum/float64(len(fs)))
+		}
+	}
+	return ms, nil
+}
+
+func (r *Runner) wireOne(kind testbed.EngineKind, cfg ycsb.Config, mode string) (Measurement, error) {
+	db, err := r.newYCSBDB(kind, cfg)
+	if err != nil {
+		return Measurement{}, err
+	}
+	db.ResetStats()
+	m := Measurement{Engine: kind, Mix: mode, Skew: cfg.Skew.Name, Latency: "dram"}
+
+	if mode == "inproc" {
+		out, err := db.ExecuteSequential(ycsb.Generate(cfg))
+		if err != nil {
+			return Measurement{}, err
+		}
+		if err := db.Flush(); err != nil {
+			return Measurement{}, err
+		}
+		m.Throughput = out.Throughput()
+		m.Elapsed = out.Elapsed
+	} else {
+		rt := serve.New(db, serve.Config{Seed: cfg.Seed})
+		srv, err := netserve.New(rt, "127.0.0.1:0", netserve.Config{})
+		if err != nil {
+			rt.Close()
+			return Measurement{}, err
+		}
+		addr := srv.Addr()
+		var proxy *chaos.Proxy
+		clCfg := netclient.Config{Conns: cfg.Partitions, Seed: cfg.Seed}
+		if mode == "chaos" {
+			proxy, err = chaos.New(addr, chaos.Config{
+				Seed:      cfg.Seed,
+				DropProb:  0.002,
+				TornProb:  0.5,
+				DelayProb: 0.05,
+				MaxDelay:  100 * time.Microsecond,
+				ChunkSize: 1024,
+			})
+			if err != nil {
+				srv.Close()
+				rt.Close()
+				return Measurement{}, err
+			}
+			addr = proxy.Addr()
+			clCfg.RetryMax = 60
+		}
+		cl := netclient.New(addr, clCfg)
+		res, err := netdrill.Drive(context.Background(), cl, netdrill.YCSBRequests(cfg), 2)
+		cl.Close()
+		if proxy != nil {
+			proxy.Close()
+		}
+		if cerr := srv.Close(); err == nil {
+			err = cerr
+		}
+		if cerr := rt.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return Measurement{}, err
+		}
+		if res.Failed > 0 {
+			return Measurement{}, fmt.Errorf("%d requests failed", res.Failed)
+		}
+		m.Throughput = res.Throughput()
+		m.Elapsed = res.Elapsed
+	}
+	s := db.Stats()
+	m.Loads, m.Stores = s.Loads, s.Stores
+	m.BytesRead, m.BytesWritten = s.BytesRead, s.BytesWritten
+	return m, nil
+}

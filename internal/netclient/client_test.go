@@ -1,0 +1,193 @@
+package netclient
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"nstore/internal/core"
+	"nstore/internal/wire"
+)
+
+// stub is a scriptable wire server for exercising the client without a
+// database: handle gets each decoded request and returns the responses to
+// send (nil = swallow the request).
+func stub(t *testing.T, handle func(req *wire.Request) []*wire.Response) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				var wmu sync.Mutex
+				for {
+					payload, err := wire.ReadFrame(br, 0)
+					if err != nil {
+						return
+					}
+					req, err := wire.DecodeRequest(payload)
+					if err != nil {
+						return
+					}
+					for _, resp := range handle(req) {
+						out, err := wire.EncodeResponse(resp)
+						if err != nil {
+							return
+						}
+						wmu.Lock()
+						wire.WriteFrame(c, out)
+						wmu.Unlock()
+					}
+				}
+			}()
+		}
+	}()
+	return ln
+}
+
+// TestOutOfOrderResponses holds early requests hostage and answers them
+// after later ones: the client must route every response to its caller by
+// ID, not by arrival order.
+func TestOutOfOrderResponses(t *testing.T) {
+	var mu sync.Mutex
+	var held []*wire.Response
+	ln := stub(t, func(req *wire.Request) []*wire.Response {
+		mu.Lock()
+		defer mu.Unlock()
+		resp := &wire.Response{ID: req.ID, Status: wire.StatusOK, Found: true, Row: []core.Value{core.IntVal(int64(req.Key))}}
+		if len(held) < 3 { // park the first three
+			held = append(held, resp)
+			return nil
+		}
+		out := append([]*wire.Response{resp}, held...) // release in reverse arrival
+		held = nil
+		return out
+	})
+	defer ln.Close()
+	cl := New(ln.Addr().String(), Config{Conns: 1})
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(k uint64) {
+			defer wg.Done()
+			resp, err := cl.Do(context.Background(), &wire.Request{Part: -1, Op: wire.OpGet, Table: "t", Key: k})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Row[0].I != int64(k) {
+				errs <- errors.New("response delivered to the wrong request")
+			}
+		}(uint64(i))
+		time.Sleep(20 * time.Millisecond) // force arrival order at the stub
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryOnRetryableStatus counts attempts server-side: DoRetry must
+// resubmit on StatusOverloaded and stop at the first terminal status.
+func TestRetryOnRetryableStatus(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	ln := stub(t, func(req *wire.Request) []*wire.Response {
+		mu.Lock()
+		defer mu.Unlock()
+		attempts++
+		if attempts < 4 {
+			return []*wire.Response{{ID: req.ID, Status: wire.StatusOverloaded, Msg: "busy"}}
+		}
+		return []*wire.Response{{ID: req.ID, Status: wire.StatusOK}}
+	})
+	defer ln.Close()
+	cl := New(ln.Addr().String(), Config{RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond})
+	defer cl.Close()
+	resp, err := cl.DoRetry(context.Background(), &wire.Request{Part: -1, Op: wire.OpDelete, Table: "t", Key: 1})
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("err=%v resp=%+v", err, resp)
+	}
+	mu.Lock()
+	if attempts != 4 {
+		t.Fatalf("server saw %d attempts, want 4", attempts)
+	}
+	attempts = 100 // terminal from here on
+	mu.Unlock()
+
+	ln2 := stub(t, func(req *wire.Request) []*wire.Response {
+		return []*wire.Response{{ID: req.ID, Status: wire.StatusCorrupt, Msg: "no"}}
+	})
+	defer ln2.Close()
+	cl2 := New(ln2.Addr().String(), Config{})
+	defer cl2.Close()
+	resp, err = cl2.DoRetry(context.Background(), &wire.Request{Part: -1, Op: wire.OpDelete, Table: "t", Key: 1})
+	if err != nil || resp.Status != wire.StatusCorrupt {
+		t.Fatalf("terminal status must return immediately: err=%v resp=%+v", err, resp)
+	}
+	if !errors.Is(&wire.StatusError{Status: resp.Status}, core.ErrCorrupt) {
+		t.Fatal("corrupt status lost its taxonomy mapping")
+	}
+}
+
+// TestTimeoutKillsWedgedConn checks a swallowed request times out, the
+// connection resets, and the next request works on a fresh dial.
+func TestTimeoutKillsWedgedConn(t *testing.T) {
+	var mu sync.Mutex
+	swallowed := false
+	ln := stub(t, func(req *wire.Request) []*wire.Response {
+		mu.Lock()
+		defer mu.Unlock()
+		if !swallowed {
+			swallowed = true
+			return nil // never answer the first request
+		}
+		return []*wire.Response{{ID: req.ID, Status: wire.StatusOK}}
+	})
+	defer ln.Close()
+	cl := New(ln.Addr().String(), Config{Timeout: 200 * time.Millisecond, NoRetryOnDrop: true})
+	defer cl.Close()
+	_, err := cl.Do(context.Background(), &wire.Request{Part: -1, Op: wire.OpDelete, Table: "t", Key: 1})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	resp, err := cl.Do(context.Background(), &wire.Request{Part: -1, Op: wire.OpDelete, Table: "t", Key: 2})
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("redial after timeout failed: err=%v resp=%+v", err, resp)
+	}
+}
+
+// TestClosedClient checks Close fails fast and is final.
+func TestClosedClient(t *testing.T) {
+	ln := stub(t, func(req *wire.Request) []*wire.Response {
+		return []*wire.Response{{ID: req.ID, Status: wire.StatusOK}}
+	})
+	defer ln.Close()
+	cl := New(ln.Addr().String(), Config{})
+	if _, err := cl.Do(context.Background(), &wire.Request{Part: -1, Op: wire.OpDelete, Table: "t", Key: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if _, err := cl.Do(context.Background(), &wire.Request{Part: -1, Op: wire.OpDelete, Table: "t", Key: 2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := cl.DoRetry(context.Background(), &wire.Request{Part: -1, Op: wire.OpDelete, Table: "t", Key: 3}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("DoRetry on closed client: %v", err)
+	}
+}

@@ -1,18 +1,21 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
 // MetricsServer is the runtime's optional HTTP observability endpoint:
 //
 //	/metrics        JSON snapshot of the metrics registry (obs.Snapshot)
-//	/healthz        200 while all partitions serve, 503 listing degraded ones
+//	/healthz        200 while all partitions serve; 503 listing degraded and
+//	                recovering partitions, so a load balancer drains both
 //	/debug/pprof/   the standard Go profiler endpoints
 //
 // It binds with net.Listen so addr may be ":0" for an ephemeral port (Addr
@@ -20,11 +23,19 @@ import (
 type MetricsServer struct {
 	ln  net.Listener
 	srv *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// StartMetrics starts the observability endpoint on addr. The caller must
-// Close the returned server; it does not outlive the runtime usefully, but
-// closing the runtime does not close it.
+// metricsShutdownTimeout bounds how long Close waits for in-flight scrapes
+// (a /metrics snapshot is milliseconds; a stuck pprof stream should not pin
+// shutdown).
+const metricsShutdownTimeout = 2 * time.Second
+
+// StartMetrics starts the observability endpoint on addr. The runtime owns
+// the returned server: Runtime.Close tears it down along with the
+// executors. Closing it earlier by hand is allowed and idempotent.
 func (rt *Runtime) StartMetrics(addr string) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -38,18 +49,25 @@ func (rt *Runtime) StartMetrics(addr string) (*MetricsServer, error) {
 		_ = enc.Encode(rt.reg.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		var degraded []int
+		var degraded, recovering []int
 		for i, ex := range rt.execs {
 			if ex.degraded.Load() {
 				degraded = append(degraded, i)
+			} else if ex.recovering.Load() {
+				recovering = append(recovering, i)
 			}
 		}
-		if len(degraded) == 0 {
+		if len(degraded) == 0 && len(recovering) == 0 {
 			fmt.Fprintln(w, "ok")
 			return
 		}
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintf(w, "degraded partitions: %v\n", degraded)
+		if len(degraded) > 0 {
+			fmt.Fprintf(w, "degraded partitions: %v\n", degraded)
+		}
+		if len(recovering) > 0 {
+			fmt.Fprintf(w, "recovering partitions: %v\n", recovering)
+		}
 	})
 	// net/http/pprof registers on DefaultServeMux at import; route the same
 	// handlers on this private mux instead.
@@ -64,11 +82,26 @@ func (rt *Runtime) StartMetrics(addr string) (*MetricsServer, error) {
 		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 	}
 	go func() { _ = ms.srv.Serve(ln) }()
+	rt.adoptMetrics(ms)
 	return ms, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
 func (ms *MetricsServer) Addr() string { return ms.ln.Addr().String() }
 
-// Close stops the HTTP server.
-func (ms *MetricsServer) Close() error { return ms.srv.Close() }
+// Close stops the HTTP server gracefully: the listener closes immediately,
+// in-flight scrapes get metricsShutdownTimeout to finish, then any stragglers
+// are cut. Safe to call more than once and concurrently with Runtime.Close.
+func (ms *MetricsServer) Close() error {
+	ms.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), metricsShutdownTimeout)
+		defer cancel()
+		err := ms.srv.Shutdown(ctx)
+		if err != nil {
+			// Deadline hit with a request still running: force it.
+			ms.srv.Close()
+		}
+		ms.closeErr = err
+	})
+	return ms.closeErr
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nstore/internal/testbed"
+)
+
+// TestMetricsCloseGraceful pins the Shutdown-with-deadline contract: a
+// scrape in flight when Close is called completes with a full response
+// instead of a severed connection, Close is idempotent, and new connections
+// are refused afterwards.
+func TestMetricsCloseGraceful(t *testing.T) {
+	db := newDB(t, testbed.InP, 1, 32<<20)
+	rt := New(db, Config{})
+	defer rt.Close()
+	ms, err := rt.StartMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open a raw connection and send the request line but hold the scrape
+	// open by reading slowly: Close must still let the response finish.
+	conn, err := net.Dial("tcp", ms.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Give the handler a moment to pick the request up before shutdown.
+	time.Sleep(50 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var closeErr error
+	go func() {
+		defer wg.Done()
+		closeErr = ms.Close()
+	}()
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	body, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("in-flight scrape severed by Close: %v", err)
+	}
+	if !strings.Contains(string(body), "200 OK") || !strings.Contains(string(body), "\"schema\"") {
+		t.Fatalf("in-flight scrape got a partial response:\n%s", body)
+	}
+	wg.Wait()
+	if closeErr != nil {
+		t.Fatalf("Close: %v", closeErr)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := http.Get("http://" + ms.Addr() + "/metrics"); err == nil {
+		t.Fatal("endpoint still accepting after Close")
+	}
+}
+
+// TestRuntimeCloseOwnsMetrics pins the ownership bugfix: a metrics server
+// started from the runtime is torn down by Runtime.Close without the caller
+// closing it, and a by-hand Close beforehand stays legal.
+func TestRuntimeCloseOwnsMetrics(t *testing.T) {
+	db := newDB(t, testbed.InP, 1, 32<<20)
+	rt := New(db, Config{})
+	ms1, err := rt.StartMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms2, err := rt.StartMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms2.Close(); err != nil { // caller closes one early — allowed
+		t.Fatal(err)
+	}
+	scrape(t, ms1.Addr()) // still serving before runtime close
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + ms1.Addr() + "/metrics"); err == nil {
+		t.Fatal("metrics endpoint survived Runtime.Close")
+	}
+}
+
+// TestHealthzReportsRecovering pins the /healthz bugfix: a partition
+// mid-RecoverAll shows up in the 503 body so a load balancer drains it, and
+// the endpoint returns to 200 once the heal completes.
+func TestHealthzReportsRecovering(t *testing.T) {
+	const parts = 2
+	db := newDB(t, testbed.NVMLog, parts, 32<<20)
+	rt := New(db, Config{})
+	defer rt.Close()
+	ms, err := rt.StartMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 10; k++ {
+		if err := rt.SubmitPart(context.Background(), int(k%parts), insertTxn(k, int64(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	healthz := func() (int, string) {
+		resp, err := http.Get("http://" + ms.Addr() + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := healthz(); code != http.StatusOK {
+		t.Fatalf("healthy runtime: /healthz = %d (%s)", code, body)
+	}
+
+	// Flip the recovering flags by hand (the exact state RecoverAll sets
+	// before healing each partition) so the 503 window is not a race.
+	for _, ex := range rt.execs {
+		ex.recovering.Store(true)
+	}
+	code, body := healthz()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz = %d during recovery, want 503 (%s)", code, body)
+	}
+	if !strings.Contains(body, "recovering partitions: [0 1]") {
+		t.Fatalf("503 body does not list recovering partitions:\n%s", body)
+	}
+	for _, ex := range rt.execs {
+		ex.recovering.Store(false)
+	}
+
+	// And through the real path: after a completed RecoverAll the endpoint
+	// must be 200 again with all data intact.
+	if err := rt.RecoverAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := healthz(); code != http.StatusOK {
+		t.Fatalf("after RecoverAll: /healthz = %d (%s)", code, body)
+	}
+	for k := uint64(0); k < 10; k++ {
+		if got := mustGet(t, db, int(k%parts), k); got != int64(k) {
+			t.Fatalf("key %d = %d after heal", k, got)
+		}
+	}
+}

@@ -148,6 +148,11 @@ type Runtime struct {
 	mu     sync.RWMutex
 	closed atomic.Bool
 
+	// msMu guards the metrics servers started via StartMetrics, which the
+	// runtime owns and tears down in Close.
+	msMu    sync.Mutex
+	metrics []*MetricsServer
+
 	stats struct {
 		committed, aborted, failed atomic.Int64
 		retries, panics            atomic.Int64
@@ -285,8 +290,26 @@ func (rt *Runtime) Close() error {
 	}
 	rt.mu.Unlock()
 	rt.wg.Wait()
+	rt.msMu.Lock()
+	servers := rt.metrics
+	rt.metrics = nil
+	rt.msMu.Unlock()
+	for _, ms := range servers {
+		_ = ms.Close()
+	}
 	return rt.db.Flush()
 }
+
+// adoptMetrics records a metrics server for teardown in Close.
+func (rt *Runtime) adoptMetrics(ms *MetricsServer) {
+	rt.msMu.Lock()
+	rt.metrics = append(rt.metrics, ms)
+	rt.msMu.Unlock()
+}
+
+// DB exposes the runtime's database (the network layer routes and digests
+// against it).
+func (rt *Runtime) DB() *testbed.DB { return rt.db }
 
 // RecoverAll power-cycles and re-recovers every partition behind a bounded
 // worker pool of the given size (<= 0 picks the RecoveryWorkers default).

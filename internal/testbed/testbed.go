@@ -212,6 +212,10 @@ func (db *DB) Env(i int) *core.Env { return db.parts[i].environ() }
 // Route maps a primary key to its home partition.
 func (db *DB) Route(key uint64) int { return int(key % uint64(db.cfg.Partitions)) }
 
+// Schemas returns the table schemas every partition was built with (the
+// network layer validates wire requests against them).
+func (db *DB) Schemas() []*core.Schema { return db.cfg.Schemas }
+
 // SetLatency switches every partition's NVM latency profile.
 func (db *DB) SetLatency(p nvm.Profile) {
 	for _, part := range db.parts {

@@ -1,0 +1,185 @@
+// Package chaos is a deterministic TCP chaos proxy for wire-protocol soak
+// tests: it sits between a client and a server and injects the failure modes
+// a real network serves up — added latency, abrupt connection drops, and
+// torn frames (a connection killed mid-frame so the peer sees a prefix).
+// Everything is driven by a seeded RNG per connection, so a soak that fails
+// replays exactly from its seed.
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes the proxy. Probabilities are evaluated per forwarded
+// chunk (ChunkSize bytes or less), so longer transfers accumulate more risk,
+// like a real flaky link.
+type Config struct {
+	// Seed drives every probabilistic decision. Same seed + same traffic
+	// order per connection = same faults.
+	Seed int64
+	// DropProb is the per-chunk probability of killing the connection.
+	DropProb float64
+	// TornProb is the probability, given a drop, that a prefix of the chunk
+	// is forwarded first — the peer sees a torn frame, not a clean cut.
+	TornProb float64
+	// DelayProb is the per-chunk probability of sleeping before forwarding.
+	DelayProb float64
+	// MaxDelay bounds an injected sleep (uniform in (0, MaxDelay]).
+	MaxDelay time.Duration
+	// ChunkSize is the forwarding unit; 0 means 4096 bytes.
+	ChunkSize int
+}
+
+// Stats counts what the proxy has done so far.
+type Stats struct {
+	Conns int64 // connections accepted
+	Drops int64 // connections killed by fault injection
+	Torn  int64 // drops that forwarded a torn prefix first
+}
+
+// Proxy is a running chaos proxy. Close it to stop accepting and kill every
+// live connection.
+type Proxy struct {
+	cfg    Config
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	connSeq atomic.Int64
+	drops   atomic.Int64
+	torn    atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// New starts a proxy on an ephemeral loopback port forwarding to target.
+func New(target string, cfg Config) (*Proxy, error) {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 4096
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — point the client here.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{Conns: p.connSeq.Load(), Drops: p.drops.Load(), Torn: p.torn.Load()}
+}
+
+// Close stops accepting, severs every live connection, and waits for the
+// pumps to finish.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		cli, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		srv, err := net.Dial("tcp", p.target)
+		if err != nil {
+			cli.Close()
+			continue
+		}
+		idx := p.connSeq.Add(1)
+		if !p.track(cli, srv) {
+			return
+		}
+		// Independent per-direction RNGs keyed off the connection index, so
+		// one connection's fault schedule never shifts another's.
+		p.wg.Add(2)
+		go p.pump(cli, srv, rand.New(rand.NewSource(p.cfg.Seed+2*idx)))
+		go p.pump(srv, cli, rand.New(rand.NewSource(p.cfg.Seed+2*idx+1)))
+	}
+}
+
+// track registers both halves for Close; returns false if the proxy already
+// closed (the pair is severed immediately).
+func (p *Proxy) track(a, b net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		a.Close()
+		b.Close()
+		return false
+	}
+	p.conns[a] = struct{}{}
+	p.conns[b] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(a, b net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, a)
+	delete(p.conns, b)
+	p.mu.Unlock()
+	a.Close()
+	b.Close()
+}
+
+// pump forwards src -> dst in chunks, rolling the dice on each one. A drop
+// closes BOTH directions: TCP has no half-broken state a crashed peer would
+// leave behind, and the client must see its in-flight requests die.
+func (p *Proxy) pump(src, dst net.Conn, rng *rand.Rand) {
+	defer p.wg.Done()
+	defer p.untrack(src, dst)
+	buf := make([]byte, p.cfg.ChunkSize)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if p.cfg.DelayProb > 0 && rng.Float64() < p.cfg.DelayProb && p.cfg.MaxDelay > 0 {
+				time.Sleep(time.Duration(rng.Int63n(int64(p.cfg.MaxDelay))) + 1)
+			}
+			if p.cfg.DropProb > 0 && rng.Float64() < p.cfg.DropProb {
+				p.drops.Add(1)
+				if rng.Float64() < p.cfg.TornProb && n > 1 {
+					// Forward a prefix so the peer sees a torn frame before
+					// the cut — the CRC/short-read paths must both fire.
+					p.torn.Add(1)
+					dst.Write(buf[:1+rng.Intn(n-1)])
+				}
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			// EOF or a severed socket: either way both directions die, the
+			// same all-or-nothing teardown a crashed peer produces. Clients
+			// wait for their responses before closing, so a clean shutdown
+			// never races an in-flight reply.
+			return
+		}
+	}
+}

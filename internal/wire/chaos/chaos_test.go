@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until EOF.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	return ln
+}
+
+// TestTransparent checks that a zero-fault proxy forwards bytes unchanged.
+func TestTransparent(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p, err := New(ln.Addr().String(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := bytes.Repeat([]byte("wire"), 10_000)
+	go func() {
+		conn.Write(msg)
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("proxy corrupted a fault-free stream")
+	}
+	if s := p.Stats(); s.Conns != 1 || s.Drops != 0 {
+		t.Fatalf("stats = %+v, want 1 conn, 0 drops", s)
+	}
+}
+
+// TestDropsAreDeterministic runs the same traffic twice with the same seed
+// and checks the faults land identically; a different seed must eventually
+// diverge.
+func TestDropsAreDeterministic(t *testing.T) {
+	run := func(seed int64) (sent []int, drops int64) {
+		ln := echoServer(t)
+		defer ln.Close()
+		p, err := New(ln.Addr().String(), Config{Seed: seed, DropProb: 0.10, TornProb: 0.5, ChunkSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		for conn := 0; conn < 8; conn++ {
+			c, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.SetDeadline(time.Now().Add(5 * time.Second))
+			n := 0
+			buf := make([]byte, 64)
+			for i := 0; i < 50; i++ {
+				if _, err := c.Write(bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+					break
+				}
+				if _, err := io.ReadFull(c, buf); err != nil {
+					break
+				}
+				n++
+			}
+			c.Close()
+			sent = append(sent, n)
+		}
+		return sent, p.Stats().Drops
+	}
+
+	a1, d1 := run(42)
+	a2, d2 := run(42)
+	if d1 == 0 {
+		t.Fatal("fault schedule never dropped a connection")
+	}
+	if d1 != d2 {
+		t.Fatalf("same seed diverged: %d vs %d drops", d1, d2)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("conn %d: %d vs %d round trips with same seed", i, a1[i], a2[i])
+		}
+	}
+}
+
+// TestCloseSeversLiveConns checks Close kills in-flight connections instead
+// of waiting for them.
+func TestCloseSeversLiveConns(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p, err := New(ln.Addr().String(), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a live connection")
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection survived proxy Close")
+	}
+}

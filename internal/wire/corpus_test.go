@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenerateSeedCorpus regenerates testdata/fuzz/FuzzWireFrame from the
+// sample messages when WIRE_GEN_CORPUS=1 is set; otherwise it verifies the
+// checked-in corpus is present and parseable, so a stale tree fails loudly
+// instead of fuzzing from nothing.
+func TestGenerateSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireFrame")
+	var seeds [][]byte
+	var names []string
+	for i, req := range sampleRequests() {
+		payload, err := EncodeRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, AppendFrame(nil, payload))
+		names = append(names, fmt.Sprintf("seed-req-%s-%d", req.Op, i))
+	}
+	for i, resp := range sampleResponses() {
+		payload, err := EncodeResponse(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, AppendFrame(nil, payload))
+		names = append(names, fmt.Sprintf("seed-resp-%d", i))
+	}
+	seeds = append(seeds, AppendFrame(nil, nil), []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x40})
+	names = append(names, "seed-empty-frame", "seed-hostile-length")
+
+	if os.Getenv("WIRE_GEN_CORPUS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			if err := os.WriteFile(filepath.Join(dir, names[i]), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("wrote %d corpus files to %s", len(seeds), dir)
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing (run with WIRE_GEN_CORPUS=1 to regenerate): %v", err)
+	}
+	if len(entries) < len(seeds) {
+		t.Fatalf("seed corpus has %d files, want >= %d (regenerate with WIRE_GEN_CORPUS=1)", len(entries), len(seeds))
+	}
+}

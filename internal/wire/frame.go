@@ -1,0 +1,94 @@
+// Package wire is the framed binary protocol the network serving subsystem
+// speaks: varint-length frames carrying CRC32-checked payloads, pipelined
+// request/response messages matched by request ID, a declarative op set
+// (GET/PUT/DELETE/SCAN/RMW plus multi-op transactions) that maps onto
+// testbed transactions, and typed status codes mirroring the internal/core
+// error taxonomy so backpressure and heal states survive serialization.
+//
+// Frame layout (everything little-endian):
+//
+//	frame   := length payload crc
+//	length  := uvarint            // payload byte count, excludes the CRC
+//	payload := request | response // see message.go
+//	crc     := uint32             // CRC-32C (Castagnoli) of payload
+//
+// The length prefix bounds how much a reader buffers before the CRC is
+// verified; ReadFrame enforces a caller-chosen maximum so a corrupt or
+// hostile length prefix cannot balloon memory. The CRC trails the payload so
+// a torn write (prefix of a frame) is detected either by the short read or
+// by the checksum, never silently accepted — the same torn-tail discipline
+// the WAL applies to its records.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// DefaultMaxFrame bounds a frame's payload unless the caller picks a limit.
+// Large enough for a full SCAN page of ~1 KB tuples, small enough that a
+// garbage length prefix cannot balloon a connection's memory.
+const DefaultMaxFrame = 8 << 20
+
+// Framing errors. Both mean the byte stream can no longer be trusted frame
+// boundaries included, so the connection must be dropped, not resynced.
+var (
+	// ErrFrameTooBig reports a length prefix above the reader's limit.
+	ErrFrameTooBig = errors.New("wire: frame exceeds size limit")
+	// ErrCRC reports a payload that failed its CRC-32C check.
+	ErrCRC = errors.New("wire: frame CRC mismatch")
+)
+
+// castagnoli is the CRC-32C table shared by every frame.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends one complete frame carrying payload to dst.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+}
+
+// WriteFrame writes one frame to w and returns the bytes written.
+func WriteFrame(w io.Writer, payload []byte) (int, error) {
+	return w.Write(AppendFrame(make([]byte, 0, len(payload)+9), payload))
+}
+
+// frameReader is the reader ReadFrame needs: bufio.Reader satisfies it.
+type frameReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// ReadFrame reads one frame and returns its CRC-verified payload. max <= 0
+// selects DefaultMaxFrame. A clean EOF at a frame boundary returns io.EOF;
+// a frame cut short returns io.ErrUnexpectedEOF; an oversized length prefix
+// returns ErrFrameTooBig without buffering the claimed bytes; a checksum
+// failure returns ErrCRC.
+func ReadFrame(r frameReader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(max) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooBig, n, max)
+	}
+	buf := make([]byte, n+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	payload := buf[:n]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(buf[n:]); got != want {
+		return nil, fmt.Errorf("%w: computed %08x, frame says %08x", ErrCRC, got, want)
+	}
+	return payload, nil
+}

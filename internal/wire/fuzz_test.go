@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"nstore/internal/core"
+)
+
+// FuzzWireFrame feeds arbitrary bytes through the frame reader and both
+// message decoders (the exact path a hostile or chaos-mangled connection
+// exercises). Invariants: no panics, no unbounded allocation, and anything
+// the decoders accept re-encodes to a stable fixpoint — encode(decode(x))
+// must itself decode to the same bytes, or two peers could disagree about
+// what a payload means.
+func FuzzWireFrame(f *testing.F) {
+	// Seed corpus: every sample message, framed, plus raw edge cases.
+	for _, req := range sampleRequests() {
+		payload, err := EncodeRequest(req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(AppendFrame(nil, payload))
+	}
+	for _, resp := range sampleResponses() {
+		payload, err := EncodeResponse(resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(AppendFrame(nil, payload))
+	}
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, nil))
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x40}) // hostile length prefix
+	f.Add(AppendFrame(nil, []byte{1, 0, byte(OpTxn), 0, 3}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The frame layer: must terminate, never panic, and cap allocation
+		// at the configured max regardless of the length prefix.
+		payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(data)), 1<<20)
+		if err != nil {
+			// Mangled framing is fine — the connection would drop. Also run
+			// the decoders over the raw input so they see unframed garbage.
+			payload = data
+		}
+
+		if req, err := DecodeRequest(payload); err == nil {
+			enc, err := EncodeRequest(req)
+			if err != nil {
+				t.Fatalf("accepted request does not re-encode: %v (%+v)", err, req)
+			}
+			req2, err := DecodeRequest(enc)
+			if err != nil {
+				t.Fatalf("re-encoded request does not decode: %v", err)
+			}
+			enc2, err := EncodeRequest(req2)
+			if err != nil {
+				t.Fatalf("second re-encode: %v", err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatalf("request encode not a fixpoint:\n first %x\nsecond %x", enc, enc2)
+			}
+		}
+
+		if resp, err := DecodeResponse(payload); err == nil {
+			enc, err := EncodeResponse(resp)
+			if err != nil {
+				t.Fatalf("accepted response does not re-encode: %v (%+v)", err, resp)
+			}
+			resp2, err := DecodeResponse(enc)
+			if err != nil {
+				t.Fatalf("re-encoded response does not decode: %v", err)
+			}
+			enc2, err := EncodeResponse(resp2)
+			if err != nil {
+				t.Fatalf("second re-encode: %v", err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatalf("response encode not a fixpoint:\n first %x\nsecond %x", enc, enc2)
+			}
+		}
+
+		// Framing itself must round-trip whatever the payload is.
+		framed := AppendFrame(nil, payload)
+		back, err := ReadFrame(bufio.NewReader(bytes.NewReader(framed)), 0)
+		if err != nil {
+			t.Fatalf("own frame does not read back: %v", err)
+		}
+		if !bytes.Equal(back, payload) {
+			t.Fatal("frame round trip changed payload")
+		}
+	})
+}
+
+// FuzzWireValue narrows in on the value codec, whose tag byte is the one
+// place empty-vs-nil byte strings could diverge.
+func FuzzWireValue(f *testing.F) {
+	f.Add([]byte{tagInt, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{tagBytes, 0})
+	f.Add([]byte{tagBytes, 3, 'a', 'b', 'c'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &dec{b: data}
+		v, err := d.value()
+		if err != nil {
+			return
+		}
+		if v.S != nil && v.I != 0 {
+			t.Fatal("decoded value sets both I and S")
+		}
+		enc := appendValue(nil, v)
+		d2 := &dec{b: enc}
+		v2, err := d2.value()
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if v2.I != v.I || !bytes.Equal(v2.S, v.S) || (v2.S == nil) != (v.S == nil) {
+			t.Fatalf("value round trip: %+v vs %+v", v, v2)
+		}
+		_ = core.Value(v2)
+	})
+}

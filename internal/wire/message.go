@@ -1,0 +1,671 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"nstore/internal/core"
+)
+
+// Op identifies one declarative operation.
+type Op byte
+
+// The op set. Every op maps onto a single testbed transaction server-side;
+// OpTxn bundles several ops into one atomic transaction (single-partition,
+// like every testbed transaction).
+const (
+	OpGet    Op = 1 // point read by primary key
+	OpPut    Op = 2 // insert a full row
+	OpDelete Op = 3 // delete by primary key
+	OpScan   Op = 4 // ascending range scan [From, To), bounded by Limit
+	OpRmw    Op = 5 // read-modify-write: return the pre-image, apply column updates
+	OpTxn    Op = 6 // multi-op transaction (sub-ops may not nest another OpTxn)
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpRmw:
+		return "rmw"
+	case OpTxn:
+		return "txn"
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// Ops lists the op set (for metrics registration and sweeps).
+var Ops = []Op{OpGet, OpPut, OpDelete, OpScan, OpRmw, OpTxn}
+
+// Status is a typed response code. The set mirrors the internal/core error
+// taxonomy plus the serving runtime's admission states, so a client on the
+// far side of a TCP connection can make the same retry-vs-give-up decisions
+// an in-process caller makes with errors.Is.
+type Status byte
+
+// Response statuses.
+const (
+	StatusOK         Status = 0  // the transaction committed and is durable (ack-after-barrier)
+	StatusNotFound   Status = 1  // core.ErrKeyNotFound
+	StatusKeyExists  Status = 2  // core.ErrKeyExists
+	StatusAborted    Status = 3  // testbed.ErrAbort: clean client-requested rollback
+	StatusBadRequest Status = 4  // malformed or schema-violating request; retrying is pointless
+	StatusOverloaded Status = 5  // serve.ErrOverloaded: admission backpressure, retryable
+	StatusRecovering Status = 6  // serve.ErrRecovering: partition mid-heal, retryable
+	StatusRetryable  Status = 7  // other core.ErrRetryable failures (incl. contained panics)
+	StatusCorrupt    Status = 8  // core.ErrCorrupt: partition heading into crash recovery
+	StatusDegraded   Status = 9  // serve.ErrDegraded: circuit breaker open, operator needed
+	StatusClosed     Status = 10 // serve.ErrClosed: runtime shut down
+	StatusInternal   Status = 11 // anything unclassified
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not-found"
+	case StatusKeyExists:
+		return "key-exists"
+	case StatusAborted:
+		return "aborted"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusRecovering:
+		return "recovering"
+	case StatusRetryable:
+		return "retryable"
+	case StatusCorrupt:
+		return "corrupt"
+	case StatusDegraded:
+		return "degraded"
+	case StatusClosed:
+		return "closed"
+	case StatusInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("status(%d)", byte(s))
+}
+
+// Statuses lists every status (for metrics registration).
+var Statuses = []Status{
+	StatusOK, StatusNotFound, StatusKeyExists, StatusAborted, StatusBadRequest,
+	StatusOverloaded, StatusRecovering, StatusRetryable, StatusCorrupt,
+	StatusDegraded, StatusClosed, StatusInternal,
+}
+
+// Retryable reports whether the status is an invitation to resubmit: the
+// request did not commit, the server is (or will be) healthy, and the client
+// did nothing wrong. Mirrors core.IsRetryable across the wire.
+func (s Status) Retryable() bool {
+	return s == StatusOverloaded || s == StatusRecovering || s == StatusRetryable
+}
+
+// StatusError is the client-side error form of a non-OK status. Is makes the
+// core taxonomy predicates work unchanged on the far side of the connection:
+// errors.Is(err, core.ErrRetryable) for the three retryable statuses,
+// core.ErrCorrupt, core.ErrKeyNotFound and core.ErrKeyExists likewise.
+type StatusError struct {
+	Status Status
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg == "" {
+		return "wire: " + e.Status.String()
+	}
+	return "wire: " + e.Status.String() + ": " + e.Msg
+}
+
+// Is maps wire statuses back onto the core error taxonomy sentinels.
+func (e *StatusError) Is(target error) bool {
+	switch target {
+	case core.ErrRetryable:
+		return e.Status.Retryable()
+	case core.ErrCorrupt:
+		return e.Status == StatusCorrupt
+	case core.ErrKeyNotFound:
+		return e.Status == StatusNotFound
+	case core.ErrKeyExists:
+		return e.Status == StatusKeyExists
+	}
+	return false
+}
+
+// RmwCol is one column modification inside an OpRmw.
+type RmwCol struct {
+	Col int  // column index in the table's schema
+	Add bool // true: add Val.I to the current value (TInt columns only)
+	Val core.Value
+}
+
+// Request is one framed request. Exactly the fields relevant to Op are
+// encoded; the rest stay zero. Part >= 0 pins the request to an explicit
+// partition (workloads with their own placement, like TPC-C's
+// warehouse-per-partition layout); Part == -1 routes by Key the way
+// testbed.DB.Route does.
+type Request struct {
+	ID   uint64
+	Part int32
+	Op   Op
+
+	Table string
+	Key   uint64
+
+	Row []core.Value // OpPut
+
+	From, To uint64 // OpScan
+	Limit    uint32 // OpScan: max rows returned (0 = server default)
+
+	Cols []RmwCol // OpRmw
+
+	Ops []Request // OpTxn sub-ops; only Op/Table/Key/Row/From/To/Limit/Cols are used
+}
+
+// Response body kinds (self-describing, so a decoder needs no request
+// context to parse a response).
+const (
+	respNone byte = 0 // Put, Delete, or any non-OK status
+	respRow  byte = 1 // Get, Rmw: found flag + optional row
+	respScan byte = 2 // Scan: (key, row) list
+	respSubs byte = 3 // Txn: per-sub-op responses
+)
+
+// Response is one framed response, matched to its request by ID. Pipelined
+// responses may arrive in any order.
+type Response struct {
+	ID     uint64
+	Status Status
+	Msg    string // non-OK detail, empty on success
+
+	Found bool         // Get/Rmw: whether the key existed
+	Row   []core.Value // Get: the row; Rmw: the pre-image
+
+	Keys []uint64       // Scan: primary keys, ascending
+	Rows [][]core.Value // Scan: rows parallel to Keys
+
+	Subs []Response // Txn: one response per sub-op, in request order
+}
+
+// Value tags inside rows. A decoded TBytes value always has a non-nil S so
+// encode(decode(x)) is a fixpoint.
+const (
+	tagInt   byte = 0
+	tagBytes byte = 1
+)
+
+var errTruncated = errors.New("wire: truncated message")
+
+// dec is a bounds-checked little decoder over one payload.
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *dec) byte() (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, errTruncated
+	}
+	c := d.b[d.off]
+	d.off++
+	return c, nil
+}
+
+func (d *dec) bytes(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.b) {
+		return nil, errTruncated
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s, nil
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+// count reads a uvarint element count and rejects values that could not
+// possibly fit in the remaining bytes (each element costs at least min
+// bytes), so a hostile count cannot pre-allocate unbounded memory.
+func (d *dec) count(min int) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64(d.remaining()/min+1) {
+		return 0, fmt.Errorf("wire: count %d exceeds remaining payload", v)
+	}
+	return int(v), nil
+}
+
+func (d *dec) str() (string, error) {
+	n, err := d.count(1)
+	if err != nil {
+		return "", err
+	}
+	b, err := d.bytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendValue(dst []byte, v core.Value) []byte {
+	if v.S != nil {
+		dst = append(dst, tagBytes)
+		dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+		return append(dst, v.S...)
+	}
+	dst = append(dst, tagInt)
+	return binary.LittleEndian.AppendUint64(dst, uint64(v.I))
+}
+
+func (d *dec) value() (core.Value, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return core.Value{}, err
+	}
+	switch tag {
+	case tagInt:
+		b, err := d.bytes(8)
+		if err != nil {
+			return core.Value{}, err
+		}
+		return core.Value{I: int64(binary.LittleEndian.Uint64(b))}, nil
+	case tagBytes:
+		n, err := d.count(1)
+		if err != nil {
+			return core.Value{}, err
+		}
+		b, err := d.bytes(n)
+		if err != nil {
+			return core.Value{}, err
+		}
+		return core.Value{S: append(make([]byte, 0, n), b...)}, nil
+	}
+	return core.Value{}, fmt.Errorf("wire: unknown value tag %d", tag)
+}
+
+func appendRow(dst []byte, row []core.Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	for _, v := range row {
+		dst = appendValue(dst, v)
+	}
+	return dst
+}
+
+func (d *dec) row() ([]core.Value, error) {
+	n, err := d.count(2)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]core.Value, n)
+	for i := range row {
+		if row[i], err = d.value(); err != nil {
+			return nil, err
+		}
+	}
+	return row, nil
+}
+
+// appendOpBody appends the op-specific body fields shared by top-level
+// requests and OpTxn sub-ops.
+func appendOpBody(dst []byte, req *Request) ([]byte, error) {
+	dst = appendStr(dst, req.Table)
+	switch req.Op {
+	case OpGet, OpDelete:
+		dst = binary.AppendUvarint(dst, req.Key)
+	case OpPut:
+		dst = binary.AppendUvarint(dst, req.Key)
+		dst = appendRow(dst, req.Row)
+	case OpScan:
+		dst = binary.AppendUvarint(dst, req.From)
+		dst = binary.AppendUvarint(dst, req.To)
+		dst = binary.AppendUvarint(dst, uint64(req.Limit))
+	case OpRmw:
+		dst = binary.AppendUvarint(dst, req.Key)
+		dst = binary.AppendUvarint(dst, uint64(len(req.Cols)))
+		for _, c := range req.Cols {
+			dst = binary.AppendUvarint(dst, uint64(c.Col))
+			mode := byte(0)
+			if c.Add {
+				mode = 1
+			}
+			dst = append(dst, mode)
+			dst = appendValue(dst, c.Val)
+		}
+	default:
+		return nil, fmt.Errorf("wire: cannot encode op %v", req.Op)
+	}
+	return dst, nil
+}
+
+func (d *dec) opBody(req *Request) error {
+	var err error
+	if req.Table, err = d.str(); err != nil {
+		return err
+	}
+	switch req.Op {
+	case OpGet, OpDelete:
+		req.Key, err = d.uvarint()
+		return err
+	case OpPut:
+		if req.Key, err = d.uvarint(); err != nil {
+			return err
+		}
+		req.Row, err = d.row()
+		return err
+	case OpScan:
+		if req.From, err = d.uvarint(); err != nil {
+			return err
+		}
+		if req.To, err = d.uvarint(); err != nil {
+			return err
+		}
+		limit, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if limit > 1<<31 {
+			return fmt.Errorf("wire: scan limit %d out of range", limit)
+		}
+		req.Limit = uint32(limit)
+		return nil
+	case OpRmw:
+		if req.Key, err = d.uvarint(); err != nil {
+			return err
+		}
+		n, err := d.count(3)
+		if err != nil {
+			return err
+		}
+		req.Cols = make([]RmwCol, n)
+		for i := range req.Cols {
+			col, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			if col > 1<<16 {
+				return fmt.Errorf("wire: rmw column %d out of range", col)
+			}
+			req.Cols[i].Col = int(col)
+			mode, err := d.byte()
+			if err != nil {
+				return err
+			}
+			if mode > 1 {
+				return fmt.Errorf("wire: unknown rmw mode %d", mode)
+			}
+			req.Cols[i].Add = mode == 1
+			if req.Cols[i].Val, err = d.value(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("wire: unknown op %v", req.Op)
+}
+
+// EncodeRequest serializes a request payload (frame it with AppendFrame or
+// WriteFrame). Layout:
+//
+//	id uvarint | part+1 uvarint | op byte | body
+//	body(get/delete) := table key
+//	body(put)        := table key row
+//	body(scan)       := table from to limit
+//	body(rmw)        := table key ncols { col mode value }*
+//	body(txn)        := "" nops { op byte, body }*   (sub-ops may not nest)
+func EncodeRequest(req *Request) ([]byte, error) {
+	if req.Part < -1 {
+		return nil, fmt.Errorf("wire: partition %d out of range", req.Part)
+	}
+	dst := binary.AppendUvarint(nil, req.ID)
+	dst = binary.AppendUvarint(dst, uint64(req.Part+1))
+	dst = append(dst, byte(req.Op))
+	if req.Op != OpTxn {
+		return appendOpBody(dst, req)
+	}
+	if len(req.Ops) == 0 {
+		return nil, errors.New("wire: empty transaction")
+	}
+	dst = appendStr(dst, "")
+	dst = binary.AppendUvarint(dst, uint64(len(req.Ops)))
+	for i := range req.Ops {
+		sub := &req.Ops[i]
+		if sub.Op == OpTxn {
+			return nil, errors.New("wire: nested transaction")
+		}
+		dst = append(dst, byte(sub.Op))
+		var err error
+		if dst, err = appendOpBody(dst, sub); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// RequestID extracts the request ID from a payload prefix, for error
+// responses to frames whose full decode failed.
+func RequestID(payload []byte) (uint64, bool) {
+	v, n := binary.Uvarint(payload)
+	return v, n > 0
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(payload []byte) (*Request, error) {
+	d := &dec{b: payload}
+	req := &Request{}
+	var err error
+	if req.ID, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	part, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if part > 1<<20 {
+		return nil, fmt.Errorf("wire: partition %d out of range", part)
+	}
+	req.Part = int32(part) - 1
+	op, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	req.Op = Op(op)
+	if req.Op != OpTxn {
+		if err := d.opBody(req); err != nil {
+			return nil, err
+		}
+	} else {
+		if _, err := d.str(); err != nil { // reserved empty table slot
+			return nil, err
+		}
+		n, err := d.count(3)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, errors.New("wire: empty transaction")
+		}
+		req.Ops = make([]Request, n)
+		for i := range req.Ops {
+			opb, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			req.Ops[i].Op = Op(opb)
+			req.Ops[i].Part = -1
+			if req.Ops[i].Op == OpTxn {
+				return nil, errors.New("wire: nested transaction")
+			}
+			if err := d.opBody(&req.Ops[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after request", d.remaining())
+	}
+	return req, nil
+}
+
+// EncodeResponse serializes a response payload. Layout:
+//
+//	id uvarint | status byte | msg | kind byte | body
+//	body(row)  := found byte [row]
+//	body(scan) := n { key row }*
+//	body(subs) := n { status byte, msg, kind, body }*   (subs may not nest)
+func EncodeResponse(resp *Response) ([]byte, error) {
+	dst := binary.AppendUvarint(nil, resp.ID)
+	return appendRespBody(dst, resp, false)
+}
+
+func appendRespBody(dst []byte, resp *Response, sub bool) ([]byte, error) {
+	dst = append(dst, byte(resp.Status))
+	dst = appendStr(dst, resp.Msg)
+	switch {
+	case resp.Subs != nil:
+		if sub {
+			return nil, errors.New("wire: nested sub-responses")
+		}
+		dst = append(dst, respSubs)
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Subs)))
+		for i := range resp.Subs {
+			var err error
+			if dst, err = appendRespBody(dst, &resp.Subs[i], true); err != nil {
+				return nil, err
+			}
+		}
+	case resp.Keys != nil || resp.Rows != nil:
+		if len(resp.Keys) != len(resp.Rows) {
+			return nil, fmt.Errorf("wire: scan response %d keys vs %d rows", len(resp.Keys), len(resp.Rows))
+		}
+		dst = append(dst, respScan)
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Keys)))
+		for i, k := range resp.Keys {
+			dst = binary.AppendUvarint(dst, k)
+			dst = appendRow(dst, resp.Rows[i])
+		}
+	case resp.Found || resp.Row != nil:
+		dst = append(dst, respRow)
+		if resp.Found {
+			dst = append(dst, 1)
+			dst = appendRow(dst, resp.Row)
+		} else {
+			dst = append(dst, 0)
+		}
+	default:
+		dst = append(dst, respNone)
+	}
+	return dst, nil
+}
+
+// DecodeResponse parses a response payload.
+func DecodeResponse(payload []byte) (*Response, error) {
+	d := &dec{b: payload}
+	resp := &Response{}
+	var err error
+	if resp.ID, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if err := d.respBody(resp, false); err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after response", d.remaining())
+	}
+	return resp, nil
+}
+
+func (d *dec) respBody(resp *Response, sub bool) error {
+	status, err := d.byte()
+	if err != nil {
+		return err
+	}
+	if status > byte(StatusInternal) {
+		return fmt.Errorf("wire: unknown status %d", status)
+	}
+	resp.Status = Status(status)
+	if resp.Msg, err = d.str(); err != nil {
+		return err
+	}
+	kind, err := d.byte()
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case respNone:
+		return nil
+	case respRow:
+		found, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if found > 1 {
+			return fmt.Errorf("wire: found flag %d", found)
+		}
+		if found == 1 {
+			resp.Found = true
+			if resp.Row, err = d.row(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case respScan:
+		n, err := d.count(3)
+		if err != nil {
+			return err
+		}
+		resp.Keys = make([]uint64, n)
+		resp.Rows = make([][]core.Value, n)
+		for i := 0; i < n; i++ {
+			if resp.Keys[i], err = d.uvarint(); err != nil {
+				return err
+			}
+			if resp.Rows[i], err = d.row(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case respSubs:
+		if sub {
+			return errors.New("wire: nested sub-responses")
+		}
+		n, err := d.count(3)
+		if err != nil {
+			return err
+		}
+		resp.Subs = make([]Response, n)
+		for i := range resp.Subs {
+			if err := d.respBody(&resp.Subs[i], true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("wire: unknown response kind %d", kind)
+}

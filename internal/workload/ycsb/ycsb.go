@@ -170,25 +170,57 @@ func pickKey(cfg Config, p int, rng *rand.Rand) uint64 {
 	return uint64(idx*cfg.Partitions + p)
 }
 
-// Generate pre-creates the fixed transaction workload, divided evenly among
-// the partitions (§5.1: "we pre-generate a fixed workload that is the same
-// across all the engines").
-func Generate(cfg Config) [][]testbed.Txn {
+// Op is one declarative YCSB operation: a point read, or a single-field
+// update. The declarative form is the single source of truth for a
+// schedule, so the exact same pre-generated workload can run in-process
+// (Txn) or over the network (a wire PUT/GET built from the same fields).
+type Op struct {
+	Read  bool
+	Key   uint64
+	Field int    // update: the column index to modify
+	Val   []byte // update: the new field value
+}
+
+// Txn converts the op to its in-process transaction.
+func (o Op) Txn() testbed.Txn {
+	if o.Read {
+		return readTxn(o.Key)
+	}
+	return updateTxn(o.Key, o.Field, o.Val)
+}
+
+// GenerateOps pre-creates the fixed workload in declarative form, divided
+// evenly among the partitions (§5.1: "we pre-generate a fixed workload that
+// is the same across all the engines").
+func GenerateOps(cfg Config) [][]Op {
 	cfg = cfg.withDefaults()
-	out := make([][]testbed.Txn, cfg.Partitions)
+	out := make([][]Op, cfg.Partitions)
 	perPart := cfg.Txns / cfg.Partitions
 	for p := 0; p < cfg.Partitions; p++ {
 		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(p*7919+13)))
-		txns := make([]testbed.Txn, 0, perPart)
+		ops := make([]Op, 0, perPart)
 		for i := 0; i < perPart; i++ {
 			key := pickKey(cfg, p, rng)
 			if rng.Intn(100) < cfg.Mix.ReadPct {
-				txns = append(txns, readTxn(key))
+				ops = append(ops, Op{Read: true, Key: key})
 			} else {
 				field := 1 + rng.Intn(cfg.Fields)
-				val := randBytes(rng, cfg.FieldSize)
-				txns = append(txns, updateTxn(key, field, val))
+				ops = append(ops, Op{Key: key, Field: field, Val: randBytes(rng, cfg.FieldSize)})
 			}
+		}
+		out[p] = ops
+	}
+	return out
+}
+
+// Generate is GenerateOps lowered to executable transactions.
+func Generate(cfg Config) [][]testbed.Txn {
+	opss := GenerateOps(cfg)
+	out := make([][]testbed.Txn, len(opss))
+	for p, ops := range opss {
+		txns := make([]testbed.Txn, len(ops))
+		for i, o := range ops {
+			txns[i] = o.Txn()
 		}
 		out[p] = txns
 	}
