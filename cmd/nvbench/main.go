@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nvbench [-run all|fig1|ycsb|tpcc|recovery|breakdown|footprint|costmodel|nodesize|synclat|wire]
+//	nvbench [-run all|fig1|ycsb|tpcc|recovery|breakdown|footprint|costmodel|nodesize|synclat|wire|mvcc]
 //	        [-scale small|medium] [-partitions N] [-tuples N] [-txns N] [-seed N]
 //	        [-short] [-out DIR]
 //
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (comma-separated): all, fig1, ycsb, tpcc, recovery, breakdown, footprint, costmodel, nodesize, synclat, ablations, wire")
+	run := flag.String("run", "all", "experiment to run (comma-separated): all, fig1, ycsb, tpcc, recovery, breakdown, footprint, costmodel, nodesize, synclat, ablations, wire, mvcc")
 	scaleName := flag.String("scale", "small", "experiment scale: small or medium")
 	partitions := flag.Int("partitions", 0, "override partition count")
 	tuples := flag.Int("tuples", 0, "override YCSB tuple count")
@@ -145,6 +145,11 @@ func main() {
 			var ms []bench.Measurement
 			if ms, err = r.Wire(); err == nil {
 				artifact("wire", ms)
+			}
+		case "mvcc":
+			var res *bench.MVCCResult
+			if res, err = r.MVCC(); err == nil {
+				artifact("mvcc", res.Points)
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)

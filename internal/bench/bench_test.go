@@ -224,3 +224,32 @@ func TestCostModelRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMVCCReadScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := New(tinyScale(), io.Discard)
+	res, err := r.MVCC()
+	if err != nil {
+		t.Fatal(err) // includes any snapshot-vs-executor digest divergence
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no measurements")
+	}
+	for _, p := range res.Points {
+		if p.Throughput <= 0 {
+			t.Errorf("%s %s/%s: zero throughput", p.Engine, p.Mix, p.Skew)
+		}
+	}
+	// Snapshot reads on one hot partition must scale with reader count.
+	// Every engine serves views from the same heap version store, but the
+	// acceptance bar is the in-place pair: >= 2x at 4 readers.
+	for _, kind := range []testbed.EngineKind{testbed.InP, testbed.NVMInP} {
+		for _, mode := range []string{"get", "scan"} {
+			if sp := res.Speedup[kind][mode]; sp < 2 {
+				t.Errorf("%s %s: r4/r1 speedup %.2fx, want >= 2x", kind, mode, sp)
+			}
+		}
+	}
+}

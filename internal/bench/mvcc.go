@@ -1,0 +1,324 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nstore/internal/core"
+	"nstore/internal/nvm"
+	"nstore/internal/serve"
+	"nstore/internal/testbed"
+)
+
+// mvccReaderCounts is the x-axis of the read-scaling sweep.
+var mvccReaderCounts = []int{1, 2, 4, 8}
+
+// mvccModes are the two read shapes measured: point GETs and 64-key range
+// SCANs. They ride in Measurement.Mix, so BENCH_mvcc.json gets one metric
+// family per (engine, shape, configuration).
+var mvccModes = []string{"get", "scan"}
+
+const mvccScanSpan = 64
+
+// MVCCResult holds the read-scaling sweep (BENCH_mvcc.json).
+type MVCCResult struct {
+	Points []Measurement
+	// Speedup[engine][mode] is throughput at 4 readers over 1 reader.
+	Speedup map[testbed.EngineKind]map[string]float64
+}
+
+// MVCC measures what the intra-partition MVCC read path buys on a single
+// hot partition. For each engine it preloads one partition, then runs the
+// same deterministic GET and SCAN schedules four ways:
+//
+//   - "exec": every read is a transaction through the serial executor —
+//     the pre-MVCC serving path, where GET/SCAN queue behind the
+//     single-owner write pipeline and touch the device.
+//   - "rN" (N in 1,2,4,8): the schedule is sharded round-robin across N
+//     snapshot readers. Each shard pins a fresh read view per op (exactly
+//     what the serve reader pool does) and is measured back to back on the
+//     calling goroutine; the effective time is the slowest shard — the same
+//     modeled-parallelism convention as ExecuteSequential and the recovery
+//     sweep, since readers share no mutable state beyond the oracle's
+//     pin/unpin.
+//   - "pool": the whole schedule pushed concurrently through a live
+//     serve.Runtime reader pool (4 readers), validating the real
+//     channel-fed path end to end.
+//
+// Every configuration folds an order-independent digest of its results;
+// all of them must equal the executor baseline's digest — a snapshot read
+// returns exactly what the serial executor would have returned.
+func (r *Runner) MVCC() (*MVCCResult, error) {
+	r.section("mvcc — snapshot GET/SCAN scaling on a single hot partition")
+	res := &MVCCResult{Speedup: make(map[testbed.EngineKind]map[string]float64)}
+	for _, kind := range r.S.Engines {
+		res.Speedup[kind] = make(map[string]float64)
+		for _, mode := range mvccModes {
+			ms, err := r.mvccOne(kind, mode)
+			if err != nil {
+				return nil, fmt.Errorf("bench: mvcc: %s/%s: %w", kind, mode, err)
+			}
+			res.Points = append(res.Points, ms...)
+			var r1, r4 float64
+			for _, m := range ms {
+				switch m.Skew {
+				case "r1":
+					r1 = m.Throughput
+				case "r4":
+					r4 = m.Throughput
+				}
+			}
+			if r1 > 0 {
+				res.Speedup[kind][mode] = r4 / r1
+			}
+		}
+	}
+
+	w := r.tab()
+	fprintf(w, "engine\tshape\texec\tr1\tr2\tr4\tr8\tpool\tr4/r1\n")
+	for _, kind := range r.S.Engines {
+		for _, mode := range mvccModes {
+			fprintf(w, "%s\t%s", kind, mode)
+			for _, skew := range []string{"exec", "r1", "r2", "r4", "r8", "pool"} {
+				for _, m := range res.Points {
+					if m.Engine == kind && m.Mix == mode && m.Skew == skew {
+						fprintf(w, "\t%s", human(m.Throughput))
+					}
+				}
+			}
+			fprintf(w, "\t%.2fx\n", res.Speedup[kind][mode])
+		}
+	}
+	w.Flush()
+	return res, nil
+}
+
+func mvccSchemas() []*core.Schema {
+	return []*core.Schema{{
+		Name:    "t",
+		Columns: []core.Column{{Name: "id", Type: core.TInt}, {Name: "v", Type: core.TInt}},
+	}}
+}
+
+// mvccKey is the deterministic op → key mapping (SplitMix-style scramble).
+func mvccKey(i int, seed int64, tuples int) uint64 {
+	h := uint64(i)*0x9E3779B97F4A7C15 + uint64(seed)
+	h ^= h >> 31
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return h % uint64(tuples)
+}
+
+// mvccFold mixes one op's observation into an order-independent digest
+// term: XOR-combining the terms is shard- and schedule-order-invariant.
+func mvccFold(op int, local uint64) uint64 {
+	h := uint64(op)<<32 ^ local
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}
+
+func (r *Runner) mvccOne(kind testbed.EngineKind, mode string) ([]Measurement, error) {
+	tuples := r.S.YCSBTuples
+	ops := r.S.YCSBTxns
+	if mode == "scan" {
+		ops /= 8 // a scan visits mvccScanSpan rows; keep runtimes comparable
+	}
+
+	db, err := testbed.New(testbed.Config{
+		Engine:     kind,
+		Partitions: 1, // the hot partition
+		Env:        r.envCfg(nvm.ProfileDRAM),
+		Options:    r.S.Options,
+		Schemas:    mvccSchemas(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	load := make([]testbed.Txn, 0, tuples/64+1)
+	for lo := 0; lo < tuples; lo += 64 {
+		lo := lo
+		hi := lo + 64
+		if hi > tuples {
+			hi = tuples
+		}
+		load = append(load, func(e core.Engine) error {
+			for k := lo; k < hi; k++ {
+				row := []core.Value{core.IntVal(int64(k)), core.IntVal(int64(k)*7 + 3)}
+				if err := e.Insert("t", uint64(k), row); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if _, err := db.ExecuteSequential([][]testbed.Txn{load}); err != nil {
+		return nil, err
+	}
+	if err := db.Flush(); err != nil { // durability barrier: publish to the version store
+		return nil, err
+	}
+
+	// opOn runs op i against any reader (an engine on the executor path, a
+	// pinned view on the snapshot path) and returns its digest term.
+	type reader interface {
+		Get(table string, key uint64) ([]core.Value, bool, error)
+		ScanRange(table string, from, to uint64, fn func(pk uint64, row []core.Value) bool) error
+	}
+	opOn := func(rd reader, i int) (uint64, error) {
+		k := mvccKey(i, r.S.Seed, tuples)
+		if mode == "get" {
+			row, ok, err := rd.Get("t", k)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return 0, fmt.Errorf("op %d: preloaded key %d missing", i, k)
+			}
+			return mvccFold(i, k<<1^uint64(row[1].I)), nil
+		}
+		var local uint64
+		if err := rd.ScanRange("t", k, k+mvccScanSpan, func(pk uint64, row []core.Value) bool {
+			local = local*0x100000001B3 ^ pk ^ uint64(row[1].I)<<17
+			return true
+		}); err != nil {
+			return 0, err
+		}
+		return mvccFold(i, local), nil
+	}
+
+	var ms []Measurement
+
+	// Executor baseline: one read-only transaction per op through the
+	// serial single-owner path, and the reference digest.
+	var digestExec uint64
+	exec := make([]testbed.Txn, ops)
+	for i := range exec {
+		i := i
+		exec[i] = func(e core.Engine) error {
+			term, err := opOn(e, i)
+			digestExec ^= term
+			return err
+		}
+	}
+	db.ResetStats()
+	out, err := db.ExecuteSequential([][]testbed.Txn{exec})
+	if err != nil {
+		return nil, err
+	}
+	s := db.Stats()
+	ms = append(ms, Measurement{
+		Engine: kind, Mix: mode, Skew: "exec", Latency: "dram",
+		Throughput: out.Throughput(), Elapsed: out.Elapsed,
+		Loads: s.Loads, Stores: s.Stores,
+		BytesRead: s.BytesRead, BytesWritten: s.BytesWritten,
+	})
+
+	sr, ok := db.Engine(0).(core.SnapshotReader)
+	if !ok {
+		return nil, fmt.Errorf("engine %s does not serve snapshots", kind)
+	}
+
+	// Warm-up: one untimed pass so every configuration measures a warm
+	// version store — the first touch pays allocator and cache-miss costs
+	// that would otherwise all land on the r1 point.
+	for i := 0; i < ops; i++ {
+		v := sr.SnapshotView()
+		_, err := opOn(v, i)
+		v.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Read-scaling sweep: shard the schedule round-robin, measure each
+	// shard back to back, take the slowest shard as the effective time.
+	for _, readers := range mvccReaderCounts {
+		var digest uint64
+		var slowest time.Duration
+		for shard := 0; shard < readers; shard++ {
+			start := time.Now()
+			for i := shard; i < ops; i += readers {
+				v := sr.SnapshotView() // per-op pin, as the reader pool does
+				term, err := opOn(v, i)
+				v.Close()
+				if err != nil {
+					return nil, err
+				}
+				digest ^= term
+			}
+			if wall := time.Since(start); wall > slowest {
+				slowest = wall
+			}
+		}
+		if digest != digestExec {
+			return nil, fmt.Errorf("r%d: snapshot digest %016x diverged from executor baseline %016x",
+				readers, digest, digestExec)
+		}
+		ms = append(ms, Measurement{
+			Engine: kind, Mix: mode, Skew: fmt.Sprintf("r%d", readers), Latency: "dram",
+			Throughput: float64(ops) / slowest.Seconds(), Elapsed: slowest,
+		})
+	}
+
+	// Live reader pool: the same schedule through serve.Runtime's
+	// channel-fed readers, concurrently from twice as many clients.
+	rt := serve.New(db, serve.Config{Seed: r.S.Seed, Readers: 4})
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		poolMu  sync.Mutex
+		poolDig uint64
+		poolErr error
+	)
+	startPool := time.Now()
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local uint64
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= ops {
+					break
+				}
+				err := rt.ReadPart(context.Background(), 0, func(v core.ReadView) error {
+					term, err := opOn(v, i)
+					local ^= term
+					return err
+				})
+				if err != nil {
+					poolMu.Lock()
+					if poolErr == nil {
+						poolErr = fmt.Errorf("pool op %d: %w", i, err)
+					}
+					poolMu.Unlock()
+					return
+				}
+			}
+			poolMu.Lock()
+			poolDig ^= local
+			poolMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	poolWall := time.Since(startPool)
+	if err := rt.Close(); err != nil {
+		return nil, err
+	}
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	if poolDig != digestExec {
+		return nil, fmt.Errorf("pool: snapshot digest %016x diverged from executor baseline %016x",
+			poolDig, digestExec)
+	}
+	ms = append(ms, Measurement{
+		Engine: kind, Mix: mode, Skew: "pool", Latency: "dram",
+		Throughput: float64(ops) / poolWall.Seconds(), Elapsed: poolWall,
+	})
+	return ms, nil
+}

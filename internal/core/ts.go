@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the intra-partition MVCC contract: the timestamp oracle
+// that orders commits against snapshot reads, and the interfaces a
+// versioned engine exposes to the reader pool. The design splits each
+// partition into one writer (the serial executor, which owns the engine and
+// the device) and many readers (snapshot views that never touch the device
+// mutex):
+//
+//   - every committed-and-durable transaction publishes its versions at a
+//     commit timestamp, then advances the oracle's read timestamp;
+//   - a reader acquires a view pinned at the current read timestamp and
+//     observes exactly the versions with ts <= view.Ts();
+//   - the watermark is the minimum timestamp any active view can observe;
+//     version GC may only reclaim versions strictly below it.
+//
+// Timestamps reuse Base.TxnID: it is monotone per partition, unique per
+// transaction, and recovery rebuilds it from the WAL txn floor — so a
+// freshly recovered engine's oracle starts exactly at the durable frontier
+// and snapshots are never served from unrecovered state.
+
+// TsOracle is a per-partition timestamp oracle. The single writer advances
+// the read timestamp after each durable commit; any goroutine may register
+// a read view. The zero value is ready to use at timestamp 0.
+type TsOracle struct {
+	readTs atomic.Uint64
+
+	mu     sync.Mutex
+	active map[uint64]int // view ts -> number of active views pinned there
+}
+
+// ReadTs returns the newest timestamp visible to a fresh view.
+func (o *TsOracle) ReadTs() uint64 { return o.readTs.Load() }
+
+// Advance publishes ts as the newest readable timestamp. Calls must be
+// monotone; a stale ts is ignored so recovery floors and commit publishes
+// can race benignly.
+func (o *TsOracle) Advance(ts uint64) {
+	for {
+		cur := o.readTs.Load()
+		if ts <= cur || o.readTs.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// Acquire pins a view at the current read timestamp and returns it. The
+// caller must pair it with Release, or the watermark stops advancing.
+func (o *TsOracle) Acquire() uint64 {
+	o.mu.Lock()
+	// Read the timestamp under the mutex so Watermark, which also holds it,
+	// can never compute a watermark above a view it did not see.
+	ts := o.readTs.Load()
+	if o.active == nil {
+		o.active = make(map[uint64]int)
+	}
+	o.active[ts]++
+	o.mu.Unlock()
+	return ts
+}
+
+// Release unpins a view acquired at ts.
+func (o *TsOracle) Release(ts uint64) {
+	o.mu.Lock()
+	if n, ok := o.active[ts]; ok {
+		if n <= 1 {
+			delete(o.active, ts)
+		} else {
+			o.active[ts] = n - 1
+		}
+	}
+	o.mu.Unlock()
+}
+
+// Watermark returns the oldest timestamp any active or future view can
+// observe: the minimum pinned view timestamp, or the current read timestamp
+// when no view is active. GC may reclaim superseded versions strictly below
+// the watermark and nothing else.
+func (o *TsOracle) Watermark() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	wm := o.readTs.Load()
+	for ts := range o.active {
+		if ts < wm {
+			wm = ts
+		}
+	}
+	return wm
+}
+
+// ActiveViews returns the number of currently pinned views (for metrics).
+func (o *TsOracle) ActiveViews() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for _, c := range o.active {
+		n += c
+	}
+	return n
+}
+
+// ReadView is a pinned, immutable snapshot of one partition. All methods
+// are safe to call from any goroutine, concurrently with the partition's
+// executor: a view never takes the engine or device mutex. Close releases
+// the view's watermark pin; using a view after Close is a bug (GC may have
+// reclaimed its versions).
+type ReadView interface {
+	// Ts returns the snapshot timestamp: the view observes exactly the
+	// committed-and-durable state as of this timestamp.
+	Ts() uint64
+	// Get returns the tuple visible at the snapshot, like Engine.Get.
+	Get(table string, key uint64) ([]Value, bool, error)
+	// ScanRange iterates the snapshot like Engine.ScanRange.
+	ScanRange(table string, from, to uint64, fn func(pk uint64, row []Value) bool) error
+	// ScanSecondary iterates the snapshot like Engine.ScanSecondary.
+	ScanSecondary(table, index string, sec uint32, fn func(pk uint64) bool) error
+	// Close releases the view.
+	Close()
+}
+
+// SnapshotReader is implemented by engines that serve lock-free MVCC
+// snapshot reads alongside their single-owner write path.
+type SnapshotReader interface {
+	// SnapshotView pins a view at the engine's newest durable timestamp.
+	SnapshotView() ReadView
+	// Oracle exposes the engine's timestamp oracle (watermark, metrics).
+	Oracle() *TsOracle
+}

@@ -212,6 +212,12 @@ func (w *FsWAL) DropTail(mark int) {
 // Mark returns the current buffer position (for DropTail).
 func (w *FsWAL) Mark() int { return w.bufLen }
 
+// PendingTxns returns the number of committed transactions whose records
+// are still in the volatile group buffer. Zero means the last TxnCommitted
+// reached the durability barrier — engines use this to decide whether a
+// commit may publish MVCC versions immediately or must wait for Flush.
+func (w *FsWAL) PendingTxns() int { return w.pendingTxn }
+
 // Flush appends the buffer to the log file and fsyncs (the group commit).
 //
 // Failure leaves the WAL retryable: the buffer is kept intact and the file

@@ -16,6 +16,7 @@ import (
 
 	"nstore/internal/core"
 	"nstore/internal/cowbtree"
+	"nstore/internal/mvcc"
 )
 
 const dbFile = "cow.db"
@@ -23,6 +24,7 @@ const dbFile = "cow.db"
 // Engine is the copy-on-write updates engine.
 type Engine struct {
 	core.Base
+	mvcc.Snapshots
 	opts core.Options
 
 	pager *cowbtree.FilePager
@@ -44,6 +46,9 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 		return nil, err
 	}
 	e.pager, e.tree = pg, tr
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -68,6 +73,9 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 	e.Rec = core.RecoveryReport{Records: int64(len(used)), Workers: workers}
 	e.pager, e.tree = pg, tr
 	e.TxnID = tr.Meta() // highest persisted txn id rides in the master meta
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -107,6 +115,9 @@ func (e *Engine) Commit() error {
 		_ = e.EndTx()
 		return core.Corrupt(err)
 	}
+	// sinceGroup == 0 means this commit persisted the batch: the whole
+	// group is durable and its versions may publish to snapshot readers.
+	e.MV.CommitStaged(e.TxnID, e.sinceGroup == 0)
 	return e.EndTx()
 }
 
@@ -121,6 +132,7 @@ func (e *Engine) Abort() error {
 		return err
 	}
 	e.tree.Abort()
+	e.MV.DropStaged()
 	return e.EndTx()
 }
 
@@ -153,6 +165,7 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 			return err
 		}
 	}
+	e.MV.StageUpsert(table, key, row)
 	return nil
 }
 
@@ -199,6 +212,7 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 			}
 		}
 	}
+	e.MV.StageUpsert(table, key, now)
 	return nil
 }
 
@@ -232,6 +246,7 @@ func (e *Engine) Delete(table string, key uint64) error {
 			return err
 		}
 	}
+	e.MV.StageDelete(table, key)
 	return nil
 }
 
@@ -306,7 +321,11 @@ func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row
 func (e *Engine) Flush() error {
 	stop := e.Bd.Timer(&e.Bd.Recovery)
 	defer stop()
-	return core.ClassifyDurability(e.persist())
+	if err := core.ClassifyDurability(e.persist()); err != nil {
+		return err
+	}
+	e.MV.PublishDurable()
+	return nil
 }
 
 // Footprint reports storage usage: the tree file holds tuples and index

@@ -115,3 +115,7 @@ func TestRecoveryConformance(t *testing.T) {
 func TestConcurrentRecoveryConformance(t *testing.T) {
 	enginetest.RunConcurrentRecoveryConformance(t, confFactory(), 200)
 }
+
+func TestSnapshotConformance(t *testing.T) {
+	enginetest.RunSnapshotConformance(t, confFactory(), 200)
+}

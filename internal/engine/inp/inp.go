@@ -18,6 +18,7 @@ import (
 
 	"nstore/internal/btree"
 	"nstore/internal/core"
+	"nstore/internal/mvcc"
 	"nstore/internal/pmalloc"
 	"nstore/internal/pmfs"
 )
@@ -41,6 +42,7 @@ var ckptCRC = crc32.MakeTable(crc32.Castagnoli)
 // Engine is the in-place updates engine.
 type Engine struct {
 	core.Base
+	mvcc.Snapshots
 	opts core.Options
 
 	heaps   []*core.Heap  // per table
@@ -77,6 +79,9 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 	}
 	e.wal = wal
 	e.buildVolatile()
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -128,6 +133,9 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 	e.TxnID = maxTxn
 	if e.ckptTxn > e.TxnID {
 		e.TxnID = e.ckptTxn
+	}
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
@@ -404,6 +412,12 @@ func (e *Engine) Commit() error {
 	stop := e.Bd.Timer(&e.Bd.Recovery)
 	err := e.wal.TxnCommitted(e.TxnID)
 	stop()
+	if err == nil {
+		// Publish MVCC versions now only if the commit record reached the
+		// durability barrier (the group flushed); otherwise they wait for
+		// Flush so readers never observe an unacked write.
+		e.MV.CommitStaged(e.TxnID, e.wal.PendingTxns() == 0)
+	}
 	if err != nil {
 		// The commit record never became durable (a retryable flush keeps
 		// the buffer; the file was rewound), so the transaction did not
@@ -456,6 +470,7 @@ func (e *Engine) rollback() error {
 		}
 	}
 	e.wal.DropTail(e.walMark)
+	e.MV.DropStaged()
 	return e.EndTx()
 }
 
@@ -493,6 +508,7 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 	stopIdx()
 
 	e.undo = append(e.undo, undoRec{op: core.WalInsert, table: tm.ID, key: key})
+	e.MV.StageUpsert(table, key, row)
 	return nil
 }
 
@@ -545,6 +561,7 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 	stopIdx()
 
 	e.undo = append(e.undo, undoRec{op: core.WalUpdate, table: tm.ID, key: key, before: old})
+	e.MV.StageUpsert(table, key, now)
 	return nil
 }
 
@@ -591,6 +608,7 @@ func (e *Engine) Delete(table string, key uint64) error {
 	stopIdx()
 
 	e.undo = append(e.undo, undoRec{op: core.WalDelete, table: tm.ID, key: key, before: old})
+	e.MV.StageDelete(table, key)
 	return nil
 }
 
@@ -654,7 +672,11 @@ func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row
 func (e *Engine) Flush() error {
 	stop := e.Bd.Timer(&e.Bd.Recovery)
 	defer stop()
-	return e.wal.Flush()
+	if err := e.wal.Flush(); err != nil {
+		return err
+	}
+	e.MV.PublishDurable()
+	return nil
 }
 
 // WalStats exposes the WAL's cumulative counters (core.WalStatser).

@@ -108,3 +108,7 @@ func TestRecoveryConformance(t *testing.T) {
 func TestConcurrentRecoveryConformance(t *testing.T) {
 	enginetest.RunConcurrentRecoveryConformance(t, factory(), 200)
 }
+
+func TestSnapshotConformance(t *testing.T) {
+	enginetest.RunSnapshotConformance(t, factory(), 200)
+}

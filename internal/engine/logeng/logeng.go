@@ -15,6 +15,7 @@ import (
 	"nstore/internal/btree"
 	"nstore/internal/core"
 	"nstore/internal/engine/lsm"
+	"nstore/internal/mvcc"
 	"nstore/internal/pmalloc"
 )
 
@@ -39,6 +40,7 @@ var manCRC = crc32.MakeTable(crc32.Castagnoli)
 // Engine is the log-structured updates engine.
 type Engine struct {
 	core.Base
+	mvcc.Snapshots
 	opts  core.Options
 	cache *blockCache
 
@@ -92,6 +94,9 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 	if err := e.writeManifest(); err != nil {
 		return nil, err
 	}
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -140,6 +145,9 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 		e.TxnID = e.walFloor
 	}
 	if err := e.rebuildSecondaries(); err != nil {
+		return nil, err
+	}
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -267,6 +275,7 @@ func (e *Engine) Commit() error {
 		}
 		return err
 	}
+	e.MV.CommitStaged(e.TxnID, e.wal.PendingTxns() == 0)
 	for _, p := range e.txnFrees {
 		e.Env.Arena.Free(p)
 	}
@@ -315,6 +324,7 @@ func (e *Engine) rollback() error {
 		}
 	}
 	e.wal.DropTail(e.walMark)
+	e.MV.DropStaged()
 	e.txnFrees = e.txnFrees[:0]
 	return e.EndTx()
 }
@@ -378,6 +388,7 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 		e.secAdd(tm, j, ix.SecKey(row), key)
 	}
 	stopIdx()
+	e.MV.StageUpsert(table, key, row)
 	return nil
 }
 
@@ -424,6 +435,7 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 		}
 	}
 	stopIdx()
+	e.MV.StageUpsert(table, key, now)
 	return nil
 }
 
@@ -459,6 +471,7 @@ func (e *Engine) Delete(table string, key uint64) error {
 		e.secDel(tm, j, ix.SecKey(old), key)
 	}
 	stopIdx()
+	e.MV.StageDelete(table, key)
 	return nil
 }
 
@@ -628,7 +641,11 @@ func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row
 func (e *Engine) Flush() error {
 	stop := e.Bd.Timer(&e.Bd.Recovery)
 	defer stop()
-	return e.wal.Flush()
+	if err := e.wal.Flush(); err != nil {
+		return err
+	}
+	e.MV.PublishDurable()
+	return nil
 }
 
 // FlushMemTable forces the MemTable to an SSTable (test/bench hook).

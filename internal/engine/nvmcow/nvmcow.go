@@ -20,6 +20,7 @@ import (
 
 	"nstore/internal/core"
 	"nstore/internal/cowbtree"
+	"nstore/internal/mvcc"
 	"nstore/internal/pmalloc"
 )
 
@@ -28,6 +29,7 @@ const rootSlot = 0
 // Engine is the NVM-aware copy-on-write updates engine.
 type Engine struct {
 	core.Base
+	mvcc.Snapshots
 	opts core.Options
 
 	pager *cowbtree.ArenaPager
@@ -52,6 +54,9 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 		return nil, err
 	}
 	e.pager, e.tree = pg, tr
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -106,6 +111,9 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 		}
 	}
 	e.Rec = core.RecoveryReport{Records: int64(len(reach) + len(chunks)), Workers: workers}
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -178,6 +186,9 @@ func (e *Engine) Commit() error {
 		_ = e.EndTx()
 		return core.Corrupt(err)
 	}
+	// sinceGroup == 0 means this commit persisted the whole batch — the
+	// durability barrier passed and versions may publish to readers.
+	e.MV.CommitStaged(e.TxnID, e.sinceGroup == 0)
 	return e.EndTx()
 }
 
@@ -211,6 +222,7 @@ func (e *Engine) Abort() error {
 	}
 	e.txnNew = e.txnNew[:0]
 	e.txnOld = e.txnOld[:0]
+	e.MV.DropStaged()
 	return e.EndTx()
 }
 
@@ -249,6 +261,7 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 			return err
 		}
 	}
+	e.MV.StageUpsert(table, key, row)
 	return nil
 }
 
@@ -303,6 +316,7 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 			}
 		}
 	}
+	e.MV.StageUpsert(table, key, now)
 	return nil
 }
 
@@ -339,6 +353,7 @@ func (e *Engine) Delete(table string, key uint64) error {
 			return err
 		}
 	}
+	e.MV.StageDelete(table, key)
 	return nil
 }
 
@@ -413,7 +428,11 @@ func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row
 func (e *Engine) Flush() error {
 	stop := e.Bd.Timer(&e.Bd.Recovery)
 	defer stop()
-	return e.persist()
+	if err := e.persist(); err != nil {
+		return err
+	}
+	e.MV.PublishDurable()
+	return nil
 }
 
 // Footprint reports storage usage (Fig. 14): directory pages and tuples

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"nstore/internal/core"
+	"nstore/internal/mvcc"
 	"nstore/internal/nvbtree"
 	"nstore/internal/nvm"
 	"nstore/internal/pmalloc"
@@ -64,6 +65,7 @@ type secFix struct {
 // Engine is the NVM-aware in-place updates engine.
 type Engine struct {
 	core.Base
+	mvcc.Snapshots
 	opts core.Options
 
 	hdr     pmalloc.Ptr
@@ -137,6 +139,9 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 	d.Sync(int64(hdr), hAnchors+8*n)
 	env.Arena.SetPersisted(hdr)
 	env.Arena.SetRoot(rootSlot, hdr)
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -186,6 +191,9 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 		e.heaps = append(e.heaps, core.OpenHeap(env.Arena, tm.Schema, heapHdrs[tm.ID]))
 	}
 	if err := e.undoWAL(); err != nil {
+		return nil, err
+	}
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -411,6 +419,9 @@ func (e *Engine) Commit() error {
 			e.Env.Arena.Free(op.entry)
 		}
 	}
+	// The WAL truncation above is the durability barrier: versions publish
+	// to snapshot readers immediately (NVM-InP is durable at commit).
+	e.MV.CommitStaged(e.TxnID, true)
 	return e.EndTx()
 }
 
@@ -437,6 +448,7 @@ func (e *Engine) Abort() error {
 			e.Env.Arena.Free(op.entry)
 		}
 	}
+	e.MV.DropStaged()
 	return e.EndTx()
 }
 
@@ -489,6 +501,7 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 			return err
 		}
 	}
+	e.MV.StageUpsert(table, key, row)
 	return nil
 }
 
@@ -569,6 +582,7 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 			}
 		}
 	}
+	e.MV.StageUpsert(table, key, now)
 	return nil
 }
 
@@ -612,6 +626,7 @@ func (e *Engine) Delete(table string, key uint64) error {
 			return err
 		}
 	}
+	e.MV.StageDelete(table, key)
 	return nil
 }
 

@@ -214,3 +214,7 @@ func TestConformanceCatchesMissingFence(t *testing.T) {
 	}
 	t.Logf("caught as expected: %v", err)
 }
+
+func TestSnapshotConformance(t *testing.T) {
+	enginetest.RunSnapshotConformance(t, confFactory(), 200)
+}

@@ -22,6 +22,7 @@ import (
 	"nstore/internal/bloom"
 	"nstore/internal/core"
 	"nstore/internal/engine/lsm"
+	"nstore/internal/mvcc"
 	"nstore/internal/nvbtree"
 	"nstore/internal/pmalloc"
 )
@@ -67,6 +68,7 @@ type run struct {
 // Engine is the NVM-aware log-structured updates engine.
 type Engine struct {
 	core.Base
+	mvcc.Snapshots
 	opts core.Options
 
 	hdr      pmalloc.Ptr
@@ -126,6 +128,9 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 	d.Sync(int64(hdr), hAnchors+8*nSec)
 	env.Arena.SetPersisted(hdr)
 	env.Arena.SetRoot(rootSlot, hdr)
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -183,6 +188,9 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 	}
 	e.memCount = e.mem.Count()
 	if err := e.sweep(); err != nil {
+		return nil, err
+	}
+	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -548,6 +556,9 @@ func (e *Engine) Commit() error {
 		e.Env.Arena.Free(op.entry)
 	}
 	stop()
+	// The WAL truncation above is the durability barrier: versions publish
+	// to snapshot readers immediately (NVM-Log is durable at commit).
+	e.MV.CommitStaged(e.TxnID, true)
 	if e.memCount >= e.opts.MemTableCap {
 		// The transaction is already durably committed (the WAL truncation
 		// above); rotation/compaction are maintenance that a later commit
@@ -587,6 +598,7 @@ func (e *Engine) Abort() error {
 	for _, op := range e.ops {
 		e.Env.Arena.Free(op.entry)
 	}
+	e.MV.DropStaged()
 	return e.EndTx()
 }
 
@@ -769,7 +781,11 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 	}
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
 	defer stopSt()
-	return e.applyMem(tm, core.WalInsert, key, lsm.Entry{Kind: lsm.KindFull, Payload: core.EncodeRow(tm.Schema, row)}, fixes)
+	if err := e.applyMem(tm, core.WalInsert, key, lsm.Entry{Kind: lsm.KindFull, Payload: core.EncodeRow(tm.Schema, row)}, fixes); err != nil {
+		return err
+	}
+	e.MV.StageUpsert(table, key, row)
+	return nil
 }
 
 // Update records the updated fields in the MemTable.
@@ -801,7 +817,11 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 	}
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
 	defer stopSt()
-	return e.applyMem(tm, core.WalUpdate, key, lsm.Entry{Kind: lsm.KindDelta, Payload: core.EncodeDelta(tm.Schema, upd)}, fixes)
+	if err := e.applyMem(tm, core.WalUpdate, key, lsm.Entry{Kind: lsm.KindDelta, Payload: core.EncodeDelta(tm.Schema, upd)}, fixes); err != nil {
+		return err
+	}
+	e.MV.StageUpsert(table, key, now)
+	return nil
 }
 
 // Delete marks the tuple with a tombstone in the MemTable.
@@ -826,7 +846,11 @@ func (e *Engine) Delete(table string, key uint64) error {
 	}
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
 	defer stopSt()
-	return e.applyMem(tm, core.WalDelete, key, lsm.Entry{Kind: lsm.KindTomb}, fixes)
+	if err := e.applyMem(tm, core.WalDelete, key, lsm.Entry{Kind: lsm.KindTomb}, fixes); err != nil {
+		return err
+	}
+	e.MV.StageDelete(table, key)
+	return nil
 }
 
 // Get coalesces entries from the mutable MemTable and the immutable runs

@@ -1,0 +1,44 @@
+package mvcc
+
+import "nstore/internal/core"
+
+// Snapshots is embedded by each engine to expose the core.SnapshotReader
+// contract. The engine owns the store's writer side (Stage*/CommitStaged/
+// PublishDurable from its single owner goroutine); the promoted methods
+// below are the reader side and are safe from any goroutine once
+// InitSnapshots has run.
+type Snapshots struct {
+	MV *Store
+}
+
+// SnapshotView pins a read view at the newest durable timestamp.
+func (s *Snapshots) SnapshotView() core.ReadView { return s.MV.NewView() }
+
+// Oracle returns the partition's timestamp oracle.
+func (s *Snapshots) Oracle() *core.TsOracle { return s.MV.Oracle() }
+
+// rangeScanner is the slice of the engine contract InitSnapshots needs to
+// rebuild the store from recovered state.
+type rangeScanner interface {
+	ScanRange(table string, from, to uint64, fn func(pk uint64, row []core.Value) bool) error
+}
+
+// InitSnapshots builds the version store and seeds it from the engine's own
+// recovered state at the floor timestamp (the engine's recovered TxnID).
+// Called at the end of New/Open, before the engine is shared with readers,
+// so the scan needs no synchronization and every seeded version carries the
+// durable frontier's timestamp — snapshots are never served from
+// unrecovered state.
+func (s *Snapshots) InitSnapshots(eng rangeScanner, schemas []*core.Schema, floorTs uint64) error {
+	s.MV = NewStore(schemas, floorTs)
+	for _, sc := range schemas {
+		name := sc.Name
+		if err := eng.ScanRange(name, 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
+			s.MV.Seed(name, pk, row)
+			return true
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+// Property test for the watermark/GC contract, driven through a real engine
+// (nvminp: durable-at-commit, so every commit publishes immediately):
+// randomized interleavings of writes, view pins/releases and GC passes must
+// never reclaim a version any pinned view can still observe, and a power
+// cycle after arbitrary GC must recover exactly the committed state. A
+// failing sequence is ddmin-shrunk before being reported.
+package mvcc_test
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nstore/internal/core"
+	"nstore/internal/engine/nvminp"
+)
+
+var propSeed = flag.Int64("seed", 1, "base seed for the GC property sequences")
+
+// propOp is one step of a randomized store workload.
+type propOp struct {
+	kind byte // 'p' put, 'd' delete, 'v' pin view, 'r' release view, 'g' GC
+	k    uint64
+	val  int64
+}
+
+func (o propOp) String() string {
+	switch o.kind {
+	case 'p':
+		return fmt.Sprintf("Put(%d,%d)", o.k, o.val)
+	case 'd':
+		return fmt.Sprintf("Delete(%d)", o.k)
+	case 'v':
+		return "PinView()"
+	case 'r':
+		return "ReleaseView()"
+	default:
+		return "GC()"
+	}
+}
+
+func genProp(rng *rand.Rand, n int) []propOp {
+	ops := make([]propOp, n)
+	for i := range ops {
+		k := uint64(rng.Intn(24))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // bias toward writes so chains grow
+			ops[i] = propOp{kind: 'p', k: k, val: rng.Int63n(1 << 30)}
+		case 4:
+			ops[i] = propOp{kind: 'd', k: k}
+		case 5, 6:
+			ops[i] = propOp{kind: 'v'}
+		case 7:
+			ops[i] = propOp{kind: 'r'}
+		default:
+			ops[i] = propOp{kind: 'g'}
+		}
+	}
+	return ops
+}
+
+func propSchemas() []*core.Schema {
+	return []*core.Schema{{
+		Name: "t",
+		Columns: []core.Column{
+			{Name: "id", Type: core.TInt},
+			{Name: "v", Type: core.TInt},
+		},
+		Secondary: []core.IndexSpec{{
+			Name:   "by_v",
+			SecKey: func(row []core.Value) uint32 { return uint32(row[1].I & 7) },
+		}},
+	}}
+}
+
+// pin is one held view plus the committed model at pin time — exactly what
+// the view must keep reading no matter how much GC runs after it.
+type pin struct {
+	v     core.ReadView
+	model map[uint64][]core.Value
+}
+
+// runProp replays one op sequence and checks the GC/watermark contract at
+// every GC boundary and the recovery contract at the end.
+func runProp(ops []propOp) error {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 64 << 20, FSExtent: 64 << 10})
+	schemas := propSchemas()
+	opts := core.Options{BTreeNodeSize: 128, GroupCommitSize: 1}
+	e, err := nvminp.New(env, schemas, opts)
+	if err != nil {
+		return fmt.Errorf("New: %w", err)
+	}
+	e.MV.GCEvery = 0 // GC only where the sequence says so
+	sch := schemas[0]
+	committed := map[uint64][]core.Value{}
+	var pins []pin
+	defer func() {
+		for _, p := range pins {
+			p.v.Close()
+		}
+	}()
+
+	txn := func(fn func() error) error {
+		if err := e.Begin(); err != nil {
+			return err
+		}
+		if err := fn(); err != nil {
+			_ = e.Abort()
+			return err
+		}
+		return e.Commit()
+	}
+
+	for i, o := range ops {
+		switch o.kind {
+		case 'p':
+			row := []core.Value{core.IntVal(int64(o.k)), core.IntVal(o.val)}
+			_, exists := committed[o.k]
+			err := txn(func() error {
+				if exists {
+					return e.Update("t", o.k, core.Update{Cols: []int{1}, Vals: []core.Value{core.IntVal(o.val)}})
+				}
+				return e.Insert("t", o.k, row)
+			})
+			if err != nil {
+				return fmt.Errorf("op %d %v: %w", i, o, err)
+			}
+			committed[o.k] = row
+		case 'd':
+			if _, exists := committed[o.k]; !exists {
+				continue
+			}
+			if err := txn(func() error { return e.Delete("t", o.k) }); err != nil {
+				return fmt.Errorf("op %d %v: %w", i, o, err)
+			}
+			delete(committed, o.k)
+		case 'v':
+			if len(pins) >= 4 { // bound held views; oldest out first
+				pins[0].v.Close()
+				pins = pins[1:]
+			}
+			pins = append(pins, pin{v: e.SnapshotView(), model: cloneModel(committed)})
+		case 'r':
+			if len(pins) > 0 {
+				pins[0].v.Close()
+				pins = pins[1:]
+			}
+		case 'g':
+			e.MV.GC()
+			// The watermark is the oldest pinned view's timestamp: nothing
+			// any pinned view can observe may have been reclaimed.
+			for pi, p := range pins {
+				if err := checkPin(sch, p); err != nil {
+					return fmt.Errorf("op %d %v: pinned view %d (ts %d): %w", i, o, pi, p.v.Ts(), err)
+				}
+			}
+		}
+	}
+	for pi, p := range pins {
+		if err := checkPin(sch, p); err != nil {
+			return fmt.Errorf("final: pinned view %d (ts %d): %w", pi, p.v.Ts(), err)
+		}
+	}
+
+	// Release everything, GC to the frontier, and power cycle: recovery
+	// must rebuild exactly the committed state for fresh views.
+	for _, p := range pins {
+		p.v.Close()
+	}
+	pins = nil
+	e.MV.GC()
+	env.Dev.Crash()
+	env2, err := env.Reopen()
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	e2, err := nvminp.Open(env2, schemas, opts)
+	if err != nil {
+		return fmt.Errorf("recovery open: %w", err)
+	}
+	v := e2.SnapshotView()
+	defer v.Close()
+	if err := checkPin(sch, pin{v: v, model: committed}); err != nil {
+		return fmt.Errorf("post-recovery snapshot: %w", err)
+	}
+	return nil
+}
+
+// checkPin asserts the view reads exactly its recorded model: full scan
+// (order, completeness, values), point reads, and secondary membership.
+func checkPin(sch *core.Schema, p pin) error {
+	n := 0
+	var bad error
+	if err := p.v.ScanRange("t", 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
+		n++
+		want, ok := p.model[pk]
+		if !ok {
+			bad = fmt.Errorf("phantom key %d", pk)
+			return false
+		}
+		if !core.RowsEqual(sch, row, want) {
+			bad = fmt.Errorf("key %d: got %v want %v", pk, row, want)
+			return false
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if bad != nil {
+		return bad
+	}
+	if n != len(p.model) {
+		return fmt.Errorf("scan saw %d rows, model has %d (GC reclaimed a visible version?)", n, len(p.model))
+	}
+	for k, want := range p.model {
+		row, ok, err := p.v.Get("t", k)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("key %d invisible (GC reclaimed a visible version?)", k)
+		}
+		if !core.RowsEqual(sch, row, want) {
+			return fmt.Errorf("key %d point read mismatch", k)
+		}
+		sec := uint32(want[1].I & 7)
+		found := false
+		if err := p.v.ScanSecondary("t", "by_v", sec, func(pk uint64) bool {
+			found = found || pk == k
+			return !found
+		}); err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("key %d missing from secondary bucket %d", k, sec)
+		}
+	}
+	return nil
+}
+
+func cloneModel(m map[uint64][]core.Value) map[uint64][]core.Value {
+	out := make(map[uint64][]core.Value, len(m))
+	for k, v := range m {
+		out[k] = core.CloneRow(v)
+	}
+	return out
+}
+
+// shrinkProp greedily removes chunks of a failing sequence while the
+// failure reproduces (ddmin-style), replaying each candidate fresh.
+func shrinkProp(ops []propOp) []propOp {
+	for chunk := len(ops) / 2; chunk >= 1; chunk /= 2 {
+		for lo := 0; lo+chunk <= len(ops); {
+			cand := append(append([]propOp(nil), ops[:lo]...), ops[lo+chunk:]...)
+			if runProp(cand) != nil {
+				ops = cand // failure survives without this chunk — keep it out
+			} else {
+				lo += chunk
+			}
+		}
+	}
+	return ops
+}
+
+// TestGCWatermarkProperty drives seeded op sequences through runProp; a
+// failure is shrunk to a minimal reproduction before reporting.
+func TestGCWatermarkProperty(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	for s := int64(0); s < int64(n); s++ {
+		seed := *propSeed + s
+		rng := rand.New(rand.NewSource(seed))
+		ops := genProp(rng, 250)
+		if err := runProp(ops); err != nil {
+			min := shrinkProp(ops)
+			t.Fatalf("seed %d: %v\nminimal reproduction (%d ops): %v", seed, err, len(min), min)
+		}
+	}
+}

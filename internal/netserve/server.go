@@ -6,6 +6,13 @@
 // ack. An acked commit over the wire is durable by construction, never
 // merely buffered.
 //
+// Point reads (OpGet) and range scans (OpScan) outside a transaction take a
+// different road: serve.ReadPart hands them to a per-partition snapshot
+// reader pool, which serves them from an MVCC read view pinned at the
+// durable timestamp frontier — lock-free with respect to the executor, and
+// incapable of observing an unacked write. Reads inside OpTxn still run on
+// the executor so a transaction sees its own writes.
+//
 // Each connection gets a reader goroutine (frame decode, request dispatch)
 // and a writer goroutine (response serialization); requests execute in their
 // own handler goroutines, so a connection can pipeline requests to many
@@ -302,6 +309,21 @@ func (s *Server) exec(ctx context.Context, req *wire.Request) *wire.Response {
 		resp.Status, resp.Msg = wire.StatusBadRequest, err.Error()
 		return resp
 	}
+	// Point reads and range scans bypass the executor queue entirely: a
+	// reader goroutine serves them from an MVCC view pinned at the
+	// partition's durable frontier, so they never wait behind writes and
+	// never observe an unacked commit.
+	if req.Op == wire.OpGet || req.Op == wire.OpScan {
+		err = s.rt.ReadPart(ctx, part, func(v core.ReadView) error {
+			resp.Found, resp.Row, resp.Keys, resp.Rows = false, nil, nil, nil
+			return s.applyRead(v, req, resp)
+		})
+		resp.Status, resp.Msg = statusOf(err)
+		if resp.Status != wire.StatusOK {
+			resp.Found, resp.Row, resp.Keys, resp.Rows, resp.Subs = false, nil, nil, nil, nil
+		}
+		return resp
+	}
 	// The executor retries retryable transaction failures in place, so the
 	// closure must reset its result fields each attempt.
 	txn := func(eng core.Engine) error {
@@ -411,6 +433,35 @@ func checkValue(sc *core.Schema, col int, v core.Value) error {
 		}
 	}
 	return nil
+}
+
+// applyRead serves a read-only op from a pinned snapshot view. Rows are
+// deep-copied for the same reason apply copies them: the response is
+// encoded after the view closes.
+func (s *Server) applyRead(v core.ReadView, req *wire.Request, resp *wire.Response) error {
+	switch req.Op {
+	case wire.OpGet:
+		row, ok, err := v.Get(req.Table, req.Key)
+		if err != nil {
+			return err
+		}
+		resp.Found = ok
+		resp.Row = copyRow(row)
+		return nil
+	case wire.OpScan:
+		limit := int(req.Limit)
+		if limit <= 0 || limit > s.cfg.ScanLimit {
+			limit = s.cfg.ScanLimit
+		}
+		resp.Keys = []uint64{}
+		resp.Rows = [][]core.Value{}
+		return v.ScanRange(req.Table, req.From, req.To, func(pk uint64, row []core.Value) bool {
+			resp.Keys = append(resp.Keys, pk)
+			resp.Rows = append(resp.Rows, copyRow(row))
+			return len(resp.Keys) < limit
+		})
+	}
+	return fmt.Errorf("unknown read op %v", req.Op)
 }
 
 // apply runs one op against the engine, inside the executor's transaction.

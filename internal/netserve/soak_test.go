@@ -89,10 +89,68 @@ func soakOne(t *testing.T, kind testbed.EngineKind, seed int64) {
 	healTrigger := make(chan struct{})
 	var healOnce sync.Once
 	healDone := make(chan error, 1)
+	healedFlag := new(atomic.Bool)
 	go func() {
 		<-healTrigger
-		healDone <- rt.RecoverAll(0)
+		err := rt.RecoverAll(0)
+		healedFlag.Store(true)
+		healDone <- err
 	}()
+
+	// Concurrent snapshot scanners run through the same chaos proxy for the
+	// whole soak, including the mid-traffic RecoverAll. Each scan carries a
+	// deadline — a read that blocked behind the heal or the executor queue
+	// (instead of failing fast or being served from a view) would time out
+	// and fail the soak. Keys observed before the heal are asserted present
+	// right after it: the heal's power cycle wipes everything volatile, so
+	// a snapshot that had exposed a not-yet-durable (unacked) write would
+	// be caught missing here.
+	preHeal := make([]map[uint64]struct{}, soakParts)
+	var preHealMu sync.Mutex
+	stopScans := make(chan struct{})
+	var scanWG sync.WaitGroup
+	scanErr := make(chan error, soakParts)
+	for p := 0; p < soakParts; p++ {
+		preHeal[p] = make(map[uint64]struct{})
+		scanWG.Add(1)
+		go func(p int) {
+			defer scanWG.Done()
+			for {
+				select {
+				case <-stopScans:
+					return
+				default:
+				}
+				sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+				resp, err := cl.DoRetry(sctx, &wire.Request{Part: int32(p), Op: wire.OpScan,
+					Table: "t", From: 0, To: ^uint64(0)})
+				deadlineHit := sctx.Err() != nil // read before cancel poisons it
+				cancel()
+				if err != nil {
+					if deadlineHit {
+						scanErr <- fmt.Errorf("partition %d: snapshot scan blocked past its deadline: %w", p, err)
+						return
+					}
+					continue // transport chaos; go again
+				}
+				if resp.Status != wire.StatusOK {
+					continue // typed fail-fast (recovering/overloaded): fine
+				}
+				before := !healedFlag.Load()
+				for i, key := range resp.Keys {
+					if resp.Rows[i][1].I != int64(key)*3+1 {
+						scanErr <- fmt.Errorf("partition %d: scan saw torn row for key %d: %+v", p, key, resp.Rows[i])
+						return
+					}
+					if before {
+						preHealMu.Lock()
+						preHeal[p][key] = struct{}{}
+						preHealMu.Unlock()
+					}
+				}
+			}
+		}(p)
+	}
 
 	var wg sync.WaitGroup
 	workerErr := make(chan error, soakWorkers)
@@ -108,11 +166,16 @@ func soakOne(t *testing.T, kind testbed.EngineKind, seed int64) {
 				if n := acked.Add(1); n == soakKeys/3 {
 					healOnce.Do(func() { close(healTrigger) })
 				}
-				// Read-back under chaos: transport failures are the
-				// proxy's business, but a response that claims a wrong
-				// value is a protocol bug.
+				// Read-back under chaos: transport failures are the proxy's
+				// business, but a StatusOK answer after the ack has no
+				// excuse — the ack passed the durability barrier, so the
+				// row is published and every later snapshot must see it.
 				resp, err := cl.DoRetry(ctx, &wire.Request{Part: -1, Op: wire.OpGet, Table: "t", Key: key})
-				if err == nil && resp.Status == wire.StatusOK && resp.Found {
+				if err == nil && resp.Status == wire.StatusOK {
+					if !resp.Found {
+						workerErr <- fmt.Errorf("key %d: acked insert invisible to a later snapshot read", key)
+						return
+					}
 					if resp.Row[1].I != int64(key)*3+1 {
 						workerErr <- fmt.Errorf("key %d read back %d", key, resp.Row[1].I)
 						return
@@ -130,6 +193,37 @@ func soakOne(t *testing.T, kind testbed.EngineKind, seed int64) {
 	if err := <-healDone; err != nil {
 		t.Fatalf("mid-soak RecoverAll: %v", err)
 	}
+	close(stopScans)
+	scanWG.Wait()
+	close(scanErr)
+	for err := range scanErr {
+		t.Fatal(err)
+	}
+
+	// Every key a pre-heal snapshot exposed must have survived the heal's
+	// power cycle: views only surface published versions, publication waits
+	// for the durability barrier, and the heal rolls back exactly to the
+	// durable frontier. A missing key here means a view leaked a volatile
+	// write.
+	nPre := 0
+	for p := 0; p < soakParts; p++ {
+		nPre += len(preHeal[p])
+		seen := make(map[uint64]int64)
+		if err := rt.ReadPart(ctx, p, func(v core.ReadView) error {
+			return v.ScanRange("t", 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
+				seen[pk] = row[1].I
+				return true
+			})
+		}); err != nil {
+			t.Fatalf("partition %d: post-heal verification scan: %v", p, err)
+		}
+		for key := range preHeal[p] {
+			if got, ok := seen[key]; !ok || got != int64(key)*3+1 {
+				t.Fatalf("partition %d: key %d was exposed by a pre-heal snapshot but is gone after the heal (ok=%v got=%d) — a view leaked a non-durable write", p, key, ok, got)
+			}
+		}
+	}
+	t.Logf("%s: %d keys observed by pre-heal snapshots survived the heal", kind, nPre)
 
 	// Tear the traffic path down in order: client, proxy, then a graceful
 	// server drain.

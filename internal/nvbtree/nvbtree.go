@@ -583,7 +583,14 @@ func (t *Tree) recoverJournal() {
 func (t *Tree) Iter(from uint64, fn func(k, v uint64) bool) {
 	for {
 		n := t.root()
-		for !t.isLeaf(n) {
+		// A healthy tree over 64-bit keys is at most ~64 levels deep; a
+		// longer descent means a corrupted child pointer cycling back on
+		// itself (possible after an injected crash with fences disabled).
+		// Bail out instead of spinning forever.
+		for depth := 0; !t.isLeaf(n); depth++ {
+			if depth > maxIterDepth {
+				return
+			}
 			n = t.routeChild(n, from)
 		}
 		live := t.resolve(n)
@@ -612,17 +619,30 @@ func (t *Tree) Iter(from uint64, fn func(k, v uint64) bool) {
 		if !ok {
 			return
 		}
+		// In a healthy tree a successor found outside the routed leaf is
+		// strictly greater than from (an exact match would have been routed
+		// to and emitted above), so equality means corrupt routing.
+		if next <= from {
+			return
+		}
 		from = next
 	}
 }
+
+// maxIterDepth bounds interior descents in Iter against corrupted child
+// pointers; legitimate trees never approach it.
+const maxIterDepth = 80
 
 // successorLeafStart finds the smallest key >= from anywhere in the tree,
 // used when a descent lands on a leaf with no matching entries.
 func (t *Tree) successorLeafStart(from uint64) (uint64, bool) {
 	var best uint64
 	found := false
-	var walk func(n uint64)
-	walk = func(n uint64) {
+	var walk func(n uint64, depth int)
+	walk = func(n uint64, depth int) {
+		if depth > maxIterDepth {
+			return // corrupted child pointer cycle; see Iter
+		}
 		if t.isLeaf(n) {
 			for _, e := range t.resolve(n) {
 				if e.k >= from && (!found || e.k < best) {
@@ -638,13 +658,13 @@ func (t *Tree) successorLeafStart(from uint64) (uint64, bool) {
 			if i+1 < len(live) && live[i+1].k <= from {
 				continue
 			}
-			walk(e.v)
+			walk(e.v, depth+1)
 			if found {
 				return
 			}
 		}
 	}
-	walk(t.root())
+	walk(t.root(), 0)
 	return best, found
 }
 

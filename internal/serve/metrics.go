@@ -36,6 +36,8 @@ func (rt *Runtime) buildMetrics() {
 	reg.CounterFunc("serve_heal_fails", rt.stats.healFails.Load)
 	reg.CounterFunc("serve_overloaded", rt.stats.overloaded.Load)
 	reg.CounterFunc("serve_recovering", rt.stats.recovering.Load)
+	reg.CounterFunc("serve_reads", rt.stats.reads.Load)
+	reg.CounterFunc("serve_read_fails", rt.stats.readFails.Load)
 	reg.GaugeFunc("serve_degraded", func() float64 {
 		return float64(rt.stats.degraded.Load())
 	})
@@ -101,8 +103,13 @@ func (rt *Runtime) buildMetrics() {
 	for i, ex := range rt.execs {
 		ex := ex
 		rt.ackHist = append(rt.ackHist, reg.Histogram(fmt.Sprintf("serve_part%02d_ack_ns", i)))
+		rt.readHist = append(rt.readHist, reg.Histogram(fmt.Sprintf("serve_part%02d_read_ns", i)))
 		reg.GaugeFunc(fmt.Sprintf("serve_part%02d_queue_depth", i), func() float64 {
 			return float64(len(ex.ch))
+		})
+		readQ := rt.readQs[i]
+		reg.GaugeFunc(fmt.Sprintf("serve_part%02d_read_queue_depth", i), func() float64 {
+			return float64(len(readQ))
 		})
 		reg.GaugeFunc(fmt.Sprintf("serve_part%02d_degraded", i), func() float64 {
 			if ex.degraded.Load() {
@@ -122,6 +129,16 @@ func (rt *Runtime) buildMetrics() {
 		})
 		reg.GaugeFunc(fmt.Sprintf("serve_part%02d_recovery_workers", i), func() float64 {
 			return float64(recoveryStatOf(db, part).Workers)
+		})
+		// Active snapshot views pin the GC watermark; a stuck gauge here
+		// means some reader is holding back version reclamation. Reads the
+		// testbed's mutex-guarded engine pointer, so a scrape is safe
+		// against a concurrent partition heal.
+		reg.GaugeFunc(fmt.Sprintf("serve_part%02d_active_views", i), func() float64 {
+			if sr, ok := db.Engine(part).(core.SnapshotReader); ok {
+				return float64(sr.Oracle().ActiveViews())
+			}
+			return 0
 		})
 	}
 }

@@ -65,6 +65,14 @@ type Config struct {
 	// released. With GroupCommitSize > 1 a commit may sit in a volatile
 	// group buffer; enable this when the client treats an ack as durable.
 	DurableAck bool
+	// Readers sets the per-partition snapshot reader pool size (default 4).
+	// Readers serve Get/Scan against the engine's MVCC read views without
+	// entering the executor queue, so they never contend with the write path
+	// and never take the engine lock.
+	Readers int
+	// ReadQueueDepth bounds each partition's read submission queue (defaults
+	// to QueueDepth).
+	ReadQueueDepth int
 	// Seed seeds the per-partition jitter RNGs so a run is replayable.
 	Seed int64
 	// OnEvent, when set, observes supervisor decisions (tests, logs).
@@ -92,6 +100,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerThreshold <= 0 {
 		c.BreakerThreshold = 3
+	}
+	if c.Readers <= 0 {
+		c.Readers = 4
+	}
+	if c.ReadQueueDepth <= 0 {
+		c.ReadQueueDepth = c.QueueDepth
 	}
 	return c
 }
@@ -128,6 +142,8 @@ type Stats struct {
 	Overloaded int64 // submissions rejected by admission control
 	Recovering int64 // queued requests failed by a heal
 	Degraded   int64 // partitions currently degraded
+	Reads      int64 // snapshot reads served
+	ReadFails  int64 // snapshot reads surfaced as errors
 }
 
 // Runtime serves transactions over a testbed database.
@@ -142,6 +158,11 @@ type Runtime struct {
 	// the submit path.
 	reg     *obs.Registry
 	ackHist []*obs.Histogram
+
+	// readQs feed the per-partition snapshot reader pools (see read.go);
+	// readHist holds the per-partition read latency histograms.
+	readQs   []chan *readReq
+	readHist []*obs.Histogram
 
 	// mu serializes submissions against Close: Submit holds the read
 	// side while enqueueing, so Close cannot close a queue mid-send.
@@ -159,6 +180,7 @@ type Runtime struct {
 		heals, healFails           atomic.Int64
 		overloaded, recovering     atomic.Int64
 		degraded                   atomic.Int64
+		reads, readFails           atomic.Int64
 	}
 }
 
@@ -216,11 +238,18 @@ func New(db *testbed.DB, cfg Config) *Runtime {
 			groupSize: groupSize,
 		}
 		rt.execs = append(rt.execs, ex)
+		rt.readQs = append(rt.readQs, make(chan *readReq, cfg.ReadQueueDepth))
 	}
 	rt.buildMetrics()
 	for _, ex := range rt.execs {
 		rt.wg.Add(1)
 		go ex.run()
+	}
+	for i, q := range rt.readQs {
+		for r := 0; r < cfg.Readers; r++ {
+			rt.wg.Add(1)
+			go rt.readLoop(i, q)
+		}
 	}
 	return rt
 }
@@ -287,6 +316,9 @@ func (rt *Runtime) Close() error {
 	}
 	for _, ex := range rt.execs {
 		close(ex.ch)
+	}
+	for _, q := range rt.readQs {
+		close(q)
 	}
 	rt.mu.Unlock()
 	rt.wg.Wait()
@@ -389,6 +421,8 @@ func (rt *Runtime) Stats() Stats {
 		Overloaded: rt.stats.overloaded.Load(),
 		Recovering: rt.stats.recovering.Load(),
 		Degraded:   rt.stats.degraded.Load(),
+		Reads:      rt.stats.reads.Load(),
+		ReadFails:  rt.stats.readFails.Load(),
 	}
 }
 

@@ -50,6 +50,40 @@ func soakOne(t *testing.T, kind testbed.EngineKind) {
 	rt := New(db, Config{QueueDepth: 16, Seed: seed})
 	ctx := context.Background()
 
+	// Concurrent snapshot readers run for the soak's whole lifetime —
+	// through every mid-traffic fault and heal. They record everything they
+	// observe; after the final power cycle every observed row must still be
+	// there, which proves a snapshot never exposed a write that had not
+	// crossed the durability barrier (an unacked write would be wiped).
+	observed := make([]map[uint64]int64, parts)
+	stopReads := make(chan struct{})
+	var readersWG sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		observed[p] = make(map[uint64]int64)
+		readersWG.Add(1)
+		go func(p int) {
+			defer readersWG.Done()
+			obs := observed[p]
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				err := rt.ReadPart(ctx, p, func(v core.ReadView) error {
+					return v.ScanRange("t", 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
+						obs[pk] = row[1].I
+						return true
+					})
+				})
+				if err != nil && !core.IsRetryable(err) {
+					t.Errorf("snapshot read on partition %d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+
 	type clientRes struct {
 		acked      map[uint64]int64
 		unexpected []error
@@ -77,6 +111,8 @@ func soakOne(t *testing.T, kind testbed.EngineKind) {
 		}(c)
 	}
 	wg.Wait()
+	close(stopReads)
+	readersWG.Wait()
 	if err := rt.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -89,6 +125,13 @@ func soakOne(t *testing.T, kind testbed.EngineKind) {
 		if len(results[c].acked) == 0 {
 			t.Errorf("client %d (partition %d) got nothing acked — partition stopped committing", c, c)
 		}
+	}
+	nObserved := 0
+	for p := range observed {
+		nObserved += len(observed[p])
+	}
+	if nObserved == 0 {
+		t.Error("snapshot readers observed nothing across the whole soak")
 	}
 	if stats.Heals < 1 {
 		t.Errorf("no heal happened; fault schedule never fired: %+v", stats)
@@ -120,7 +163,21 @@ func soakOne(t *testing.T, kind testbed.EngineKind) {
 	}
 	verify("after power cycle")
 
-	t.Logf("%s soak (seed=%d): %+v", kind, seed, stats)
+	// Everything a snapshot reader ever observed must also have survived:
+	// a view that had exposed a not-yet-durable write would fail here.
+	for p := range observed {
+		for key, val := range observed[p] {
+			row, ok, err := db.Engine(p).Get("t", key)
+			if err != nil || !ok {
+				t.Fatalf("snapshot-observed key %d gone after power cycle (ok=%v err=%v, seed=%d) — a view exposed a non-durable write", key, ok, err, seed)
+			}
+			if row[1].I != val {
+				t.Fatalf("snapshot-observed key %d = %d after power cycle, view saw %d (seed=%d)", key, row[1].I, val, seed)
+			}
+		}
+	}
+
+	t.Logf("%s soak (seed=%d): %+v, %d rows snapshot-observed", kind, seed, stats, nObserved)
 }
 
 // TestSoakGroupCommitDeferredAck is the regression for the ack-durability
