@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nvbench [-run all|fig1|ycsb|tpcc|recovery|breakdown|footprint|costmodel|nodesize|synclat|wire|mvcc]
+//	nvbench [-run all|fig1|ycsb|tpcc|recovery|breakdown|footprint|costmodel|nodesize|synclat|wire|mvcc|cluster]
 //	        [-scale small|medium] [-partitions N] [-tuples N] [-txns N] [-seed N]
 //	        [-short] [-out DIR]
 //
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (comma-separated): all, fig1, ycsb, tpcc, recovery, breakdown, footprint, costmodel, nodesize, synclat, ablations, wire, mvcc")
+	run := flag.String("run", "all", "experiment to run (comma-separated): all, fig1, ycsb, tpcc, recovery, breakdown, footprint, costmodel, nodesize, synclat, ablations, wire, mvcc, cluster")
 	scaleName := flag.String("scale", "small", "experiment scale: small or medium")
 	partitions := flag.Int("partitions", 0, "override partition count")
 	tuples := flag.Int("tuples", 0, "override YCSB tuple count")
@@ -150,6 +150,14 @@ func main() {
 			var res *bench.MVCCResult
 			if res, err = r.MVCC(); err == nil {
 				artifact("mvcc", res.Points)
+			}
+		case "cluster":
+			var res *bench.ClusterResult
+			if res, err = r.Cluster(); err == nil {
+				path := artifactPath("cluster")
+				if err = bench.WriteClusterSnapshot(path, res); err == nil {
+					fmt.Printf("wrote %s\n", path)
+				}
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)

@@ -11,6 +11,8 @@
 //	-serve          in-process fault drill through the serving runtime
 //	-listen ADDR    load the database, then serve it over the wire protocol
 //	-connect ADDR   drive payment-shaped wire transactions against a server
+//	-cluster N      drive through an in-process replicated cluster of N nodes
+//	                (-cluster-kill adds a mid-drive primary kill + failover)
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 
 	"nstore"
+	"nstore/internal/cluster"
 	"nstore/internal/core"
 	"nstore/internal/netdrill"
 	"nstore/internal/nvm"
@@ -86,6 +89,28 @@ func main() {
 		fatal(err)
 	}
 	db.ResetStats()
+	if drill.Cluster > 0 {
+		// Replicated drill: replicate the loaded warehouses into an
+		// in-process cluster and drive payment-shaped transactions through
+		// the shard router. TPCCRequests already pins Part to each txn's
+		// home-warehouse partition, which doubles as the shard id.
+		err := netdrill.RunCluster(cluster.Config{
+			Engine: nstore.EngineKind(*engine),
+			Shards: *partitions,
+			Seed:   *seed,
+			Env: core.EnvConfig{
+				DeviceSize: 256 << 20 / int64(*partitions),
+				Profile:    profile,
+				CacheSize:  *cache,
+			},
+			Options: core.Options{MemTableCap: 512},
+			Schemas: tpcc.Schemas(),
+		}, db, netdrill.TPCCRequests(cfg), drill, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if drill.Listen != "" {
 		err := netdrill.RunServer(db, drill.Listen, netdrill.ServerConfig{
 			Seed: *seed, Metrics: drill.Metrics, Out: os.Stdout, Errw: os.Stderr,

@@ -11,6 +11,8 @@
 //	-serve          in-process fault drill through the serving runtime
 //	-listen ADDR    load the database, then serve it over the wire protocol
 //	-connect ADDR   drive the same pre-generated schedule against a server
+//	-cluster N      drive through an in-process replicated cluster of N nodes
+//	                (-cluster-kill adds a mid-drive primary kill + failover)
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 
 	"nstore"
+	"nstore/internal/cluster"
 	"nstore/internal/core"
 	"nstore/internal/netdrill"
 	"nstore/internal/nvm"
@@ -106,6 +109,30 @@ func main() {
 		os.Exit(1)
 	}
 	db.ResetStats()
+	if drill.Cluster > 0 {
+		// Replicated drill: replicate the loaded database into an in-process
+		// cluster (one shard per partition) and drive the schedule through
+		// the shard router, pinned by the workload's own key%parts rule.
+		streams := netdrill.YCSBRequests(cfg)
+		netdrill.PinByKey(streams, *partitions)
+		err := netdrill.RunCluster(cluster.Config{
+			Engine: nstore.EngineKind(*engine),
+			Shards: *partitions,
+			Seed:   *seed,
+			Env: core.EnvConfig{
+				DeviceSize: 256 << 20 / int64(*partitions),
+				Profile:    profile,
+				CacheSize:  *cache,
+			},
+			Options: core.Options{MemTableCap: 512},
+			Schemas: ycsb.Schema(cfg),
+		}, db, streams, drill, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ycsb:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if drill.Listen != "" {
 		err := netdrill.RunServer(db, drill.Listen, netdrill.ServerConfig{
 			Seed: *seed, Metrics: drill.Metrics, Out: os.Stdout, Errw: os.Stderr,

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nstore/internal/cluster"
+	"nstore/internal/core"
+	"nstore/internal/netclient"
+	"nstore/internal/netserve"
+	"nstore/internal/serve"
+	"nstore/internal/testbed"
+	"nstore/internal/wire"
+)
+
+const (
+	clusterBenchShards  = 2
+	clusterBenchNodes   = 3
+	clusterBenchWorkers = 4
+)
+
+// ClusterResult carries the replication experiment: per engine, the
+// unreplicated ("solo") and replicated ("repl") wire throughput of the same
+// unique-key insert schedule, plus the failover blackout — how long shard 0's
+// write path stays dark between a SIGKILL of its primary and the first ack
+// from the promoted backup.
+type ClusterResult struct {
+	Points    []Measurement
+	Retention map[testbed.EngineKind]float64
+	Blackout  map[testbed.EngineKind]time.Duration
+}
+
+// Cluster measures what synchronous primary→backup replication costs over
+// the wire protocol and what a coordinated failover interrupts. The solo
+// baseline is the same schedule against a single node (serve runtime behind
+// netserve, no Replicator), so the throughput ratio isolates log shipping:
+// every replicated ack waited for local durability AND the backup's
+// REPL_ACK across a second loopback hop.
+func (r *Runner) Cluster() (*ClusterResult, error) {
+	n := r.S.YCSBTxns
+	if n > 4000 {
+		n = 4000
+	}
+	if n < 200 {
+		n = 200
+	}
+	r.section(fmt.Sprintf("cluster — %d replicated inserts/engine: solo vs repl, failover blackout", n))
+	res := &ClusterResult{
+		Retention: make(map[testbed.EngineKind]float64),
+		Blackout:  make(map[testbed.EngineKind]time.Duration),
+	}
+	w := r.tab()
+	fmt.Fprintln(w, "engine\tsolo txn/s\trepl txn/s\tretention\tblackout")
+	for _, kind := range r.S.Engines {
+		solo, err := r.clusterSolo(kind, n)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cluster: %s/solo: %w", kind, err)
+		}
+		repl, blackout, err := r.clusterRepl(kind, n)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cluster: %s/repl: %w", kind, err)
+		}
+		res.Points = append(res.Points, solo, repl,
+			Measurement{Engine: kind, Mix: "failover", Elapsed: blackout})
+		ret := 0.0
+		if solo.Throughput > 0 {
+			ret = repl.Throughput / solo.Throughput
+		}
+		res.Retention[kind] = ret
+		res.Blackout[kind] = blackout
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.0f%%\t%v\n", kind,
+			human(solo.Throughput), human(repl.Throughput), 100*ret,
+			blackout.Round(time.Millisecond))
+	}
+	w.Flush()
+	return res, nil
+}
+
+func clusterBenchSchemas() []*core.Schema {
+	return []*core.Schema{{
+		Name: "t",
+		Columns: []core.Column{
+			{Name: "id", Type: core.TInt},
+			{Name: "n", Type: core.TInt},
+			{Name: "s", Type: core.TString, Size: 64},
+		},
+	}}
+}
+
+func clusterBenchRow(key uint64) []core.Value {
+	return []core.Value{
+		core.IntVal(int64(key)),
+		core.IntVal(int64(key)*3 + 1),
+		core.StrVal(fmt.Sprintf("s%d", key)),
+	}
+}
+
+// clusterDo is the definitive-ack insert loop both paths share: retried
+// until acked, KeyExists on a retry counting as the swallowed ack.
+type clusterDo func(ctx context.Context, req *wire.Request) (*wire.Response, error)
+
+func clusterDrive(ctx context.Context, do clusterDo, n int) (float64, error) {
+	var acked atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < clusterBenchWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for key := uint64(w); key < uint64(n); key += clusterBenchWorkers {
+				req := &wire.Request{Part: -1, Op: wire.OpPut, Table: "t", Key: key, Row: clusterBenchRow(key)}
+				landed := false
+				for round := 0; round < 40 && !landed; round++ {
+					resp, err := do(ctx, req)
+					if err != nil {
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+					switch resp.Status {
+					case wire.StatusOK, wire.StatusKeyExists:
+						landed = true
+						acked.Add(1)
+					default:
+						firstErr.CompareAndSwap(nil, error(&wire.StatusError{Status: resp.Status, Msg: resp.Msg}))
+						return
+					}
+				}
+				if !landed {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("key %d never acked", key))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return 0, err
+	}
+	if got := acked.Load(); got != int64(n) {
+		return 0, fmt.Errorf("acked %d of %d inserts", got, n)
+	}
+	return float64(n) / elapsed.Seconds(), nil
+}
+
+// clusterSolo is the unreplicated baseline: one node, same shard count,
+// same wire protocol, no Replicator in the ack path.
+func (r *Runner) clusterSolo(kind testbed.EngineKind, n int) (Measurement, error) {
+	db, err := testbed.New(testbed.Config{
+		Engine:     kind,
+		Partitions: clusterBenchShards,
+		Env:        r.envCfg(r.S.Latencies[0]),
+		Options:    r.S.Options,
+		Schemas:    clusterBenchSchemas(),
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	rt := serve.New(db, serve.Config{Seed: r.S.Seed})
+	srv, err := netserve.New(rt, "127.0.0.1:0", netserve.Config{})
+	if err != nil {
+		rt.Close()
+		return Measurement{}, err
+	}
+	cl := netclient.New(srv.Addr(), netclient.Config{Conns: 2, Seed: r.S.Seed, RetryMax: 20})
+	tput, err := clusterDrive(context.Background(), cl.DoRetry, n)
+	cl.Close()
+	if cerr := srv.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := rt.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Engine: kind, Mix: "solo", Throughput: tput}, nil
+}
+
+// clusterRepl drives the same schedule through a replicated cluster, then
+// measures the failover blackout: a probe writer keeps inserting fresh
+// shard-0 keys while shard 0's primary is killed; the blackout is the gap
+// from the kill to the first ack out of the promoted backup.
+func (r *Runner) clusterRepl(kind testbed.EngineKind, n int) (Measurement, time.Duration, error) {
+	c, err := cluster.Start(cluster.Config{
+		Engine:         kind,
+		Shards:         clusterBenchShards,
+		Nodes:          clusterBenchNodes,
+		Seed:           r.S.Seed,
+		HeartbeatEvery: 10 * time.Millisecond,
+		Lease:          80 * time.Millisecond,
+		Env:            r.envCfg(r.S.Latencies[0]),
+		Options:        r.S.Options,
+		Schemas:        clusterBenchSchemas(),
+	})
+	if err != nil {
+		return Measurement{}, 0, err
+	}
+	defer c.Close()
+	router := c.Router(netclient.Config{Conns: 2, Seed: r.S.Seed, RetryMax: 20})
+	defer router.Close()
+	ctx := context.Background()
+
+	tput, err := clusterDrive(ctx, router.DoRetry, n)
+	if err != nil {
+		return Measurement{}, 0, err
+	}
+
+	// Blackout probe: single writer on shard-0 keys, ack timestamps either
+	// side of the kill.
+	probeKeys := make(chan uint64, 64)
+	probeStop := make(chan struct{})
+	defer close(probeStop)
+	go func() {
+		for k := uint64(n) + 1; ; k++ {
+			if wire.ShardOf(k, clusterBenchShards) == 0 {
+				select {
+				case probeKeys <- k:
+				case <-probeStop:
+					return
+				}
+			}
+		}
+	}()
+	put := func(k uint64) bool {
+		resp, err := router.DoRetry(ctx, &wire.Request{Part: -1, Op: wire.OpPut, Table: "t", Key: k, Row: clusterBenchRow(k)})
+		return err == nil && (resp.Status == wire.StatusOK || resp.Status == wire.StatusKeyExists)
+	}
+	// Warm the probe path, then kill.
+	if !put(<-probeKeys) {
+		return Measurement{}, 0, fmt.Errorf("blackout probe warmup failed")
+	}
+	victim := c.Coord.Map().Shards[0].Primary
+	for _, node := range c.Nodes {
+		if node.Addr() == victim {
+			node.Kill()
+		}
+	}
+	killAt := time.Now()
+	deadline := killAt.Add(30 * time.Second)
+	var blackout time.Duration
+	for {
+		if put(<-probeKeys) {
+			blackout = time.Since(killAt)
+			break
+		}
+		if time.Now().After(deadline) {
+			return Measurement{}, 0, fmt.Errorf("no ack within 30s of killing shard 0's primary")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return Measurement{Engine: kind, Mix: "repl", Throughput: tput}, blackout, nil
+}

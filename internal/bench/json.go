@@ -54,6 +54,31 @@ func WriteRecoverySnapshot(path string, res *RecoverySweepResult) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// WriteClusterSnapshot writes the replication experiment to path in the
+// obs.Snapshot schema: per engine, solo/repl `_txn_per_sec` gauges from the
+// measurements plus `cluster_<engine>_retention` (replicated throughput as a
+// fraction of solo) and `cluster_<engine>_failover_blackout_ns`.
+func WriteClusterSnapshot(path string, res *ClusterResult) error {
+	reg := obs.New()
+	for _, m := range res.Points {
+		base := metricBase("cluster", m)
+		if m.Mix == "failover" {
+			reg.Gauge(base + "_blackout_ns").Set(float64(m.Elapsed))
+			continue
+		}
+		reg.Gauge(base + "_txn_per_sec").Set(m.Throughput)
+	}
+	for kind, ret := range res.Retention {
+		base := "cluster_" + strings.ReplaceAll(string(kind), "-", "_")
+		reg.Gauge(base + "_retention").Set(ret)
+	}
+	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // metricBase builds the metric-name prefix for one measurement. Engine
 // kinds contain '-', which the flat metric namespace spells '_'.
 func metricBase(workload string, m Measurement) string {

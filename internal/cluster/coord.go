@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"nstore/internal/wire"
+)
+
+// Coordinator is the in-process placement service: it owns the shard map,
+// tracks node leases from heartbeats, promotes backups when a primary's
+// lease expires, and re-seeds replacement backups. One goroutine checks
+// leases; re-seeds run in their own goroutines because a snapshot can take
+// a while and must not block failure detection.
+//
+// It is deliberately not consensus — a single coordinator process stands in
+// for the placement driver (pd/) a production deployment would run
+// replicated. The replication protocol itself never trusts the coordinator
+// blindly: epochs fence deposed primaries even if the coordinator
+// misbehaves (see DESIGN.md §11).
+type Coordinator struct {
+	c *Cluster
+
+	mu     sync.Mutex
+	m      *wire.ShardMap
+	lastHB map[string]time.Time
+	dead   map[string]bool
+	// reseeding guards one in-flight re-seed per shard.
+	reseeding map[int]bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newCoordinator(c *Cluster) *Coordinator {
+	return &Coordinator{
+		c:         c,
+		lastHB:    make(map[string]time.Time),
+		dead:      make(map[string]bool),
+		reseeding: make(map[int]bool),
+		stop:      make(chan struct{}),
+	}
+}
+
+// Heartbeat records a node's liveness report (called in-process by the
+// node's heartbeat loop).
+func (co *Coordinator) Heartbeat(addr string) {
+	co.mu.Lock()
+	if !co.dead[addr] {
+		co.lastHB[addr] = time.Now()
+	}
+	co.mu.Unlock()
+}
+
+// Map returns the coordinator's current shard map.
+func (co *Coordinator) Map() *wire.ShardMap {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.m.Clone()
+}
+
+// install publishes a new map version to every live node. Caller holds
+// co.mu.
+func (co *Coordinator) installLocked() {
+	co.m.Version++
+	m := co.m.Clone()
+	for _, n := range co.c.Nodes {
+		if !co.dead[n.addr] {
+			n.SetMap(m)
+		}
+	}
+}
+
+// run is the lease checker.
+func (co *Coordinator) run() {
+	defer co.wg.Done()
+	t := time.NewTicker(co.c.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.stop:
+			return
+		case <-t.C:
+			co.checkLeases()
+		}
+	}
+}
+
+func (co *Coordinator) checkLeases() {
+	co.mu.Lock()
+	now := time.Now()
+	var expired []string
+	for addr, last := range co.lastHB {
+		if !co.dead[addr] && now.Sub(last) > co.c.cfg.Lease {
+			expired = append(expired, addr)
+		}
+	}
+	co.mu.Unlock()
+	for _, addr := range expired {
+		co.MarkDead(addr)
+	}
+}
+
+// MarkDead declares a node failed and runs failover for every shard it
+// touched: a primary's backup is promoted at a bumped epoch (fencing the
+// old primary), a dead backup is simply dropped; either way a replacement
+// backup is re-seeded on a spare node.
+func (co *Coordinator) MarkDead(addr string) {
+	co.mu.Lock()
+	if co.dead[addr] {
+		co.mu.Unlock()
+		return
+	}
+	co.dead[addr] = true
+	var reseed []int
+	changed := false
+	for i := range co.m.Shards {
+		r := &co.m.Shards[i]
+		switch addr {
+		case r.Primary:
+			changed = true
+			r.Epoch++
+			r.Primary, r.Backup = r.Backup, ""
+			if r.Primary != "" {
+				if n := co.c.nodeByAddr(r.Primary); n != nil {
+					n.Promote(i, r.Epoch)
+				}
+				reseed = append(reseed, i)
+			}
+		case r.Backup:
+			changed = true
+			r.Backup = ""
+			reseed = append(reseed, i)
+		}
+	}
+	if changed {
+		co.installLocked()
+	}
+	co.mu.Unlock()
+	for _, shard := range reseed {
+		co.scheduleReseed(shard)
+	}
+}
+
+// scheduleReseed starts (at most one per shard) a background re-seed of a
+// replacement backup.
+func (co *Coordinator) scheduleReseed(shard int) {
+	co.mu.Lock()
+	if co.reseeding[shard] {
+		co.mu.Unlock()
+		return
+	}
+	primary := co.m.Shards[shard].Primary
+	spare := co.spareLocked(shard)
+	if primary == "" || spare == "" {
+		co.mu.Unlock()
+		return // nowhere to seed from, or to
+	}
+	co.reseeding[shard] = true
+	co.mu.Unlock()
+
+	co.wg.Add(1)
+	go func() {
+		defer co.wg.Done()
+		pn := co.c.nodeByAddr(primary)
+		err := error(nil)
+		if pn != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), co.c.cfg.ReseedTimeout)
+			err = pn.Reseed(ctx, shard, spare)
+			cancel()
+		}
+		co.mu.Lock()
+		co.reseeding[shard] = false
+		if err == nil && pn != nil && co.m.Shards[shard].Primary == primary && !co.dead[spare] {
+			co.m.Shards[shard].Backup = spare
+			co.installLocked()
+		}
+		co.mu.Unlock()
+	}()
+}
+
+// spareLocked picks a live node that is not the shard's primary — preferring
+// one that backs the fewest shards so replacements spread out.
+func (co *Coordinator) spareLocked(shard int) string {
+	load := make(map[string]int)
+	for _, r := range co.m.Shards {
+		if r.Backup != "" {
+			load[r.Backup]++
+		}
+	}
+	best := ""
+	for _, n := range co.c.Nodes {
+		a := n.addr
+		if co.dead[a] || a == co.m.Shards[shard].Primary {
+			continue
+		}
+		if best == "" || load[a] < load[best] {
+			best = a
+		}
+	}
+	return best
+}
+
+// close stops the lease loop and waits for in-flight re-seeds. Idempotent:
+// tests close the cluster explicitly before a power-cycle drill and the
+// cleanup hook closes it again.
+func (co *Coordinator) close() {
+	co.stopOnce.Do(func() { close(co.stop) })
+	co.wg.Wait()
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nstore/internal/core"
+	"nstore/internal/engine/enginetest"
+	"nstore/internal/netclient"
+	"nstore/internal/testbed"
+	"nstore/internal/wire"
+)
+
+// TestClusterNodeKillSoak is the replicated acked-commit contract, end to
+// end and replayable from -seed: six engines, three nodes, two shards,
+// concurrent unique-key inserts through the shard router, and a SIGKILL of
+// shard 0's primary (listener and every connection cut mid-frame, nothing
+// flushed) once a third of the schedule has acked. The cluster must fail
+// over by itself — promote the backup, fence the old epoch, re-seed a
+// replacement — while the workers keep writing through the blackout.
+//
+// The acceptance bar is zero acked-commit loss and zero divergence: every
+// key the schedule acked is readable afterwards, every shard's primary and
+// backup are digest-identical, and both match an in-process oracle that
+// applied the same schedule to a plain testbed DB. Then the promoted node
+// is power-cycled (Crash + Recover) and its shards must still match the
+// oracle — what replication acked, local durability also kept.
+//
+// The schedule is unique-key inserts with key-derived rows, so the one
+// ambiguity a kill leaves (did my insert commit before the cut?) resolves
+// exactly: a retry answered KeyExists IS the earlier ack.
+func TestClusterNodeKillSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("node-kill soak is a nightly test")
+	}
+	for _, kind := range testbed.Kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			clusterSoakOne(t, kind, enginetest.BaseSeed())
+		})
+	}
+}
+
+const (
+	clusterSoakShards  = 2
+	clusterSoakNodes   = 3
+	clusterSoakKeys    = 180
+	clusterSoakWorkers = 6
+)
+
+func clusterSoakOne(t *testing.T, kind testbed.EngineKind, seed int64) {
+	c := startCluster(t, kind, Config{
+		Shards: clusterSoakShards, Nodes: clusterSoakNodes, Seed: seed,
+		HeartbeatEvery: 10 * time.Millisecond,
+		Lease:          80 * time.Millisecond,
+		Options:        core.Options{GroupCommitSize: 4},
+	})
+	r := c.Router(netclient.Config{
+		Conns:     2,
+		Seed:      seed,
+		RetryMax:  30,
+		RetryBase: time.Millisecond,
+		RetryCap:  50 * time.Millisecond,
+	})
+	defer r.Close()
+	ctx := context.Background()
+
+	// The kill fires once a third of the schedule has acked: whoever is
+	// shard 0's primary at that moment dies abruptly.
+	var acked atomic.Int64
+	var killOnce sync.Once
+	killTrigger := make(chan struct{})
+	victimCh := make(chan *Node, 1)
+	go func() {
+		<-killTrigger
+		victim := c.nodeByAddr(c.Coord.Map().Shards[0].Primary)
+		victim.Kill()
+		victimCh <- victim
+	}()
+
+	var wg sync.WaitGroup
+	workerErr := make(chan error, clusterSoakWorkers)
+	for w := 0; w < clusterSoakWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for key := uint64(w); key < clusterSoakKeys; key += clusterSoakWorkers {
+				if err := clusterSoakPut(ctx, r, key); err != nil {
+					workerErr <- fmt.Errorf("key %d: %w", key, err)
+					return
+				}
+				if n := acked.Add(1); n == clusterSoakKeys/3 {
+					killOnce.Do(func() { close(killTrigger) })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(workerErr)
+	for err := range workerErr {
+		t.Fatal(err)
+	}
+	killOnce.Do(func() { close(killTrigger) }) // tiny schedules: kill anyway
+	victim := <-victimCh
+
+	// Wait for the heal: every shard routed to a live primary AND a live
+	// re-seeded backup, none of them the victim.
+	deadline := time.Now().Add(30 * time.Second)
+	var m *wire.ShardMap
+	for {
+		m = c.Coord.Map()
+		healed := true
+		for _, route := range m.Shards {
+			if route.Primary == "" || route.Backup == "" ||
+				route.Primary == victim.addr || route.Backup == victim.addr {
+				healed = false
+			}
+		}
+		if healed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster did not heal after the kill: %+v", m.Shards)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Zero acked-commit loss over the wire: every key of the schedule is
+	// readable through the router with its exact row.
+	for key := uint64(0); key < clusterSoakKeys; key++ {
+		resp, err := r.DoRetry(ctx, &wire.Request{Part: -1, Op: wire.OpGet, Table: "t", Key: key})
+		if err != nil {
+			t.Fatalf("get %d after heal: %v", key, err)
+		}
+		if resp.Status != wire.StatusOK || !resp.Found {
+			t.Fatalf("acked key %d missing after failover: %v found=%v (%s)", key, resp.Status, resp.Found, resp.Msg)
+		}
+		if resp.Row[1].I != int64(key)*3+1 {
+			t.Fatalf("acked key %d corrupted: %+v", key, resp.Row)
+		}
+	}
+
+	// In-process oracle: the same schedule applied to a plain testbed DB,
+	// keys placed by the same shard hash. Replication, the kill, the
+	// failover and the re-seed must all be invisible in the final state.
+	ref, err := testbed.New(testbed.Config{
+		Engine:     kind,
+		Partitions: clusterSoakShards,
+		Env:        core.EnvConfig{DeviceSize: 32 << 20},
+		Options:    core.Options{GroupCommitSize: 1},
+		Schemas:    schemas(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPart := make([][]testbed.Txn, clusterSoakShards)
+	for key := uint64(0); key < clusterSoakKeys; key++ {
+		key := key
+		s := wire.ShardOf(key, clusterSoakShards)
+		perPart[s] = append(perPart[s], func(e core.Engine) error {
+			return e.Insert("t", key, testRow(key))
+		})
+	}
+	if _, err := ref.ExecuteSequential(perPart); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := make([][32]byte, clusterSoakShards)
+	for s := 0; s < clusterSoakShards; s++ {
+		if oracle[s], err = ref.PartitionDigest(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Per-shard digest equality: primary == backup == oracle.
+	for s, route := range m.Shards {
+		p, b := c.nodeByAddr(route.Primary), c.nodeByAddr(route.Backup)
+		wantShardDigestEqual(t, s, p, b)
+		dp, err := p.DB().PartitionDigest(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp != oracle[s] {
+			t.Fatalf("shard %d diverged from the in-process oracle:\n  cluster %x\n  oracle  %x", s, dp[:8], oracle[s][:8])
+		}
+	}
+
+	// Power-cycle drill on the promoted node: shut the cluster down
+	// gracefully (the t.Cleanup close is idempotent), cut power to the node
+	// that took over shard 0, recover it, and its shards must still match
+	// the oracle — the replicated acks were also locally durable.
+	promoted := c.nodeByAddr(m.Shards[0].Primary)
+	c.Close()
+	promoted.DB().Crash()
+	if _, err := promoted.DB().Recover(); err != nil {
+		t.Fatalf("promoted node recovery: %v", err)
+	}
+	for s, route := range m.Shards {
+		if route.Primary != promoted.addr && route.Backup != promoted.addr {
+			continue
+		}
+		d, err := promoted.DB().PartitionDigest(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != oracle[s] {
+			t.Fatalf("shard %d on the promoted node lost state across a power cycle:\n  recovered %x\n  oracle    %x", s, d[:8], oracle[s][:8])
+		}
+	}
+	t.Logf("%s: %d keys acked through a node kill; victim=%s promoted=%s epoch=%d",
+		kind, clusterSoakKeys, victim.name, promoted.name, m.Shards[0].Epoch)
+}
+
+// clusterSoakPut lands one unique-key insert definitively through the
+// router: it loops until the insert is acked, treating KeyExists on a retry
+// as the ack a killed primary swallowed. Transport errors (including a whole
+// failover blackout) are retried; any other terminal status fails the soak.
+func clusterSoakPut(ctx context.Context, r *netclient.Router, key uint64) error {
+	var last error
+	for round := 0; round < 60; round++ {
+		resp, err := r.DoRetry(ctx, putReq(key))
+		if err != nil {
+			last = err // blackout mid-failover: back off and go again
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		switch resp.Status {
+		case wire.StatusOK, wire.StatusKeyExists:
+			return nil
+		default:
+			return &wire.StatusError{Status: resp.Status, Msg: resp.Msg}
+		}
+	}
+	return fmt.Errorf("never acked: %w", last)
+}

@@ -30,6 +30,13 @@ var (
 	ErrConnDropped = core.Retryable(errors.New("netclient: connection dropped"))
 	ErrTimeout     = core.Retryable(errors.New("netclient: request timed out"))
 	ErrClosed      = errors.New("netclient: client closed")
+
+	// ErrUnavailable marks an endpoint as gone, not glitching: MaxRedials
+	// consecutive dials failed without a single success. Deliberately NOT
+	// tagged retryable — DoRetry gives up immediately so a dead node costs
+	// one error, not a full backoff ladder. The next Do still attempts a
+	// dial, so an endpoint that does come back is rediscovered.
+	ErrUnavailable = errors.New("netclient: endpoint unavailable")
 )
 
 // Config parameterizes a Client.
@@ -53,6 +60,10 @@ type Config struct {
 	// connections, timeouts). Ambiguous — see ErrConnDropped. Defaults
 	// true; set NoRetryOnDrop to disable.
 	NoRetryOnDrop bool
+	// MaxRedials caps consecutive failed dials per connection before errors
+	// flip from retryable ErrConnDropped to terminal ErrUnavailable
+	// (default 5). A successful dial resets the count.
+	MaxRedials int
 	// Seed seeds the backoff jitter so a soak replays.
 	Seed int64
 }
@@ -78,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryCap <= 0 {
 		c.RetryCap = 50 * time.Millisecond
+	}
+	if c.MaxRedials <= 0 {
+		c.MaxRedials = 5
 	}
 	return c
 }
@@ -108,10 +122,11 @@ type result struct {
 type cconn struct {
 	cl *Client
 
-	mu      sync.Mutex
-	c       net.Conn
-	gen     uint64 // bumped per successful dial, so a stale reader can't kill its successor
-	pending map[uint64]chan result
+	mu        sync.Mutex
+	c         net.Conn
+	gen       uint64 // bumped per successful dial, so a stale reader can't kill its successor
+	dialFails int    // consecutive failed dials; at MaxRedials errors become ErrUnavailable
+	pending   map[uint64]chan result
 }
 
 // New creates a client for addr. No connection is made until the first
@@ -198,7 +213,7 @@ func (cl *Client) DoRetry(ctx context.Context, req *wire.Request) (*wire.Respons
 			return resp, nil
 		case err == nil:
 			lastErr = &wire.StatusError{Status: resp.Status, Msg: resp.Msg}
-		case errors.Is(err, ErrClosed) || errors.Is(err, ctx.Err()):
+		case errors.Is(err, ErrClosed) || errors.Is(err, ErrUnavailable) || errors.Is(err, ctx.Err()):
 			return nil, err
 		case cl.cfg.NoRetryOnDrop:
 			return nil, err
@@ -246,10 +261,16 @@ func (cc *cconn) dialLocked() error {
 	}
 	c, err := net.DialTimeout("tcp", cc.cl.addr, cc.cl.cfg.DialTimeout)
 	if err != nil {
+		cc.dialFails++
+		if cc.dialFails >= cc.cl.cfg.MaxRedials {
+			return fmt.Errorf("%w: %d consecutive dial failures to %s: %v",
+				ErrUnavailable, cc.dialFails, cc.cl.addr, err)
+		}
 		return fmt.Errorf("%w: %v", ErrConnDropped, err)
 	}
 	cc.c = c
 	cc.gen++
+	cc.dialFails = 0
 	go cc.read(c, cc.gen)
 	return nil
 }

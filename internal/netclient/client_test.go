@@ -191,3 +191,69 @@ func TestClosedClient(t *testing.T) {
 		t.Fatalf("DoRetry on closed client: %v", err)
 	}
 }
+
+// TestUnavailableAfterRedialCap checks a client pointed at a dead endpoint
+// stops burning retry attempts once MaxRedials consecutive dials fail:
+// DoRetry must surface ErrUnavailable immediately instead of looping through
+// its whole retry budget, and a later Do against a revived endpoint must
+// still dial (the cap fails requests, it does not poison the client).
+func TestUnavailableAfterRedialCap(t *testing.T) {
+	// Reserve an address, then close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cl := New(addr, Config{
+		MaxRedials: 2,
+		RetryMax:   50, // would take ages if the cap didn't short-circuit
+		RetryBase:  time.Millisecond,
+		RetryCap:   2 * time.Millisecond,
+	})
+	defer cl.Close()
+	start := time.Now()
+	_, err = cl.DoRetry(context.Background(), &wire.Request{Part: -1, Op: wire.OpGet, Table: "t", Key: 1})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("unavailable endpoint took %v to report; cap did not short-circuit", elapsed)
+	}
+
+	// Revive the endpoint on the SAME address: the capped client's next Do
+	// must still dial and succeed (rediscovery, not permanent poisoning).
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s to test rediscovery: %v", addr, err)
+	}
+	go func() {
+		for {
+			c, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				for {
+					payload, err := wire.ReadFrame(br, 0)
+					if err != nil {
+						return
+					}
+					req, err := wire.DecodeRequest(payload)
+					if err != nil {
+						return
+					}
+					out, _ := wire.EncodeResponse(&wire.Response{ID: req.ID, Status: wire.StatusOK})
+					wire.WriteFrame(c, out)
+				}
+			}()
+		}
+	}()
+	defer ln2.Close()
+	if _, err := cl.Do(context.Background(), &wire.Request{Part: -1, Op: wire.OpGet, Table: "t", Key: 1}); err != nil {
+		t.Fatalf("revived endpoint: %v", err)
+	}
+}

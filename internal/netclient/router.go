@@ -1,0 +1,247 @@
+package netclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"nstore/internal/wire"
+)
+
+// ErrNoRoute means the router has no live shard map that covers the request
+// (no seed answered a SHARDMAP probe, or the shard has no primary).
+var ErrNoRoute = errors.New("netclient: no route to shard")
+
+// Router is the cluster-aware client: it keeps a shard map fetched over the
+// wire (OpShardMap), pins each request to its shard's primary, and reroutes
+// through failover — on StatusNotPrimary or a transport failure it refreshes
+// the map (highest Version wins) and retries against the new primary with the
+// same capped jittered backoff discipline DoRetry uses per node.
+//
+// Requests with Part == -1 are routed by wire.ShardOf(Key); requests with an
+// explicit Part (TPC-C's warehouse pinning) treat Part as the shard id.
+type Router struct {
+	cfg   Config
+	seeds []string
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	mu      sync.Mutex
+	clients map[string]*Client
+	m       *wire.ShardMap
+	closed  bool
+}
+
+// NewRouter creates a router over the seed node addresses. The first request
+// (or an explicit Refresh) fetches the shard map from a seed.
+func NewRouter(seeds []string, cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	return &Router{
+		cfg:     cfg,
+		seeds:   append([]string(nil), seeds...),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
+		clients: make(map[string]*Client),
+	}
+}
+
+// Close severs every per-node client.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	for _, cl := range r.clients {
+		cl.Close()
+	}
+	return nil
+}
+
+// Map returns the router's current shard map (nil before the first refresh).
+func (r *Router) Map() *wire.ShardMap {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		return nil
+	}
+	return r.m.Clone()
+}
+
+// client returns (creating if needed) the pooled client for addr.
+func (r *Router) client(addr string) (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	cl, ok := r.clients[addr]
+	if !ok {
+		cl = New(addr, r.cfg)
+		r.clients[addr] = cl
+	}
+	return cl, nil
+}
+
+// Refresh fetches the shard map from every known address (seeds plus the
+// nodes named by the current map) and installs the highest version seen.
+// Returns ErrNoRoute if nobody answered.
+func (r *Router) Refresh(ctx context.Context) error {
+	addrs := r.knownAddrs()
+	var best *wire.ShardMap
+	for _, addr := range addrs {
+		cl, err := r.client(addr)
+		if err != nil {
+			return err
+		}
+		resp, err := cl.Do(ctx, &wire.Request{Op: wire.OpShardMap, Part: -1})
+		if err != nil || resp.Status != wire.StatusOK || resp.Map == nil {
+			continue
+		}
+		if best == nil || resp.Map.Version > best.Version {
+			best = resp.Map
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("%w: no shard map from %d seeds", ErrNoRoute, len(addrs))
+	}
+	r.mu.Lock()
+	if r.m == nil || best.Version > r.m.Version {
+		r.m = best
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// knownAddrs is seeds ∪ addresses named by the current map, seeds first.
+func (r *Router) knownAddrs() []string {
+	seen := make(map[string]bool)
+	var addrs []string
+	add := func(a string) {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+	}
+	for _, a := range r.seeds {
+		add(a)
+	}
+	r.mu.Lock()
+	if r.m != nil {
+		for _, s := range r.m.Shards {
+			add(s.Primary)
+			add(s.Backup)
+		}
+	}
+	r.mu.Unlock()
+	return addrs
+}
+
+// route resolves the request's shard and primary under the current map,
+// refreshing first if the router has no map yet.
+func (r *Router) route(ctx context.Context, req *wire.Request) (*Client, int32, error) {
+	r.mu.Lock()
+	m := r.m
+	r.mu.Unlock()
+	if m == nil {
+		if err := r.Refresh(ctx); err != nil {
+			return nil, 0, err
+		}
+		r.mu.Lock()
+		m = r.m
+		r.mu.Unlock()
+	}
+	shard := int(req.Part)
+	if req.Part < 0 {
+		shard = m.ShardOf(req.Key)
+	}
+	if shard >= len(m.Shards) {
+		return nil, 0, fmt.Errorf("%w: shard %d beyond map of %d", ErrNoRoute, shard, len(m.Shards))
+	}
+	primary := m.Shards[shard].Primary
+	if primary == "" {
+		return nil, 0, fmt.Errorf("%w: shard %d has no primary", ErrNoRoute, shard)
+	}
+	cl, err := r.client(primary)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cl, int32(shard), nil
+}
+
+// Do routes one request to its shard's primary and returns the response.
+// No retries, no map refresh on failure — use DoRetry for the full failover
+// discipline.
+func (r *Router) Do(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	cl, shard, err := r.route(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	rc := *req
+	rc.Part = shard
+	return cl.Do(ctx, &rc)
+}
+
+// DoRetry is Do plus the failover discipline: StatusNotPrimary, retryable
+// statuses, and transport failures trigger a shard-map refresh and a
+// re-route with capped jittered backoff. StatusStaleEpoch is terminal here
+// (only a fenced ex-primary sees it, never a client). The error is non-nil
+// only if every attempt failed to produce a definitive response.
+func (r *Router) DoRetry(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.RetryMax; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(r.backoff(attempt)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		cl, shard, err := r.route(ctx, req)
+		if err != nil {
+			if errors.Is(err, ErrClosed) || errors.Is(err, ctx.Err()) {
+				return nil, err
+			}
+			// No route: the map may be stale (all primaries moved); refresh
+			// and try again.
+			lastErr = err
+			r.Refresh(ctx)
+			continue
+		}
+		rc := *req
+		rc.Part = shard
+		resp, err := cl.Do(ctx, &rc)
+		switch {
+		case err == nil && resp.Status == wire.StatusNotPrimary:
+			// The map is stale: this node lost (or never had) the shard.
+			lastErr = &wire.StatusError{Status: resp.Status, Msg: resp.Msg}
+			r.Refresh(ctx)
+		case err == nil && resp.Status.Retryable():
+			lastErr = &wire.StatusError{Status: resp.Status, Msg: resp.Msg}
+		case err == nil:
+			return resp, nil
+		case errors.Is(err, ErrClosed) || errors.Is(err, ctx.Err()):
+			return nil, err
+		default:
+			// Transport failure (drop, timeout, or the node is gone for good
+			// per ErrUnavailable): the primary may have died — refresh and
+			// fail over. Ambiguity is the caller's to resolve, same as
+			// Client.DoRetry (unique-key inserts treat KeyExists as the ack).
+			lastErr = err
+			r.Refresh(ctx)
+		}
+	}
+	return nil, fmt.Errorf("netclient: %d routed attempts exhausted: %w", r.cfg.RetryMax, lastErr)
+}
+
+func (r *Router) backoff(attempt int) time.Duration {
+	d := r.cfg.RetryBase << (attempt - 1)
+	if d > r.cfg.RetryCap || d <= 0 {
+		d = r.cfg.RetryCap
+	}
+	r.jmu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d/2) + 1))
+	r.jmu.Unlock()
+	return d/2 + j
+}

@@ -44,6 +44,8 @@ type Flags struct {
 	Listen           string
 	Connect          string
 	Conns            int
+	Cluster          int
+	ClusterKill      bool
 }
 
 // Register installs the drill flags on fs, preserving the historical flag
@@ -59,6 +61,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Listen, "listen", "", "serve the loaded database over the wire protocol on this address (e.g. 127.0.0.1:7070)")
 	fs.StringVar(&f.Connect, "connect", "", "drive the workload against a wire server at this address instead of a local database")
 	fs.IntVar(&f.Conns, "conns", 4, "connect mode: client connection pool size")
+	fs.IntVar(&f.Cluster, "cluster", 0, "drive the workload against an in-process replicated cluster of this many nodes (>= 2; one shard per partition, primary→backup log shipping in the ack path)")
+	fs.BoolVar(&f.ClusterKill, "cluster-kill", false, "cluster mode: kill shard 0's primary a third of the way in and drive the rest through the failover")
 	return f
 }
 
@@ -74,8 +78,17 @@ func (f *Flags) Validate() error {
 	if f.Connect != "" {
 		n++
 	}
+	if f.Cluster != 0 {
+		n++
+	}
 	if n > 1 {
-		return errors.New("netdrill: -serve, -listen and -connect are mutually exclusive")
+		return errors.New("netdrill: -serve, -listen, -connect and -cluster are mutually exclusive")
+	}
+	if f.Cluster != 0 && f.Cluster < 2 {
+		return errors.New("netdrill: -cluster needs at least 2 nodes to replicate")
+	}
+	if f.ClusterKill && f.Cluster == 0 {
+		return errors.New("netdrill: -cluster-kill requires -cluster")
 	}
 	return nil
 }
@@ -159,12 +172,18 @@ func (r Result) Throughput() float64 {
 	return float64(r.Acked) / r.Elapsed.Seconds()
 }
 
+// Doer abstracts the two client shapes a drill can drive: a single-server
+// netclient.Client, or a netclient.Router fronting a replicated cluster.
+type Doer interface {
+	DoRetry(ctx context.Context, req *wire.Request) (*wire.Response, error)
+}
+
 // Drive pushes the per-partition request streams through the client with
 // `clients` concurrent workers per stream, retrying retryable statuses and
 // transport drops. StatusKeyExists counts as acked: drill schedules make
 // every insert unique, so KeyExists on a retry is the ack an earlier dropped
 // connection swallowed (the same resolution the chaos soak uses).
-func Drive(ctx context.Context, cl *netclient.Client, streams [][]*wire.Request, clients int) (Result, error) {
+func Drive(ctx context.Context, cl Doer, streams [][]*wire.Request, clients int) (Result, error) {
 	if clients <= 0 {
 		clients = 1
 	}

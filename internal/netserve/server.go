@@ -37,6 +37,25 @@ import (
 	"nstore/internal/wire"
 )
 
+// Replicator hooks a cluster layer into the server's request path. All three
+// methods are optional behaviors of one implementation (internal/cluster);
+// a nil Replicator leaves the server single-node.
+type Replicator interface {
+	// Admit screens an already-routed request before execution. A non-nil
+	// error (typically wire.StatusError{StatusNotPrimary}) rejects it —
+	// this is how a backup refuses client traffic.
+	Admit(part int, req *wire.Request) error
+	// Commit wraps a write's execution. Implementations call submit() —
+	// which runs the transaction through the runtime and returns after the
+	// group-commit durability barrier — under their own shard ordering
+	// discipline, ship the batch to the backup, and return only when the
+	// ack may be released to the client. The returned error replaces
+	// submit's for status mapping.
+	Commit(ctx context.Context, part int, req *wire.Request, submit func() error) error
+	// Handle serves a replication-plane request (req.Op.IsRepl()).
+	Handle(ctx context.Context, req *wire.Request) *wire.Response
+}
+
 // Config parameterizes a Server.
 type Config struct {
 	// MaxConns bounds concurrent connections (default 256). A connection
@@ -48,6 +67,10 @@ type Config struct {
 	// ScanLimit caps rows per scan when the request asks for no limit or a
 	// larger one (default 1024).
 	ScanLimit int
+	// Repl, when non-nil, is the cluster layer's hook into the request
+	// path: role admission, ack-after-replication on writes, and the
+	// replication-plane ops.
+	Repl Replicator
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +176,23 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// Kill severs the server abruptly — the SIGKILL stand-in for node-death
+// chaos: the listener and every connection close immediately, nothing drains,
+// nothing flushes, in-flight responses go nowhere. Unlike Close it does not
+// wait for handler goroutines; the caller must treat the node as gone.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for c := range s.conns {
+		c.c.Close()
+	}
 }
 
 func (s *Server) accept() {
@@ -300,10 +340,25 @@ func (s *Server) exec(ctx context.Context, req *wire.Request) *wire.Response {
 	if m, ok := s.mOps[req.Op]; ok {
 		m.Inc()
 	}
+	if req.Op.IsRepl() {
+		if s.cfg.Repl == nil {
+			resp.Status, resp.Msg = wire.StatusBadRequest, "not a cluster node"
+			return resp
+		}
+		r := s.cfg.Repl.Handle(ctx, req)
+		r.ID = req.ID
+		return r
+	}
 	part, err := s.route(req)
 	if err != nil {
 		resp.Status, resp.Msg = wire.StatusBadRequest, err.Error()
 		return resp
+	}
+	if s.cfg.Repl != nil {
+		if err := s.cfg.Repl.Admit(part, req); err != nil {
+			resp.Status, resp.Msg = statusOf(err)
+			return resp
+		}
 	}
 	if err := s.validate(req); err != nil {
 		resp.Status, resp.Msg = wire.StatusBadRequest, err.Error()
@@ -339,7 +394,16 @@ func (s *Server) exec(ctx context.Context, req *wire.Request) *wire.Response {
 		}
 		return nil
 	}
-	err = s.rt.SubmitPart(ctx, part, txn)
+	if s.cfg.Repl != nil {
+		// The cluster layer owns the write: it serializes per shard, runs
+		// submit (local durability), ships the batch, and only returns when
+		// the backup acked — or with the error that must mask the result.
+		err = s.cfg.Repl.Commit(ctx, part, req, func() error {
+			return s.rt.SubmitPart(ctx, part, txn)
+		})
+	} else {
+		err = s.rt.SubmitPart(ctx, part, txn)
+	}
 	resp.Status, resp.Msg = statusOf(err)
 	if resp.Status != wire.StatusOK {
 		resp.Found, resp.Row, resp.Keys, resp.Rows, resp.Subs = false, nil, nil, nil, nil
@@ -468,6 +532,27 @@ func (s *Server) applyRead(v core.ReadView, req *wire.Request, resp *wire.Respon
 // Result rows are deep-copied: the response is encoded after the executor
 // has moved on, and engines hand out views into storage they may rewrite.
 func (s *Server) apply(eng core.Engine, req *wire.Request, resp *wire.Response) error {
+	return applyOp(eng, req, resp, s.cfg.ScanLimit)
+}
+
+// ApplyOps lowers a shipped batch of sub-ops into one replay transaction for
+// a backup: each op applied in order against the engine, results discarded.
+// RMW adds are recomputed from the local pre-image — replicas apply batches
+// in sequence order from identical state, so the recomputation lands on the
+// primary's value. Reads inside a batch are harmless no-ops.
+func ApplyOps(ops []wire.Request) func(core.Engine) error {
+	return func(eng core.Engine) error {
+		for i := range ops {
+			var sink wire.Response
+			if err := applyOp(eng, &ops[i], &sink, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func applyOp(eng core.Engine, req *wire.Request, resp *wire.Response, scanLimit int) error {
 	switch req.Op {
 	case wire.OpGet:
 		row, ok, err := eng.Get(req.Table, req.Key)
@@ -483,8 +568,8 @@ func (s *Server) apply(eng core.Engine, req *wire.Request, resp *wire.Response) 
 		return eng.Delete(req.Table, req.Key)
 	case wire.OpScan:
 		limit := int(req.Limit)
-		if limit <= 0 || limit > s.cfg.ScanLimit {
-			limit = s.cfg.ScanLimit
+		if limit <= 0 || limit > scanLimit {
+			limit = scanLimit
 		}
 		resp.Keys = []uint64{}
 		resp.Rows = [][]core.Value{}
@@ -536,6 +621,12 @@ func copyRow(row []core.Value) []core.Value {
 // could embed one; the serve sentinels come before the generic retryable
 // check because they carry the retryable tag too.
 func statusOf(err error) (wire.Status, string) {
+	// A wire.StatusError passes through verbatim: the cluster layer speaks
+	// in statuses (NotPrimary, StaleEpoch) that have no core sentinel.
+	var se *wire.StatusError
+	if errors.As(err, &se) {
+		return se.Status, se.Msg
+	}
 	switch {
 	case err == nil:
 		return wire.StatusOK, ""

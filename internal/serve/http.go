@@ -11,6 +11,29 @@ import (
 	"time"
 )
 
+// HealthSource is a pluggable contributor to /healthz. Lines are always
+// printed (they carry role/epoch/lag detail for operators); ok=false flips
+// the endpoint to 503 — how a cluster node reports a fenced or catching-up
+// shard so a load balancer drains it.
+type HealthSource interface {
+	HealthCheck() (lines []string, ok bool)
+}
+
+// AddHealth registers a health source consulted by every /healthz handler
+// this runtime serves (including metrics servers started earlier).
+func (rt *Runtime) AddHealth(h HealthSource) {
+	rt.healthMu.Lock()
+	rt.health = append(rt.health, h)
+	rt.healthMu.Unlock()
+}
+
+// healthSources snapshots the registered sources.
+func (rt *Runtime) healthSources() []HealthSource {
+	rt.healthMu.Lock()
+	defer rt.healthMu.Unlock()
+	return append([]HealthSource(nil), rt.health...)
+}
+
 // MetricsServer is the runtime's optional HTTP observability endpoint:
 //
 //	/metrics        JSON snapshot of the metrics registry (obs.Snapshot)
@@ -57,8 +80,18 @@ func (rt *Runtime) StartMetrics(addr string) (*MetricsServer, error) {
 				recovering = append(recovering, i)
 			}
 		}
-		if len(degraded) == 0 && len(recovering) == 0 {
+		var extra []string
+		healthy := true
+		for _, h := range rt.healthSources() {
+			lines, ok := h.HealthCheck()
+			extra = append(extra, lines...)
+			healthy = healthy && ok
+		}
+		if len(degraded) == 0 && len(recovering) == 0 && healthy {
 			fmt.Fprintln(w, "ok")
+			for _, l := range extra {
+				fmt.Fprintln(w, l)
+			}
 			return
 		}
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -67,6 +100,9 @@ func (rt *Runtime) StartMetrics(addr string) (*MetricsServer, error) {
 		}
 		if len(recovering) > 0 {
 			fmt.Fprintf(w, "recovering partitions: %v\n", recovering)
+		}
+		for _, l := range extra {
+			fmt.Fprintln(w, l)
 		}
 	})
 	// net/http/pprof registers on DefaultServeMux at import; route the same

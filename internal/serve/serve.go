@@ -174,6 +174,10 @@ type Runtime struct {
 	msMu    sync.Mutex
 	metrics []*MetricsServer
 
+	// healthMu guards the pluggable /healthz sources (see AddHealth).
+	healthMu sync.Mutex
+	health   []HealthSource
+
 	stats struct {
 		committed, aborted, failed atomic.Int64
 		retries, panics            atomic.Int64

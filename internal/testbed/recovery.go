@@ -3,6 +3,7 @@ package testbed
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
 	"time"
 
 	"nstore/internal/core"
@@ -87,28 +88,49 @@ func (db *DB) RecoverWith(parallelism int) (time.Duration, error) {
 // regardless of recovery parallelism; the bench sweep asserts exactly that.
 func (db *DB) StateDigest() ([32]byte, error) {
 	h := sha256.New()
-	var le [8]byte
-	writeU64 := func(v uint64) { binary.LittleEndian.PutUint64(le[:], v); h.Write(le[:]) }
 	for p := 0; p < db.Partitions(); p++ {
-		e := db.Engine(p)
-		for _, sch := range db.cfg.Schemas {
-			if err := e.ScanRange(sch.Name, 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
-				writeU64(pk)
-				for ci, col := range sch.Columns {
-					if col.Type == core.TInt {
-						writeU64(uint64(row[ci].I))
-					} else {
-						writeU64(uint64(len(row[ci].S)))
-						h.Write(row[ci].S)
-					}
-				}
-				return true
-			}); err != nil {
-				return [32]byte{}, err
-			}
+		if err := db.digestPartition(h, p); err != nil {
+			return [32]byte{}, err
 		}
 	}
 	var out [32]byte
 	copy(out[:], h.Sum(nil))
 	return out, nil
+}
+
+// PartitionDigest hashes one partition's visible state with the same
+// canonical serialization StateDigest uses. The cluster layer compares a
+// shard (one partition on each replica) across nodes, where whole-database
+// digests would mix in shards the nodes do not share.
+func (db *DB) PartitionDigest(p int) ([32]byte, error) {
+	h := sha256.New()
+	if err := db.digestPartition(h, p); err != nil {
+		return [32]byte{}, err
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out, nil
+}
+
+func (db *DB) digestPartition(h hash.Hash, p int) error {
+	var le [8]byte
+	writeU64 := func(v uint64) { binary.LittleEndian.PutUint64(le[:], v); h.Write(le[:]) }
+	e := db.Engine(p)
+	for _, sch := range db.cfg.Schemas {
+		if err := e.ScanRange(sch.Name, 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
+			writeU64(pk)
+			for ci, col := range sch.Columns {
+				if col.Type == core.TInt {
+					writeU64(uint64(row[ci].I))
+				} else {
+					writeU64(uint64(len(row[ci].S)))
+					h.Write(row[ci].S)
+				}
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -21,7 +21,27 @@ const (
 	OpScan   Op = 4 // ascending range scan [From, To), bounded by Limit
 	OpRmw    Op = 5 // read-modify-write: return the pre-image, apply column updates
 	OpTxn    Op = 6 // multi-op transaction (sub-ops may not nest another OpTxn)
+
+	// Replication / cluster metadata ops (the REPL_APPEND / REPL_ACK /
+	// SHARDMAP frames of the cluster layer). Part carries the shard id.
+	OpReplAppend Op = 7  // primary→backup: ship one committed batch (Epoch, Seq, Ops)
+	OpReplAck    Op = 8  // ack-state probe: ask a replica its durable (Epoch, Seq) for a shard
+	OpShardMap   Op = 9  // fetch the node's current shard map
+	OpReplSnap   Op = 10 // primary→backup: snapshot chunk for re-seeding (Phase, rows)
 )
+
+// OpReplSnap phases.
+const (
+	SnapBegin byte = 0 // clear the shard and start a snapshot at (Epoch, Seq)
+	SnapChunk byte = 1 // one table's row chunk
+	SnapDone  byte = 2 // snapshot complete; the replica is a backup at (Epoch, Seq)
+)
+
+// IsRepl reports whether the op belongs to the replication/cluster-metadata
+// plane (dispatched to the server's Replicator, never to the executor).
+func (o Op) IsRepl() bool {
+	return o == OpReplAppend || o == OpReplAck || o == OpShardMap || o == OpReplSnap
+}
 
 func (o Op) String() string {
 	switch o {
@@ -37,12 +57,21 @@ func (o Op) String() string {
 		return "rmw"
 	case OpTxn:
 		return "txn"
+	case OpReplAppend:
+		return "repl-append"
+	case OpReplAck:
+		return "repl-ack"
+	case OpShardMap:
+		return "shardmap"
+	case OpReplSnap:
+		return "repl-snap"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
 
 // Ops lists the op set (for metrics registration and sweeps).
-var Ops = []Op{OpGet, OpPut, OpDelete, OpScan, OpRmw, OpTxn}
+var Ops = []Op{OpGet, OpPut, OpDelete, OpScan, OpRmw, OpTxn,
+	OpReplAppend, OpReplAck, OpShardMap, OpReplSnap}
 
 // Status is a typed response code. The set mirrors the internal/core error
 // taxonomy plus the serving runtime's admission states, so a client on the
@@ -64,6 +93,12 @@ const (
 	StatusDegraded   Status = 9  // serve.ErrDegraded: circuit breaker open, operator needed
 	StatusClosed     Status = 10 // serve.ErrClosed: runtime shut down
 	StatusInternal   Status = 11 // anything unclassified
+	// Cluster statuses. NotPrimary tells a client its shard map is stale:
+	// refresh and re-route (the Router does this automatically). StaleEpoch
+	// rejects a REPL frame from a fenced ex-primary; on seeing it the sender
+	// must fence itself, never retry.
+	StatusNotPrimary Status = 12 // node is not the shard's primary (or wrong role for a REPL frame)
+	StatusStaleEpoch Status = 13 // REPL frame carried an epoch below the shard's current epoch
 )
 
 func (s Status) String() string {
@@ -92,6 +127,10 @@ func (s Status) String() string {
 		return "closed"
 	case StatusInternal:
 		return "internal"
+	case StatusNotPrimary:
+		return "not-primary"
+	case StatusStaleEpoch:
+		return "stale-epoch"
 	}
 	return fmt.Sprintf("status(%d)", byte(s))
 }
@@ -100,7 +139,8 @@ func (s Status) String() string {
 var Statuses = []Status{
 	StatusOK, StatusNotFound, StatusKeyExists, StatusAborted, StatusBadRequest,
 	StatusOverloaded, StatusRecovering, StatusRetryable, StatusCorrupt,
-	StatusDegraded, StatusClosed, StatusInternal,
+	StatusDegraded, StatusClosed, StatusInternal, StatusNotPrimary,
+	StatusStaleEpoch,
 }
 
 // Retryable reports whether the status is an invitation to resubmit: the
@@ -168,7 +208,15 @@ type Request struct {
 
 	Cols []RmwCol // OpRmw
 
-	Ops []Request // OpTxn sub-ops; only Op/Table/Key/Row/From/To/Limit/Cols are used
+	Ops []Request // OpTxn/OpReplAppend sub-ops; only Op/Table/Key/Row/From/To/Limit/Cols are used
+
+	// Replication fields (Part carries the shard id for every repl op).
+	Epoch uint64 // OpReplAppend/OpReplAck/OpReplSnap: fencing epoch
+	Seq   uint64 // OpReplAppend: batch sequence; OpReplSnap: snapshot floor
+	Phase byte   // OpReplSnap: SnapBegin/SnapChunk/SnapDone
+
+	SnapKeys []uint64       // OpReplSnap(SnapChunk): primary keys for Table
+	SnapRows [][]core.Value // OpReplSnap(SnapChunk): rows parallel to SnapKeys
 }
 
 // Response body kinds (self-describing, so a decoder needs no request
@@ -178,6 +226,8 @@ const (
 	respRow  byte = 1 // Get, Rmw: found flag + optional row
 	respScan byte = 2 // Scan: (key, row) list
 	respSubs byte = 3 // Txn: per-sub-op responses
+	respMap  byte = 4 // ShardMap: the node's current routing table
+	respRepl byte = 5 // ReplAppend/ReplAck: replica's durable (epoch, seq)
 )
 
 // Response is one framed response, matched to its request by ID. Pipelined
@@ -194,6 +244,14 @@ type Response struct {
 	Rows [][]core.Value // Scan: rows parallel to Keys
 
 	Subs []Response // Txn: one response per sub-op, in request order
+
+	Map *ShardMap // ShardMap: the node's current routing table
+
+	// ReplAppend/ReplAck: the replica's durable position for the shard.
+	// Encoded only when either is nonzero (a zero pair round-trips as
+	// respNone, which decodes identically).
+	Epoch uint64
+	Seq   uint64
 }
 
 // Value tags inside rows. A decoded TBytes value always has a non-nil S so
@@ -439,6 +497,10 @@ func (d *dec) opBody(req *Request) error {
 //	body(scan)       := table from to limit
 //	body(rmw)        := table key ncols { col mode value }*
 //	body(txn)        := "" nops { op byte, body }*   (sub-ops may not nest)
+//	body(repl-append):= epoch seq nops { op byte, body }*   (write sub-ops only)
+//	body(repl-ack)   := epoch
+//	body(shardmap)   := (empty)
+//	body(repl-snap)  := epoch seq phase table nrows { key row }*
 func EncodeRequest(req *Request) ([]byte, error) {
 	if req.Part < -1 {
 		return nil, fmt.Errorf("wire: partition %d out of range", req.Part)
@@ -446,6 +508,9 @@ func EncodeRequest(req *Request) ([]byte, error) {
 	dst := binary.AppendUvarint(nil, req.ID)
 	dst = binary.AppendUvarint(dst, uint64(req.Part+1))
 	dst = append(dst, byte(req.Op))
+	if req.Op.IsRepl() {
+		return appendReplBody(dst, req)
+	}
 	if req.Op != OpTxn {
 		return appendOpBody(dst, req)
 	}
@@ -466,6 +531,120 @@ func EncodeRequest(req *Request) ([]byte, error) {
 		}
 	}
 	return dst, nil
+}
+
+// appendReplBody encodes the body of a replication-plane request.
+func appendReplBody(dst []byte, req *Request) ([]byte, error) {
+	switch req.Op {
+	case OpReplAppend:
+		if len(req.Ops) == 0 {
+			return nil, errors.New("wire: empty repl batch")
+		}
+		dst = binary.AppendUvarint(dst, req.Epoch)
+		dst = binary.AppendUvarint(dst, req.Seq)
+		dst = binary.AppendUvarint(dst, uint64(len(req.Ops)))
+		for i := range req.Ops {
+			sub := &req.Ops[i]
+			dst = append(dst, byte(sub.Op))
+			var err error
+			if dst, err = appendOpBody(dst, sub); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case OpReplAck:
+		return binary.AppendUvarint(dst, req.Epoch), nil
+	case OpShardMap:
+		return dst, nil
+	case OpReplSnap:
+		if req.Phase > SnapDone {
+			return nil, fmt.Errorf("wire: unknown snapshot phase %d", req.Phase)
+		}
+		if len(req.SnapKeys) != len(req.SnapRows) {
+			return nil, fmt.Errorf("wire: snapshot chunk %d keys vs %d rows", len(req.SnapKeys), len(req.SnapRows))
+		}
+		dst = binary.AppendUvarint(dst, req.Epoch)
+		dst = binary.AppendUvarint(dst, req.Seq)
+		dst = append(dst, req.Phase)
+		dst = appendStr(dst, req.Table)
+		dst = binary.AppendUvarint(dst, uint64(len(req.SnapKeys)))
+		for i, k := range req.SnapKeys {
+			dst = binary.AppendUvarint(dst, k)
+			dst = appendRow(dst, req.SnapRows[i])
+		}
+		return dst, nil
+	}
+	return nil, fmt.Errorf("wire: cannot encode repl op %v", req.Op)
+}
+
+func (d *dec) replBody(req *Request) error {
+	var err error
+	switch req.Op {
+	case OpReplAppend:
+		if req.Epoch, err = d.uvarint(); err != nil {
+			return err
+		}
+		if req.Seq, err = d.uvarint(); err != nil {
+			return err
+		}
+		n, err := d.count(3)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return errors.New("wire: empty repl batch")
+		}
+		req.Ops = make([]Request, n)
+		for i := range req.Ops {
+			opb, err := d.byte()
+			if err != nil {
+				return err
+			}
+			req.Ops[i].Op = Op(opb)
+			req.Ops[i].Part = -1
+			if err := d.opBody(&req.Ops[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case OpReplAck:
+		req.Epoch, err = d.uvarint()
+		return err
+	case OpShardMap:
+		return nil
+	case OpReplSnap:
+		if req.Epoch, err = d.uvarint(); err != nil {
+			return err
+		}
+		if req.Seq, err = d.uvarint(); err != nil {
+			return err
+		}
+		if req.Phase, err = d.byte(); err != nil {
+			return err
+		}
+		if req.Phase > SnapDone {
+			return fmt.Errorf("wire: unknown snapshot phase %d", req.Phase)
+		}
+		if req.Table, err = d.str(); err != nil {
+			return err
+		}
+		n, err := d.count(3)
+		if err != nil {
+			return err
+		}
+		req.SnapKeys = make([]uint64, n)
+		req.SnapRows = make([][]core.Value, n)
+		for i := 0; i < n; i++ {
+			if req.SnapKeys[i], err = d.uvarint(); err != nil {
+				return err
+			}
+			if req.SnapRows[i], err = d.row(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("wire: unknown repl op %v", req.Op)
 }
 
 // RequestID extracts the request ID from a payload prefix, for error
@@ -496,7 +675,11 @@ func DecodeRequest(payload []byte) (*Request, error) {
 		return nil, err
 	}
 	req.Op = Op(op)
-	if req.Op != OpTxn {
+	if req.Op.IsRepl() {
+		if err := d.replBody(req); err != nil {
+			return nil, err
+		}
+	} else if req.Op != OpTxn {
 		if err := d.opBody(req); err != nil {
 			return nil, err
 		}
@@ -578,6 +761,13 @@ func appendRespBody(dst []byte, resp *Response, sub bool) ([]byte, error) {
 		} else {
 			dst = append(dst, 0)
 		}
+	case resp.Map != nil:
+		dst = append(dst, respMap)
+		dst = appendShardMap(dst, resp.Map)
+	case resp.Epoch != 0 || resp.Seq != 0:
+		dst = append(dst, respRepl)
+		dst = binary.AppendUvarint(dst, resp.Epoch)
+		dst = binary.AppendUvarint(dst, resp.Seq)
 	default:
 		dst = append(dst, respNone)
 	}
@@ -606,7 +796,7 @@ func (d *dec) respBody(resp *Response, sub bool) error {
 	if err != nil {
 		return err
 	}
-	if status > byte(StatusInternal) {
+	if status > byte(StatusStaleEpoch) {
 		return fmt.Errorf("wire: unknown status %d", status)
 	}
 	resp.Status = Status(status)
@@ -666,6 +856,15 @@ func (d *dec) respBody(resp *Response, sub bool) error {
 			}
 		}
 		return nil
+	case respMap:
+		resp.Map, err = d.shardMap()
+		return err
+	case respRepl:
+		if resp.Epoch, err = d.uvarint(); err != nil {
+			return err
+		}
+		resp.Seq, err = d.uvarint()
+		return err
 	}
 	return fmt.Errorf("wire: unknown response kind %d", kind)
 }

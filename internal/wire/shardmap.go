@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ShardRoute is one shard's placement: the primary that accepts writes, an
+// optional backup receiving shipped log batches, and the fencing epoch. The
+// epoch increments on every primary change; a REPL frame carrying an older
+// epoch is rejected with StatusStaleEpoch, which is how a deposed primary
+// discovers it has been fenced.
+type ShardRoute struct {
+	Epoch   uint64
+	Primary string // node address; empty means the shard is down
+	Backup  string // empty while unreplicated (backup dead or being re-seeded)
+}
+
+// ShardMap is the cluster's routing table: Version orders successive maps
+// (clients keep the highest they have seen), Shards is indexed by shard id.
+// A shard id doubles as the partition index on every node that hosts it, so
+// a request pinned to shard s executes against partition s wherever it lands.
+type ShardMap struct {
+	Version uint64
+	Shards  []ShardRoute
+}
+
+// ShardOf maps a primary key to its shard with a fixed multiplicative hash
+// (splitmix64's finalizer constant). Deliberately NOT key%n: cluster
+// placement must not be confused with the testbed's intra-node key%parts
+// routing, and the mixer spreads sequential key ranges across shards.
+func ShardOf(key uint64, shards int) int {
+	if shards <= 0 {
+		return 0
+	}
+	h := key
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(shards))
+}
+
+// ShardOf maps a key onto this map's shards.
+func (m *ShardMap) ShardOf(key uint64) int { return ShardOf(key, len(m.Shards)) }
+
+// Clone deep-copies the map so a holder can mutate its copy freely.
+func (m *ShardMap) Clone() *ShardMap {
+	out := &ShardMap{Version: m.Version, Shards: make([]ShardRoute, len(m.Shards))}
+	copy(out.Shards, m.Shards)
+	return out
+}
+
+// maxShards bounds a decoded map (a hostile count must not balloon memory).
+const maxShards = 1 << 16
+
+// appendShardMap serializes a map: version nshards { epoch primary backup }*.
+func appendShardMap(dst []byte, m *ShardMap) []byte {
+	dst = binary.AppendUvarint(dst, m.Version)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Shards)))
+	for _, s := range m.Shards {
+		dst = binary.AppendUvarint(dst, s.Epoch)
+		dst = appendStr(dst, s.Primary)
+		dst = appendStr(dst, s.Backup)
+	}
+	return dst
+}
+
+func (d *dec) shardMap() (*ShardMap, error) {
+	m := &ShardMap{}
+	var err error
+	if m.Version, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	n, err := d.count(3)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxShards {
+		return nil, fmt.Errorf("wire: shard map with %d shards", n)
+	}
+	m.Shards = make([]ShardRoute, n)
+	for i := range m.Shards {
+		if m.Shards[i].Epoch, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if m.Shards[i].Primary, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.Shards[i].Backup, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -28,6 +28,21 @@ func sampleRequests() []*Request {
 			{Op: OpPut, Part: -1, Table: "history", Key: 99, Row: []core.Value{{I: 99}, {S: []byte("h")}}},
 			{Op: OpGet, Part: -1, Table: "customer", Key: 3},
 		}},
+		{ID: 7, Part: 0, Op: OpReplAppend, Epoch: 3, Seq: 17, Ops: []Request{
+			{Op: OpPut, Part: -1, Table: "t", Key: 11, Row: []core.Value{{I: 11}, {S: []byte("r")}}},
+			{Op: OpDelete, Part: -1, Table: "t", Key: 12},
+			{Op: OpRmw, Part: -1, Table: "t", Key: 13, Cols: []RmwCol{{Col: 1, Add: true, Val: core.Value{I: 2}}}},
+		}},
+		{ID: 8, Part: 2, Op: OpReplAck, Epoch: 5},
+		{ID: 9, Part: -1, Op: OpShardMap},
+		{ID: 10, Part: 1, Op: OpReplSnap, Epoch: 4, Seq: 0, Phase: SnapBegin},
+		{ID: 11, Part: 1, Op: OpReplSnap, Epoch: 4, Phase: SnapChunk, Table: "t",
+			SnapKeys: []uint64{5, 9},
+			SnapRows: [][]core.Value{
+				{{I: 5}, {S: []byte("a")}},
+				{{I: 9}, {S: []byte{}}},
+			}},
+		{ID: 12, Part: 1, Op: OpReplSnap, Epoch: 4, Seq: 41, Phase: SnapDone},
 	}
 }
 
@@ -48,6 +63,14 @@ func sampleResponses() []*Response {
 			{Status: StatusNotFound, Msg: "gone"},
 		}},
 		{ID: 8, Status: StatusOverloaded, Msg: "queue full"},
+		{ID: 9, Status: StatusOK, Epoch: 3, Seq: 17},
+		{ID: 10, Status: StatusStaleEpoch, Msg: "epoch 2 < 5", Epoch: 5, Seq: 40},
+		{ID: 11, Status: StatusNotPrimary, Msg: "shard 1 is backup here"},
+		{ID: 12, Status: StatusOK, Map: &ShardMap{Version: 7, Shards: []ShardRoute{
+			{Epoch: 3, Primary: "127.0.0.1:7001", Backup: "127.0.0.1:7002"},
+			{Epoch: 1, Primary: "127.0.0.1:7002", Backup: ""},
+		}}},
+		{ID: 13, Status: StatusOK, Map: &ShardMap{Version: 0, Shards: []ShardRoute{}}},
 	}
 }
 
@@ -71,7 +94,8 @@ func TestRequestRoundTrip(t *testing.T) {
 }
 
 // normReq normalizes encoding-invisible differences: sub-ops always decode
-// with Part=-1 and a decoded TBytes value is never nil.
+// with Part=-1, a decoded TBytes value is never nil, and empty snapshot
+// chunks decode as empty non-nil slices.
 func normReq(r *Request) *Request {
 	c := *r
 	c.Row = normRow(r.Row)
@@ -82,6 +106,14 @@ func normReq(r *Request) *Request {
 			s.Part = -1
 			s.Row = normRow(s.Row)
 			c.Ops[i] = s
+		}
+	}
+	if len(r.SnapKeys) == 0 {
+		c.SnapKeys, c.SnapRows = nil, nil
+	} else {
+		c.SnapRows = make([][]core.Value, len(r.SnapRows))
+		for i := range r.SnapRows {
+			c.SnapRows[i] = normRow(r.SnapRows[i])
 		}
 	}
 	return &c
@@ -133,11 +165,53 @@ func TestEncodeRequestRejects(t *testing.T) {
 		{ID: 3, Part: -2, Op: OpGet, Table: "t"},                                 // bad part
 		{ID: 4, Part: -1, Op: Op(99), Table: "t"},                                // unknown op
 		{ID: 5, Part: -1, Op: OpTxn, Ops: []Request{{Op: Op(0), Table: "t"}}},    // unknown sub-op
+		{ID: 6, Part: 0, Op: OpReplAppend, Epoch: 1, Seq: 1},                     // empty repl batch
+		{ID: 7, Part: 0, Op: OpReplAppend, Epoch: 1, Seq: 1,
+			Ops: []Request{{Op: OpTxn}}}, // txn may not ride a repl batch
+		{ID: 8, Part: 0, Op: OpReplSnap, Phase: 9},                              // unknown phase
+		{ID: 9, Part: 0, Op: OpReplSnap, Phase: SnapChunk, Table: "t",
+			SnapKeys: []uint64{1}}, // keys without rows
 	}
 	for _, req := range cases {
 		if _, err := EncodeRequest(req); err == nil {
 			t.Errorf("encode %+v: want error", req)
 		}
+	}
+}
+
+// TestShardOf pins the hash placement: deterministic, in-range, not the
+// identity key%n the testbed uses internally, and reasonably balanced.
+func TestShardOf(t *testing.T) {
+	const shards = 4
+	counts := make([]int, shards)
+	identity := 0
+	for key := uint64(0); key < 4096; key++ {
+		s := ShardOf(key, shards)
+		if s < 0 || s >= shards {
+			t.Fatalf("ShardOf(%d, %d) = %d out of range", key, shards, s)
+		}
+		if s != ShardOf(key, shards) {
+			t.Fatalf("ShardOf(%d) not deterministic", key)
+		}
+		if s == int(key%shards) {
+			identity++
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n < 4096/shards/2 || n > 4096/shards*2 {
+			t.Fatalf("shard %d holds %d of 4096 keys: unbalanced", s, n)
+		}
+	}
+	if identity > 4096/shards*2 {
+		t.Fatalf("ShardOf agrees with key%%n on %d/4096 keys: looks like identity routing", identity)
+	}
+	if ShardOf(123, 0) != 0 {
+		t.Fatal("ShardOf with 0 shards must clamp to 0")
+	}
+	m := &ShardMap{Shards: make([]ShardRoute, shards)}
+	if m.ShardOf(99) != ShardOf(99, shards) {
+		t.Fatal("map ShardOf disagrees with package ShardOf")
 	}
 }
 
