@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (comma-separated): all, fig1, ycsb, tpcc, recovery, breakdown, footprint, costmodel, nodesize, synclat, ablations, wire, mvcc, cluster")
+	run := flag.String("run", "all", "experiment to run (comma-separated): all, fig1, ycsb, tpcc, recovery, breakdown, footprint, costmodel, nodesize, synclat, ablations, wire, mvcc, cluster, occ")
 	scaleName := flag.String("scale", "small", "experiment scale: small or medium")
 	partitions := flag.Int("partitions", 0, "override partition count")
 	tuples := flag.Int("tuples", 0, "override YCSB tuple count")
@@ -156,6 +156,14 @@ func main() {
 			if res, err = r.Cluster(); err == nil {
 				path := artifactPath("cluster")
 				if err = bench.WriteClusterSnapshot(path, res); err == nil {
+					fmt.Printf("wrote %s\n", path)
+				}
+			}
+		case "occ":
+			var res *bench.OCCResult
+			if res, err = r.OCC(); err == nil {
+				path := artifactPath("occ")
+				if err = bench.WriteOCCSnapshot(path, res); err == nil {
 					fmt.Printf("wrote %s\n", path)
 				}
 			}

@@ -253,3 +253,38 @@ func TestMVCCReadScalingShape(t *testing.T) {
 		}
 	}
 }
+
+func TestOCCShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := tinyScale()
+	s.Engines = []testbed.EngineKind{testbed.InP, testbed.NVMLog}
+	r := New(s, io.Discard)
+	res, err := r.OCC()
+	if err != nil {
+		t.Fatal(err) // includes any digest divergence from the serial oracle
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no measurements")
+	}
+	for _, p := range res.Points {
+		if p.Throughput <= 0 {
+			t.Errorf("%s %s/%s: zero throughput", p.Engine, p.Mix, p.Skew)
+		}
+	}
+	for _, kind := range s.Engines {
+		// Low-contention RMW must scale with writers: the artifact bar is
+		// 1.8x at 4 writers; the tiny harness allows scheduling noise.
+		if sp := res.Speedup[kind]["uniform"]; sp < 1.5 {
+			t.Errorf("%s uniform: w4/w1 speedup %.2fx, want >= 1.5x", kind, sp)
+		}
+		// The zipfian mix must actually contend.
+		if res.Conflicts[kind]["zipfian"] == 0 {
+			t.Errorf("%s zipfian: zero modeled conflicts at w4", kind)
+		}
+		if res.LiveP99[kind] <= 0 {
+			t.Errorf("%s live: no ack p99 recorded", kind)
+		}
+	}
+}

@@ -90,3 +90,34 @@ func metricBase(workload string, m Measurement) string {
 	}
 	return strings.Join(parts, "_")
 }
+
+// WriteOCCSnapshot writes the OCC write-scaling sweep to path in the
+// obs.Snapshot schema: per (engine, mix, writers) `occ_*_txn_per_sec` and
+// `_elapsed_ns` gauges from the modeled sweep, per (engine, mix)
+// `_speedup_w4` and `_conflicts_w4`, and per engine the live-run gauges
+// `occ_<engine>_live_{txn_per_sec,p99_ns,conflicts}`.
+func WriteOCCSnapshot(path string, res *OCCResult) error {
+	reg := obs.New()
+	for _, m := range res.Points {
+		base := metricBase("occ", m)
+		reg.Gauge(base + "_txn_per_sec").Set(m.Throughput)
+		reg.Gauge(base + "_elapsed_ns").Set(float64(m.Elapsed))
+	}
+	for kind, byMix := range res.Speedup {
+		for mix, sp := range byMix {
+			base := fmt.Sprintf("occ_%s_%s", strings.ReplaceAll(string(kind), "-", "_"), mix)
+			reg.Gauge(base + "_speedup_w4").Set(sp)
+			reg.Gauge(base + "_conflicts_w4").Set(float64(res.Conflicts[kind][mix]))
+		}
+	}
+	for kind, p99 := range res.LiveP99 {
+		base := fmt.Sprintf("occ_%s_live", strings.ReplaceAll(string(kind), "-", "_"))
+		reg.Gauge(base + "_p99_ns").Set(float64(p99))
+		reg.Gauge(base + "_conflicts").Set(float64(res.LiveConflicts[kind]))
+	}
+	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,427 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nstore/internal/core"
+	"nstore/internal/nvm"
+	"nstore/internal/serve"
+	"nstore/internal/testbed"
+)
+
+// occWriterCounts is the x-axis of the write-scaling sweep.
+var occWriterCounts = []int{1, 2, 4}
+
+// occMixes are the two contention shapes: "uniform" spreads RMW over the
+// whole keyspace (low contention — the scaling headline), "zipfian"
+// concentrates it on a hot head (the conflict/tail-latency story).
+var occMixes = []string{"uniform", "zipfian"}
+
+// occComputeRounds is the deterministic per-transaction compute spin (hash
+// rounds over the key) in the RMW body. It stands in for real transaction
+// logic — predicate evaluation, serialization, business rules — and makes
+// the optimistic phase the dominant cost, which is precisely the regime OCC
+// targets: execution off-lock scales with writers, only validate+apply
+// serializes.
+const occComputeRounds = 100000
+
+// OCCResult holds the write-scaling sweep (BENCH_occ.json).
+type OCCResult struct {
+	Points []Measurement
+	// Speedup[engine][mix] is modeled throughput at 4 writers over 1.
+	Speedup map[testbed.EngineKind]map[string]float64
+	// Conflicts[engine][mix] counts OCC validation failures at 4 writers.
+	Conflicts map[testbed.EngineKind]map[string]int64
+	// LiveP99[engine] is the submit→ack p99 of the live zipfian run.
+	LiveP99 map[testbed.EngineKind]time.Duration
+	// LiveConflicts[engine] counts conflicts the live run absorbed.
+	LiveConflicts map[testbed.EngineKind]int64
+}
+
+// OCC measures what concurrent optimistic write executors buy on a single
+// hot partition. For each engine and contention shape it runs the same
+// seeded RMW schedule at Writers ∈ {1,2,4} through a bulk-synchronous
+// emulation of the OCC pipeline: each round, every writer executes its next
+// transaction against its own pinned snapshot (timed on that writer's
+// clock), then the round's transactions validate and apply one by one at
+// the serialized commit point (timed on the shared commit clock); a
+// validation loser retries in the next round, paying its optimistic phase
+// again. Modeled wall clock follows the repo's parallelism convention
+// (slowest shard + serial section, as in MVCC() and the recovery sweep):
+//
+//	wall(W) = Σ commit  +  max over writers (Σ exec)
+//
+// Writers:1 is the serial oracle; every configuration must end with a
+// bit-identical table digest (increments commute, conflicts retry until
+// committed, so any divergence is a lost or doubled update). A final live
+// leg runs the real serve.Runtime with Writers:4 under the zipfian mix and
+// reports ack tail latency and absorbed conflicts.
+func (r *Runner) OCC() (*OCCResult, error) {
+	r.section("occ — optimistic write executors on a single hot partition")
+	res := &OCCResult{
+		Speedup:       make(map[testbed.EngineKind]map[string]float64),
+		Conflicts:     make(map[testbed.EngineKind]map[string]int64),
+		LiveP99:       make(map[testbed.EngineKind]time.Duration),
+		LiveConflicts: make(map[testbed.EngineKind]int64),
+	}
+	for _, kind := range r.S.Engines {
+		res.Speedup[kind] = make(map[string]float64)
+		res.Conflicts[kind] = make(map[string]int64)
+		for _, mix := range occMixes {
+			var w1 float64
+			var digest1 uint64
+			for _, writers := range occWriterCounts {
+				m, digest, conflicts, err := r.occOne(kind, mix, writers)
+				if err != nil {
+					return nil, fmt.Errorf("bench: occ: %s/%s/w%d: %w", kind, mix, writers, err)
+				}
+				res.Points = append(res.Points, m)
+				switch writers {
+				case 1:
+					w1, digest1 = m.Throughput, digest
+				default:
+					if digest != digest1 {
+						return nil, fmt.Errorf("bench: occ: %s/%s/w%d: digest %016x diverged from serial oracle %016x",
+							kind, mix, writers, digest, digest1)
+					}
+				}
+				if writers == 4 {
+					res.Conflicts[kind][mix] = conflicts
+					if w1 > 0 {
+						res.Speedup[kind][mix] = m.Throughput / w1
+					}
+				}
+			}
+		}
+		m, p99, conflicts, err := r.occLive(kind)
+		if err != nil {
+			return nil, fmt.Errorf("bench: occ: %s/live: %w", kind, err)
+		}
+		res.Points = append(res.Points, m)
+		res.LiveP99[kind] = p99
+		res.LiveConflicts[kind] = conflicts
+	}
+
+	w := r.tab()
+	fprintf(w, "engine\tmix\tw1\tw2\tw4\tw4/w1\tconflicts@w4\tlive p99\n")
+	for _, kind := range r.S.Engines {
+		for _, mix := range occMixes {
+			fprintf(w, "%s\t%s", kind, mix)
+			for _, writers := range occWriterCounts {
+				skew := fmt.Sprintf("w%d", writers)
+				for _, m := range res.Points {
+					if m.Engine == kind && m.Mix == mix && m.Skew == skew {
+						fprintf(w, "\t%s", human(m.Throughput))
+					}
+				}
+			}
+			fprintf(w, "\t%.2fx\t%d", res.Speedup[kind][mix], res.Conflicts[kind][mix])
+			if mix == "zipfian" {
+				fprintf(w, "\t%v", res.LiveP99[kind].Round(time.Microsecond))
+			} else {
+				fprintf(w, "\t-")
+			}
+			fprintf(w, "\n")
+		}
+	}
+	w.Flush()
+	return res, nil
+}
+
+// occKeys builds the deterministic op → key schedule for one mix.
+func occKeys(mix string, seed int64, ops, tuples int) []uint64 {
+	keys := make([]uint64, ops)
+	if mix == "zipfian" {
+		z := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.2, 1, uint64(tuples-1))
+		for i := range keys {
+			keys[i] = z.Uint64()
+		}
+		return keys
+	}
+	for i := range keys {
+		keys[i] = mvccKey(i, seed, tuples)
+	}
+	return keys
+}
+
+// occSpin is the transaction-logic stand-in: a deterministic hash chain
+// seeded by the key. Callers must fold a bit of the result into the written
+// row (key-deterministic, so digests stay config-independent) — an unused
+// result lets the compiler elide the whole loop and the sweep silently
+// measures nothing but fsync amortization.
+func occSpin(key uint64) uint64 {
+	h := key | 1
+	for i := 0; i < occComputeRounds; i++ {
+		h ^= h >> 31
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 29
+	}
+	return h
+}
+
+// occPreload fills one fresh single-partition DB with the keyspace. The
+// group-commit size is pinned to the writer count: one durability barrier
+// per BSP round, which is exactly the pipeline the executors target — N
+// optimistic commits share one fsync, and every barrier publishes so
+// snapshots track the frontier. (Leaving the default group of 16 with no
+// flush in the loop livelocks: snapshots pin below the buffered commits and
+// a writer conflicts with its own unpublished history forever.)
+func (r *Runner) occPreload(kind testbed.EngineKind, groupSize int) (*testbed.DB, error) {
+	tuples := r.S.YCSBTuples
+	opts := r.S.Options
+	opts.GroupCommitSize = groupSize
+	// A roomy memtable keeps LSM flush/compaction cadence out of the
+	// measurement: the sweep prices executor scaling, and a uniform RMW
+	// over the whole keyspace would otherwise spend most of its commit
+	// clock flushing memtables instead of validating and applying.
+	if opts.MemTableCap < 4096 {
+		opts.MemTableCap = 4096
+	}
+	db, err := testbed.New(testbed.Config{
+		Engine:     kind,
+		Partitions: 1,
+		Env:        r.envCfg(nvm.ProfileDRAM),
+		Options:    opts,
+		Schemas:    mvccSchemas(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	load := make([]testbed.Txn, 0, tuples/64+1)
+	for lo := 0; lo < tuples; lo += 64 {
+		lo := lo
+		hi := lo + 64
+		if hi > tuples {
+			hi = tuples
+		}
+		load = append(load, func(e core.Engine) error {
+			for k := lo; k < hi; k++ {
+				row := []core.Value{core.IntVal(int64(k)), core.IntVal(0)}
+				if err := e.Insert("t", uint64(k), row); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if _, err := db.ExecuteSequential([][]testbed.Txn{load}); err != nil {
+		return nil, err
+	}
+	if err := db.Flush(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// occOne runs one (engine, mix, writers) configuration of the modeled sweep
+// and returns its measurement, the final table digest, and the conflict
+// count.
+func (r *Runner) occOne(kind testbed.EngineKind, mix string, writers int) (Measurement, uint64, int64, error) {
+	var zero Measurement
+	// Half the YCSB schedule: with a real per-txn compute spin the full
+	// schedule prices nothing extra, it just doubles the sweep's wall time.
+	ops := r.S.YCSBTxns / 2
+	keys := occKeys(mix, r.S.Seed, ops, r.S.YCSBTuples)
+
+	db, err := r.occPreload(kind, writers)
+	if err != nil {
+		return zero, 0, 0, err
+	}
+	e := db.Engine(0)
+	sr, okSR := e.(core.SnapshotReader)
+	vp, okVP := e.(core.OccValidatorProvider)
+	if !okSR || !okVP {
+		return zero, 0, 0, fmt.Errorf("engine %s lacks the MVCC substrate", kind)
+	}
+	schemas := db.Schemas()
+
+	// Round-robin shard the schedule; queues[w] holds op indices.
+	queues := make([][]int, writers)
+	for i := 0; i < ops; i++ {
+		queues[i%writers] = append(queues[i%writers], i)
+	}
+	execClock := make([]time.Duration, writers)
+	var commitClock time.Duration
+	var conflicts int64
+
+	// Bulk-synchronous rounds: execute one txn per writer against pinned
+	// snapshots, then commit the round serially; losers retry next round.
+	pending := make([]*core.OccTxn, writers)
+	heads := make([]int, writers)
+	stalled := 0 // consecutive rounds with zero commits: livelock guard
+	var lastConflict error
+	for {
+		work := false
+		progressed := false
+		for w := 0; w < writers; w++ {
+			if heads[w] >= len(queues[w]) {
+				continue
+			}
+			work = true
+			key := keys[queues[w][heads[w]]]
+			start := time.Now()
+			ot := core.NewOccTxn(sr.SnapshotView(), string(kind), schemas)
+			row, ok, err := ot.Get("t", key)
+			if err == nil && !ok {
+				err = fmt.Errorf("preloaded key %d missing", key)
+			}
+			if err == nil {
+				spin := occSpin(key)
+				err = ot.Update("t", key, core.Update{Cols: []int{1},
+					Vals: []core.Value{core.IntVal(row[1].I + 1 + int64(spin&1))}})
+			}
+			execClock[w] += time.Since(start)
+			if err != nil {
+				ot.Close()
+				return zero, 0, 0, fmt.Errorf("w%d op: %w", w, err)
+			}
+			pending[w] = ot
+		}
+		if !work {
+			break
+		}
+		for w := 0; w < writers; w++ {
+			ot := pending[w]
+			if ot == nil {
+				continue
+			}
+			pending[w] = nil
+			start := time.Now()
+			verr := ot.Validate(vp.OccValidator())
+			if verr == nil {
+				verr = ot.Apply(e)
+			}
+			commitClock += time.Since(start)
+			ot.Close()
+			switch {
+			case verr == nil:
+				heads[w]++
+				progressed = true
+			case core.IsRetryable(verr):
+				conflicts++ // retry the same op next round
+				lastConflict = verr
+			default:
+				return zero, 0, 0, fmt.Errorf("w%d commit: %w", w, verr)
+			}
+		}
+		// The round's durability barrier: one fsync covers every commit of
+		// the round and publishes them, so next round's snapshots see them.
+		start := time.Now()
+		if err := e.Flush(); err != nil {
+			return zero, 0, 0, fmt.Errorf("round flush: %w", err)
+		}
+		commitClock += time.Since(start)
+		if progressed {
+			stalled = 0
+		} else if stalled++; stalled > 1000 {
+			// A round where every writer conflicts can happen under
+			// contention, but 1000 in a row means validation can never
+			// succeed — surface the livelock instead of spinning.
+			return zero, 0, 0, fmt.Errorf("livelock: 1000 rounds without a commit (last: %v)", lastConflict)
+		}
+	}
+
+	slowest := time.Duration(0)
+	for _, d := range execClock {
+		if d > slowest {
+			slowest = d
+		}
+	}
+	wall := commitClock + slowest
+
+	var digest uint64
+	if err := e.ScanRange("t", 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
+		digest ^= mvccFold(int(pk), uint64(row[1].I)<<1|1)
+		return true
+	}); err != nil {
+		return zero, 0, 0, err
+	}
+
+	return Measurement{
+		Engine: kind, Mix: mix, Skew: fmt.Sprintf("w%d", writers), Latency: "dram",
+		Throughput: float64(ops) / wall.Seconds(), Elapsed: wall,
+	}, digest, conflicts, nil
+}
+
+// occLive pushes the zipfian RMW mix through a real serve.Runtime with four
+// optimistic writers and eight concurrent clients, and reports measured
+// throughput, submit→ack p99, and the conflict count the supervisor
+// absorbed — the tail-latency-under-contention headline.
+func (r *Runner) occLive(kind testbed.EngineKind) (Measurement, time.Duration, int64, error) {
+	var zero Measurement
+	ops := r.S.YCSBTxns / 4
+	keys := occKeys("zipfian", r.S.Seed+1, ops, r.S.YCSBTuples)
+
+	// Durable-at-commit (group 1): every commit publishes immediately, so a
+	// conflict retry runs against a fresh frontier. Deferred group publishes
+	// would let eight clients thrash the hot key against stale snapshots,
+	// each retry re-paying the full compute spin.
+	db, err := r.occPreload(kind, 1)
+	if err != nil {
+		return zero, 0, 0, err
+	}
+	rt := serve.New(db, serve.Config{Writers: 4, Seed: r.S.Seed, QueueDepth: 64})
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	start := time.Now()
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= ops {
+					return
+				}
+				key := keys[i]
+				txn := func(e core.Engine) error {
+					row, ok, err := e.Get("t", key)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return fmt.Errorf("key %d missing", key)
+					}
+					spin := occSpin(key)
+					return e.Update("t", key, core.Update{Cols: []int{1},
+						Vals: []core.Value{core.IntVal(row[1].I + 1 + int64(spin&1))}})
+				}
+				for attempt := 0; ; attempt++ {
+					err := rt.SubmitPart(context.Background(), 0, txn)
+					if err == nil {
+						break
+					}
+					if core.IsRetryable(err) && attempt < 50 {
+						continue
+					}
+					errCh <- fmt.Errorf("op %d: %w", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	stats := rt.Stats()
+	snap := rt.Metrics().Snapshot()
+	if err := rt.Close(); err != nil {
+		return zero, 0, 0, err
+	}
+	select {
+	case err := <-errCh:
+		return zero, 0, 0, err
+	default:
+	}
+	p99 := time.Duration(snap.Histograms["serve_part00_ack_ns"].P99NS)
+	return Measurement{
+		Engine: kind, Mix: "zipfian", Skew: "live", Latency: "dram",
+		Throughput: float64(ops) / wall.Seconds(), Elapsed: wall,
+	}, p99, stats.Conflicts, nil
+}

@@ -101,6 +101,26 @@ func (co *Coordinator) checkLeases() {
 	for _, addr := range expired {
 		co.MarkDead(addr)
 	}
+
+	// Repair scan: a shard can be left running without a backup when a
+	// re-seed failed (snapshot stream error, spare died mid-seed) or no
+	// spare was available at failover time. Nothing else would ever retry —
+	// scheduleReseed only fires from MarkDead — so the shard would stay
+	// one failure away from data loss forever. Re-seeds are guarded by the
+	// reseeding flag and pick a fresh spare each attempt, so retrying every
+	// lease tick is safe and gives failed re-seeds built-in pacing.
+	co.mu.Lock()
+	var repair []int
+	for i := range co.m.Shards {
+		r := &co.m.Shards[i]
+		if r.Primary != "" && r.Backup == "" && !co.reseeding[i] {
+			repair = append(repair, i)
+		}
+	}
+	co.mu.Unlock()
+	for _, shard := range repair {
+		co.scheduleReseed(shard)
+	}
 }
 
 // MarkDead declares a node failed and runs failover for every shard it
@@ -159,11 +179,39 @@ func (co *Coordinator) scheduleReseed(shard int) {
 		return // nowhere to seed from, or to
 	}
 	co.reseeding[shard] = true
+	// Open the enrollment window in the map itself before the re-seed RPC
+	// is dispatched. SnapDone enrolls the spare as backup on the node side
+	// before this goroutine can record it in the map, and OTHER shards'
+	// failover installs run concurrently — without the flag, any map built
+	// in that window lists Backup="" for this shard and SetMap would demote
+	// the just-enrolled backup (and strip s.backup off the primary),
+	// leaving the shard serving unreplicated behind a map that claims a
+	// live backup. The flag tells every node to leave this shard's
+	// replication state alone until the closing install.
+	co.m.Shards[shard].Reseeding = true
+	co.installLocked()
 	co.mu.Unlock()
 
 	co.wg.Add(1)
 	go func() {
 		defer co.wg.Done()
+		// The flag must drop on EVERY exit path — a failed snapshot stream,
+		// a spare that died mid-seed, even a panicking Reseed. A stuck flag
+		// makes scheduleReseed a no-op for this shard forever: the shard
+		// would run without a backup until the next full restart. The
+		// checkLeases repair scan retries once the flag is down. The same
+		// applies to the map-side Reseeding flag: the closing install must
+		// happen even on failure, or SetMap would skip this shard's fencing
+		// forever.
+		defer func() {
+			co.mu.Lock()
+			co.reseeding[shard] = false
+			if co.m.Shards[shard].Reseeding {
+				co.m.Shards[shard].Reseeding = false
+				co.installLocked()
+			}
+			co.mu.Unlock()
+		}()
 		pn := co.c.nodeByAddr(primary)
 		err := error(nil)
 		if pn != nil {
@@ -172,11 +220,12 @@ func (co *Coordinator) scheduleReseed(shard int) {
 			cancel()
 		}
 		co.mu.Lock()
-		co.reseeding[shard] = false
 		if err == nil && pn != nil && co.m.Shards[shard].Primary == primary && !co.dead[spare] {
 			co.m.Shards[shard].Backup = spare
-			co.installLocked()
 		}
+		// The closing install (deferred above) publishes Backup and clears
+		// Reseeding atomically in one map version: no node ever sees the
+		// window closed without also seeing the enrollment outcome.
 		co.mu.Unlock()
 	}()
 }

@@ -163,6 +163,15 @@ func (n *Node) SetMap(m *wire.ShardMap) {
 		s := n.shards[i]
 		s.mu.Lock()
 		switch {
+		case route.Reseeding:
+			// Enrollment in flight: this map is authoritative about
+			// placement but stale about the shard's replication pair — the
+			// re-seed's SnapDone may already have enrolled a backup the map
+			// does not list. Deriving state from it here would demote that
+			// backup (or strip it off its primary) and leave the shard
+			// serving unreplicated behind a map that claims otherwise.
+			// Fencing of genuinely stale replicas happens on the install
+			// that closes the window.
 		case route.Primary != n.addr && route.Backup != n.addr &&
 			route.Epoch >= s.epoch && s.role != roleNone:
 			s.role = roleNone

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"nstore/internal/testbed"
+	"nstore/internal/wire"
+)
+
+// TestSetMapReseedingWindow pins the map-push/enrollment race fixed by
+// ShardRoute.Reseeding. A re-seed enrolls the spare as backup (SnapDone on
+// the node) BEFORE the coordinator can record it in the map, and other
+// shards' failover installs run concurrently — so a map listing Backup=""
+// for a shard mid-re-seed is stale about enrollment, not authoritative.
+// Without the flag, SetMap demoted the freshly enrolled backup and stripped
+// s.backup off the primary; every later write was then acked unreplicated
+// behind a map claiming a live backup, with a tail nobody would ever drain.
+func TestSetMapReseedingWindow(t *testing.T) {
+	c := startCluster(t, testbed.InP, Config{
+		Shards: 1, Nodes: 2, Seed: 21,
+		// Keep the coordinator's lease checker from interfering: this test
+		// drives SetMap by hand.
+		HeartbeatEvery: time.Hour, Lease: 24 * time.Hour,
+	})
+	m := c.Coord.Map()
+	primary := c.nodeByAddr(m.Shards[0].Primary)
+	backup := c.nodeByAddr(m.Shards[0].Backup)
+
+	role := func(n *Node) int32 {
+		s := n.shards[0]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.role
+	}
+	backupAddr := func(n *Node) string {
+		s := n.shards[0]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.backup
+	}
+
+	// A mid-window map: this shard's backup is not listed (the enrollment
+	// has not been recorded yet) but the window is marked open. Neither the
+	// enrolled backup's role nor the primary's shipping target may change.
+	window := &wire.ShardMap{Version: m.Version + 1, Shards: []wire.ShardRoute{
+		{Epoch: 1, Primary: primary.addr, Backup: "", Reseeding: true},
+	}}
+	backup.SetMap(window)
+	primary.SetMap(window)
+	if got := role(backup); got != roleBackup {
+		t.Fatalf("mid-window map demoted the enrolled backup: role=%s", roleName(got))
+	}
+	if got := backupAddr(primary); got != backup.addr {
+		t.Fatalf("mid-window map detached the primary's backup: %q", got)
+	}
+
+	// The closing install with the backup genuinely gone must still fence:
+	// the flag suppresses only the window, not the fencing machinery.
+	closed := &wire.ShardMap{Version: m.Version + 2, Shards: []wire.ShardRoute{
+		{Epoch: 1, Primary: primary.addr, Backup: ""},
+	}}
+	backup.SetMap(closed)
+	primary.SetMap(closed)
+	if got := role(backup); got != roleNone {
+		t.Fatalf("closing map did not fence the dropped backup: role=%s", roleName(got))
+	}
+	if got := backupAddr(primary); got != "" {
+		t.Fatalf("closing map did not detach the primary's backup: %q", got)
+	}
+}

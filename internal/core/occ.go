@@ -1,0 +1,371 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file holds the optimistic-concurrency half of the MVCC contract: a
+// transaction wrapper that records read and write sets against a pinned
+// snapshot, the validator interface a version store answers conflict queries
+// through, and the first-committer-wins validation rule. The concurrency
+// model splits a transaction into two phases:
+//
+//   - execution: the body runs against an OccTxn — reads come from the
+//     pinned ReadView (overlaid with the transaction's own writes), writes
+//     buffer into the write set. The engine, the device, and the partition
+//     lock are never touched.
+//   - commit: under the partition's serialization point the read set is
+//     validated against the store's newest commit timestamps; if no key
+//     (or scanned table) the transaction observed committed after its
+//     snapshot, the write set is applied through the real engine. Otherwise
+//     the transaction aborts with ErrConflict having touched nothing.
+//
+// Because commits are totally ordered at the serialization point and a
+// winner's reads are provably unchanged between snapshot and commit, the
+// committed history is equivalent to a serial execution in commit order —
+// snapshot reads plus read-set validation close the write-skew hole plain
+// snapshot isolation leaves open.
+
+// OccValidator answers conflict queries at the commit point. Implemented by
+// the mvcc version store; callers must hold the partition's serialization
+// point (the same single-owner rule as the store's writer side).
+type OccValidator interface {
+	// LatestKeyTs returns the newest commit timestamp that wrote the key
+	// (including committed-but-unpublished group-commit transactions), or 0
+	// if the key was never written or its entry was pruned below the GC
+	// watermark — safe because a validating transaction keeps its snapshot
+	// pinned, so its snapshot timestamp is never below the watermark.
+	LatestKeyTs(table string, key uint64) uint64
+	// LatestTableTs returns the newest commit timestamp that wrote any key
+	// of the table (never pruned). Scans validate at this granularity.
+	LatestTableTs(table string) uint64
+}
+
+// OccValidatorProvider is implemented by engines whose version store can
+// answer conflict queries (all six, via mvcc.Snapshots).
+type OccValidatorProvider interface {
+	OccValidator() OccValidator
+}
+
+// occWrite is one buffered write: the key's final row (nil = delete) and
+// whether the key was visible in the snapshot when the transaction first
+// touched it (which decides Insert vs Update at apply time).
+type occWrite struct {
+	row     []Value
+	existed bool
+}
+
+// OccTxn is the optimistic transaction wrapper: it implements Engine so an
+// unmodified transaction body runs against it, recording its read set
+// (including negative reads and table-level scan marks) and buffering its
+// write set. NewOccTxn pins the view; the caller must Close the OccTxn
+// after Validate/Apply — the pin is what keeps the validator from pruning
+// conflict entries the transaction still needs to see.
+type OccTxn struct {
+	view   ReadView
+	ts     uint64
+	name   string
+	tables map[string]*Schema
+	reads  map[string]map[uint64]struct{}
+	scans  map[string]struct{}
+	writes map[string]map[uint64]occWrite
+	bd     Breakdown
+}
+
+// NewOccTxn wraps a pinned view for one optimistic transaction. name is the
+// underlying engine's identifier (surfaced by Name and in errors).
+func NewOccTxn(view ReadView, name string, schemas []*Schema) *OccTxn {
+	t := &OccTxn{
+		view:   view,
+		ts:     view.Ts(),
+		name:   name,
+		tables: make(map[string]*Schema, len(schemas)),
+		reads:  make(map[string]map[uint64]struct{}),
+		scans:  make(map[string]struct{}),
+		writes: make(map[string]map[uint64]occWrite),
+	}
+	for _, sc := range schemas {
+		t.tables[sc.Name] = sc
+	}
+	return t
+}
+
+// Ts returns the snapshot timestamp the transaction executed at.
+func (t *OccTxn) Ts() uint64 { return t.ts }
+
+// Close releases the pinned view. Idempotent (the view's Close is).
+func (t *OccTxn) Close() { t.view.Close() }
+
+// ReadOnly reports whether the transaction buffered no writes.
+func (t *OccTxn) ReadOnly() bool { return len(t.writes) == 0 }
+
+// Name returns the underlying engine's identifier.
+func (t *OccTxn) Name() string { return t.name }
+
+// Begin fails: the body already runs inside the optimistic transaction.
+func (t *OccTxn) Begin() error { return ErrInTxn }
+
+// Commit and Abort fail: the runtime owns the commit protocol.
+func (t *OccTxn) Commit() error { return errors.New("core: occ txn commit is owned by the runtime") }
+func (t *OccTxn) Abort() error  { return errors.New("core: occ txn abort is owned by the runtime") }
+
+// Flush is a no-op: durability is the runtime's commit-path concern.
+func (t *OccTxn) Flush() error { return nil }
+
+// Breakdown returns the wrapper's own (empty) timer set; the real engine's
+// breakdown accrues at apply time.
+func (t *OccTxn) Breakdown() *Breakdown { return &t.bd }
+
+// Footprint is zero: nothing durable belongs to an unvalidated transaction.
+func (t *OccTxn) Footprint() Footprint { return Footprint{} }
+
+// markRead records (table, key) in the read set. Negative reads count: a
+// key observed absent must still be absent at commit.
+func (t *OccTxn) markRead(table string, key uint64) {
+	m, ok := t.reads[table]
+	if !ok {
+		m = make(map[uint64]struct{})
+		t.reads[table] = m
+	}
+	m[key] = struct{}{}
+}
+
+// lookup resolves a key through the write-set overlay, falling back to the
+// snapshot, and records the read.
+func (t *OccTxn) lookup(table string, key uint64) ([]Value, bool, error) {
+	if _, ok := t.tables[table]; !ok {
+		return nil, false, ErrKeyNotFound
+	}
+	t.markRead(table, key)
+	if m, ok := t.writes[table]; ok {
+		if w, ok := m[key]; ok {
+			return w.row, w.row != nil, nil
+		}
+	}
+	return t.view.Get(table, key)
+}
+
+// stage buffers the key's final row (nil = delete), capturing snapshot
+// existence on the key's first write.
+func (t *OccTxn) stage(table string, key uint64, row []Value) {
+	m, ok := t.writes[table]
+	if !ok {
+		m = make(map[uint64]occWrite)
+		t.writes[table] = m
+	}
+	if w, ok := m[key]; ok {
+		m[key] = occWrite{row: row, existed: w.existed}
+		return
+	}
+	_, existed, _ := t.view.Get(table, key)
+	m[key] = occWrite{row: row, existed: existed}
+}
+
+// Insert buffers a new tuple, enforcing the engine's uniqueness contract
+// against the overlaid snapshot.
+func (t *OccTxn) Insert(table string, key uint64, row []Value) error {
+	_, ok, err := t.lookup(table, key)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return ErrKeyExists
+	}
+	t.stage(table, key, CloneRow(row))
+	return nil
+}
+
+// Update buffers a partial modification of an existing tuple.
+func (t *OccTxn) Update(table string, key uint64, upd Update) error {
+	cur, ok, err := t.lookup(table, key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrKeyNotFound
+	}
+	row := CloneRow(cur)
+	ApplyDelta(row, upd)
+	t.stage(table, key, row)
+	return nil
+}
+
+// Delete buffers a tuple removal.
+func (t *OccTxn) Delete(table string, key uint64) error {
+	_, ok, err := t.lookup(table, key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrKeyNotFound
+	}
+	t.stage(table, key, nil)
+	return nil
+}
+
+// Get reads through the overlay (read-your-writes) and records the read.
+func (t *OccTxn) Get(table string, key uint64) ([]Value, bool, error) {
+	return t.lookup(table, key)
+}
+
+// ScanRange iterates the snapshot merged with the transaction's own writes.
+// The scan is recorded as a table-level read: validation conservatively
+// conflicts with any later commit to the table (phantom protection at table
+// granularity — see DESIGN.md §12).
+func (t *OccTxn) ScanRange(table string, from, to uint64, fn func(pk uint64, row []Value) bool) error {
+	if _, ok := t.tables[table]; !ok {
+		return ErrKeyNotFound
+	}
+	t.scans[table] = struct{}{}
+	merged := make(map[uint64][]Value)
+	if err := t.view.ScanRange(table, from, to, func(pk uint64, row []Value) bool {
+		merged[pk] = row
+		return true
+	}); err != nil {
+		return err
+	}
+	for key, w := range t.writes[table] {
+		if key < from || key >= to {
+			continue
+		}
+		if w.row == nil {
+			delete(merged, key)
+		} else {
+			merged[key] = w.row
+		}
+	}
+	keys := make([]uint64, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if !fn(k, merged[k]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanSecondary iterates the snapshot's index membership merged with the
+// transaction's own writes, recording a table-level scan mark.
+func (t *OccTxn) ScanSecondary(table, index string, sec uint32, fn func(pk uint64) bool) error {
+	sc, ok := t.tables[table]
+	if !ok {
+		return ErrKeyNotFound
+	}
+	var spec *IndexSpec
+	for i := range sc.Secondary {
+		if sc.Secondary[i].Name == index {
+			spec = &sc.Secondary[i]
+			break
+		}
+	}
+	if spec == nil {
+		return ErrKeyNotFound
+	}
+	t.scans[table] = struct{}{}
+	members := make(map[uint64]struct{})
+	if err := t.view.ScanSecondary(table, index, sec, func(pk uint64) bool {
+		members[pk] = struct{}{}
+		return true
+	}); err != nil {
+		return err
+	}
+	for key, w := range t.writes[table] {
+		if w.row != nil && spec.SecKey(w.row) == sec {
+			members[key] = struct{}{}
+		} else {
+			delete(members, key)
+		}
+	}
+	pks := make([]uint64, 0, len(members))
+	for k := range members {
+		pks = append(pks, k)
+	}
+	sort.Slice(pks, func(i, j int) bool { return pks[i] < pks[j] })
+	for _, pk := range pks {
+		if !fn(pk) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Validate applies the first-committer-wins rule at the commit point: every
+// key in the read set (the write set is a subset — every write first read
+// its key) and every scanned table must be untouched since the snapshot.
+// The caller must hold the partition's serialization point and must not have
+// Closed the transaction yet.
+func (t *OccTxn) Validate(v OccValidator) error {
+	for table, keys := range t.reads {
+		for key := range keys {
+			if ts := v.LatestKeyTs(table, key); ts > t.ts {
+				return fmt.Errorf("%w: %s/%d written at ts %d after snapshot %d",
+					ErrConflict, table, key, ts, t.ts)
+			}
+		}
+	}
+	for table := range t.scans {
+		if ts := v.LatestTableTs(table); ts > t.ts {
+			return fmt.Errorf("%w: scanned table %s written at ts %d after snapshot %d",
+				ErrConflict, table, ts, t.ts)
+		}
+	}
+	return nil
+}
+
+// Apply replays the validated write set through the real engine as one
+// transaction: per key, the snapshot-existence bit and the final row
+// collapse the transaction's writes into a single Insert, Update (all
+// columns) or Delete. On an op failure the transaction is aborted so the
+// engine is clean for the next request; a Commit failure is returned as-is
+// (engines unwind their own state on Commit error paths).
+func (t *OccTxn) Apply(eng Engine) error {
+	if err := eng.Begin(); err != nil {
+		return err
+	}
+	tables := make([]string, 0, len(t.writes))
+	for table := range t.writes {
+		tables = append(tables, table)
+	}
+	sort.Strings(tables)
+	for _, table := range tables {
+		m := t.writes[table]
+		keys := make([]uint64, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		sc := t.tables[table]
+		for _, key := range keys {
+			w := m[key]
+			var err error
+			switch {
+			case !w.existed && w.row == nil:
+				continue // inserted and deleted within the transaction
+			case !w.existed:
+				err = eng.Insert(table, key, w.row)
+			case w.row == nil:
+				err = eng.Delete(table, key)
+			default:
+				upd := Update{Cols: make([]int, len(sc.Columns)), Vals: w.row}
+				for i := range upd.Cols {
+					upd.Cols[i] = i
+				}
+				err = eng.Update(table, key, upd)
+			}
+			if err != nil {
+				if aerr := eng.Abort(); aerr != nil {
+					return Corrupt(errors.Join(err, aerr))
+				}
+				return err
+			}
+		}
+	}
+	return eng.Commit()
+}
+
+var _ Engine = (*OccTxn)(nil)

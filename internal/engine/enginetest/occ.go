@@ -1,0 +1,325 @@
+package enginetest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nstore/internal/core"
+)
+
+// RunOCCConformance drives the engine through `schedules` seeded
+// concurrent-writer workloads executed the OCC way: each transaction runs
+// against a core.OccTxn (reads from a pinned snapshot, writes buffered),
+// then validates its read set and applies at a serialized commit point —
+// first committer wins, losers retry on core.ErrConflict. Every operation
+// is an additive effect (balance increments and conserving transfers) or a
+// worker-private sequence, so the committed end state is a pure function of
+// the seed: the battery checks it against the model row by row and as a
+// digest, which makes the result serializable-equivalent and — because the
+// model depends only on the seed — identical across every engine kind. A
+// crash + reopen epilogue asserts the whole history recovers. Pass
+// schedules <= 0 for the default battery (200); -short runs 40. A failure
+// names its seed; replay with
+//
+//	go test -run OCCConformance -seed=<reported seed>
+func RunOCCConformance(t *testing.T, f Factory, schedules int) {
+	t.Helper()
+	if schedules <= 0 {
+		schedules = 200
+	}
+	if testing.Short() && schedules > 40 {
+		schedules = 40
+	}
+	if err := CheckOCCConformance(f, schedules, BaseSeed()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CheckOCCConformance is the error-returning core of RunOCCConformance.
+func CheckOCCConformance(f Factory, schedules int, baseSeed int64) error {
+	if schedules <= 0 {
+		schedules = 200
+	}
+	conflicts := 0
+	for i := 0; i < schedules; i++ {
+		seed := baseSeed + int64(i)
+		n, err := occSchedule(f, seed)
+		if err != nil {
+			return fmt.Errorf("%s: schedule %d [seed %d]: %w\nreplay: go test -run OCCConformance -seed=%d",
+				f.Name, i, seed, err, seed)
+		}
+		conflicts += n
+	}
+	if schedules >= 20 && conflicts == 0 {
+		return fmt.Errorf("%s: %d schedules produced zero OCC conflicts — the battery is not exercising concurrent validation",
+			f.Name, schedules)
+	}
+	return nil
+}
+
+// occOp is one transaction of a worker's deterministic op stream.
+type occOp struct {
+	kind  byte   // 'i' increment, 't' transfer, 'p' private put, 'x' private delete
+	a, b  uint64 // users keys ('i': a; 't': a -> b) or items key ('p'/'x': a)
+	delta int64
+	pause time.Duration // optimistic-phase stall, so workers interleave
+}
+
+// genOCCOps builds one worker's stream. Every effect is additive or
+// worker-private, so the final state is independent of commit order — the
+// serializable-equivalence oracle.
+func genOCCOps(rng *rand.Rand, w, steps, sharedKeys int) []occOp {
+	ops := make([]occOp, steps)
+	nextPriv := uint64(1000 * (w + 1))
+	var live []uint64
+	for i := range ops {
+		pause := time.Duration(rng.Intn(60)) * time.Microsecond
+		switch r := rng.Intn(10); {
+		case r < 5:
+			ops[i] = occOp{kind: 'i', a: uint64(1 + rng.Intn(sharedKeys)), delta: 1 + rng.Int63n(5), pause: pause}
+		case r < 8:
+			a := uint64(1 + rng.Intn(sharedKeys))
+			b := uint64(1 + rng.Intn(sharedKeys))
+			for b == a {
+				b = uint64(1 + rng.Intn(sharedKeys))
+			}
+			ops[i] = occOp{kind: 't', a: a, b: b, delta: 1 + rng.Int63n(10), pause: pause}
+		case r < 9 && len(live) > 0:
+			k := live[rng.Intn(len(live))]
+			ops[i] = occOp{kind: 'x', a: k, pause: pause}
+			for j, lk := range live {
+				if lk == k {
+					live = append(live[:j], live[j+1:]...)
+					break
+				}
+			}
+		default:
+			ops[i] = occOp{kind: 'p', a: nextPriv, delta: rng.Int63n(1 << 20), pause: pause}
+			live = append(live, nextPriv)
+			nextPriv++
+		}
+	}
+	return ops
+}
+
+// occApplyModel folds one op into the expected end state.
+func occApplyModel(users map[uint64]int64, items map[uint64]int64, o occOp) {
+	switch o.kind {
+	case 'i':
+		users[o.a] += o.delta
+	case 't':
+		users[o.a] -= o.delta
+		users[o.b] += o.delta
+	case 'p':
+		items[o.a] = o.delta
+	case 'x':
+		delete(items, o.a)
+	}
+}
+
+// occRunTxn executes one op as an OCC transaction against the engine:
+// optimistic phase on a pinned snapshot, then validate + apply under the
+// commit mutex. Returns the number of conflict retries it absorbed.
+func occRunTxn(e core.Engine, sr core.SnapshotReader, vp core.OccValidatorProvider,
+	commitMu *sync.Mutex, schema []*core.Schema, o occOp) (int, error) {
+	retries := 0
+	for {
+		ot := core.NewOccTxn(sr.SnapshotView(), e.Name(), schema)
+		err := func() error {
+			switch o.kind {
+			case 'i':
+				row, ok, err := ot.Get("users", o.a)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("shared key %d missing", o.a)
+				}
+				time.Sleep(o.pause)
+				return ot.Update("users", o.a, core.Update{Cols: []int{1},
+					Vals: []core.Value{core.IntVal(row[1].I + o.delta)}})
+			case 't':
+				ra, okA, err := ot.Get("users", o.a)
+				if err != nil {
+					return err
+				}
+				rb, okB, err := ot.Get("users", o.b)
+				if err != nil {
+					return err
+				}
+				if !okA || !okB {
+					return fmt.Errorf("transfer keys %d/%d missing", o.a, o.b)
+				}
+				time.Sleep(o.pause)
+				if err := ot.Update("users", o.a, core.Update{Cols: []int{1},
+					Vals: []core.Value{core.IntVal(ra[1].I - o.delta)}}); err != nil {
+					return err
+				}
+				return ot.Update("users", o.b, core.Update{Cols: []int{1},
+					Vals: []core.Value{core.IntVal(rb[1].I + o.delta)}})
+			case 'p':
+				if _, ok, err := ot.Get("items", o.a); err != nil {
+					return err
+				} else if ok {
+					return ot.Update("items", o.a, core.Update{Cols: []int{1},
+						Vals: []core.Value{core.IntVal(o.delta)}})
+				}
+				time.Sleep(o.pause)
+				return ot.Insert("items", o.a, []core.Value{core.IntVal(int64(o.a)), core.IntVal(o.delta)})
+			default: // 'x'
+				time.Sleep(o.pause)
+				return ot.Delete("items", o.a)
+			}
+		}()
+		if err != nil {
+			ot.Close()
+			return retries, err
+		}
+		commitMu.Lock()
+		verr := ot.Validate(vp.OccValidator())
+		if verr == nil {
+			verr = ot.Apply(e)
+		}
+		commitMu.Unlock()
+		ot.Close()
+		if verr == nil {
+			return retries, nil
+		}
+		if errors.Is(verr, core.ErrConflict) {
+			retries++
+			continue // fresh snapshot, first committer won this round
+		}
+		return retries, verr
+	}
+}
+
+// occSchedule runs one seeded schedule and returns how many OCC conflicts
+// its workers absorbed.
+func occSchedule(f Factory, seed int64) (int, error) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 64 << 20, FSExtent: 64 << 10})
+	opts := core.Options{MemTableCap: 32, LSMGrowth: 3, BTreeNodeSize: 128,
+		GroupCommitSize: 1, CheckpointEvery: 40}
+	schema := testSchema()
+	e, err := f.New(env, schema, opts)
+	if err != nil {
+		return 0, fmt.Errorf("New: %w", err)
+	}
+	sr, okSR := core.Engine(e).(core.SnapshotReader)
+	vp, okVP := core.Engine(e).(core.OccValidatorProvider)
+	if !okSR || !okVP {
+		return 0, fmt.Errorf("engine %s lacks the MVCC substrate OCC needs", e.Name())
+	}
+
+	const sharedKeys = 6
+	users := map[uint64]int64{}
+	if err := e.Begin(); err != nil {
+		return 0, err
+	}
+	for k := uint64(1); k <= sharedKeys; k++ {
+		if err := e.Insert("users", k, []core.Value{core.IntVal(int64(k)), core.IntVal(100),
+			core.StrVal(fmt.Sprintf("user-%d", k)), core.StrVal("seed row")}); err != nil {
+			return 0, err
+		}
+		users[k] = 100
+	}
+	if err := e.Commit(); err != nil {
+		return 0, err
+	}
+
+	workers := 2 + int(seed%2)
+	streams := make([][]occOp, workers)
+	items := map[uint64]int64{}
+	for w := range streams {
+		wrng := rand.New(rand.NewSource(seed*31 + int64(w)))
+		streams[w] = genOCCOps(wrng, w, 12+wrng.Intn(8), sharedKeys)
+		for _, o := range streams[w] {
+			occApplyModel(users, items, o)
+		}
+	}
+
+	var commitMu sync.Mutex
+	var wg sync.WaitGroup
+	retries := make([]int, workers)
+	errs := make([]error, workers)
+	for w := range streams {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, o := range streams[w] {
+				n, err := occRunTxn(e, sr, vp, &commitMu, schema, o)
+				retries[w] += n
+				if err != nil {
+					errs[w] = fmt.Errorf("worker %d op %v: %w", w, o, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	conflicts := 0
+	for w := range errs {
+		if errs[w] != nil {
+			return 0, errs[w]
+		}
+		conflicts += retries[w]
+	}
+
+	verify := func(when string, eng core.Engine) error {
+		for k, want := range users {
+			row, ok, err := eng.Get("users", k)
+			if err != nil || !ok {
+				return fmt.Errorf("%s: users/%d: ok=%v err=%v", when, k, ok, err)
+			}
+			if row[1].I != want {
+				return fmt.Errorf("%s: users/%d balance = %d, want %d — a committed effect was lost or doubled",
+					when, k, row[1].I, want)
+			}
+		}
+		got := map[uint64]int64{}
+		if err := eng.ScanRange("items", 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
+			got[pk] = row[1].I
+			return true
+		}); err != nil {
+			return err
+		}
+		if len(got) != len(items) {
+			return fmt.Errorf("%s: items rows = %d, want %d", when, len(got), len(items))
+		}
+		for k, want := range items {
+			if got[k] != want {
+				return fmt.Errorf("%s: items/%d = %d, want %d", when, k, got[k], want)
+			}
+		}
+		return nil
+	}
+	if err := verify("live", e); err != nil {
+		return conflicts, err
+	}
+
+	// Crash + reopen epilogue: the serialized commit history must recover.
+	if err := e.Flush(); err != nil {
+		return conflicts, fmt.Errorf("final flush: %w", err)
+	}
+	env.Dev.Crash()
+	var env2 *core.Env
+	if f.Volatile {
+		env2, err = env.ReopenVolatile()
+	} else {
+		env2, err = env.Reopen()
+	}
+	if err != nil {
+		return conflicts, fmt.Errorf("env reopen: %w", err)
+	}
+	e2, err := f.Open(env2, schema, opts)
+	if err != nil {
+		return conflicts, fmt.Errorf("recovery open: %w", err)
+	}
+	if err := verify("after power cycle", e2); err != nil {
+		return conflicts, err
+	}
+	return conflicts, nil
+}

@@ -112,3 +112,7 @@ func TestConcurrentRecoveryConformance(t *testing.T) {
 func TestSnapshotConformance(t *testing.T) {
 	enginetest.RunSnapshotConformance(t, factory(), 200)
 }
+
+func TestOCCConformance(t *testing.T) {
+	enginetest.RunOCCConformance(t, factory(), 200)
+}

@@ -209,3 +209,7 @@ func TestConcurrentRecoveryConformance(t *testing.T) {
 func TestSnapshotConformance(t *testing.T) {
 	enginetest.RunSnapshotConformance(t, confFactory(), 200)
 }
+
+func TestOCCConformance(t *testing.T) {
+	enginetest.RunOCCConformance(t, confFactory(), 200)
+}

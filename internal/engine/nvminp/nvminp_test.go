@@ -218,3 +218,7 @@ func TestConformanceCatchesMissingFence(t *testing.T) {
 func TestSnapshotConformance(t *testing.T) {
 	enginetest.RunSnapshotConformance(t, confFactory(), 200)
 }
+
+func TestOCCConformance(t *testing.T) {
+	enginetest.RunOCCConformance(t, confFactory(), 200)
+}

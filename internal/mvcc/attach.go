@@ -17,6 +17,11 @@ func (s *Snapshots) SnapshotView() core.ReadView { return s.MV.NewView() }
 // Oracle returns the partition's timestamp oracle.
 func (s *Snapshots) Oracle() *core.TsOracle { return s.MV.Oracle() }
 
+// OccValidator exposes the store's conflict oracle for optimistic commit
+// validation (core.OccValidatorProvider). Callers must hold the partition's
+// serialization point — the same single-owner rule as the writer side.
+func (s *Snapshots) OccValidator() core.OccValidator { return s.MV }
+
 // rangeScanner is the slice of the engine contract InitSnapshots needs to
 // rebuild the store from recovered state.
 type rangeScanner interface {

@@ -156,6 +156,20 @@ type tableStore struct {
 	// one membership map + directory per secondary index, in schema order.
 	secs    []sync.Map // secKey -> *chain
 	secDirs []secDirectory
+
+	// OCC conflict tracking (writer-side: same single-owner rule as the
+	// chains' writer methods; the serving runtime serializes CommitStaged
+	// and Latest*Ts queries under the partition's engine mutex). lastKey
+	// maps key -> newest commit timestamp that wrote it — including
+	// committed-but-unpublished group-commit transactions, which a snapshot
+	// cannot see yet but which must conflict with any transaction that read
+	// the key at an older timestamp. GC prunes entries at or below the
+	// watermark: a validating transaction keeps its snapshot pinned, so its
+	// snapshot timestamp is never below the watermark and a pruned entry can
+	// never hide a conflict. lastTs is the table-level aggregate for scan
+	// validation and is never pruned.
+	lastKey map[uint64]uint64
+	lastTs  uint64
 }
 
 // stagedOp is one uncommitted after-image.
@@ -194,7 +208,7 @@ type Store struct {
 func NewStore(schemas []*core.Schema, floorTs uint64) *Store {
 	s := &Store{byName: make(map[string]int, len(schemas)), GCEvery: 64}
 	for i, sc := range schemas {
-		ts := &tableStore{schema: sc}
+		ts := &tableStore{schema: sc, lastKey: make(map[uint64]uint64)}
 		ts.secs = make([]sync.Map, len(sc.Secondary))
 		ts.secDirs = make([]secDirectory, len(sc.Secondary))
 		s.tables = append(s.tables, ts)
@@ -244,6 +258,15 @@ func (s *Store) CommitStaged(ts uint64, durable bool) {
 		ops := make([]stagedOp, len(s.staged))
 		copy(ops, s.staged)
 		s.pending = append(s.pending, pendingGroup{ts: ts, ops: ops})
+		// Record conflict timestamps at the commit point, before the group
+		// publishes: a concurrent OCC transaction that read any of these
+		// keys at an older snapshot must fail validation even though the
+		// versions are not yet visible.
+		for _, op := range ops {
+			t := s.tables[op.table]
+			t.lastKey[op.key] = ts
+			t.lastTs = ts
+		}
 	}
 	s.staged = s.staged[:0]
 	if durable {
@@ -347,6 +370,14 @@ func (s *Store) GC() int {
 	wm := s.oracle.Watermark()
 	reclaimed := 0
 	for _, t := range s.tables {
+		// Prune conflict entries no active or future snapshot can lose to:
+		// a validating transaction pins its snapshot, so its timestamp is
+		// >= wm and an entry with ts <= wm could never exceed it.
+		for k, ts := range t.lastKey {
+			if ts <= wm {
+				delete(t.lastKey, k)
+			}
+		}
 		var dead []uint64
 		t.chains.Range(func(k, ci any) bool {
 			c := ci.(*chain)
@@ -407,6 +438,30 @@ func (s *Store) truncate(c *chain, wm uint64) (reclaimed int, fullyDead bool) {
 	head := c.head.Load()
 	return reclaimed, head == v && head.row == nil
 }
+
+// LatestKeyTs returns the newest commit timestamp that wrote the key, or 0
+// when the key was never written or its entry was pruned below the GC
+// watermark. Writer-side (see tableStore.lastKey); implements
+// core.OccValidator.
+func (s *Store) LatestKeyTs(table string, key uint64) uint64 {
+	ti, ok := s.byName[table]
+	if !ok {
+		return 0
+	}
+	return s.tables[ti].lastKey[key]
+}
+
+// LatestTableTs returns the newest commit timestamp that wrote any key of
+// the table. Writer-side; implements core.OccValidator.
+func (s *Store) LatestTableTs(table string) uint64 {
+	ti, ok := s.byName[table]
+	if !ok {
+		return 0
+	}
+	return s.tables[ti].lastTs
+}
+
+var _ core.OccValidator = (*Store)(nil)
 
 // Versions returns the number of live version nodes (including secondary
 // membership nodes).

@@ -254,3 +254,66 @@ func TestConcurrentReadersRace(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestOccValidatorTracksCommits pins the conflict oracle's contract: a
+// commit stamps its keys (and the table frontier) at the commit timestamp,
+// pending-but-unpublished groups are already visible to validation, and GC
+// prunes per-key entries only up to the watermark — which a pinned view
+// holds down, the invariant OCC validation-under-pin relies on.
+func TestOccValidatorTracksCommits(t *testing.T) {
+	s := NewStore(testSchemas(), 0)
+	s.GCEvery = 0
+
+	if ts := s.LatestKeyTs("t", 1); ts != 0 {
+		t.Fatalf("unwritten key ts = %d, want 0", ts)
+	}
+	if ts := s.LatestKeyTs("nope", 1); ts != 0 {
+		t.Fatalf("unknown table ts = %d, want 0", ts)
+	}
+
+	commit(s, 5, 1, 10)
+	if ts := s.LatestKeyTs("t", 1); ts != 5 {
+		t.Fatalf("key ts = %d, want 5", ts)
+	}
+	if ts := s.LatestTableTs("t"); ts != 5 {
+		t.Fatalf("table ts = %d, want 5", ts)
+	}
+
+	// A view pinned at ts 5 holds the watermark at 5 across what follows.
+	v := s.NewView()
+	if v.Ts() != 5 {
+		t.Fatalf("view ts = %d, want 5", v.Ts())
+	}
+
+	// Committed but NOT yet published: a group-commit buffer resident must
+	// already conflict with overlapping snapshots — it will become durable.
+	s.StageUpsert("t", 2, row(2, 20))
+	s.CommitStaged(6, false)
+	if ts := s.LatestKeyTs("t", 2); ts != 6 {
+		t.Fatalf("pending key ts = %d, want 6", ts)
+	}
+	s.PublishDurable()
+
+	// With the watermark pinned at 5, key 2's entry (ts 6) must survive GC
+	// so a validator with snapshot 5 still sees it.
+	s.GC()
+	if ts := s.LatestKeyTs("t", 2); ts != 6 {
+		t.Fatalf("pinned-above entry pruned: ts = %d, want 6", ts)
+	}
+	// Key 1 (ts 5) sits exactly at the watermark — prunable: no validator
+	// can hold a snapshot older than the watermark by construction.
+	if ts := s.LatestKeyTs("t", 1); ts != 0 {
+		t.Fatalf("at-watermark entry kept: ts = %d, want 0 after GC", ts)
+	}
+	v.Close()
+
+	// Fully unpinned GC prunes the remaining entries; the table-level
+	// frontier is never pruned (scan/phantom protection).
+	s.GC()
+	if ts := s.LatestKeyTs("t", 2); ts != 0 {
+		t.Fatalf("entry survived full GC: ts = %d", ts)
+	}
+	if ts := s.LatestTableTs("t"); ts != 6 {
+		t.Fatalf("table frontier pruned: ts = %d, want 6", ts)
+	}
+}

@@ -1,0 +1,325 @@
+package serve
+
+// This file holds the optimistic write executors (Config.Writers > 1). Each
+// partition runs N writer goroutines off the same bounded queue. A
+// transaction executes against a core.OccTxn — reads from a pinned MVCC
+// snapshot, writes buffered into a write set — without holding the partition
+// lock; only the commit point (validate + apply + group-commit bookkeeping)
+// serializes under engMu. First committer wins: a loser aborts with the
+// retryable core.ErrConflict, having never touched the engine, and is
+// retried against a fresh snapshot with jittered backoff. Acks still release
+// strictly after the durability barrier, exactly like the serial path.
+// Writers:1 does not enter this file at all — New spawns the untouched
+// serial run() loop.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nstore/internal/core"
+	"nstore/internal/nvm"
+	"nstore/internal/testbed"
+)
+
+// runOCC is one optimistic writer. w is the writer's index within the
+// partition; its jitter RNG is derived deterministically from (seed,
+// partition, writer) so multi-writer runs stay -seed replayable without
+// sharing the non-goroutine-safe ex.rng.
+func (ex *executor) runOCC(w int) {
+	defer ex.rt.wg.Done()
+	rng := rand.New(rand.NewSource(ex.rt.cfg.Seed + int64(ex.part)*7919 + int64(w+1)*104729))
+	for req := range ex.ch {
+		if err := req.ctx.Err(); err != nil {
+			req.done <- err
+			continue
+		}
+		if ex.degraded.Load() {
+			req.done <- ErrDegraded
+			continue
+		}
+		if ex.recovering.Load() {
+			ex.rt.stats.recovering.Add(1)
+			req.done <- ErrRecovering
+			continue
+		}
+		deferred, err := ex.serveOCC(req, w, rng)
+		if deferred {
+			continue // the durability barrier owns the ack now
+		}
+		if err == nil {
+			ex.rt.stats.committed.Add(1)
+			ex.rt.recordWriterAck(ex.part, w, time.Since(req.start))
+		}
+		req.done <- err
+	}
+	// Close drained the queue; release any held acks durably. Every writer
+	// runs this on exit — the flush covers all writers' lists, so whichever
+	// writer commits last still gets its acks released.
+	ex.engMu.Lock()
+	ex.flushPendingOCC()
+	ex.engMu.Unlock()
+}
+
+// serveOCC runs one transaction under the supervisor policy — the same
+// decision table as the serial serve(), with two differences: ErrConflict
+// arrives through the retryable case (each retry re-executes against a
+// fresh snapshot), and heal/panic bookkeeping must take engMu explicitly
+// because the optimistic phase runs outside it.
+func (ex *executor) serveOCC(req *request, w int, rng *rand.Rand) (deferred bool, err error) {
+	if eng := ex.rt.db.Engine(ex.part); !occCapable(eng) {
+		// No MVCC substrate to validate against (not the case for any of
+		// the six engines): fall back to fully serialized execution under
+		// the partition lock. serve() already ran the supervisor policy, so
+		// the result returns as-is.
+		return ex.runOnceLocked(req, w)
+	}
+	cfg := &ex.rt.cfg
+	for attempt := 0; ; attempt++ {
+		deferred, err := ex.runOnceOCC(req, w)
+		switch {
+		case err == nil:
+			return deferred, nil
+
+		case errors.Is(err, testbed.ErrAbort):
+			ex.rt.stats.aborted.Add(1)
+			return false, err
+
+		case errors.Is(err, nvm.ErrInjectedCrash):
+			ex.withEngMu(func() { ex.heal(err) })
+			ex.rt.stats.failed.Add(1)
+			return false, ErrRecovering
+
+		case isPanicErr(err):
+			ex.rt.stats.panics.Add(1)
+			ex.rt.event(ex.part, EventPanic, err)
+			ex.withEngMu(func() {
+				if ex.panicStorm() {
+					ex.heal(err)
+				}
+			})
+			ex.rt.stats.failed.Add(1)
+			return false, err
+
+		case core.IsCorrupt(err):
+			ex.withEngMu(func() { ex.heal(err) })
+			ex.rt.stats.failed.Add(1)
+			return false, ErrRecovering
+
+		case core.IsRetryable(err):
+			if attempt >= cfg.MaxRetries {
+				ex.rt.stats.failed.Add(1)
+				return false, err
+			}
+			ex.rt.stats.retries.Add(1)
+			ex.rt.event(ex.part, EventRetry, err)
+			ex.backoffWith(rng, attempt)
+			continue
+
+		default:
+			ex.rt.stats.failed.Add(1)
+			return false, err
+		}
+	}
+}
+
+// runOnceOCC executes the transaction once: optimistic phase off-lock,
+// then validate + apply + ack bookkeeping under engMu. deferred reports
+// that the commit joined a group and its ack belongs to the durability
+// barrier.
+func (ex *executor) runOnceOCC(req *request, w int) (deferred bool, err error) {
+	rt := ex.rt
+	eng := rt.db.Engine(ex.part)
+	sr, okSR := eng.(core.SnapshotReader)
+	vp, okVP := eng.(core.OccValidatorProvider)
+	if !okSR || !okVP {
+		// Capability is a property of the engine kind and was checked in
+		// serveOCC; a heal never changes the kind.
+		return false, fmt.Errorf("serve: engine %s lost its MVCC substrate mid-run", eng.Name())
+	}
+
+	// Optimistic phase: the body runs against the wrapper, never the
+	// engine. Panics here are the body's (or the view's), contained to a
+	// typed TxnError like the serial path's runOnce.
+	ot := core.NewOccTxn(sr.SnapshotView(), eng.Name(), rt.schemas)
+	if terr := ex.occBody(eng.Name(), ot, req.txn); terr != nil {
+		ot.Close()
+		return false, terr
+	}
+
+	// Commit point. The snapshot stays pinned through validation: the pin
+	// keeps the validator's conflict entries above the GC watermark from
+	// being pruned out from under the read set.
+	ex.engMu.Lock()
+	defer ex.engMu.Unlock()
+	defer ot.Close()
+	if ex.recovering.Load() {
+		rt.stats.recovering.Add(1)
+		return false, ErrRecovering
+	}
+	if cur := rt.db.Engine(ex.part); cur != eng {
+		// The partition healed between snapshot and commit; the snapshot
+		// belongs to the discarded engine instance. Retryable — the next
+		// attempt pins a fresh snapshot on the recovered engine.
+		return false, ErrRecovering
+	}
+	if verr := ot.Validate(vp.OccValidator()); verr != nil {
+		rt.stats.conflicts.Add(1)
+		return false, verr
+	}
+	if ot.ReadOnly() {
+		// A read-only transaction serializes at its snapshot; nothing to
+		// apply, nothing to make durable.
+		return false, nil
+	}
+	if aerr := ex.applyOCC(eng, ot); aerr != nil {
+		return false, aerr
+	}
+	if ex.groupSize > 1 {
+		ex.wpending[w] = append(ex.wpending[w], req)
+		if ex.occPendingTotal() >= ex.groupSize || len(ex.ch) == 0 {
+			ex.flushPendingOCC()
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// runOnceLocked is the non-MVCC fallback: the serial supervisor under
+// engMu, with group-commit acks routed through the writer's pending list.
+func (ex *executor) runOnceLocked(req *request, w int) (deferred bool, err error) {
+	ex.engMu.Lock()
+	defer ex.engMu.Unlock()
+	if ex.recovering.Load() {
+		ex.rt.stats.recovering.Add(1)
+		return false, ErrRecovering
+	}
+	if err := ex.serve(req); err != nil {
+		return false, err
+	}
+	if ex.groupSize > 1 {
+		ex.wpending[w] = append(ex.wpending[w], req)
+		if ex.occPendingTotal() >= ex.groupSize || len(ex.ch) == 0 {
+			ex.flushPendingOCC()
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// occBody runs the transaction body against the wrapper with the serial
+// path's panic containment.
+func (ex *executor) occBody(engine string, ot *core.OccTxn, txn testbed.Txn) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr, ok := r.(error)
+			if !ok {
+				perr = fmt.Errorf("%v", r)
+			}
+			err = &core.TxnError{Engine: engine, Op: "occ-txn", Panicked: true, Err: perr}
+		}
+	}()
+	return txn(ot)
+}
+
+// applyOCC replays the validated write set through the real engine with
+// runOnce's panic containment and DurableAck semantics. Caller holds engMu.
+func (ex *executor) applyOCC(eng core.Engine, ot *core.OccTxn) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr, ok := r.(error)
+			if !ok {
+				perr = fmt.Errorf("%v", r)
+			}
+			err = &core.TxnError{Engine: eng.Name(), Op: "occ-apply", Panicked: true, Err: perr}
+			if errors.Is(perr, nvm.ErrInjectedCrash) {
+				// Post-crash device: leave the state for heal.
+				return
+			}
+			if aerr := ex.abortQuiet(eng); aerr != nil {
+				err = core.Corrupt(errors.Join(err, aerr))
+			}
+		}
+	}()
+	if err := ot.Apply(eng); err != nil {
+		return err
+	}
+	if ex.rt.cfg.DurableAck {
+		if ferr := eng.Flush(); ferr != nil {
+			// Applied but not provably durable; the ack contract is broken,
+			// so treat it like a commit failure.
+			return ferr
+		}
+	}
+	return nil
+}
+
+// occPendingTotal counts held acks across all writers. Caller holds engMu.
+func (ex *executor) occPendingTotal() int {
+	n := 0
+	for _, list := range ex.wpending {
+		n += len(list)
+	}
+	return n
+}
+
+// flushPendingOCC runs the durability barrier for every writer's held acks:
+// one engine Flush covers all of them — the group buffer is per partition,
+// not per writer. Failure semantics mirror flushPending: retryable errors
+// back off and retry, anything worse heals the partition, which fails every
+// held ack. Caller holds engMu.
+func (ex *executor) flushPendingOCC() {
+	if ex.occPendingTotal() == 0 {
+		return
+	}
+	cfg := &ex.rt.cfg
+	for attempt := 0; ; attempt++ {
+		err := ex.flushQuiet()
+		if err == nil {
+			for w, list := range ex.wpending {
+				ex.rt.stats.committed.Add(int64(len(list)))
+				for _, req := range list {
+					ex.rt.recordWriterAck(ex.part, w, time.Since(req.start))
+					req.done <- nil
+				}
+				ex.wpending[w] = list[:0]
+			}
+			return
+		}
+		if core.IsRetryable(err) && !errors.Is(err, nvm.ErrInjectedCrash) && attempt < cfg.MaxRetries {
+			ex.rt.stats.retries.Add(1)
+			ex.rt.event(ex.part, EventRetry, err)
+			ex.backoff(attempt) // engMu held: ex.rng is safe here
+			continue
+		}
+		// heal fails every writer's pending list (not durable).
+		ex.heal(err)
+		return
+	}
+}
+
+// withEngMu runs fn at the partition's serialization point. Two OCC writers
+// can race into heal for the same fault; the loser re-heals an already
+// healthy partition — a redundant power cycle, never a correctness issue.
+func (ex *executor) withEngMu(fn func()) {
+	ex.engMu.Lock()
+	fn()
+	ex.engMu.Unlock()
+}
+
+// occCapable reports whether the engine serves snapshots and conflict
+// queries — what the optimistic path needs.
+func occCapable(eng core.Engine) bool {
+	_, okSR := eng.(core.SnapshotReader)
+	_, okVP := eng.(core.OccValidatorProvider)
+	return okSR && okVP
+}
+
+// recordWriterAck feeds the per-(partition, writer) submit→ack histogram
+// (registered only in OCC mode).
+func (rt *Runtime) recordWriterAck(part, w int, d time.Duration) {
+	if rt.writerHist != nil {
+		rt.writerHist[part][w].Record(d)
+	}
+}

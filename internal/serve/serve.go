@@ -65,6 +65,15 @@ type Config struct {
 	// released. With GroupCommitSize > 1 a commit may sit in a volatile
 	// group buffer; enable this when the client treats an ack as durable.
 	DurableAck bool
+	// Writers sets the number of write executors per partition (default 1).
+	// The default keeps the pre-OCC serial path, bit for bit. With
+	// Writers > 1, transactions execute optimistically against pinned MVCC
+	// snapshots without holding the partition lock, then OCC-validate their
+	// read sets at the commit point: first committer wins, losers abort
+	// with the retryable core.ErrConflict and are retried with backoff.
+	// Acks still release strictly after the group-commit durability
+	// barrier. See occ.go and DESIGN.md §12.
+	Writers int
 	// Readers sets the per-partition snapshot reader pool size (default 4).
 	// Readers serve Get/Scan against the engine's MVCC read views without
 	// entering the executor queue, so they never contend with the write path
@@ -100,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerThreshold <= 0 {
 		c.BreakerThreshold = 3
+	}
+	if c.Writers <= 0 {
+		c.Writers = 1
 	}
 	if c.Readers <= 0 {
 		c.Readers = 4
@@ -144,6 +156,7 @@ type Stats struct {
 	Degraded   int64 // partitions currently degraded
 	Reads      int64 // snapshot reads served
 	ReadFails  int64 // snapshot reads surfaced as errors
+	Conflicts  int64 // OCC validation failures (first-committer-wins aborts)
 }
 
 // Runtime serves transactions over a testbed database.
@@ -178,6 +191,13 @@ type Runtime struct {
 	healthMu sync.Mutex
 	health   []HealthSource
 
+	// schemas indexes the database's table schemas for the OCC wrapper.
+	schemas []*core.Schema
+
+	// writerHist holds per-(partition, writer) submit→ack histograms,
+	// registered only when cfg.Writers > 1 (see metrics.go).
+	writerHist [][]*obs.Histogram
+
 	stats struct {
 		committed, aborted, failed atomic.Int64
 		retries, panics            atomic.Int64
@@ -185,13 +205,15 @@ type Runtime struct {
 		overloaded, recovering     atomic.Int64
 		degraded                   atomic.Int64
 		reads, readFails           atomic.Int64
+		conflicts                  atomic.Int64
 	}
 }
 
 type request struct {
-	ctx  context.Context
-	txn  testbed.Txn
-	done chan error // buffered(1): the executor never blocks on the reply
+	ctx   context.Context
+	txn   testbed.Txn
+	start time.Time  // submit time, for the per-writer ack histograms
+	done  chan error // buffered(1): the executor never blocks on the reply
 }
 
 type executor struct {
@@ -216,6 +238,11 @@ type executor struct {
 	// flush per transaction the way DurableAck does.
 	groupSize int
 	pending   []*request
+	// wpending holds each OCC writer's commits awaiting the group
+	// durability barrier, indexed by writer (nil in serial mode, which uses
+	// pending). Guarded by engMu: every append, flush and drain happens at
+	// the partition's serialization point.
+	wpending [][]*request
 
 	panicTimes []time.Time // sliding window for panic-storm detection
 	healFails  int         // consecutive failed heals (circuit breaker)
@@ -244,8 +271,20 @@ func New(db *testbed.DB, cfg Config) *Runtime {
 		rt.execs = append(rt.execs, ex)
 		rt.readQs = append(rt.readQs, make(chan *readReq, cfg.ReadQueueDepth))
 	}
+	rt.schemas = db.Schemas()
 	rt.buildMetrics()
 	for _, ex := range rt.execs {
+		if cfg.Writers > 1 {
+			// OCC mode: N optimistic writers share the partition queue; each
+			// gets its own pending-ack list and (inside runOCC) its own
+			// deterministically derived jitter RNG.
+			ex.wpending = make([][]*request, cfg.Writers)
+			for w := 0; w < cfg.Writers; w++ {
+				rt.wg.Add(1)
+				go ex.runOCC(w)
+			}
+			continue
+		}
 		rt.wg.Add(1)
 		go ex.run()
 	}
@@ -283,7 +322,7 @@ func (rt *Runtime) SubmitPart(ctx context.Context, part int, txn testbed.Txn) er
 		return ErrRecovering
 	}
 	start := time.Now()
-	req := &request{ctx: ctx, txn: txn, done: make(chan error, 1)}
+	req := &request{ctx: ctx, txn: txn, start: start, done: make(chan error, 1)}
 	rt.mu.RLock()
 	if rt.closed.Load() {
 		rt.mu.RUnlock()
@@ -393,13 +432,10 @@ func (rt *Runtime) recoverOne(i int) error {
 		ex.recovering.Store(false)
 		ex.engMu.Unlock()
 	}()
-	// Fail held acks: those commits sat in the volatile group buffer that
-	// the power cycle below wipes, so they must not be acked.
-	for _, req := range ex.pending {
-		rt.stats.recovering.Add(1)
-		req.done <- ErrRecovering
-	}
-	ex.pending = ex.pending[:0]
+	// Fail held acks — serial and per-writer lists alike: those commits sat
+	// in the volatile group buffer that the power cycle below wipes, so
+	// they must not be acked.
+	ex.failPendingLocked()
 	rt.db.Env(i).Dev.DisarmFail()
 	rt.db.CrashPartition(i)
 	if err := ex.recoverQuiet(); err != nil {
@@ -427,6 +463,7 @@ func (rt *Runtime) Stats() Stats {
 		Degraded:   rt.stats.degraded.Load(),
 		Reads:      rt.stats.reads.Load(),
 		ReadFails:  rt.stats.readFails.Load(),
+		Conflicts:  rt.stats.conflicts.Load(),
 	}
 }
 
@@ -679,13 +716,10 @@ func (ex *executor) heal(cause error) {
 	rt := ex.rt
 	rt.event(ex.part, EventHeal, cause)
 
-	// Fail the held acks first: those commits sat in a volatile group
-	// buffer that the power cycle below wipes, so they must not be acked.
-	for _, req := range ex.pending {
-		rt.stats.recovering.Add(1)
-		req.done <- ErrRecovering
-	}
-	ex.pending = ex.pending[:0]
+	// Fail the held acks first — the serial list and every OCC writer's
+	// list alike: those commits sat in a volatile group buffer that the
+	// power cycle below wipes, so they must not be acked.
+	ex.failPendingLocked()
 
 	// Fail everything already queued behind the broken engine.
 drain:
@@ -740,13 +774,42 @@ func (ex *executor) recoverQuiet() (err error) {
 	return err
 }
 
-// backoff sleeps the capped-exponential, jittered delay for the attempt.
-func (ex *executor) backoff(attempt int) {
+// failPendingLocked fails every held ack (the serial pending list and all
+// OCC writers' lists) with ErrRecovering. Caller holds engMu (or is the
+// serial executor loop, which owns pending outright).
+func (ex *executor) failPendingLocked() {
+	rt := ex.rt
+	for _, req := range ex.pending {
+		rt.stats.recovering.Add(1)
+		req.done <- ErrRecovering
+	}
+	ex.pending = ex.pending[:0]
+	for w, list := range ex.wpending {
+		for _, req := range list {
+			rt.stats.recovering.Add(1)
+			req.done <- ErrRecovering
+		}
+		ex.wpending[w] = list[:0]
+	}
+}
+
+// backoff sleeps the capped-exponential, jittered delay for the attempt,
+// drawing jitter from the executor's own RNG. The serial executor loop owns
+// ex.rng outright; OCC writers only reach this under engMu (heal and the
+// durability-barrier retry) — their lock-free retry path uses backoffWith
+// with a per-writer RNG instead.
+func (ex *executor) backoff(attempt int) { ex.backoffWith(ex.rng, attempt) }
+
+// backoffWith is backoff against an explicit RNG: each OCC writer carries
+// its own deterministically seeded RNG because math/rand.Rand is not
+// goroutine-safe and backoff sleeps must not serialize on the partition
+// lock just to draw jitter.
+func (ex *executor) backoffWith(rng *rand.Rand, attempt int) {
 	d := ex.rt.cfg.RetryBase << uint(attempt)
 	if d > ex.rt.cfg.RetryCap || d <= 0 {
 		d = ex.rt.cfg.RetryCap
 	}
-	time.Sleep(d/2 + time.Duration(ex.rng.Int63n(int64(d/2)+1)))
+	time.Sleep(d/2 + time.Duration(rng.Int63n(int64(d/2)+1)))
 }
 
 func isPanicErr(err error) bool {

@@ -14,6 +14,14 @@ type ShardRoute struct {
 	Epoch   uint64
 	Primary string // node address; empty means the shard is down
 	Backup  string // empty while unreplicated (backup dead or being re-seeded)
+	// Reseeding marks an in-flight backup enrollment: the coordinator has
+	// dispatched a re-seed whose SnapDone will enroll a node this map does
+	// not list yet. While set, nodes must not derive replication-state
+	// changes for the shard from this map — a map built during the window
+	// is authoritative about placement but stale about enrollment, and
+	// acting on it would demote the freshly seeded backup (or detach the
+	// primary from it) the moment the snapshot completes.
+	Reseeding bool
 }
 
 // ShardMap is the cluster's routing table: Version orders successive maps
@@ -53,7 +61,8 @@ func (m *ShardMap) Clone() *ShardMap {
 // maxShards bounds a decoded map (a hostile count must not balloon memory).
 const maxShards = 1 << 16
 
-// appendShardMap serializes a map: version nshards { epoch primary backup }*.
+// appendShardMap serializes a map: version nshards
+// { epoch primary backup flags }*; flags bit 0 is Reseeding.
 func appendShardMap(dst []byte, m *ShardMap) []byte {
 	dst = binary.AppendUvarint(dst, m.Version)
 	dst = binary.AppendUvarint(dst, uint64(len(m.Shards)))
@@ -61,6 +70,11 @@ func appendShardMap(dst []byte, m *ShardMap) []byte {
 		dst = binary.AppendUvarint(dst, s.Epoch)
 		dst = appendStr(dst, s.Primary)
 		dst = appendStr(dst, s.Backup)
+		var flags uint64
+		if s.Reseeding {
+			flags |= 1
+		}
+		dst = binary.AppendUvarint(dst, flags)
 	}
 	return dst
 }
@@ -89,6 +103,14 @@ func (d *dec) shardMap() (*ShardMap, error) {
 		if m.Shards[i].Backup, err = d.str(); err != nil {
 			return nil, err
 		}
+		flags, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if flags > 1 {
+			return nil, fmt.Errorf("wire: shard route flags %#x", flags)
+		}
+		m.Shards[i].Reseeding = flags&1 != 0
 	}
 	return m, nil
 }

@@ -68,7 +68,7 @@ func sampleResponses() []*Response {
 		{ID: 11, Status: StatusNotPrimary, Msg: "shard 1 is backup here"},
 		{ID: 12, Status: StatusOK, Map: &ShardMap{Version: 7, Shards: []ShardRoute{
 			{Epoch: 3, Primary: "127.0.0.1:7001", Backup: "127.0.0.1:7002"},
-			{Epoch: 1, Primary: "127.0.0.1:7002", Backup: ""},
+			{Epoch: 1, Primary: "127.0.0.1:7002", Backup: "", Reseeding: true},
 		}}},
 		{ID: 13, Status: StatusOK, Map: &ShardMap{Version: 0, Shards: []ShardRoute{}}},
 	}
