@@ -12,7 +12,9 @@
 //	-listen ADDR    load the database, then serve it over the wire protocol
 //	-connect ADDR   drive payment-shaped wire transactions against a server
 //	-cluster N      drive through an in-process replicated cluster of N nodes
-//	                (-cluster-kill adds a mid-drive primary kill + failover)
+//	                (-cluster-kill adds a mid-drive primary kill + failover;
+//	                -cluster-txn drives payments as cross-shard 2PC vs
+//	                single-shard TXN frames and writes BENCH_txn.json)
 package main
 
 import (
@@ -90,11 +92,7 @@ func main() {
 	}
 	db.ResetStats()
 	if drill.Cluster > 0 {
-		// Replicated drill: replicate the loaded warehouses into an
-		// in-process cluster and drive payment-shaped transactions through
-		// the shard router. TPCCRequests already pins Part to each txn's
-		// home-warehouse partition, which doubles as the shard id.
-		err := netdrill.RunCluster(cluster.Config{
+		ccfg := cluster.Config{
 			Engine: nstore.EngineKind(*engine),
 			Shards: *partitions,
 			Seed:   *seed,
@@ -105,7 +103,20 @@ func main() {
 			},
 			Options: core.Options{MemTableCap: 512},
 			Schemas: tpcc.Schemas(),
-		}, db, netdrill.TPCCRequests(cfg), drill, os.Stdout)
+		}
+		var err error
+		if drill.ClusterTxn {
+			// Cross-shard 2PC drill: the same payments driven twice through
+			// Router.DoTxn — all-local (one TXN frame) vs remote-customer
+			// (percolator 2PC) — with the comparison written to BENCH_txn.json.
+			err = netdrill.RunClusterTxn(ccfg, db, cfg, drill, os.Stdout, drill.BenchOut)
+		} else {
+			// Replicated drill: replicate the loaded warehouses into an
+			// in-process cluster and drive payment-shaped transactions through
+			// the shard router. TPCCRequests already pins Part to each txn's
+			// home-warehouse partition, which doubles as the shard id.
+			err = netdrill.RunCluster(ccfg, db, netdrill.TPCCRequests(cfg), drill, os.Stdout)
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -14,6 +14,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"nstore/internal/core"
@@ -101,7 +102,26 @@ func (c Config) peerClientConfig() netclient.Config {
 type Cluster struct {
 	cfg   Config
 	Nodes []*Node
+	// Coord is the current coordinator. Read it through Coordinator() in
+	// any code that can run concurrently with StartStandbyCoordinator;
+	// direct access is fine in tests that never replace the coordinator.
 	Coord *Coordinator
+
+	cdmu sync.RWMutex
+}
+
+// Coordinator returns the current coordinator, safely across standby
+// takeover.
+func (c *Cluster) Coordinator() *Coordinator {
+	c.cdmu.RLock()
+	defer c.cdmu.RUnlock()
+	return c.Coord
+}
+
+func (c *Cluster) setCoordinator(co *Coordinator) {
+	c.cdmu.Lock()
+	c.Coord = co
+	c.cdmu.Unlock()
 }
 
 // Start builds and starts the cluster: nodes listening on ephemeral ports,
@@ -138,15 +158,24 @@ func Start(cfg Config) (*Cluster, error) {
 		bs.role, bs.epoch = roleBackup, 1
 		bs.mu.Unlock()
 	}
+	// The initial map is installed through the consensus register like any
+	// other: the founding coordinator wins the (virgin) register at ballot 1,
+	// a majority of acceptors store the map, and every node learns it.
+	if _, err := c.Coord.lead(); err != nil {
+		for _, prev := range c.Nodes {
+			prev.Shutdown()
+		}
+		return nil, err
+	}
 	c.Coord.mu.Lock()
 	c.Coord.m = m
+	c.Coord.proposeLocked(m.Clone())
 	now := time.Now()
 	for _, n := range c.Nodes {
 		c.Coord.lastHB[n.addr] = now
 	}
 	c.Coord.mu.Unlock()
 	for _, n := range c.Nodes {
-		n.SetMap(m)
 		n.hbWG.Add(1)
 		go n.heartbeatLoop()
 	}
@@ -221,7 +250,7 @@ func (c *Cluster) Router(ccfg netclient.Config) *netclient.Router {
 // are skipped past their dead flag; their runtimes still close so files
 // release).
 func (c *Cluster) Close() {
-	c.Coord.close()
+	c.Coordinator().close()
 	for _, n := range c.Nodes {
 		n.Shutdown()
 	}

@@ -14,11 +14,12 @@ import (
 // leases; re-seeds run in their own goroutines because a snapshot can take
 // a while and must not block failure detection.
 //
-// It is deliberately not consensus — a single coordinator process stands in
-// for the placement driver (pd/) a production deployment would run
-// replicated. The replication protocol itself never trusts the coordinator
-// blindly: epochs fence deposed primaries even if the coordinator
-// misbehaves (see DESIGN.md §11).
+// The coordinator process itself is disposable: every map install goes
+// through the consensus register spread across the nodes (see consensus.go),
+// so a standby coordinator can win the register at a higher ballot, adopt
+// the last accepted map, and finish an interrupted failover or re-seed. The
+// replication protocol still never trusts the coordinator blindly: epochs
+// fence deposed primaries even if a coordinator misbehaves (DESIGN.md §11).
 type Coordinator struct {
 	c *Cluster
 
@@ -28,6 +29,11 @@ type Coordinator struct {
 	dead   map[string]bool
 	// reseeding guards one in-flight re-seed per shard.
 	reseeding map[int]bool
+	// ballot is this coordinator's prepared proposer ballot; deposed is set
+	// the moment any acceptor reveals a newer proposer, after which this
+	// coordinator must never decide anything again.
+	ballot  uint64
+	deposed bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -61,16 +67,21 @@ func (co *Coordinator) Map() *wire.ShardMap {
 	return co.m.Clone()
 }
 
-// install publishes a new map version to every live node. Caller holds
-// co.mu.
+// currentBallot reads the coordinator's proposer ballot (a standby starts
+// its bidding from here).
+func (co *Coordinator) currentBallot() uint64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.ballot
+}
+
+// install publishes a new map version through the consensus register: the
+// version is chosen only once a majority of acceptors stored it, then every
+// live node learns it. A deposed coordinator's install silently does
+// nothing — the newer proposer owns placement now. Caller holds co.mu.
 func (co *Coordinator) installLocked() {
 	co.m.Version++
-	m := co.m.Clone()
-	for _, n := range co.c.Nodes {
-		if !co.dead[n.addr] {
-			n.SetMap(m)
-		}
-	}
+	co.proposeLocked(co.m.Clone())
 }
 
 // run is the lease checker.
@@ -90,6 +101,10 @@ func (co *Coordinator) run() {
 
 func (co *Coordinator) checkLeases() {
 	co.mu.Lock()
+	if co.deposed {
+		co.mu.Unlock()
+		return
+	}
 	now := time.Now()
 	var expired []string
 	for addr, last := range co.lastHB {
@@ -129,7 +144,7 @@ func (co *Coordinator) checkLeases() {
 // backup is re-seeded on a spare node.
 func (co *Coordinator) MarkDead(addr string) {
 	co.mu.Lock()
-	if co.dead[addr] {
+	if co.dead[addr] || co.deposed {
 		co.mu.Unlock()
 		return
 	}
@@ -168,7 +183,7 @@ func (co *Coordinator) MarkDead(addr string) {
 // replacement backup.
 func (co *Coordinator) scheduleReseed(shard int) {
 	co.mu.Lock()
-	if co.reseeding[shard] {
+	if co.reseeding[shard] || co.deposed {
 		co.mu.Unlock()
 		return
 	}

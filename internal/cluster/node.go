@@ -85,7 +85,8 @@ type Node struct {
 	shards []*shardState
 	dead   atomic.Bool
 
-	smap atomic.Pointer[wire.ShardMap] // latest coordinator-pushed map
+	acc  acceptor                      // this node's slice of the map consensus register
+	smap atomic.Pointer[wire.ShardMap] // latest learned (consensus-chosen) map
 
 	stopHB chan struct{}
 	hbWG   sync.WaitGroup
@@ -113,6 +114,15 @@ func (n *Node) DB() *testbed.DB { return n.db }
 func (n *Node) buildMetrics() {
 	reg := n.rt.Metrics()
 	n.mFailovers = reg.Counter("cluster_failovers_total")
+	// The learned shard-map version: after a failover or re-seed every live
+	// node's gauge must converge on the coordinator's — a node stuck behind
+	// is routing clients on stale epochs.
+	reg.GaugeFunc("cluster_map_version", func() float64 {
+		if m := n.smap.Load(); m != nil {
+			return float64(m.Version)
+		}
+		return 0
+	})
 	reg.GaugeFunc("cluster_repl_lag_bytes", func() float64 {
 		var sum int64
 		for _, s := range n.shards {
@@ -368,6 +378,11 @@ func (n *Node) Handle(ctx context.Context, req *wire.Request) *wire.Response {
 		} else {
 			resp.Status, resp.Msg = wire.StatusRetryable, "no shard map yet"
 		}
+		return resp
+	}
+	switch req.Op {
+	case wire.OpMapPrepare, wire.OpMapAccept, wire.OpMapLearn:
+		n.handleConsensus(req, resp)
 		return resp
 	}
 	if req.Part < 0 || int(req.Part) >= len(n.shards) {
@@ -669,7 +684,7 @@ func (n *Node) heartbeatLoop() {
 			return
 		case <-t.C:
 			if !n.dead.Load() {
-				n.cl.Coord.Heartbeat(n.addr)
+				n.cl.Coordinator().Heartbeat(n.addr)
 			}
 		}
 	}

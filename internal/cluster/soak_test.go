@@ -239,3 +239,208 @@ func clusterSoakPut(ctx context.Context, r *netclient.Router, key uint64) error 
 	}
 	return fmt.Errorf("never acked: %w", last)
 }
+
+// TestClusterCoordKillSoak is the consensus register's reason to exist: the
+// coordinator itself dies at the worst moments. Per engine: concurrent
+// unique-key inserts, then shard 0's primary is SIGKILLed and the
+// coordinator is killed right behind it — BEFORE the lease expires, so the
+// failover hasn't started. A standby coordinator must win the register at a
+// higher ballot, adopt the last chosen map, detect the dead node and run the
+// whole failover itself. If the standby's re-seed window is observed open
+// (Reseeding=true in the map), the standby is killed too — mid-re-seed —
+// and a third coordinator takes over, reopening the window it now owns.
+//
+// Acceptance: the final map is healed (live primary AND backup per shard,
+// no Reseeding flags), every live node learned the same map version (the
+// quorum converged), zero acked-commit loss through the whole circus, and
+// per-shard digests equal primary == backup == in-process oracle.
+func TestClusterCoordKillSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coordinator-kill soak is a nightly test")
+	}
+	for _, kind := range testbed.Kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			coordKillSoakOne(t, kind, enginetest.BaseSeed())
+		})
+	}
+}
+
+func coordKillSoakOne(t *testing.T, kind testbed.EngineKind, seed int64) {
+	c := startCluster(t, kind, Config{
+		Shards: clusterSoakShards, Nodes: clusterSoakNodes, Seed: seed,
+		HeartbeatEvery: 10 * time.Millisecond,
+		Lease:          80 * time.Millisecond,
+		Options:        core.Options{GroupCommitSize: 4},
+	})
+	r := c.Router(netclient.Config{
+		Conns:     2,
+		Seed:      seed,
+		RetryMax:  40,
+		RetryBase: time.Millisecond,
+		RetryCap:  50 * time.Millisecond,
+	})
+	defer r.Close()
+	ctx := context.Background()
+
+	var acked atomic.Int64
+	var killOnce sync.Once
+	killTrigger := make(chan struct{})
+	victimCh := make(chan *Node, 1)
+	chaosErr := make(chan error, 1)
+	go func() {
+		<-killTrigger
+		victim := c.nodeByAddr(c.Coordinator().Map().Shards[0].Primary)
+		victim.Kill()
+		// Mid-failover: the lease (80ms) has not expired; the coordinator
+		// dies knowing nothing. The standby must discover the dead node.
+		c.KillCoordinator()
+		time.Sleep(20 * time.Millisecond)
+		if _, err := c.StartStandbyCoordinator(); err != nil {
+			chaosErr <- fmt.Errorf("standby takeover: %w", err)
+			victimCh <- victim
+			return
+		}
+		// Mid-re-seed: the moment a re-seed window is open in the map, kill
+		// the standby too and hand over to a third coordinator. If the heal
+		// outruns the poll, the takeover is exercised on a quiet map — still
+		// a valid (if easier) handover.
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			m := c.Coordinator().Map()
+			reseeding := false
+			for _, route := range m.Shards {
+				if route.Reseeding {
+					reseeding = true
+				}
+			}
+			if reseeding {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		c.KillCoordinator()
+		if _, err := c.StartStandbyCoordinator(); err != nil {
+			chaosErr <- fmt.Errorf("second standby takeover: %w", err)
+		}
+		victimCh <- victim
+	}()
+
+	var wg sync.WaitGroup
+	workerErr := make(chan error, clusterSoakWorkers)
+	for w := 0; w < clusterSoakWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for key := uint64(w); key < clusterSoakKeys; key += clusterSoakWorkers {
+				if err := clusterSoakPut(ctx, r, key); err != nil {
+					workerErr <- fmt.Errorf("key %d: %w", key, err)
+					return
+				}
+				if n := acked.Add(1); n == clusterSoakKeys/3 {
+					killOnce.Do(func() { close(killTrigger) })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(workerErr)
+	for err := range workerErr {
+		t.Fatal(err)
+	}
+	killOnce.Do(func() { close(killTrigger) })
+	victim := <-victimCh
+	select {
+	case err := <-chaosErr:
+		t.Fatal(err)
+	default:
+	}
+
+	// Heal: live primary and re-seeded backup per shard, all windows closed.
+	deadline := time.Now().Add(30 * time.Second)
+	var m *wire.ShardMap
+	for {
+		m = c.Coordinator().Map()
+		healed := true
+		for _, route := range m.Shards {
+			if route.Primary == "" || route.Backup == "" || route.Reseeding ||
+				route.Primary == victim.addr || route.Backup == victim.addr {
+				healed = false
+			}
+		}
+		if healed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster did not heal after coordinator kills: %+v", m.Shards)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Quorum convergence: every live node learned the final map version.
+	for _, n := range c.Nodes {
+		if n.dead.Load() {
+			continue
+		}
+		nm := n.smap.Load()
+		if nm == nil || nm.Version < m.Version {
+			t.Fatalf("node %s stuck at map version %v, coordinator at %d",
+				n.name, nm, m.Version)
+		}
+	}
+
+	// Zero acked-commit loss across two coordinator deaths.
+	for key := uint64(0); key < clusterSoakKeys; key++ {
+		resp, err := r.DoRetry(ctx, &wire.Request{Part: -1, Op: wire.OpGet, Table: "t", Key: key})
+		if err != nil {
+			t.Fatalf("get %d after heal: %v", key, err)
+		}
+		if resp.Status != wire.StatusOK || !resp.Found {
+			t.Fatalf("acked key %d missing: %v found=%v (%s)", key, resp.Status, resp.Found, resp.Msg)
+		}
+	}
+
+	// Oracle comparison, same as the node-kill soak.
+	ref, err := testbed.New(testbed.Config{
+		Engine:     kind,
+		Partitions: clusterSoakShards,
+		Env:        core.EnvConfig{DeviceSize: 32 << 20},
+		Options:    core.Options{GroupCommitSize: 1},
+		Schemas:    schemas(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPart := make([][]testbed.Txn, clusterSoakShards)
+	for key := uint64(0); key < clusterSoakKeys; key++ {
+		key := key
+		s := wire.ShardOf(key, clusterSoakShards)
+		perPart[s] = append(perPart[s], func(e core.Engine) error {
+			return e.Insert("t", key, testRow(key))
+		})
+	}
+	if _, err := ref.ExecuteSequential(perPart); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for s, route := range m.Shards {
+		p, b := c.nodeByAddr(route.Primary), c.nodeByAddr(route.Backup)
+		wantShardDigestEqual(t, s, p, b)
+		oracle, err := ref.PartitionDigest(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := p.DB().PartitionDigest(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dp != oracle {
+			t.Fatalf("shard %d diverged from the oracle after coordinator kills:\n  cluster %x\n  oracle  %x",
+				s, dp[:8], oracle[:8])
+		}
+	}
+	t.Logf("%s: %d keys acked through a node kill + two coordinator kills; final map v%d epoch=%d",
+		kind, clusterSoakKeys, m.Version, m.Shards[0].Epoch)
+}

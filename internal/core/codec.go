@@ -184,25 +184,53 @@ func SecPK(composite uint64) uint64 { return composite & 0xffffffff }
 
 // Packed tree keys for the CoW engines, which keep every table and index of
 // a partition in one copy-on-write B+tree so a transaction's changes across
-// tables commit atomically under a single master record (§3.2). Layout:
-// [63:60] table, [59:56] index+1 (0 = primary), then the payload:
+// tables commit atomically under a single master record (§3.2); the log
+// engines reuse the same packing for their index trees. Layout:
+// [63:59] table, [58:56] index+1 (0 = primary), then the payload:
 // primary keys get 56 bits; secondary entries pack a 32-bit secondary key
-// and a 24-bit primary key.
+// and a 24-bit primary key. The 5-bit table field holds 32 tables — 2PC
+// augmentation (txn2pc.AugmentSchemas) shadows every user table with a
+// lock table, which overflowed the original 4-bit field on TPC-C and
+// silently aliased distinct tables' keys; ValidatePacked makes any future
+// overflow a typed open-time error instead.
+
+// MaxPackedTables is the table capacity of the packed tree-key layout.
+const MaxPackedTables = 32
+
+// MaxPackedIndexes is the per-table secondary-index capacity of the packed
+// layout (index+1 must fit in 3 bits).
+const MaxPackedIndexes = 7
+
+// ValidatePacked rejects schema sets that overflow the packed tree-key
+// budget. Engines that store a partition in one packed-key tree call this
+// at construction: overflowing the field widths would not fail — it would
+// alias different tables' keys onto each other.
+func ValidatePacked(schemas []*Schema) error {
+	if len(schemas) > MaxPackedTables {
+		return fmt.Errorf("core: %d tables exceed the packed tree-key budget of %d", len(schemas), MaxPackedTables)
+	}
+	for _, s := range schemas {
+		if len(s.Secondary) > MaxPackedIndexes {
+			return fmt.Errorf("core: table %s: %d secondary indexes exceed the packed tree-key budget of %d", s.Name, len(s.Secondary), MaxPackedIndexes)
+		}
+	}
+	return nil
+}
 
 // TreePrimary builds the tree key of a primary tuple.
 func TreePrimary(table int, pk uint64) uint64 {
-	return uint64(table)<<60 | pk&0x00ffffffffffffff
+	return uint64(table)<<59 | pk&0x00ffffffffffffff
 }
 
 // TreeSecondary builds the tree key of a secondary-index entry. Primary
 // keys of secondary-indexed tables must fit in 24 bits.
 func TreeSecondary(table, index int, sec uint32, pk uint64) uint64 {
-	return uint64(table)<<60 | uint64(index+1)<<56 | uint64(sec)<<24 | pk&0xffffff
+	return uint64(table)<<59 | uint64(index+1)<<56 | uint64(sec)<<24 | pk&0xffffff
 }
 
 // TreeSecRange returns the key range covering one secondary key's entries.
 func TreeSecRange(table, index int, sec uint32) (lo, hi uint64) {
-	base := uint64(table)<<60 | uint64(index+1)<<56
+	base := uint64(table)<<59 | uint64(index+1)<<56
 	return base | uint64(sec)<<24, base | (uint64(sec)+1)<<24
 }
 
@@ -211,6 +239,11 @@ func TreeSecRange(table, index int, sec uint32) (lo, hi uint64) {
 func TreePrimaryRange(table int, from, to uint64) (lo, hi uint64) {
 	return TreePrimary(table, from), TreePrimary(table, to)
 }
+
+// TreeTable extracts the table id from any packed tree key (primary or
+// secondary). Always use this rather than shifting by hand: the field
+// widths are layout-private and have changed once already.
+func TreeTable(k uint64) int { return int(k >> 59) }
 
 // TreeSecPK extracts the 24-bit primary key from a secondary tree key.
 func TreeSecPK(k uint64) uint64 { return k & 0xffffff }

@@ -35,6 +35,9 @@ type Engine struct {
 
 // New creates a fresh CoW engine.
 func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	if err := core.ValidatePacked(schemas); err != nil {
+		return nil, err
+	}
 	e := &Engine{opts: opts.WithDefaults()}
 	e.InitBase(env, schemas)
 	pg, err := cowbtree.CreateFilePager(env.FS, dbFile, e.opts.CowPageSize)
@@ -57,6 +60,9 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 // dirty directory's pages are reclaimed by a reachability sweep
 // (asynchronous garbage collection in the paper; done inline here).
 func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	if err := core.ValidatePacked(schemas); err != nil {
+		return nil, err
+	}
 	e := &Engine{opts: opts.WithDefaults()}
 	e.InitBase(env, schemas)
 	stop := e.Bd.Timer(&e.Bd.Recovery)

@@ -116,3 +116,7 @@ func TestSnapshotConformance(t *testing.T) {
 func TestOCCConformance(t *testing.T) {
 	enginetest.RunOCCConformance(t, factory(), 200)
 }
+
+func TestCrossShardConformance(t *testing.T) {
+	enginetest.RunCrossShardConformance(t, factory(), 200)
+}

@@ -79,6 +79,9 @@ type secUndo struct {
 
 // New creates a fresh Log engine.
 func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	if err := core.ValidatePacked(schemas); err != nil {
+		return nil, err
+	}
 	e := &Engine{opts: opts.WithDefaults()}
 	e.InitBase(env, schemas)
 	wal, err := core.NewFsWAL(env.FS, walFile, e.opts.GroupCommitSize)
@@ -116,6 +119,9 @@ func (e *Engine) buildVolatile() {
 // rebuild the MemTable from the WAL, remove orphaned runs from interrupted
 // compactions, and rebuild the secondary indexes (§3.3).
 func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	if err := core.ValidatePacked(schemas); err != nil {
+		return nil, err
+	}
 	e := &Engine{opts: opts.WithDefaults()}
 	e.InitBase(env, schemas)
 	stop := e.Bd.Timer(&e.Bd.Recovery)
@@ -793,7 +799,7 @@ func (e *Engine) mergeRuns(newer, older *sstable, dropTombs bool) (*sstable, err
 				b.next()
 			default:
 				// Schema for Merge: decode the table from the packed key.
-				tm := e.Tables[int(ka>>60)]
+				tm := e.Tables[core.TreeTable(ka)]
 				emit(ka, lsm.Merge(tm.Schema, ea, eb))
 				a.next()
 				b.next()

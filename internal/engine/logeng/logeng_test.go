@@ -213,3 +213,7 @@ func TestSnapshotConformance(t *testing.T) {
 func TestOCCConformance(t *testing.T) {
 	enginetest.RunOCCConformance(t, confFactory(), 200)
 }
+
+func TestCrossShardConformance(t *testing.T) {
+	enginetest.RunCrossShardConformance(t, confFactory(), 200)
+}

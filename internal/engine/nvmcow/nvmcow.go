@@ -43,6 +43,9 @@ type Engine struct {
 
 // New creates a fresh NVM-CoW engine anchored at arena root slot 0.
 func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	if err := core.ValidatePacked(schemas); err != nil {
+		return nil, err
+	}
 	e := &Engine{opts: opts.WithDefaults()}
 	e.InitBase(env, schemas)
 	pg, err := cowbtree.CreateArenaPager(env.Arena, rootSlot, e.opts.CowPageSize)
@@ -64,6 +67,9 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 // allocator for pages and tuple copies orphaned by the crash (the paper's
 // asynchronous reclamation, done inline here).
 func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	if err := core.ValidatePacked(schemas); err != nil {
+		return nil, err
+	}
 	e := &Engine{opts: opts.WithDefaults()}
 	e.InitBase(env, schemas)
 	stop := e.Bd.Timer(&e.Bd.Recovery)

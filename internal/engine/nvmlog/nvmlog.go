@@ -88,6 +88,9 @@ type txnOp struct {
 
 // New creates a fresh NVM-Log engine anchored at arena root slot 0.
 func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	if err := core.ValidatePacked(schemas); err != nil {
+		return nil, err
+	}
 	e := &Engine{opts: opts.WithDefaults()}
 	e.InitBase(env, schemas)
 	nSec := 0
@@ -138,6 +141,9 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 // in-flight transactions via the WAL, complete any interrupted rotation,
 // and sweep orphaned chunks. No MemTable rebuild (§4.3).
 func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, error) {
+	if err := core.ValidatePacked(schemas); err != nil {
+		return nil, err
+	}
 	e := &Engine{opts: opts.WithDefaults()}
 	e.InitBase(env, schemas)
 	stop := e.Bd.Timer(&e.Bd.Recovery)
@@ -719,7 +725,7 @@ func (e *Engine) compact() error {
 		es := entries[k]
 		acc := es[0]
 		for _, ent := range es[1:] {
-			acc = lsm.Merge(e.Tables[int(k>>60)].Schema, acc, ent)
+			acc = lsm.Merge(e.Tables[core.TreeTable(k)].Schema, acc, ent)
 			if acc.Kind != lsm.KindDelta {
 				break
 			}

@@ -15,6 +15,12 @@ import (
 // (no seed answered a SHARDMAP probe, or the shard has no primary).
 var ErrNoRoute = errors.New("netclient: no route to shard")
 
+// forceResolveAfter is how many polite lock encounters a retry loop tolerates
+// before breaking the lock through its primary (abort fence + rollback). Low
+// enough that a crashed client's orphans clear in a few backoff rounds, high
+// enough that live holders mid-2PC usually commit first.
+const forceResolveAfter = 3
+
 // Router is the cluster-aware client: it keeps a shard map fetched over the
 // wire (OpShardMap), pins each request to its shard's primary, and reroutes
 // through failover — on StatusNotPrimary or a transport failure it refreshes
@@ -190,6 +196,7 @@ func (r *Router) Do(ctx context.Context, req *wire.Request) (*wire.Response, err
 // only if every attempt failed to produce a definitive response.
 func (r *Router) DoRetry(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	var lastErr error
+	lockHits := 0
 	for attempt := 0; attempt < r.cfg.RetryMax; attempt++ {
 		if attempt > 0 {
 			select {
@@ -217,6 +224,18 @@ func (r *Router) DoRetry(ctx context.Context, req *wire.Request) (*wire.Response
 			// The map is stale: this node lost (or never had) the shard.
 			lastErr = &wire.StatusError{Status: resp.Status, Msg: resp.Msg}
 			r.Refresh(ctx)
+		case err == nil && resp.Status == wire.StatusLocked:
+			// A cross-shard transaction holds the key. Push it to a decision
+			// through its primary lock and settle the blocking record, then
+			// retry. The first few conflicts ask politely — a live holder
+			// needs a couple of backoff rounds to finish its prewrite→commit
+			// round trips, and forcing on the first re-encounter turns hot-key
+			// contention into a mutual-abort storm where no transaction ever
+			// reaches its commit point. Only a lock still held after several
+			// polite rounds is treated as a crashed client's and broken.
+			lastErr = &wire.StatusError{Status: resp.Status, Msg: resp.Msg}
+			r.resolveLock(ctx, shard, resp, lockHits >= forceResolveAfter)
+			lockHits++
 		case err == nil && resp.Status.Retryable():
 			lastErr = &wire.StatusError{Status: resp.Status, Msg: resp.Msg}
 		case err == nil:
@@ -233,6 +252,53 @@ func (r *Router) DoRetry(ctx context.Context, req *wire.Request) (*wire.Response
 		}
 	}
 	return nil, fmt.Errorf("netclient: %d routed attempts exhausted: %w", r.cfg.RetryMax, lastErr)
+}
+
+// resolveLock drives the transaction named by a StatusLocked response to a
+// decision and settles the lock that blocked the caller. The decision comes
+// from the primary lock's shard: OpTxnResolve reports committed/aborted if
+// the transaction is already decided, reports pending if the primary lock is
+// still held (force=false), or breaks the lock and writes the abort fence
+// (force=true). A decided verdict is then replayed onto the blocking lock's
+// own shard as a Phase-0 commit/abort, after which the caller's retry runs
+// unobstructed. The blocking lock lives on `shard` — the shard the caller's
+// request was routed to — NOT wherever its key would hash: under explicit
+// Part pinning (TPC-C co-location) those differ, and a hash-routed settle
+// lands on the wrong shard and strands the lock forever. Failures are
+// swallowed: the caller retries and resolution restarts from scratch.
+func (r *Router) resolveLock(ctx context.Context, shard int32, locked *wire.Response, force bool) {
+	if locked.Txn == 0 || locked.PriTable == "" {
+		return
+	}
+	var phase byte
+	if force {
+		phase = 1
+	}
+	v, err := r.DoRetry(ctx, &wire.Request{
+		Op: wire.OpTxnResolve, Part: locked.PriShard,
+		Table: locked.PriTable, Key: locked.PriKey,
+		Txn: locked.Txn, Phase: phase,
+	})
+	if err != nil || v.Status != wire.StatusOK {
+		return
+	}
+	var settle wire.Op
+	switch v.TxnState {
+	case wire.TxnCommitted:
+		settle = wire.OpTxnCommit
+	case wire.TxnAborted:
+		settle = wire.OpTxnAbort
+	default:
+		return // still pending: the holder is live, give it the backoff
+	}
+	if locked.LockTable == "" {
+		return
+	}
+	r.DoRetry(ctx, &wire.Request{
+		Op: settle, Part: shard, Key: locked.LockKey,
+		Txn: locked.Txn, Phase: 0,
+		Locks: []wire.LockRef{{Table: locked.LockTable, Key: locked.LockKey}},
+	})
 }
 
 func (r *Router) backoff(attempt int) time.Duration {

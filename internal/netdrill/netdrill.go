@@ -46,6 +46,8 @@ type Flags struct {
 	Conns            int
 	Cluster          int
 	ClusterKill      bool
+	ClusterTxn       bool
+	BenchOut         string
 }
 
 // Register installs the drill flags on fs, preserving the historical flag
@@ -63,6 +65,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.Conns, "conns", 4, "connect mode: client connection pool size")
 	fs.IntVar(&f.Cluster, "cluster", 0, "drive the workload against an in-process replicated cluster of this many nodes (>= 2; one shard per partition, primary→backup log shipping in the ack path)")
 	fs.BoolVar(&f.ClusterKill, "cluster-kill", false, "cluster mode: kill shard 0's primary a third of the way in and drive the rest through the failover")
+	fs.BoolVar(&f.ClusterTxn, "cluster-txn", false, "cluster mode: drive payments as cross-shard 2PC transactions (customers at remote warehouses) vs single-shard TXN frames")
+	fs.StringVar(&f.BenchOut, "bench-out", "BENCH_txn.json", "cluster-txn mode: write the throughput comparison artifact here (empty to skip)")
 	return f
 }
 
@@ -89,6 +93,12 @@ func (f *Flags) Validate() error {
 	}
 	if f.ClusterKill && f.Cluster == 0 {
 		return errors.New("netdrill: -cluster-kill requires -cluster")
+	}
+	if f.ClusterTxn && f.Cluster == 0 {
+		return errors.New("netdrill: -cluster-txn requires -cluster")
+	}
+	if f.ClusterTxn && f.ClusterKill {
+		return errors.New("netdrill: -cluster-txn and -cluster-kill are mutually exclusive")
 	}
 	return nil
 }

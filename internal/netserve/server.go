@@ -34,6 +34,7 @@ import (
 	"nstore/internal/obs"
 	"nstore/internal/serve"
 	"nstore/internal/testbed"
+	"nstore/internal/txn2pc"
 	"nstore/internal/wire"
 )
 
@@ -97,6 +98,10 @@ type Server struct {
 	ln  net.Listener
 
 	schemas map[string]*core.Schema
+	// twoPC is set when the DB schemas carry the hidden txn2pc tables:
+	// cross-shard 2PC ops are accepted and every client read/write checks
+	// the shadowing lock table first.
+	twoPC bool
 
 	mu     sync.Mutex
 	conns  map[*srvConn]struct{}
@@ -132,6 +137,7 @@ func New(rt *serve.Runtime, addr string, cfg Config) (*Server, error) {
 	for _, sc := range s.db.Schemas() {
 		s.schemas[sc.Name] = sc
 	}
+	s.twoPC = txn2pc.Enabled(s.db.Schemas())
 	s.buildMetrics(rt.Metrics())
 	s.wg.Add(1)
 	go s.accept()
@@ -371,28 +377,73 @@ func (s *Server) exec(ctx context.Context, req *wire.Request) *wire.Response {
 	if req.Op == wire.OpGet || req.Op == wire.OpScan {
 		err = s.rt.ReadPart(ctx, part, func(v core.ReadView) error {
 			resp.Found, resp.Row, resp.Keys, resp.Rows = false, nil, nil, nil
+			// A lock shadowing the key means a cross-shard transaction is
+			// between its commit point and this shard's roll-forward: serving
+			// the pre-image here while the primary shard already shows the
+			// new state would expose a partial commit. Kick the resolution
+			// back to the client (StatusLocked carries the primary pointer).
+			if s.twoPC {
+				if req.Op == wire.OpGet {
+					if err := txn2pc.LockedAt(v, req.Table, req.Key); err != nil {
+						return err
+					}
+				} else if err := txn2pc.LockedInRange(v, req.Table, req.From, req.To); err != nil {
+					return err
+				}
+			}
 			return s.applyRead(v, req, resp)
 		})
-		resp.Status, resp.Msg = statusOf(err)
-		if resp.Status != wire.StatusOK {
-			resp.Found, resp.Row, resp.Keys, resp.Rows, resp.Subs = false, nil, nil, nil, nil
-		}
+		s.finish(resp, err)
 		return resp
 	}
 	// The executor retries retryable transaction failures in place, so the
 	// closure must reset its result fields each attempt.
 	txn := func(eng core.Engine) error {
 		resp.Found, resp.Row, resp.Keys, resp.Rows, resp.Subs = false, nil, nil, nil, nil
-		if req.Op != wire.OpTxn {
-			return s.apply(eng, req, resp)
-		}
-		resp.Subs = make([]wire.Response, len(req.Ops))
-		for i := range req.Ops {
-			if err := s.apply(eng, &req.Ops[i], &resp.Subs[i]); err != nil {
+		resp.Txn, resp.TxnState, resp.PriShard, resp.PriTable, resp.PriKey = 0, 0, 0, "", 0
+		switch req.Op {
+		case wire.OpTxnPrewrite:
+			if err := txn2pc.Prewrite(eng, req); err != nil {
 				return err
 			}
+			// Report RMW pre-images alongside the locks: the lock excludes
+			// every other writer, so the value read here is the value the
+			// commit-time apply will see.
+			resp.Subs = make([]wire.Response, len(req.Ops))
+			for i := range req.Ops {
+				if req.Ops[i].Op != wire.OpRmw {
+					continue
+				}
+				row, ok, err := eng.Get(req.Ops[i].Table, req.Ops[i].Key)
+				if err != nil {
+					return err
+				}
+				resp.Subs[i].Found = ok
+				resp.Subs[i].Row = copyRow(row)
+			}
+			return nil
+		case wire.OpTxnCommit:
+			return txn2pc.Commit(eng, req.Txn, req.Phase == 1, req.Locks)
+		case wire.OpTxnAbort:
+			return txn2pc.Abort(eng, req.Txn, req.Phase == 1, req.Locks)
+		case wire.OpTxnResolve:
+			st, err := txn2pc.Resolve(eng, req.Txn, req.Table, req.Key, req.Phase == 1)
+			if err != nil {
+				return err
+			}
+			resp.Txn, resp.TxnState = req.Txn, st
+			resp.PriShard, resp.PriTable, resp.PriKey = int32(part), req.Table, req.Key
+			return nil
+		case wire.OpTxn:
+			resp.Subs = make([]wire.Response, len(req.Ops))
+			for i := range req.Ops {
+				if err := s.apply(eng, &req.Ops[i], &resp.Subs[i]); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
-		return nil
+		return s.apply(eng, req, resp)
 	}
 	if s.cfg.Repl != nil {
 		// The cluster layer owns the write: it serializes per shard, runs
@@ -404,11 +455,26 @@ func (s *Server) exec(ctx context.Context, req *wire.Request) *wire.Response {
 	} else {
 		err = s.rt.SubmitPart(ctx, part, txn)
 	}
-	resp.Status, resp.Msg = statusOf(err)
-	if resp.Status != wire.StatusOK {
-		resp.Found, resp.Row, resp.Keys, resp.Rows, resp.Subs = false, nil, nil, nil, nil
-	}
+	s.finish(resp, err)
 	return resp
+}
+
+// finish maps err onto the response status. A lock conflict keeps the
+// primary-lock pointer fields so the client can drive resolution; every
+// other failure clears all result fields.
+func (s *Server) finish(resp *wire.Response, err error) {
+	resp.Status, resp.Msg = statusOf(err)
+	if resp.Status == wire.StatusOK {
+		return
+	}
+	resp.Found, resp.Row, resp.Keys, resp.Rows, resp.Subs = false, nil, nil, nil, nil
+	resp.Txn, resp.TxnState, resp.PriShard, resp.PriTable, resp.PriKey = 0, 0, 0, "", 0
+	resp.LockTable, resp.LockKey = "", 0
+	if le := txn2pc.AsLocked(err); le != nil {
+		resp.Txn, resp.TxnState = le.Txn, wire.TxnPending
+		resp.PriShard, resp.PriTable, resp.PriKey = le.PriShard, le.PriTable, le.PriKey
+		resp.LockTable, resp.LockKey = le.Table, le.Key
+	}
 }
 
 // route picks the request's home partition: explicit Part, or the testbed
@@ -444,9 +510,45 @@ func (s *Server) validate(req *wire.Request) error {
 		}
 		return nil
 	}
+	if req.Op.Is2PC() {
+		if !s.twoPC {
+			return fmt.Errorf("%v: server schemas carry no 2pc tables", req.Op)
+		}
+		switch req.Op {
+		case wire.OpTxnPrewrite:
+			if err := s.checkUserTable(req.Table); err != nil {
+				return fmt.Errorf("primary lock: %w", err)
+			}
+			for i := range req.Ops {
+				if err := s.checkUserTable(req.Ops[i].Table); err != nil {
+					return fmt.Errorf("op %d: %w", i, err)
+				}
+				if err := s.validate(&req.Ops[i]); err != nil {
+					return fmt.Errorf("op %d: %w", i, err)
+				}
+			}
+		case wire.OpTxnCommit, wire.OpTxnAbort:
+			for i, l := range req.Locks {
+				if err := s.checkUserTable(l.Table); err != nil {
+					return fmt.Errorf("lock %d: %w", i, err)
+				}
+			}
+		case wire.OpTxnResolve:
+			if err := s.checkUserTable(req.Table); err != nil {
+				return fmt.Errorf("primary lock: %w", err)
+			}
+		}
+		return nil
+	}
 	sc, ok := s.schemas[req.Table]
 	if !ok {
 		return fmt.Errorf("unknown table %q", req.Table)
+	}
+	// The hidden 2PC bookkeeping tables are engine-internal: a client that
+	// could write a lock record directly could forge or destroy a commit
+	// point. Only the 2PC ops themselves reach them.
+	if txn2pc.Hidden(req.Table) {
+		return fmt.Errorf("table %q is internal", req.Table)
 	}
 	switch req.Op {
 	case wire.OpGet, wire.OpDelete, wire.OpScan:
@@ -479,6 +581,19 @@ func (s *Server) validate(req *wire.Request) error {
 		return nil
 	}
 	return fmt.Errorf("unknown op %v", req.Op)
+}
+
+// checkUserTable admits only known, non-hidden tables as 2PC targets: the
+// lock and status tables shadowing them are derived names, never named
+// directly on the wire.
+func (s *Server) checkUserTable(table string) error {
+	if _, ok := s.schemas[table]; !ok {
+		return fmt.Errorf("unknown table %q", table)
+	}
+	if txn2pc.Hidden(table) {
+		return fmt.Errorf("table %q is internal", table)
+	}
+	return nil
 }
 
 func checkValue(sc *core.Schema, col int, v core.Value) error {
@@ -531,7 +646,25 @@ func (s *Server) applyRead(v core.ReadView, req *wire.Request, resp *wire.Respon
 // apply runs one op against the engine, inside the executor's transaction.
 // Result rows are deep-copied: the response is encoded after the executor
 // has moved on, and engines hand out views into storage they may rewrite.
+//
+// Under 2PC the lock table is consulted first: a shadowing lock means some
+// cross-shard transaction holds the key between prewrite and resolution, so
+// both reads (partial-commit visibility) and writes (lost update against the
+// buffered op) must bounce. The lock-table read also lands in the OCC read
+// set, so a prewrite racing past this check loses to first-committer-wins.
 func (s *Server) apply(eng core.Engine, req *wire.Request, resp *wire.Response) error {
+	if s.twoPC {
+		switch req.Op {
+		case wire.OpGet, wire.OpPut, wire.OpDelete, wire.OpRmw:
+			if err := txn2pc.LockedAt(eng, req.Table, req.Key); err != nil {
+				return err
+			}
+		case wire.OpScan:
+			if err := txn2pc.LockedInRange(eng, req.Table, req.From, req.To); err != nil {
+				return err
+			}
+		}
+	}
 	return applyOp(eng, req, resp, s.cfg.ScanLimit)
 }
 
@@ -598,6 +731,20 @@ func applyOp(eng core.Engine, req *wire.Request, resp *wire.Response, scanLimit 
 			}
 		}
 		return eng.Update(req.Table, req.Key, upd)
+	// The 2PC ops appear here for the backup replay path: a shipped
+	// prewrite/commit/abort/resolve replays against identical state, so the
+	// same deterministic mutation lands. Lock checks are skipped — the
+	// primary already ran them, and re-running them against the replica's
+	// own lock table would be a no-op on identical state anyway.
+	case wire.OpTxnPrewrite:
+		return txn2pc.Prewrite(eng, req)
+	case wire.OpTxnCommit:
+		return txn2pc.Commit(eng, req.Txn, req.Phase == 1, req.Locks)
+	case wire.OpTxnAbort:
+		return txn2pc.Abort(eng, req.Txn, req.Phase == 1, req.Locks)
+	case wire.OpTxnResolve:
+		_, err := txn2pc.Resolve(eng, req.Txn, req.Table, req.Key, req.Phase == 1)
+		return err
 	}
 	return fmt.Errorf("unknown op %v", req.Op)
 }
@@ -646,6 +793,12 @@ func statusOf(err error) (wire.Status, string) {
 		return wire.StatusNotFound, err.Error()
 	case errors.Is(err, core.ErrKeyExists):
 		return wire.StatusKeyExists, err.Error()
+	case errors.Is(err, txn2pc.ErrTxnAborted):
+		return wire.StatusAborted, err.Error()
+	case errors.Is(err, txn2pc.ErrTxnCommitted):
+		return wire.StatusBadRequest, err.Error()
+	case txn2pc.AsLocked(err) != nil:
+		return wire.StatusLocked, err.Error()
 	case core.IsRetryable(err), errors.Is(err, nvm.ErrInjectedCrash), isPanicErr(err):
 		return wire.StatusRetryable, err.Error()
 	default:

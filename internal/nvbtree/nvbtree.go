@@ -97,8 +97,13 @@ func Create(arena *pmalloc.Arena, nodeSize int) (*Tree, error) {
 		arena.Free(hdr)
 		return nil, err
 	}
-	arena.SetPersisted(root)
+	// The empty root's flag/count lines must be durable before the header
+	// points at them: a tree that is never written again (an empty table)
+	// would otherwise lose them to a power cut and read back as a zeroed
+	// inner node.
 	d := t.dev
+	d.Sync(int64(root), nEntries)
+	arena.SetPersisted(root)
 	d.WriteU64(int64(hdr)+hMagic, headerMagic)
 	d.WriteU64(int64(hdr)+hRoot, root)
 	d.WriteU64(int64(hdr)+hNodeSize, uint64(nodeSize))

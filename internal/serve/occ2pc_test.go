@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nstore/internal/core"
+	"nstore/internal/testbed"
+	"nstore/internal/txn2pc"
+	"nstore/internal/wire"
+)
+
+// new2PCDB is newDB with the hidden txn2pc bookkeeping tables attached, so
+// lock records land in real shadowing tables like a cluster node's.
+func new2PCDB(t testing.TB, kind testbed.EngineKind) *testbed.DB {
+	t.Helper()
+	db, err := testbed.New(testbed.Config{
+		Engine:     kind,
+		Partitions: 1,
+		Env:        core.EnvConfig{DeviceSize: 32 << 20},
+		Options:    core.Options{GroupCommitSize: 1},
+		Schemas:    txn2pc.AugmentSchemas(schemas()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestOCCPrewriteFirstCommitterWins pins the property the wire server's
+// write path leans on: under optimistic executors, a cross-shard prewrite's
+// lock-table write and a plain client write to the same key are ordinary
+// OCC read/write-set entries, so first-committer-wins serializes them. The
+// loser revalidates against the winner's state and surfaces a semantic
+// failure (LockedError for the plain write, ErrKeyExists for the prewrite) —
+// never a lost update, never a plain write landing under a live lock.
+func TestOCCPrewriteFirstCommitterWins(t *testing.T) {
+	const nKeys = 24
+	db := new2PCDB(t, testbed.NVMInP)
+	rt := New(db, Config{Writers: 4, Seed: 5, QueueDepth: 16})
+	defer rt.Close()
+
+	txnID := func(k uint64) uint64 { return 5000 + k }
+	prewrite := func(k uint64) testbed.Txn {
+		return func(e core.Engine) error {
+			// Touch the data key first so the read set is established before
+			// the yield parks the body — real contention on one core.
+			if _, _, err := e.Get("t", k); err != nil {
+				return err
+			}
+			time.Sleep(50 * time.Microsecond)
+			return txn2pc.Prewrite(e, &wire.Request{
+				Op: wire.OpTxnPrewrite, Txn: txnID(k), PriShard: 0,
+				Table: "t", Key: k,
+				Ops: []wire.Request{{Op: wire.OpPut, Table: "t", Key: k,
+					Row: []core.Value{core.IntVal(int64(k)), core.IntVal(int64(100 + k))}}},
+			})
+		}
+	}
+	guardedPut := func(k uint64) testbed.Txn {
+		return func(e core.Engine) error {
+			if err := txn2pc.LockedAt(e, "t", k); err != nil {
+				return err
+			}
+			time.Sleep(50 * time.Microsecond)
+			return e.Insert("t", k, []core.Value{core.IntVal(int64(k)), core.IntVal(int64(200 + k))})
+		}
+	}
+
+	// race submits the transaction until it either acks (winner) or fails
+	// semantically (loser); OCC conflicts retry with a fresh snapshot.
+	race := func(txn testbed.Txn) error {
+		for attempt := 0; ; attempt++ {
+			err := rt.SubmitPart(context.Background(), 0, txn)
+			if core.IsRetryable(err) && attempt < 50 {
+				time.Sleep(time.Duration(100+50*attempt) * time.Microsecond)
+				continue
+			}
+			return err
+		}
+	}
+
+	prewriteWon := make([]bool, nKeys)
+	var wg sync.WaitGroup
+	for k := uint64(0); k < nKeys; k++ {
+		wg.Add(2)
+		errA := make(chan error, 1)
+		go func(k uint64) { defer wg.Done(); errA <- race(prewrite(k)) }(k)
+		go func(k uint64) {
+			defer wg.Done()
+			errB := race(guardedPut(k))
+			a := <-errA
+			switch {
+			case a == nil && errB == nil:
+				t.Errorf("key %d: prewrite and plain write both acked", k)
+			case a != nil && errB != nil:
+				t.Errorf("key %d: both sides lost: prewrite=%v put=%v", k, a, errB)
+			case a == nil:
+				if txn2pc.AsLocked(errB) == nil {
+					t.Errorf("key %d: plain write lost to the lock but got %v, want LockedError", k, errB)
+				}
+				prewriteWon[k] = true
+			default:
+				if !errors.Is(a, core.ErrKeyExists) {
+					t.Errorf("key %d: prewrite lost to the plain write but got %v, want ErrKeyExists", k, a)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Settle every surviving lock forward and check the serial outcome: the
+	// committed buffered value where the prewrite won, the plain value where
+	// it lost — never a mix, never a leftover lock.
+	for k := uint64(0); k < nKeys; k++ {
+		want := int64(200 + k)
+		if prewriteWon[k] {
+			err := rt.SubmitPart(context.Background(), 0, func(e core.Engine) error {
+				return txn2pc.Commit(e, txnID(k), true, []wire.LockRef{{Table: "t", Key: k}})
+			})
+			if err != nil {
+				t.Fatalf("key %d: commit: %v", k, err)
+			}
+			want = int64(100 + k)
+		}
+		if got := mustGet(t, db, 0, k); got != want {
+			t.Fatalf("key %d = %d, want %d (prewriteWon=%v)", k, got, want, prewriteWon[k])
+		}
+		if l, ok, err := txn2pc.ReadLock(db.Engine(0), "t", k); err != nil || ok {
+			t.Fatalf("key %d: leftover lock %+v (err=%v)", k, l, err)
+		}
+	}
+}

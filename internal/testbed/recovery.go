@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"hash"
+	"strings"
 	"time"
 
 	"nstore/internal/core"
@@ -117,6 +118,12 @@ func (db *DB) digestPartition(h hash.Hash, p int) error {
 	writeU64 := func(v uint64) { binary.LittleEndian.PutUint64(le[:], v); h.Write(le[:]) }
 	e := db.Engine(p)
 	for _, sch := range db.cfg.Schemas {
+		// Hidden bookkeeping tables ("__" prefix: 2PC locks and txn status
+		// records) are transient protocol state, not visible data — a shard
+		// mid-roll-forward must digest equal to one already settled.
+		if strings.HasPrefix(sch.Name, "__") {
+			continue
+		}
 		if err := e.ScanRange(sch.Name, 0, ^uint64(0), func(pk uint64, row []core.Value) bool {
 			writeU64(pk)
 			for ci, col := range sch.Columns {

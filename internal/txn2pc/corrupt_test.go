@@ -1,0 +1,156 @@
+package txn2pc
+
+import (
+	"testing"
+
+	"nstore/internal/core"
+	"nstore/internal/engine/nvminp"
+	"nstore/internal/wire"
+)
+
+// Deterministic lock-record corruption: a torn or scribbled prewrite must
+// never surface as committed. Commit decodes EVERY buffered op before
+// applying ANY of them, inside one engine transaction — so a single corrupt
+// lock record aborts the whole settlement: no data applied, no committed
+// status record, the engine transaction rolled back whole.
+
+func corruptEngine(t *testing.T) core.Engine {
+	t.Helper()
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 32 << 20})
+	e, err := nvminp.New(env, resSchemas(), core.Options{GroupCommitSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// prewriteKeys buffers one put per key for txn on e, with keys[0] as the
+// primary lock.
+func prewriteKeys(t *testing.T, e core.Engine, txn uint64, keys ...uint64) {
+	t.Helper()
+	subs := make([]wire.Request, len(keys))
+	for i, k := range keys {
+		subs[i] = wire.Request{Op: wire.OpPut, Table: "t", Key: k,
+			Row: []core.Value{core.IntVal(int64(k)), core.IntVal(int64(k) * 7)}}
+	}
+	err := Run(e, func() error {
+		return Prewrite(e, &wire.Request{Op: wire.OpTxnPrewrite, Txn: txn,
+			PriShard: 0, Table: "t", Key: keys[0], Ops: subs})
+	})
+	if err != nil {
+		t.Fatalf("prewrite: %v", err)
+	}
+}
+
+// scribble overwrites the buffered-op column of the lock record at key.
+func scribble(t *testing.T, e core.Engine, key uint64, opBytes []byte) {
+	t.Helper()
+	err := Run(e, func() error {
+		return e.Update(LockTable("t"), key, core.Update{
+			Cols: []int{5}, Vals: []core.Value{core.BytesVal(opBytes)}})
+	})
+	if err != nil {
+		t.Fatalf("scribbling lock %d: %v", key, err)
+	}
+}
+
+func refsFor(keys ...uint64) []wire.LockRef {
+	refs := make([]wire.LockRef, len(keys))
+	for i, k := range keys {
+		refs[i] = wire.LockRef{Table: "t", Key: k}
+	}
+	return refs
+}
+
+// TestCommitRejectsCorruptLockRecord: a truncated buffered op makes Commit
+// fail tagged core.ErrCorrupt, with the transaction still undecided and no
+// data visible — then resolution rolls it back cleanly.
+func TestCommitRejectsCorruptLockRecord(t *testing.T) {
+	e := corruptEngine(t)
+	const txn = 900
+	prewriteKeys(t, e, txn, 41, 42)
+
+	// Tear the primary lock's buffered op: keep a valid op byte, cut the body.
+	l, ok, err := ReadLock(e, "t", 41)
+	if err != nil || !ok {
+		t.Fatalf("lock 41 missing: %v %v", ok, err)
+	}
+	scribble(t, e, 41, l.OpBytes[:len(l.OpBytes)/2])
+
+	err = Run(e, func() error { return Commit(e, txn, true, refsFor(41, 42)) })
+	if !core.IsCorrupt(err) {
+		t.Fatalf("commit over a torn lock record: %v, want a corrupt-tagged error", err)
+	}
+	// The torn prewrite never surfaced as committed: state still pending,
+	// nothing applied — not even the INTACT lock at 42 (decode-all-first).
+	st, err := State(e, txn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != wire.TxnPending {
+		t.Fatalf("state after failed commit = %d, want pending", st)
+	}
+	for _, k := range []uint64{41, 42} {
+		if _, ok, _ := e.Get("t", k); ok {
+			t.Fatalf("key %d applied despite the aborted settlement", k)
+		}
+	}
+	// Resolution settles the wreck as an abort, exactly like any orphan.
+	var v byte
+	if err := Run(e, func() error {
+		var err error
+		v, err = Resolve(e, txn, "t", 41, true)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v != wire.TxnAborted {
+		t.Fatalf("resolution of the corrupt txn = %d, want aborted", v)
+	}
+	if err := Run(e, func() error { return Abort(e, txn, false, refsFor(41, 42)) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := e.Get("t", 42); ok {
+		t.Fatal("aborted settlement leaked key 42")
+	}
+}
+
+// TestCommitRejectsForeignOpInLockRecord: a lock record whose buffered op
+// decodes to a non-write opcode (bit rot flipping the op byte) is corruption,
+// not a different write.
+func TestCommitRejectsForeignOpInLockRecord(t *testing.T) {
+	e := corruptEngine(t)
+	const txn = 901
+	prewriteKeys(t, e, txn, 51)
+	scribble(t, e, 51, []byte{byte(wire.OpGet), 1, 2, 3})
+
+	err := Run(e, func() error { return Commit(e, txn, true, refsFor(51)) })
+	if !core.IsCorrupt(err) {
+		t.Fatalf("commit over a foreign-op lock record: %v, want corrupt", err)
+	}
+	if _, ok, _ := e.Get("t", 51); ok {
+		t.Fatal("foreign-op lock record applied data")
+	}
+}
+
+// TestCommitRejectsTrailingGarbage: extra bytes after a well-formed buffered
+// op mean the record was overwritten mid-slot; DecodeOp must refuse rather
+// than silently accept the prefix.
+func TestCommitRejectsTrailingGarbage(t *testing.T) {
+	e := corruptEngine(t)
+	const txn = 902
+	prewriteKeys(t, e, txn, 61)
+	l, _, err := ReadLock(e, "t", 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scribble(t, e, 61, append(append([]byte(nil), l.OpBytes...), 0xde, 0xad))
+
+	err = Run(e, func() error { return Commit(e, txn, true, refsFor(61)) })
+	if !core.IsCorrupt(err) {
+		t.Fatalf("commit over trailing garbage: %v, want corrupt", err)
+	}
+	if _, ok, _ := e.Get("t", 61); ok {
+		t.Fatal("trailing-garbage lock record applied data")
+	}
+}

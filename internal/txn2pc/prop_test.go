@@ -1,0 +1,385 @@
+package txn2pc
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"nstore/internal/core"
+	"nstore/internal/engine/nvminp"
+	"nstore/internal/wire"
+)
+
+// Lock-resolution property test: random interleavings of concurrent 2PC
+// clients over two shards — prewrites, commits, client crashes, reader-forced
+// resolutions, and whole-cluster power cycles — checked against a
+// linearizable model. The one property everything reduces to: an orphaned
+// lock must resolve in the SAME direction as the transaction's primary
+// record, every time, on every shard. A failing sequence is ddmin-shrunk to
+// a minimal reproduction before being reported.
+
+var propSeed = flag.Int64("seed", 1, "base seed for resolution property sequences")
+
+// One op of a sequence. Each transaction txn writes key(txn, shard) on the
+// shards it spans, so transactions never write-conflict — every lock
+// interaction goes through reader resolution, the path under test.
+type resOp struct {
+	kind  byte // 'P' prewrite, 'C' primary commit, 'c' secondary commit, 'R' read, 'Z' power cycle
+	txn   int
+	shard int
+}
+
+func (o resOp) String() string {
+	switch o.kind {
+	case 'Z':
+		return "Z"
+	case 'C':
+		return fmt.Sprintf("C%d", o.txn)
+	default:
+		return fmt.Sprintf("%c%d@%d", o.kind, o.txn, o.shard)
+	}
+}
+
+const resShards = 2
+
+func resKey(txn, shard int) uint64 { return uint64(txn*10 + shard + 1) }
+func resVal(txn, shard int) int64  { return int64(txn*100 + shard) }
+func resTxnID(txn int) uint64      { return uint64(7000 + txn) }
+func resPrimaryShard(txn int) int  { return txn % resShards }
+func resRow(txn, shard int) []core.Value {
+	return []core.Value{core.IntVal(int64(resKey(txn, shard))), core.IntVal(resVal(txn, shard))}
+}
+
+func resSchemas() []*core.Schema {
+	return AugmentSchemas([]*core.Schema{{
+		Name: "t",
+		Columns: []core.Column{
+			{Name: "id", Type: core.TInt},
+			{Name: "v", Type: core.TInt},
+		},
+	}})
+}
+
+// genRes builds a random interleaving of ntxn transactions' protocol
+// programs (prewrite both shards, primary commit, secondary commit —
+// truncated at a random cut to model a client crash) riffled with reads and
+// power cycles.
+func genRes(rng *rand.Rand, ntxn, reads, cycles int) []resOp {
+	queues := make([][]resOp, 0, ntxn+1)
+	for t := 0; t < ntxn; t++ {
+		p := resPrimaryShard(t)
+		prog := []resOp{
+			{kind: 'P', txn: t, shard: p},
+			{kind: 'P', txn: t, shard: 1 - p},
+			{kind: 'C', txn: t},
+			{kind: 'c', txn: t, shard: 1 - p},
+		}
+		prog = prog[:1+rng.Intn(len(prog))] // client crash at a phase boundary
+		queues = append(queues, prog)
+	}
+	var extras []resOp
+	for i := 0; i < reads; i++ {
+		extras = append(extras, resOp{kind: 'R', txn: rng.Intn(ntxn), shard: rng.Intn(resShards)})
+	}
+	for i := 0; i < cycles; i++ {
+		extras = append(extras, resOp{kind: 'Z'})
+	}
+	rng.Shuffle(len(extras), func(i, j int) { extras[i], extras[j] = extras[j], extras[i] })
+	queues = append(queues, extras)
+
+	var out []resOp
+	remaining := 0
+	for _, q := range queues {
+		remaining += len(q)
+	}
+	for remaining > 0 {
+		// Weighted pick keeps the riffle uniform over interleavings.
+		n := rng.Intn(remaining)
+		for qi := range queues {
+			if n < len(queues[qi]) {
+				out = append(out, queues[qi][0])
+				queues[qi] = queues[qi][1:]
+				break
+			}
+			n -= len(queues[qi])
+		}
+		remaining--
+	}
+	return out
+}
+
+// runRes replays one sequence against real engines and the model. The runner
+// is total over arbitrary subsequences (preconditions are skipped, not
+// failed) so ddmin shrinking never manufactures a different failure.
+func runRes(ops []resOp) (err error) {
+	// An engine panic is a failure like any other — fold it into the error
+	// so ddmin can shrink sequences that crash outright.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	schemas := resSchemas()
+	opts := core.Options{GroupCommitSize: 1}
+	envs := make([]*core.Env, resShards)
+	engines := make([]core.Engine, resShards)
+	for s := range engines {
+		envs[s] = core.NewEnv(core.EnvConfig{DeviceSize: 32 << 20})
+		e, err := nvminp.New(envs[s], schemas, opts)
+		if err != nil {
+			return err
+		}
+		engines[s] = e
+	}
+
+	issuedP := make(map[[2]int]bool) // (txn, shard) prewrite executed
+	fate := make(map[int]byte)       // model fate; absent == pending
+	fateOf := func(t int) byte {
+		if st, ok := fate[t]; ok {
+			return st
+		}
+		return wire.TxnPending
+	}
+
+	// resolveVerdict forces the fate of txn through its primary shard and
+	// checks the verdict against the model: pending must roll BACK (the
+	// client is treated as gone), decided must come back unchanged.
+	resolveVerdict := func(t int) (byte, error) {
+		p := resPrimaryShard(t)
+		pri := engines[p]
+		var v byte
+		if err := Run(pri, func() error {
+			var err error
+			v, err = Resolve(pri, resTxnID(t), "t", resKey(t, p), true)
+			return err
+		}); err != nil {
+			return v, fmt.Errorf("resolve txn %d: %w", t, err)
+		}
+		switch fateOf(t) {
+		case wire.TxnPending:
+			if v != wire.TxnAborted {
+				return v, fmt.Errorf("txn %d: forced resolution of an undecided txn returned %d, want aborted", t, v)
+			}
+			fate[t] = wire.TxnAborted
+		case wire.TxnCommitted:
+			if v != wire.TxnCommitted {
+				return v, fmt.Errorf("txn %d: resolution flipped a committed txn to %d", t, v)
+			}
+		case wire.TxnAborted:
+			if v != wire.TxnAborted {
+				return v, fmt.Errorf("txn %d: resolution resurrected an aborted txn as %d", t, v)
+			}
+		}
+		return v, nil
+	}
+
+	// settle rolls one lock the direction the primary decided.
+	settle := func(t, shard int, key uint64, v byte) error {
+		e := engines[shard]
+		refs := []wire.LockRef{{Table: "t", Key: key}}
+		if v == wire.TxnCommitted {
+			return Run(e, func() error { return Commit(e, resTxnID(t), false, refs) })
+		}
+		return Run(e, func() error { return Abort(e, resTxnID(t), false, refs) })
+	}
+
+	for i, op := range ops {
+		switch op.kind {
+		case 'P':
+			e := engines[op.shard]
+			p := resPrimaryShard(op.txn)
+			req := &wire.Request{Op: wire.OpTxnPrewrite, Txn: resTxnID(op.txn),
+				PriShard: int32(p), Table: "t", Key: resKey(op.txn, p),
+				Ops: []wire.Request{{Op: wire.OpPut, Table: "t", Key: resKey(op.txn, op.shard),
+					Row: resRow(op.txn, op.shard)}}}
+			err := Run(e, func() error { return Prewrite(e, req) })
+			switch {
+			case err == nil:
+				switch fateOf(op.txn) {
+				case wire.TxnPending:
+					issuedP[[2]int{op.txn, op.shard}] = true
+				case wire.TxnCommitted:
+					// The protocol's documented no-op: no lock reappears.
+				case wire.TxnAborted:
+					if op.shard == p {
+						return fmt.Errorf("op %d %v: prewrite succeeded past the primary abort fence", i, op)
+					}
+					// The fence lives on the primary shard only: a crashed
+					// client's late SECONDARY prewrite legitimately creates a
+					// new orphan lock, which resolution must roll back.
+					issuedP[[2]int{op.txn, op.shard}] = true
+				}
+			case errors.Is(err, ErrTxnAborted):
+				if fateOf(op.txn) != wire.TxnAborted {
+					return fmt.Errorf("op %d %v: prewrite fenced but model fate is %d", i, op, fateOf(op.txn))
+				}
+			default:
+				return fmt.Errorf("op %d %v: %w", i, op, err)
+			}
+		case 'C':
+			p := resPrimaryShard(op.txn)
+			if !issuedP[[2]int{op.txn, p}] {
+				continue // shrinking removed the prewrite; a real client cannot be here
+			}
+			e := engines[p]
+			err := Run(e, func() error {
+				return Commit(e, resTxnID(op.txn), true, []wire.LockRef{{Table: "t", Key: resKey(op.txn, p)}})
+			})
+			switch {
+			case err == nil:
+				if fateOf(op.txn) == wire.TxnAborted {
+					return fmt.Errorf("op %d %v: commit landed on a txn the model says was rolled back", i, op)
+				}
+				fate[op.txn] = wire.TxnCommitted
+			case errors.Is(err, ErrTxnAborted):
+				if fateOf(op.txn) != wire.TxnAborted {
+					return fmt.Errorf("op %d %v: commit fenced but model fate is %d", i, op, fateOf(op.txn))
+				}
+			default:
+				return fmt.Errorf("op %d %v: %w", i, op, err)
+			}
+		case 'c':
+			if fateOf(op.txn) != wire.TxnCommitted || !issuedP[[2]int{op.txn, op.shard}] {
+				continue
+			}
+			if err := settle(op.txn, op.shard, resKey(op.txn, op.shard), wire.TxnCommitted); err != nil {
+				return fmt.Errorf("op %d %v: %w", i, op, err)
+			}
+		case 'R':
+			e := engines[op.shard]
+			key := resKey(op.txn, op.shard)
+			lerr := LockedAt(e, "t", key)
+			if le := AsLocked(lerr); le != nil {
+				v, err := resolveVerdict(op.txn)
+				if err != nil {
+					return fmt.Errorf("op %d %v: %w", i, op, err)
+				}
+				if err := settle(op.txn, op.shard, key, v); err != nil {
+					return fmt.Errorf("op %d %v: settle: %w", i, op, err)
+				}
+			} else if lerr != nil {
+				return fmt.Errorf("op %d %v: %w", i, op, lerr)
+			}
+			_, visible, err := e.Get("t", key)
+			if err != nil {
+				return fmt.Errorf("op %d %v: %w", i, op, err)
+			}
+			want := fateOf(op.txn) == wire.TxnCommitted && issuedP[[2]int{op.txn, op.shard}]
+			if visible != want {
+				return fmt.Errorf("op %d %v: visible=%v, model says %v (fate %d)", i, op, visible, want, fateOf(op.txn))
+			}
+		case 'Z':
+			for s := range engines {
+				envs[s].Dev.Crash()
+				env2, err := envs[s].Reopen()
+				if err != nil {
+					return fmt.Errorf("op %d: shard %d reopen: %w", i, s, err)
+				}
+				envs[s] = env2
+				engines[s], err = nvminp.Open(env2, schemas, opts)
+				if err != nil {
+					return fmt.Errorf("op %d: shard %d recovery: %w", i, s, err)
+				}
+			}
+		}
+	}
+
+	// Quiesce: sweep every orphan, then audit each transaction's shards
+	// against the primary record — the direction-agreement property itself.
+	for s := range engines {
+		orphans, err := OrphanLocks(engines[s], schemas)
+		if err != nil {
+			return err
+		}
+		txns := make([]uint64, 0, len(orphans))
+		for t := range orphans {
+			txns = append(txns, t)
+		}
+		sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+		for _, id := range txns {
+			t := int(id - 7000)
+			v, err := resolveVerdict(t)
+			if err != nil {
+				return fmt.Errorf("sweep shard %d: %w", s, err)
+			}
+			for _, le := range orphans[id] {
+				if err := settle(t, s, le.Key, v); err != nil {
+					return fmt.Errorf("sweep shard %d txn %d: %w", s, t, err)
+				}
+			}
+		}
+	}
+	for t := 0; t < 16; t++ {
+		p := resPrimaryShard(t)
+		if !issuedP[[2]int{t, p}] && !issuedP[[2]int{t, 1 - p}] {
+			continue
+		}
+		st, err := State(engines[p], resTxnID(t))
+		if err != nil {
+			return err
+		}
+		if f := fateOf(t); f != wire.TxnPending && st != f {
+			return fmt.Errorf("txn %d: primary record %d disagrees with model fate %d", t, st, f)
+		}
+		for s := 0; s < resShards; s++ {
+			if !issuedP[[2]int{t, s}] {
+				continue
+			}
+			_, visible, err := engines[s].Get("t", resKey(t, s))
+			if err != nil {
+				return err
+			}
+			if want := st == wire.TxnCommitted; visible != want {
+				return fmt.Errorf("txn %d shard %d: visible=%v but primary record says %d — resolution went the wrong direction", t, s, visible, st)
+			}
+		}
+	}
+	for s := range engines {
+		left, err := OrphanLocks(engines[s], schemas)
+		if err != nil {
+			return err
+		}
+		if len(left) != 0 {
+			return fmt.Errorf("shard %d: %d transactions still locked after the sweep", s, len(left))
+		}
+	}
+	return nil
+}
+
+// shrinkRes ddmin-shrinks a failing sequence: greedily drop chunks while the
+// failure still reproduces, replaying each candidate on fresh engines.
+func shrinkRes(ops []resOp) []resOp {
+	for chunk := len(ops) / 2; chunk >= 1; chunk /= 2 {
+		for lo := 0; lo+chunk <= len(ops); {
+			cand := append(append([]resOp(nil), ops[:lo]...), ops[lo+chunk:]...)
+			if runRes(cand) != nil {
+				ops = cand
+			} else {
+				lo += chunk
+			}
+		}
+	}
+	return ops
+}
+
+// TestLockResolutionProperty drives seeded interleavings through runRes; a
+// failure is shrunk to a minimal reproduction before reporting.
+func TestLockResolutionProperty(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 6
+	}
+	for s := int64(0); s < int64(n); s++ {
+		seed := *propSeed + s
+		rng := rand.New(rand.NewSource(seed))
+		ops := genRes(rng, 6, 12, 2)
+		if err := runRes(ops); err != nil {
+			min := shrinkRes(ops)
+			t.Fatalf("seed %d: %v\nminimal reproduction (%d ops): %v\nreplay: go test -run TestLockResolutionProperty -seed=%d",
+				seed, err, len(min), min, seed)
+		}
+	}
+}

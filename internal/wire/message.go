@@ -28,6 +28,20 @@ const (
 	OpReplAck    Op = 8  // ack-state probe: ask a replica its durable (Epoch, Seq) for a shard
 	OpShardMap   Op = 9  // fetch the node's current shard map
 	OpReplSnap   Op = 10 // primary→backup: snapshot chunk for re-seeding (Phase, rows)
+
+	// Cross-shard 2PC ops (percolator-style; DESIGN.md §13). These are
+	// executor-plane writes: they run through the replicated commit path so
+	// lock and status records ride the REPL_APPEND stream to backups.
+	OpTxnPrewrite Op = 11 // buffer write sub-ops as lock records on one shard
+	OpTxnCommit   Op = 12 // apply buffered ops + delete locks (Phase 1 = primary: the commit point)
+	OpTxnAbort    Op = 13 // delete locks (Phase 1 = primary: also write the abort fence)
+	OpTxnResolve  Op = 14 // ask the primary shard a txn's fate (Phase 1 = force-rollback if undecided)
+
+	// Consensus-plane ops for the replicated shard map (single-decree;
+	// DESIGN.md §13). Epoch carries the ballot; Map carries the value.
+	OpMapPrepare Op = 15 // phase 1: promise ballot, report highest accepted (ballot, map)
+	OpMapAccept  Op = 16 // phase 2: accept (ballot, map) unless a higher ballot was promised
+	OpMapLearn   Op = 17 // learn a chosen map (version-monotonic install)
 )
 
 // OpReplSnap phases.
@@ -38,9 +52,25 @@ const (
 )
 
 // IsRepl reports whether the op belongs to the replication/cluster-metadata
-// plane (dispatched to the server's Replicator, never to the executor).
+// plane (dispatched to the server's Replicator, never to the executor). The
+// consensus ops live on this plane too: acceptors answer them without
+// touching the storage executors.
 func (o Op) IsRepl() bool {
-	return o == OpReplAppend || o == OpReplAck || o == OpShardMap || o == OpReplSnap
+	return o == OpReplAppend || o == OpReplAck || o == OpShardMap || o == OpReplSnap ||
+		o == OpMapPrepare || o == OpMapAccept || o == OpMapLearn
+}
+
+// Is2PC reports whether the op is a cross-shard transaction-protocol op.
+// These execute on the storage executor (and replicate) like ordinary
+// writes, but carry the extra txn fields.
+func (o Op) Is2PC() bool {
+	return o == OpTxnPrewrite || o == OpTxnCommit || o == OpTxnAbort || o == OpTxnResolve
+}
+
+// basic reports whether the op is a plain data op (legal as an OpTxn sub-op
+// and as a prewrite's buffered write, where only the write subset applies).
+func (o Op) basic() bool {
+	return o == OpGet || o == OpPut || o == OpDelete || o == OpScan || o == OpRmw
 }
 
 func (o Op) String() string {
@@ -65,13 +95,29 @@ func (o Op) String() string {
 		return "shardmap"
 	case OpReplSnap:
 		return "repl-snap"
+	case OpTxnPrewrite:
+		return "txn-prewrite"
+	case OpTxnCommit:
+		return "txn-commit"
+	case OpTxnAbort:
+		return "txn-abort"
+	case OpTxnResolve:
+		return "txn-resolve"
+	case OpMapPrepare:
+		return "map-prepare"
+	case OpMapAccept:
+		return "map-accept"
+	case OpMapLearn:
+		return "map-learn"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
 
 // Ops lists the op set (for metrics registration and sweeps).
 var Ops = []Op{OpGet, OpPut, OpDelete, OpScan, OpRmw, OpTxn,
-	OpReplAppend, OpReplAck, OpShardMap, OpReplSnap}
+	OpReplAppend, OpReplAck, OpShardMap, OpReplSnap,
+	OpTxnPrewrite, OpTxnCommit, OpTxnAbort, OpTxnResolve,
+	OpMapPrepare, OpMapAccept, OpMapLearn}
 
 // Status is a typed response code. The set mirrors the internal/core error
 // taxonomy plus the serving runtime's admission states, so a client on the
@@ -99,6 +145,12 @@ const (
 	// must fence itself, never retry.
 	StatusNotPrimary Status = 12 // node is not the shard's primary (or wrong role for a REPL frame)
 	StatusStaleEpoch Status = 13 // REPL frame carried an epoch below the shard's current epoch
+	// Locked means the key is held by another transaction's 2PC lock. The
+	// response's Txn/Pri* fields name the holder; the client resolves the
+	// lock against its primary shard (roll forward or back, whichever way
+	// the primary record went) and retries. Deliberately not in Retryable():
+	// blind resubmission cannot make progress until someone resolves.
+	StatusLocked Status = 14
 )
 
 func (s Status) String() string {
@@ -131,6 +183,8 @@ func (s Status) String() string {
 		return "not-primary"
 	case StatusStaleEpoch:
 		return "stale-epoch"
+	case StatusLocked:
+		return "locked"
 	}
 	return fmt.Sprintf("status(%d)", byte(s))
 }
@@ -140,7 +194,7 @@ var Statuses = []Status{
 	StatusOK, StatusNotFound, StatusKeyExists, StatusAborted, StatusBadRequest,
 	StatusOverloaded, StatusRecovering, StatusRetryable, StatusCorrupt,
 	StatusDegraded, StatusClosed, StatusInternal, StatusNotPrimary,
-	StatusStaleEpoch,
+	StatusStaleEpoch, StatusLocked,
 }
 
 // Retryable reports whether the status is an invitation to resubmit: the
@@ -188,6 +242,20 @@ type RmwCol struct {
 	Val core.Value
 }
 
+// LockRef names one lock record: the (table, key) a prewrite locked. Commit
+// and abort carry the explicit list so no shard ever scans for a txn's locks.
+type LockRef struct {
+	Table string
+	Key   uint64
+}
+
+// Transaction fate as recorded (or decided) on the primary shard.
+const (
+	TxnPending   byte = 0 // no status record; the primary lock decides
+	TxnCommitted byte = 1 // committed status record present: roll forward
+	TxnAborted   byte = 2 // abort fence present: roll back
+)
+
 // Request is one framed request. Exactly the fields relevant to Op are
 // encoded; the rest stay zero. Part >= 0 pins the request to an explicit
 // partition (workloads with their own placement, like TPC-C's
@@ -211,12 +279,24 @@ type Request struct {
 	Ops []Request // OpTxn/OpReplAppend sub-ops; only Op/Table/Key/Row/From/To/Limit/Cols are used
 
 	// Replication fields (Part carries the shard id for every repl op).
-	Epoch uint64 // OpReplAppend/OpReplAck/OpReplSnap: fencing epoch
+	// The consensus ops reuse Epoch as the proposer's ballot.
+	Epoch uint64 // OpReplAppend/OpReplAck/OpReplSnap: fencing epoch; OpMapPrepare/OpMapAccept: ballot
 	Seq   uint64 // OpReplAppend: batch sequence; OpReplSnap: snapshot floor
-	Phase byte   // OpReplSnap: SnapBegin/SnapChunk/SnapDone
+	Phase byte   // OpReplSnap: snapshot phase; OpTxnCommit/OpTxnAbort: 1 = primary shard; OpTxnResolve: 1 = force rollback
 
 	SnapKeys []uint64       // OpReplSnap(SnapChunk): primary keys for Table
 	SnapRows [][]core.Value // OpReplSnap(SnapChunk): rows parallel to SnapKeys
+
+	// 2PC fields. Txn is the transaction id (always nonzero). For
+	// OpTxnPrewrite, Table/Key point at the PRIMARY lock (PriShard its
+	// shard) and Ops carries the write sub-ops to buffer; for OpTxnResolve,
+	// Table/Key point at the primary lock being asked about.
+	Txn      uint64
+	PriShard int32
+	Locks    []LockRef // OpTxnCommit/OpTxnAbort: the lock records to settle
+
+	// Map is the consensus value (OpMapAccept/OpMapLearn).
+	Map *ShardMap
 }
 
 // Response body kinds (self-describing, so a decoder needs no request
@@ -228,6 +308,8 @@ const (
 	respSubs byte = 3 // Txn: per-sub-op responses
 	respMap  byte = 4 // ShardMap: the node's current routing table
 	respRepl byte = 5 // ReplAppend/ReplAck: replica's durable (epoch, seq)
+	respTxn  byte = 6 // Locked conflicts and TxnResolve: txn id, state, primary lock pointer
+	respCons byte = 7 // MapPrepare/MapAccept: ballot (+ highest accepted map, if any)
 )
 
 // Response is one framed response, matched to its request by ID. Pipelined
@@ -249,9 +331,26 @@ type Response struct {
 
 	// ReplAppend/ReplAck: the replica's durable position for the shard.
 	// Encoded only when either is nonzero (a zero pair round-trips as
-	// respNone, which decodes identically).
+	// respNone, which decodes identically). The consensus ops reuse Epoch
+	// as a ballot; when an accepted map rides along (Map != nil AND
+	// Epoch != 0) the pair encodes as respCons.
 	Epoch uint64
 	Seq   uint64
+
+	// 2PC fields (encoded as respTxn when Txn != 0): the transaction a
+	// StatusLocked conflict belongs to, or the one TxnResolve decided.
+	// TxnState is the primary shard's verdict; Pri* point at the primary
+	// lock so the blocked client knows where to resolve.
+	Txn      uint64
+	TxnState byte
+	PriShard int32
+	PriTable string
+	PriKey   uint64
+	// LockTable/LockKey name the lock that actually blocked the request
+	// (useful when the request was a scan and the caller cannot know which
+	// key in the range is locked). Empty/zero on resolve verdicts.
+	LockTable string
+	LockKey   uint64
 }
 
 // Value tags inside rows. A decoded TBytes value always has a non-nil S so
@@ -416,6 +515,55 @@ func appendOpBody(dst []byte, req *Request) ([]byte, error) {
 			dst = append(dst, mode)
 			dst = appendValue(dst, c.Val)
 		}
+	case OpTxnPrewrite:
+		if req.Txn == 0 {
+			return nil, errors.New("wire: prewrite with zero txn id")
+		}
+		if len(req.Ops) == 0 {
+			return nil, errors.New("wire: empty prewrite")
+		}
+		if req.PriShard < 0 {
+			return nil, fmt.Errorf("wire: prewrite primary shard %d out of range", req.PriShard)
+		}
+		dst = binary.AppendUvarint(dst, req.Txn)
+		dst = binary.AppendUvarint(dst, uint64(req.PriShard))
+		dst = binary.AppendUvarint(dst, req.Key)
+		dst = binary.AppendUvarint(dst, uint64(len(req.Ops)))
+		for i := range req.Ops {
+			sub := &req.Ops[i]
+			if sub.Op != OpPut && sub.Op != OpDelete && sub.Op != OpRmw {
+				return nil, fmt.Errorf("wire: prewrite cannot buffer op %v", sub.Op)
+			}
+			dst = append(dst, byte(sub.Op))
+			var err error
+			if dst, err = appendOpBody(dst, sub); err != nil {
+				return nil, err
+			}
+		}
+	case OpTxnCommit, OpTxnAbort:
+		if req.Txn == 0 {
+			return nil, errors.New("wire: txn settle with zero txn id")
+		}
+		if req.Phase > 1 {
+			return nil, fmt.Errorf("wire: txn phase %d out of range", req.Phase)
+		}
+		dst = binary.AppendUvarint(dst, req.Txn)
+		dst = append(dst, req.Phase)
+		dst = binary.AppendUvarint(dst, uint64(len(req.Locks)))
+		for _, l := range req.Locks {
+			dst = appendStr(dst, l.Table)
+			dst = binary.AppendUvarint(dst, l.Key)
+		}
+	case OpTxnResolve:
+		if req.Txn == 0 {
+			return nil, errors.New("wire: resolve with zero txn id")
+		}
+		if req.Phase > 1 {
+			return nil, fmt.Errorf("wire: resolve phase %d out of range", req.Phase)
+		}
+		dst = binary.AppendUvarint(dst, req.Txn)
+		dst = append(dst, req.Phase)
+		dst = binary.AppendUvarint(dst, req.Key)
 	default:
 		return nil, fmt.Errorf("wire: cannot encode op %v", req.Op)
 	}
@@ -484,6 +632,89 @@ func (d *dec) opBody(req *Request) error {
 			}
 		}
 		return nil
+	case OpTxnPrewrite:
+		if req.Txn, err = d.uvarint(); err != nil {
+			return err
+		}
+		if req.Txn == 0 {
+			return errors.New("wire: prewrite with zero txn id")
+		}
+		shard, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if shard > 1<<20 {
+			return fmt.Errorf("wire: prewrite primary shard %d out of range", shard)
+		}
+		req.PriShard = int32(shard)
+		if req.Key, err = d.uvarint(); err != nil {
+			return err
+		}
+		n, err := d.count(3)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return errors.New("wire: empty prewrite")
+		}
+		req.Ops = make([]Request, n)
+		for i := range req.Ops {
+			opb, err := d.byte()
+			if err != nil {
+				return err
+			}
+			req.Ops[i].Op = Op(opb)
+			req.Ops[i].Part = -1
+			if o := req.Ops[i].Op; o != OpPut && o != OpDelete && o != OpRmw {
+				return fmt.Errorf("wire: prewrite cannot buffer op %v", o)
+			}
+			if err := d.opBody(&req.Ops[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case OpTxnCommit, OpTxnAbort:
+		if req.Txn, err = d.uvarint(); err != nil {
+			return err
+		}
+		if req.Txn == 0 {
+			return errors.New("wire: txn settle with zero txn id")
+		}
+		if req.Phase, err = d.byte(); err != nil {
+			return err
+		}
+		if req.Phase > 1 {
+			return fmt.Errorf("wire: txn phase %d out of range", req.Phase)
+		}
+		n, err := d.count(2)
+		if err != nil {
+			return err
+		}
+		req.Locks = make([]LockRef, n)
+		for i := range req.Locks {
+			if req.Locks[i].Table, err = d.str(); err != nil {
+				return err
+			}
+			if req.Locks[i].Key, err = d.uvarint(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case OpTxnResolve:
+		if req.Txn, err = d.uvarint(); err != nil {
+			return err
+		}
+		if req.Txn == 0 {
+			return errors.New("wire: resolve with zero txn id")
+		}
+		if req.Phase, err = d.byte(); err != nil {
+			return err
+		}
+		if req.Phase > 1 {
+			return fmt.Errorf("wire: resolve phase %d out of range", req.Phase)
+		}
+		req.Key, err = d.uvarint()
+		return err
 	}
 	return fmt.Errorf("wire: unknown op %v", req.Op)
 }
@@ -501,6 +732,12 @@ func (d *dec) opBody(req *Request) error {
 //	body(repl-ack)   := epoch
 //	body(shardmap)   := (empty)
 //	body(repl-snap)  := epoch seq phase table nrows { key row }*
+//	body(txn-prewrite) := pri-table txn pri-shard pri-key nops { op byte, body }*
+//	body(txn-commit/abort) := "" txn phase nlocks { table key }*
+//	body(txn-resolve)  := pri-table txn phase pri-key
+//	body(map-prepare)  := ballot          (carried in Epoch)
+//	body(map-accept)   := ballot shardmap
+//	body(map-learn)    := shardmap
 func EncodeRequest(req *Request) ([]byte, error) {
 	if req.Part < -1 {
 		return nil, fmt.Errorf("wire: partition %d out of range", req.Part)
@@ -523,6 +760,9 @@ func EncodeRequest(req *Request) ([]byte, error) {
 		sub := &req.Ops[i]
 		if sub.Op == OpTxn {
 			return nil, errors.New("wire: nested transaction")
+		}
+		if !sub.Op.basic() {
+			return nil, fmt.Errorf("wire: op %v cannot nest in a transaction", sub.Op)
 		}
 		dst = append(dst, byte(sub.Op))
 		var err error
@@ -573,6 +813,19 @@ func appendReplBody(dst []byte, req *Request) ([]byte, error) {
 			dst = appendRow(dst, req.SnapRows[i])
 		}
 		return dst, nil
+	case OpMapPrepare:
+		return binary.AppendUvarint(dst, req.Epoch), nil
+	case OpMapAccept:
+		if req.Map == nil {
+			return nil, errors.New("wire: map accept without a map")
+		}
+		dst = binary.AppendUvarint(dst, req.Epoch)
+		return appendShardMap(dst, req.Map), nil
+	case OpMapLearn:
+		if req.Map == nil {
+			return nil, errors.New("wire: map learn without a map")
+		}
+		return appendShardMap(dst, req.Map), nil
 	}
 	return nil, fmt.Errorf("wire: cannot encode repl op %v", req.Op)
 }
@@ -643,8 +896,52 @@ func (d *dec) replBody(req *Request) error {
 			}
 		}
 		return nil
+	case OpMapPrepare:
+		req.Epoch, err = d.uvarint()
+		return err
+	case OpMapAccept:
+		if req.Epoch, err = d.uvarint(); err != nil {
+			return err
+		}
+		req.Map, err = d.shardMap()
+		return err
+	case OpMapLearn:
+		req.Map, err = d.shardMap()
+		return err
 	}
 	return fmt.Errorf("wire: unknown repl op %v", req.Op)
+}
+
+// EncodeOp serializes one buffered write op (op byte + body) — the form a
+// prewrite stores inside a lock record. Only the write subset is legal.
+func EncodeOp(sub *Request) ([]byte, error) {
+	if sub.Op != OpPut && sub.Op != OpDelete && sub.Op != OpRmw {
+		return nil, fmt.Errorf("wire: cannot buffer op %v in a lock record", sub.Op)
+	}
+	return appendOpBody([]byte{byte(sub.Op)}, sub)
+}
+
+// DecodeOp parses a buffered write op from a lock record. Trailing bytes and
+// truncations are errors — a torn lock record must never silently decode as
+// a different (or shorter) write, which is what keeps a torn prewrite from
+// ever surfacing as committed.
+func DecodeOp(b []byte) (*Request, error) {
+	d := &dec{b: b}
+	opb, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{Op: Op(opb), Part: -1}
+	if req.Op != OpPut && req.Op != OpDelete && req.Op != OpRmw {
+		return nil, fmt.Errorf("wire: lock record buffers op %v", req.Op)
+	}
+	if err := d.opBody(req); err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after lock record", d.remaining())
+	}
+	return req, nil
 }
 
 // RequestID extracts the request ID from a payload prefix, for error
@@ -705,6 +1002,9 @@ func DecodeRequest(payload []byte) (*Request, error) {
 			if req.Ops[i].Op == OpTxn {
 				return nil, errors.New("wire: nested transaction")
 			}
+			if !req.Ops[i].Op.basic() {
+				return nil, fmt.Errorf("wire: op %v cannot nest in a transaction", req.Ops[i].Op)
+			}
 			if err := d.opBody(&req.Ops[i]); err != nil {
 				return nil, err
 			}
@@ -761,6 +1061,26 @@ func appendRespBody(dst []byte, resp *Response, sub bool) ([]byte, error) {
 		} else {
 			dst = append(dst, 0)
 		}
+	case resp.Txn != 0:
+		if resp.TxnState > TxnAborted {
+			return nil, fmt.Errorf("wire: txn state %d out of range", resp.TxnState)
+		}
+		if resp.PriShard < 0 {
+			return nil, fmt.Errorf("wire: txn primary shard %d out of range", resp.PriShard)
+		}
+		dst = append(dst, respTxn)
+		dst = binary.AppendUvarint(dst, resp.Txn)
+		dst = append(dst, resp.TxnState)
+		dst = binary.AppendUvarint(dst, uint64(resp.PriShard))
+		dst = appendStr(dst, resp.PriTable)
+		dst = binary.AppendUvarint(dst, resp.PriKey)
+		dst = appendStr(dst, resp.LockTable)
+		dst = binary.AppendUvarint(dst, resp.LockKey)
+	case resp.Map != nil && resp.Epoch != 0:
+		// Consensus: an accepted (ballot, map) pair from a prepare promise.
+		dst = append(dst, respCons)
+		dst = binary.AppendUvarint(dst, resp.Epoch)
+		dst = appendShardMap(dst, resp.Map)
 	case resp.Map != nil:
 		dst = append(dst, respMap)
 		dst = appendShardMap(dst, resp.Map)
@@ -796,7 +1116,7 @@ func (d *dec) respBody(resp *Response, sub bool) error {
 	if err != nil {
 		return err
 	}
-	if status > byte(StatusStaleEpoch) {
+	if status > byte(StatusLocked) {
 		return fmt.Errorf("wire: unknown status %d", status)
 	}
 	resp.Status = Status(status)
@@ -864,6 +1184,47 @@ func (d *dec) respBody(resp *Response, sub bool) error {
 			return err
 		}
 		resp.Seq, err = d.uvarint()
+		return err
+	case respTxn:
+		if resp.Txn, err = d.uvarint(); err != nil {
+			return err
+		}
+		if resp.Txn == 0 {
+			return errors.New("wire: txn response with zero txn id")
+		}
+		if resp.TxnState, err = d.byte(); err != nil {
+			return err
+		}
+		if resp.TxnState > TxnAborted {
+			return fmt.Errorf("wire: txn state %d out of range", resp.TxnState)
+		}
+		shard, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if shard > 1<<20 {
+			return fmt.Errorf("wire: txn primary shard %d out of range", shard)
+		}
+		resp.PriShard = int32(shard)
+		if resp.PriTable, err = d.str(); err != nil {
+			return err
+		}
+		if resp.PriKey, err = d.uvarint(); err != nil {
+			return err
+		}
+		if resp.LockTable, err = d.str(); err != nil {
+			return err
+		}
+		resp.LockKey, err = d.uvarint()
+		return err
+	case respCons:
+		if resp.Epoch, err = d.uvarint(); err != nil {
+			return err
+		}
+		if resp.Epoch == 0 {
+			return errors.New("wire: consensus response with zero ballot")
+		}
+		resp.Map, err = d.shardMap()
 		return err
 	}
 	return fmt.Errorf("wire: unknown response kind %d", kind)

@@ -43,6 +43,28 @@ func sampleRequests() []*Request {
 				{{I: 9}, {S: []byte{}}},
 			}},
 		{ID: 12, Part: 1, Op: OpReplSnap, Epoch: 4, Seq: 41, Phase: SnapDone},
+		{ID: 13, Part: 2, Op: OpTxnPrewrite, Txn: 77, PriShard: 1, Table: "t", Key: 5,
+			Ops: []Request{
+				{Op: OpPut, Part: -1, Table: "t", Key: 11, Row: []core.Value{{I: 11}, {S: []byte("p")}}},
+				{Op: OpDelete, Part: -1, Table: "t", Key: 12},
+				{Op: OpRmw, Part: -1, Table: "t", Key: 13, Cols: []RmwCol{{Col: 1, Add: true, Val: core.Value{I: 4}}}},
+			}},
+		{ID: 14, Part: 1, Op: OpTxnCommit, Txn: 77, Phase: 1,
+			Locks: []LockRef{{Table: "t", Key: 5}, {Table: "u", Key: 9}}},
+		{ID: 15, Part: 0, Op: OpTxnAbort, Txn: 78, Phase: 0, Locks: []LockRef{{Table: "t", Key: 5}}},
+		{ID: 16, Part: 1, Op: OpTxnResolve, Txn: 77, Phase: 1, Table: "t", Key: 5},
+		{ID: 17, Part: 0, Op: OpReplAppend, Epoch: 3, Seq: 18, Ops: []Request{
+			{Op: OpTxnPrewrite, Part: -1, Txn: 79, PriShard: 0, Table: "t", Key: 2,
+				Ops: []Request{{Op: OpPut, Part: -1, Table: "t", Key: 2, Row: []core.Value{{I: 2}, {S: []byte("q")}}}}},
+		}},
+		{ID: 18, Part: -1, Op: OpMapPrepare, Epoch: 9},
+		{ID: 19, Part: -1, Op: OpMapAccept, Epoch: 9, Map: &ShardMap{Version: 7, Shards: []ShardRoute{
+			{Epoch: 3, Primary: "127.0.0.1:7001", Backup: "127.0.0.1:7002"},
+			{Epoch: 1, Primary: "127.0.0.1:7002", Backup: "", Reseeding: true},
+		}}},
+		{ID: 20, Part: -1, Op: OpMapLearn, Map: &ShardMap{Version: 8, Shards: []ShardRoute{
+			{Epoch: 4, Primary: "127.0.0.1:7002", Backup: "127.0.0.1:7003"},
+		}}},
 	}
 }
 
@@ -71,6 +93,15 @@ func sampleResponses() []*Response {
 			{Epoch: 1, Primary: "127.0.0.1:7002", Backup: "", Reseeding: true},
 		}}},
 		{ID: 13, Status: StatusOK, Map: &ShardMap{Version: 0, Shards: []ShardRoute{}}},
+		{ID: 14, Status: StatusLocked, Msg: "key 5 locked by txn 77",
+			Txn: 77, TxnState: TxnPending, PriShard: 1, PriTable: "t", PriKey: 5,
+			LockTable: "u", LockKey: 12},
+		{ID: 15, Status: StatusOK, Txn: 77, TxnState: TxnCommitted, PriShard: 0, PriTable: "t", PriKey: 5},
+		{ID: 16, Status: StatusOK, Txn: 78, TxnState: TxnAborted, PriShard: 2, PriTable: "u", PriKey: 9},
+		{ID: 17, Status: StatusOK, Epoch: 9, Map: &ShardMap{Version: 7, Shards: []ShardRoute{
+			{Epoch: 3, Primary: "127.0.0.1:7001", Backup: "127.0.0.1:7002"},
+		}}},
+		{ID: 18, Status: StatusStaleEpoch, Msg: "promised ballot 12", Epoch: 12},
 	}
 }
 
@@ -160,15 +191,15 @@ func TestResponseRoundTrip(t *testing.T) {
 
 func TestEncodeRequestRejects(t *testing.T) {
 	cases := []*Request{
-		{ID: 1, Part: -1, Op: OpTxn},                                             // empty txn
-		{ID: 2, Part: -1, Op: OpTxn, Ops: []Request{{Op: OpTxn}}},                // nested txn
-		{ID: 3, Part: -2, Op: OpGet, Table: "t"},                                 // bad part
-		{ID: 4, Part: -1, Op: Op(99), Table: "t"},                                // unknown op
-		{ID: 5, Part: -1, Op: OpTxn, Ops: []Request{{Op: Op(0), Table: "t"}}},    // unknown sub-op
-		{ID: 6, Part: 0, Op: OpReplAppend, Epoch: 1, Seq: 1},                     // empty repl batch
+		{ID: 1, Part: -1, Op: OpTxn},                                          // empty txn
+		{ID: 2, Part: -1, Op: OpTxn, Ops: []Request{{Op: OpTxn}}},             // nested txn
+		{ID: 3, Part: -2, Op: OpGet, Table: "t"},                              // bad part
+		{ID: 4, Part: -1, Op: Op(99), Table: "t"},                             // unknown op
+		{ID: 5, Part: -1, Op: OpTxn, Ops: []Request{{Op: Op(0), Table: "t"}}}, // unknown sub-op
+		{ID: 6, Part: 0, Op: OpReplAppend, Epoch: 1, Seq: 1},                  // empty repl batch
 		{ID: 7, Part: 0, Op: OpReplAppend, Epoch: 1, Seq: 1,
 			Ops: []Request{{Op: OpTxn}}}, // txn may not ride a repl batch
-		{ID: 8, Part: 0, Op: OpReplSnap, Phase: 9},                              // unknown phase
+		{ID: 8, Part: 0, Op: OpReplSnap, Phase: 9}, // unknown phase
 		{ID: 9, Part: 0, Op: OpReplSnap, Phase: SnapChunk, Table: "t",
 			SnapKeys: []uint64{1}}, // keys without rows
 	}
