@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (comma-separated): all, fig1, ycsb, tpcc, recovery, breakdown, footprint, costmodel, nodesize, synclat, ablations, wire, mvcc, cluster, occ")
+	run := flag.String("run", "all", "experiment to run (comma-separated): all, fig1, ycsb, tpcc, recovery, breakdown, footprint, costmodel, nodesize, synclat, ablations, wire, mvcc, cluster, occ, vlog")
 	scaleName := flag.String("scale", "small", "experiment scale: small or medium")
 	partitions := flag.Int("partitions", 0, "override partition count")
 	tuples := flag.Int("tuples", 0, "override YCSB tuple count")
@@ -150,6 +150,11 @@ func main() {
 			var res *bench.MVCCResult
 			if res, err = r.MVCC(); err == nil {
 				artifact("mvcc", res.Points)
+			}
+		case "vlog":
+			var res *bench.VlogResult
+			if res, err = r.Vlog(); err == nil {
+				artifact("vlog", res.Points)
 			}
 		case "cluster":
 			var res *bench.ClusterResult

@@ -288,3 +288,37 @@ func TestOCCShape(t *testing.T) {
 		}
 	}
 }
+
+func TestVlogShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := tinyScale()
+	// vlogOps derives the per-size schedule from YCSBTxns; keep enough ops
+	// at 16KB to span several compaction rounds or the ratio is noise.
+	s.YCSBTxns = 8000
+	r := New(s, io.Discard)
+	res, err := r.Vlog()
+	if err != nil {
+		t.Fatal(err) // includes digest divergence and vacuity failures
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no measurements")
+	}
+	for _, p := range res.Points {
+		if p.Throughput <= 0 {
+			t.Errorf("%s %s/%s: zero throughput", p.Engine, p.Mix, p.Skew)
+		}
+	}
+	for _, kind := range []testbed.EngineKind{testbed.Log, testbed.NVMLog} {
+		// The artifact bar is 1.5x write throughput at 16KB with separation
+		// on; the tiny harness measures ~3x, so 1.5 leaves scheduling room.
+		if sp := res.Speedup[kind]["v16k"]; sp < 1.5 {
+			t.Errorf("%s v16k: vlog-on/off speedup %.2fx, want >= 1.5x", kind, sp)
+		}
+		// Below the threshold separation must not tax small values.
+		if sp := res.Speedup[kind]["v64"]; sp < 0.7 {
+			t.Errorf("%s v64: sub-threshold speedup %.2fx, want ~1x", kind, sp)
+		}
+	}
+}

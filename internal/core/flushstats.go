@@ -1,0 +1,43 @@
+package core
+
+// FlushStats is a snapshot of a Log engine's staged flush/compaction
+// pipeline and value-log counters, exposed to the metrics registry the way
+// WalStats is.
+type FlushStats struct {
+	// Completed pipeline tasks by kind.
+	Flushes     int64
+	Compactions int64
+	GCRuns      int64
+	// Failed tasks (build/install errors surfaced to the caller; the
+	// frozen memtable and its WAL segment stay retained for retry).
+	Failures int64
+	// Cumulative wall time per stage across all tasks.
+	PrepareNs int64
+	BuildNs   int64
+	InstallNs int64
+	ReleaseNs int64
+	// Value-log state.
+	VlogSegments  int64
+	VlogBytes     int64 // valid record bytes across live segments
+	VlogDiscard   int64 // bytes currently estimated dead
+	VlogReclaimed int64 // cumulative bytes freed by GC segment removal
+}
+
+// VlogSpaceAmp estimates the value log's space amplification: live segment
+// bytes over the bytes not yet known dead. 1.0 means no amplification.
+func (s FlushStats) VlogSpaceAmp() float64 {
+	live := s.VlogBytes - s.VlogDiscard
+	if live <= 0 {
+		if s.VlogBytes == 0 {
+			return 1
+		}
+		return float64(s.VlogBytes)
+	}
+	return float64(s.VlogBytes) / float64(live)
+}
+
+// FlushStatser is implemented by engines with a staged flush pipeline
+// (log, nvm-log).
+type FlushStatser interface {
+	FlushStats() FlushStats
+}

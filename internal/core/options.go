@@ -25,6 +25,20 @@ type Options struct {
 	// forces fully sequential recovery, matching the paper's measurement
 	// methodology.
 	RecoveryParallelism int
+	// VlogThreshold is the value size (encoded row bytes) at or above which
+	// the Log engines separate the value into the append-only value log,
+	// leaving a (segment, offset, len) pointer in the LSM tree. 0 selects
+	// the default (512 B); negative disables separation entirely.
+	VlogThreshold int
+	// VlogSegSize is the value-log segment rotation threshold in bytes
+	// (default 1 MiB). A single record larger than this gets a segment of
+	// its own.
+	VlogSegSize int
+	// FlushWorkers selects how the Log engines run their staged
+	// flush/compaction pipeline: 0 executes stages inline at the trigger
+	// point (deterministic, the conformance default), 1 runs them on a
+	// background worker drained by Flush/Close.
+	FlushWorkers int
 }
 
 // WithDefaults fills unset fields with the paper's defaults.
@@ -46,6 +60,12 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.LSMGrowth == 0 {
 		o.LSMGrowth = 4
+	}
+	if o.VlogThreshold == 0 {
+		o.VlogThreshold = 512
+	}
+	if o.VlogSegSize == 0 {
+		o.VlogSegSize = 1 << 20
 	}
 	return o
 }

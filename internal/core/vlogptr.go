@@ -1,0 +1,38 @@
+package core
+
+import "encoding/binary"
+
+// VlogPtr locates a separated value inside the engine's value log: segment
+// id, byte offset of the record inside the segment, and the value length
+// (§ WiscKey-style key/value separation — the LSM tree carries pointers,
+// the value log carries the bytes). The zero value is not a valid pointer:
+// segment ids start at 1.
+type VlogPtr struct {
+	Seg uint32
+	Off uint32
+	Len uint32
+}
+
+// VlogPtrSize is the encoded size of a VlogPtr.
+const VlogPtrSize = 12
+
+// Encode appends the 12-byte little-endian wire form to dst.
+func (p VlogPtr) Encode(dst []byte) []byte {
+	var b [VlogPtrSize]byte
+	binary.LittleEndian.PutUint32(b[0:], p.Seg)
+	binary.LittleEndian.PutUint32(b[4:], p.Off)
+	binary.LittleEndian.PutUint32(b[8:], p.Len)
+	return append(dst, b[:]...)
+}
+
+// DecodeVlogPtr parses a pointer previously written by Encode.
+func DecodeVlogPtr(b []byte) (VlogPtr, bool) {
+	if len(b) < VlogPtrSize {
+		return VlogPtr{}, false
+	}
+	return VlogPtr{
+		Seg: binary.LittleEndian.Uint32(b[0:]),
+		Off: binary.LittleEndian.Uint32(b[4:]),
+		Len: binary.LittleEndian.Uint32(b[8:]),
+	}, true
+}

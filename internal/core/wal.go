@@ -3,7 +3,11 @@ package core
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
 	"sync/atomic"
 
 	"nstore/internal/pmalloc"
@@ -22,6 +26,13 @@ type FsWAL struct {
 	fs   *pmfs.FS
 	f    *pmfs.File
 	name string
+
+	// Segmented mode (the staged-flush Log engine): the log is a series of
+	// files "<prefix>.NNNNNN". Rotation seals the active segment at a
+	// group boundary; sealed segments are deleted only after the manifest
+	// commit that makes their records redundant (release after install).
+	segPrefix string
+	segSeq    uint64 // active segment number; 0 = single-file mode
 
 	// The log buffer lives in allocator memory: on the NVM-only hierarchy
 	// even "in-memory" buffering is NVM traffic (though unsynced).
@@ -116,6 +127,126 @@ func OpenFsWAL(fs *pmfs.FS, name string, groupSize int) (*FsWAL, error) {
 		groupSize = 1
 	}
 	return &FsWAL{fs: fs, f: f, name: name, groupSize: groupSize}, nil
+}
+
+// walSegName spells the file name of one WAL segment.
+func walSegName(prefix string, seq uint64) string {
+	return fmt.Sprintf("%s.%06d", prefix, seq)
+}
+
+// walSegList returns the existing segment numbers for prefix, ascending.
+func walSegList(fs *pmfs.FS, prefix string) []uint64 {
+	var seqs []uint64
+	for _, name := range fs.List() {
+		if !strings.HasPrefix(name, prefix+".") {
+			continue
+		}
+		n, err := strconv.ParseUint(name[len(prefix)+1:], 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, n)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
+// NewSegmentedFsWAL creates a fresh segmented log, removing any stale
+// segment files of a previous incarnation.
+func NewSegmentedFsWAL(fs *pmfs.FS, prefix string, groupSize int) (*FsWAL, error) {
+	for _, seq := range walSegList(fs, prefix) {
+		if err := fs.Remove(walSegName(prefix, seq)); err != nil {
+			return nil, err
+		}
+	}
+	f, err := fs.Create(walSegName(prefix, 1))
+	if err != nil {
+		return nil, err
+	}
+	if groupSize <= 0 {
+		groupSize = 1
+	}
+	return &FsWAL{fs: fs, f: f, name: walSegName(prefix, 1), segPrefix: prefix, segSeq: 1, groupSize: groupSize}, nil
+}
+
+// OpenSegmentedFsWAL opens an existing segmented log for replay; the
+// highest-numbered segment becomes the active one.
+func OpenSegmentedFsWAL(fs *pmfs.FS, prefix string, groupSize int) (*FsWAL, error) {
+	seqs := walSegList(fs, prefix)
+	if len(seqs) == 0 {
+		return NewSegmentedFsWAL(fs, prefix, groupSize)
+	}
+	active := seqs[len(seqs)-1]
+	f, err := fs.OpenFile(walSegName(prefix, active))
+	if err != nil {
+		return nil, err
+	}
+	if groupSize <= 0 {
+		groupSize = 1
+	}
+	return &FsWAL{fs: fs, f: f, name: walSegName(prefix, active), segPrefix: prefix, segSeq: active, groupSize: groupSize}, nil
+}
+
+// Rotate seals the active segment and starts a new one, returning the
+// sealed segment's number. The buffer is flushed first, so a transaction's
+// records never span segments: rotation only happens at group boundaries.
+func (w *FsWAL) Rotate() (sealed uint64, err error) {
+	if w.segSeq == 0 {
+		return 0, errors.New("wal: Rotate on single-file log")
+	}
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	next := w.segSeq + 1
+	f, err := w.fs.Create(walSegName(w.segPrefix, next))
+	if err != nil {
+		return 0, ClassifyDurability(err)
+	}
+	sealed = w.segSeq
+	w.f, w.name, w.segSeq = f, walSegName(w.segPrefix, next), next
+	return sealed, nil
+}
+
+// SegSeq returns the active segment number (0 in single-file mode).
+func (w *FsWAL) SegSeq() uint64 { return w.segSeq }
+
+// ReleaseThrough deletes sealed segments numbered <= seq. The engine calls
+// this only after the manifest commit that installed the flushed data those
+// segments protected — release strictly after install.
+func (w *FsWAL) ReleaseThrough(seq uint64) error {
+	for _, s := range walSegList(w.fs, w.segPrefix) {
+		if s <= seq && s != w.segSeq {
+			if err := w.fs.Remove(walSegName(w.segPrefix, s)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReplaySegments is Replay for a segmented log: segments are walked in
+// order, each with its own committed-set pass and torn-tail truncation (a
+// transaction never spans segments, so the commit-record scope is one
+// segment).
+func (w *FsWAL) ReplaySegments(minTxn uint64, fn func(r WalRecord) error) (maxTxn uint64, err error) {
+	for _, seq := range walSegList(w.fs, w.segPrefix) {
+		f := w.f
+		if seq != w.segSeq {
+			var err error
+			f, err = w.fs.OpenFile(walSegName(w.segPrefix, seq))
+			if err != nil {
+				return maxTxn, err
+			}
+		}
+		segMax, err := replayFile(f, minTxn, fn)
+		if segMax > maxTxn {
+			maxTxn = segMax
+		}
+		if err != nil {
+			return maxTxn, err
+		}
+	}
+	return maxTxn, nil
 }
 
 // UseArenaBuffer places the log buffer in allocator memory so buffered
@@ -268,10 +399,15 @@ func (w *FsWAL) Flush() error {
 // counter above it so old in-flight records can never pair with a new
 // commit record.
 func (w *FsWAL) Replay(minTxn uint64, fn func(r WalRecord) error) (maxTxn uint64, err error) {
-	size := w.f.Size()
+	return replayFile(w.f, minTxn, fn)
+}
+
+// replayFile runs the two-pass replay over one log file.
+func replayFile(f *pmfs.File, minTxn uint64, fn func(r WalRecord) error) (maxTxn uint64, err error) {
+	size := f.Size()
 	data := make([]byte, size)
 	if size > 0 {
-		if _, err := w.f.ReadAt(data, 0); err != nil {
+		if _, err := f.ReadAt(data, 0); err != nil {
 			return 0, err
 		}
 	}
@@ -289,7 +425,7 @@ func (w *FsWAL) Replay(minTxn uint64, fn func(r WalRecord) error) (maxTxn uint64
 	if int64(valid) < size {
 		// Crash debris past the valid prefix: cut it off durably before the
 		// engine appends anything new behind it.
-		if err := w.f.Truncate(int64(valid)); err != nil {
+		if err := f.Truncate(int64(valid)); err != nil {
 			return maxTxn, err
 		}
 	}
@@ -354,5 +490,17 @@ func (w *FsWAL) Truncate() error {
 	return w.f.Truncate(0)
 }
 
-// SizeBytes returns the durable log size (Fig. 14).
-func (w *FsWAL) SizeBytes() int64 { return w.f.Size() }
+// SizeBytes returns the durable log size (Fig. 14) — across all live
+// segments in segmented mode.
+func (w *FsWAL) SizeBytes() int64 {
+	if w.segSeq == 0 {
+		return w.f.Size()
+	}
+	var total int64
+	for _, seq := range walSegList(w.fs, w.segPrefix) {
+		if n, err := w.fs.FileSize(walSegName(w.segPrefix, seq)); err == nil {
+			total += n
+		}
+	}
+	return total
+}

@@ -105,8 +105,12 @@ func conformanceSchedule(f Factory, fam faultFamily, seed int64) error {
 	// Small capacities force the interesting paths (MemTable flushes, LSM
 	// merges, checkpoints) inside a short workload; GroupCommitSize 1 makes
 	// every engine durable-at-commit, so the committed model is exact.
+	// VlogThreshold 64 puts user rows (~85 B encoded) through value
+	// separation in the Log engines while item rows stay inline, so every
+	// crash schedule also exercises the value-log head replay and pointer
+	// validation.
 	opts := core.Options{MemTableCap: 32, LSMGrowth: 3, BTreeNodeSize: 128,
-		GroupCommitSize: 1, CheckpointEvery: 40}
+		GroupCommitSize: 1, CheckpointEvery: 40, VlogThreshold: 64}
 	schema := testSchema()
 	e, err := f.New(env, schema, opts)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nstore/internal/bloom"
+	"nstore/internal/core"
 	"nstore/internal/engine/lsm"
 	"nstore/internal/pmalloc"
 	"nstore/internal/pmfs"
@@ -247,9 +248,11 @@ func openSSTable(fs *pmfs.FS, arena *pmalloc.Arena, name string) (*sstable, erro
 	return t, nil
 }
 
-// sstSpec is a parsed manifest entry awaiting load.
+// sstSpec is a parsed manifest entry awaiting load. For L0 runs, level is
+// the position in the (oldest-first) L0 list rather than an LSM level.
 type sstSpec struct {
 	level int
+	l0    bool
 	name  string
 }
 
@@ -324,6 +327,32 @@ func (img *sstImage) rebuildBloom() ([]byte, int, error) {
 		fl.Add(k)
 	}
 	return fl.Marshal(), fl.K(), nil
+}
+
+// harvestPtrs collects every value-log pointer the run carries, for
+// recovery-time pointer validation. Pure host-memory work — safe on a
+// worker goroutine.
+func (img *sstImage) harvestPtrs() ([]core.VlogPtr, error) {
+	var ptrs []core.VlogPtr
+	for i := int64(0); i < img.count; i++ {
+		off := binary.LittleEndian.Uint64(img.offsets[i*8:])
+		if off+13 > uint64(len(img.entries)) {
+			return nil, fmt.Errorf("logeng: %s corrupt entry offset", img.spec.name)
+		}
+		if img.entries[off+8] != lsm.KindFullPtr {
+			continue
+		}
+		n := binary.LittleEndian.Uint32(img.entries[off+9:])
+		if n != core.VlogPtrSize || off+13+uint64(n) > uint64(len(img.entries)) {
+			return nil, fmt.Errorf("logeng: %s corrupt value-log pointer entry", img.spec.name)
+		}
+		ptr, ok := core.DecodeVlogPtr(img.entries[off+13 : off+13+uint64(n)])
+		if !ok {
+			return nil, fmt.Errorf("logeng: %s malformed value-log pointer", img.spec.name)
+		}
+		ptrs = append(ptrs, ptr)
+	}
+	return ptrs, nil
 }
 
 // mayContain probes the NVM-resident bloom filter.

@@ -9,41 +9,72 @@ import "nstore/internal/core"
 
 // Entry kinds.
 const (
-	KindFull  uint8 = 1 // full tuple image (insert)
-	KindDelta uint8 = 2 // updated fields only (update)
-	KindTomb  uint8 = 3 // tombstone (delete)
+	KindFull    uint8 = 1 // full tuple image (insert)
+	KindDelta   uint8 = 2 // updated fields only (update)
+	KindTomb    uint8 = 3 // tombstone (delete)
+	KindFullPtr uint8 = 4 // full image separated into the value log
 )
 
 // Entry is one change record for a key.
 type Entry struct {
 	Kind    uint8
-	Payload []byte // KindFull: inline row; KindDelta: delta; KindTomb: empty
+	Payload []byte // KindFull: inline row; KindDelta: delta; KindTomb: empty;
+	// KindFullPtr: 12-byte core.VlogPtr
 }
+
+// Resolver materializes a KindFullPtr entry into a KindFull one by reading
+// the value log. Merge only invokes it when a delta must be applied on top
+// of a separated image — untouched pointers flow through compaction without
+// touching their values, which is the point of the separation.
+type Resolver func(key uint64, e Entry) (Entry, error)
 
 // Merge folds a newer entry over an older one, producing the equivalent
 // single entry. It is associative in application order (newest first).
+// KindFullPtr entries pass through opaquely; use MergeR when a resolver is
+// available.
 func Merge(s *core.Schema, newer, older Entry) Entry {
+	e, _ := MergeR(s, 0, newer, older, nil)
+	return e
+}
+
+// MergeR is Merge with value-log resolution: applying a delta over a
+// separated image reads the value, applies the delta, and yields an inline
+// full image. Resolver errors (a corrupt value-log record) propagate.
+func MergeR(s *core.Schema, key uint64, newer, older Entry, resolve Resolver) (Entry, error) {
 	switch newer.Kind {
-	case KindFull, KindTomb:
-		return newer
+	case KindFull, KindTomb, KindFullPtr:
+		return newer, nil
 	case KindDelta:
+		if older.Kind == KindFullPtr {
+			if resolve == nil {
+				// No resolver: leave the delta unresolved so the caller
+				// keeps reading deeper entries (matches the unknown-kind
+				// behaviour below).
+				return newer, nil
+			}
+			full, err := resolve(key, older)
+			if err != nil {
+				return Entry{}, err
+			}
+			older = full
+		}
 		switch older.Kind {
 		case KindFull:
 			row, err := core.DecodeRow(s, older.Payload)
 			if err != nil {
-				return newer
+				return newer, nil
 			}
 			upd, err := core.DecodeDelta(s, newer.Payload)
 			if err != nil {
-				return newer
+				return newer, nil
 			}
 			core.ApplyDelta(row, upd)
-			return Entry{Kind: KindFull, Payload: core.EncodeRow(s, row)}
+			return Entry{Kind: KindFull, Payload: core.EncodeRow(s, row)}, nil
 		case KindDelta:
 			oldUpd, err1 := core.DecodeDelta(s, older.Payload)
 			newUpd, err2 := core.DecodeDelta(s, newer.Payload)
 			if err1 != nil || err2 != nil {
-				return newer
+				return newer, nil
 			}
 			// Newer columns win; older columns not overwritten survive.
 			merged := core.Update{}
@@ -59,12 +90,12 @@ func Merge(s *core.Schema, newer, older Entry) Entry {
 					merged.Vals = append(merged.Vals, oldUpd.Vals[j])
 				}
 			}
-			return Entry{Kind: KindDelta, Payload: core.EncodeDelta(s, merged)}
+			return Entry{Kind: KindDelta, Payload: core.EncodeDelta(s, merged)}, nil
 		default:
-			return newer
+			return newer, nil
 		}
 	}
-	return newer
+	return newer, nil
 }
 
 // Coalesce reconstructs the current tuple from entries ordered newest
@@ -75,26 +106,46 @@ func Merge(s *core.Schema, newer, older Entry) Entry {
 //	nil, false, false — unresolved: only deltas seen, caller must read
 //	                    deeper runs
 func Coalesce(s *core.Schema, entries []Entry) (row []core.Value, exists bool, resolved bool) {
+	row, exists, resolved, _ = CoalesceR(s, 0, entries, nil)
+	return row, exists, resolved
+}
+
+// CoalesceR is Coalesce with value-log resolution: a separated image that
+// ends up the terminal entry (or that a delta must land on) is materialized
+// through the resolver. Resolver errors propagate.
+func CoalesceR(s *core.Schema, key uint64, entries []Entry, resolve Resolver) (row []core.Value, exists bool, resolved bool, err error) {
 	if len(entries) == 0 {
-		return nil, false, false
+		return nil, false, false, nil
 	}
 	acc := entries[0]
 	for _, e := range entries[1:] {
-		acc = Merge(s, acc, e)
+		acc, err = MergeR(s, key, acc, e, resolve)
+		if err != nil {
+			return nil, false, false, err
+		}
 		if acc.Kind != KindDelta {
 			break
 		}
 	}
+	if acc.Kind == KindFullPtr {
+		if resolve == nil {
+			return nil, false, false, nil
+		}
+		acc, err = resolve(key, acc)
+		if err != nil {
+			return nil, false, false, err
+		}
+	}
 	switch acc.Kind {
 	case KindTomb:
-		return nil, false, true
+		return nil, false, true, nil
 	case KindFull:
-		r, err := core.DecodeRow(s, acc.Payload)
-		if err != nil {
-			return nil, false, true
+		r, derr := core.DecodeRow(s, acc.Payload)
+		if derr != nil {
+			return nil, false, true, nil
 		}
-		return r, true, true
+		return r, true, true, nil
 	default:
-		return nil, false, false
+		return nil, false, false, nil
 	}
 }

@@ -16,8 +16,11 @@ package nvmlog
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"nstore/internal/bloom"
 	"nstore/internal/core"
@@ -25,10 +28,11 @@ import (
 	"nstore/internal/mvcc"
 	"nstore/internal/nvbtree"
 	"nstore/internal/pmalloc"
+	"nstore/internal/vlog"
 )
 
 const (
-	hdrMagic = 0x4e564d4c4f473131 // "NVMLOG11"
+	hdrMagic = 0x4e564d4c4f473132 // "NVMLOG12"
 	rootSlot = 0
 
 	// Engine header layout.
@@ -37,8 +41,13 @@ const (
 	hWalHead   = 16
 	hMutable   = 24 // current mutable MemTable tree header
 	hRunList   = 32 // immutable run list chunk (0 = none)
-	hNTables   = 40
-	hAnchors   = 48 // per table: secondary tree headers
+	hVlogDir   = 40 // value-log segment directory chunk (0 = none)
+	hNTables   = 48
+	hAnchors   = 56 // per table: secondary tree headers
+
+	// gcMinRatio is the dead-byte fraction at which a sealed value-log
+	// segment becomes a GC victim.
+	gcMinRatio = 0.5
 
 	// Run list chunk: n u64, then per run {treeHdr, bloomPtr, bloomMeta}.
 	// bloomMeta packs words<<8 | k. Runs are ordered newest first.
@@ -71,14 +80,28 @@ type Engine struct {
 	mvcc.Snapshots
 	opts core.Options
 
+	// mu is the engine monitor: the device/arena underneath is
+	// single-owner, so every public method and every background pipeline
+	// task holds it.
+	mu sync.Mutex
+
 	hdr      pmalloc.Ptr
 	mem      *nvbtree.Tree
 	memCount int
 	runs     []*run // newest first
 	second   [][]*nvbtree.Tree
 
+	backend *vlog.ArenaBackend
+	vl      *vlog.Manager // nil when value separation is disabled
+	fm      *lsm.FlushManager
+
+	compactQueued bool
+	gcQueued      bool
+	fstats        core.FlushStats
+
 	ops         []txnOp
 	compactions int
+	closed      bool
 }
 
 type txnOp struct {
@@ -107,6 +130,7 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 	d.WriteU64(int64(hdr)+hCommitted, 0)
 	d.WriteU64(int64(hdr)+hWalHead, 0)
 	d.WriteU64(int64(hdr)+hRunList, 0)
+	d.WriteU64(int64(hdr)+hVlogDir, 0)
 	d.WriteU64(int64(hdr)+hNTables, uint64(len(schemas)))
 	mem, err := nvbtree.Create(env.Arena, e.opts.BTreeNodeSize)
 	if err != nil {
@@ -131,10 +155,54 @@ func New(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, err
 	d.Sync(int64(hdr), hAnchors+8*nSec)
 	env.Arena.SetPersisted(hdr)
 	env.Arena.SetRoot(rootSlot, hdr)
+	if err := e.openVlog(); err != nil {
+		return nil, err
+	}
+	e.initFlushManager()
 	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
 		return nil, err
 	}
 	return e, nil
+}
+
+// openVlog builds the arena-backed value log anchored at the engine header
+// (both constructors). A zero anchor means an empty directory.
+func (e *Engine) openVlog() error {
+	if e.opts.VlogThreshold <= 0 {
+		return nil
+	}
+	d := e.Env.Dev
+	b, err := vlog.NewArenaBackend(e.Env.Arena,
+		func() uint64 { return d.ReadU64(int64(e.hdr) + hVlogDir) },
+		func(v uint64) { d.WriteU64Durable(int64(e.hdr)+hVlogDir, v) })
+	if err != nil {
+		return err
+	}
+	vl, err := vlog.Open(b, vlog.Config{
+		SegSize: int64(e.opts.VlogSegSize),
+		Workers: core.RecoveryWorkers(e.opts.RecoveryParallelism)})
+	if err != nil {
+		return err
+	}
+	e.backend, e.vl = b, vl
+	return nil
+}
+
+func (e *Engine) initFlushManager() {
+	e.fm = lsm.NewFlushManager(e.opts.FlushWorkers > 0,
+		func() { e.mu.Lock() }, func() { e.mu.Unlock() },
+		func(kind string, stage lsm.FlushStage, d time.Duration) {
+			switch stage {
+			case lsm.StagePrepare:
+				e.fstats.PrepareNs += d.Nanoseconds()
+			case lsm.StageBuild:
+				e.fstats.BuildNs += d.Nanoseconds()
+			case lsm.StageInstall:
+				e.fstats.InstallNs += d.Nanoseconds()
+			case lsm.StageRelease:
+				e.fstats.ReleaseNs += d.Nanoseconds()
+			}
+		})
 }
 
 // Open recovers the engine: reopen the durable MemTables and indexes, undo
@@ -189,6 +257,12 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 		}
 		e.second = append(e.second, secs)
 	}
+	// The value log must be open before the WAL undo (freed pointer chunks
+	// feed discard statistics) and before the sweep (its chunks must be
+	// marked reachable, and the pointer validation needs it).
+	if err := e.openVlog(); err != nil {
+		return nil, err
+	}
 	if err := e.undoWAL(); err != nil {
 		return nil, err
 	}
@@ -196,6 +270,7 @@ func Open(env *core.Env, schemas []*core.Schema, opts core.Options) (*Engine, er
 	if err := e.sweep(); err != nil {
 		return nil, err
 	}
+	e.initFlushManager()
 	if err := e.InitSnapshots(e, schemas, e.TxnID); err != nil {
 		return nil, err
 	}
@@ -239,10 +314,14 @@ func (e *Engine) sweep() error {
 	if list := e.Env.Dev.ReadU64(int64(e.hdr) + hRunList); list != 0 {
 		reach[list] = true
 	}
+	// Entry chunks of the primary trees are collected for the value-log
+	// pointer validation below.
+	var valChunks []uint64
 	markTree := func(t *nvbtree.Tree, keys *[]uint64) {
 		t.Nodes(mark)
 		t.Iter(0, func(k, v uint64) bool {
 			reach[v] = true
+			valChunks = append(valChunks, v)
 			if keys != nil {
 				*keys = append(*keys, k)
 			}
@@ -255,11 +334,39 @@ func (e *Engine) sweep() error {
 	runKeys := make([][]uint64, len(e.runs))
 	for i, r := range e.runs {
 		markTree(r.tree, &runKeys[i])
-		reach[r.bloomPtr] = true
+		if r.bloomPtr != 0 {
+			reach[r.bloomPtr] = true
+		}
 	}
 	for _, secs := range e.second {
 		for _, st := range secs {
 			st.Nodes(mark)
+		}
+	}
+	// The value log's directory and segment chunks are durable state, not
+	// orphans.
+	if e.backend != nil {
+		e.backend.Chunks(func(p pmalloc.Ptr) { reach[p] = true })
+	}
+	// Pointer validation: every separated-value pointer a durable tree
+	// carries must land inside a live segment's valid prefix. (A missing
+	// segment is legal only for shadowed stale entries; vlog.Validate
+	// distinguishes the cases.)
+	for _, v := range valChunks {
+		if e.Env.Dev.ReadU8(int64(v)) != lsm.KindFullPtr {
+			continue
+		}
+		var buf [core.VlogPtrSize]byte
+		e.Env.Dev.Read(int64(v)+5, buf[:])
+		ptr, ok := core.DecodeVlogPtr(buf[:])
+		if !ok {
+			return core.Corrupt(fmt.Errorf("nvmlog: malformed value-log pointer chunk"))
+		}
+		if e.vl == nil {
+			return core.Corrupt(fmt.Errorf("nvmlog: value-log pointer with separation disabled"))
+		}
+		if err := e.vl.Validate(ptr); err != nil {
+			return err
 		}
 	}
 
@@ -352,7 +459,11 @@ func (e *Engine) verifyBlooms(workers int, runKeys [][]uint64) error {
 		d.Write(int64(p), bits)
 		d.Sync(int64(p), len(bits))
 		e.Env.Arena.SetPersisted(p)
-		e.Env.Arena.Free(r.bloomPtr)
+		// bloomPtr 0 = a rotation crashed between run-list swap and bloom
+		// install; this path completes the interrupted build stage.
+		if r.bloomPtr != 0 {
+			e.Env.Arena.Free(r.bloomPtr)
+		}
 		r.bloomPtr = p
 		r.bloomWords = uint64(len(bits) / 8)
 		r.bloomK = ks[i]
@@ -388,6 +499,57 @@ func (e *Engine) readEntryChunk(p uint64) lsm.Entry {
 	payload := make([]byte, n)
 	d.Read(int64(p)+5, payload)
 	return lsm.Entry{Kind: kind, Payload: payload}
+}
+
+// discardIfPtr feeds the value log's discard stats when an entry chunk
+// holding a separated-value pointer is superseded, rolled back, or merged
+// away.
+func (e *Engine) discardIfPtr(chunk uint64) {
+	if e.vl == nil || chunk == 0 {
+		return
+	}
+	if e.Env.Dev.ReadU8(int64(chunk)) != lsm.KindFullPtr {
+		return
+	}
+	var buf [core.VlogPtrSize]byte
+	e.Env.Dev.Read(int64(chunk)+5, buf[:])
+	if ptr, ok := core.DecodeVlogPtr(buf[:]); ok {
+		e.vl.Discard(ptr.Seg, vlog.DiscardOf(ptr))
+	}
+}
+
+// resolveEntry is the lsm.Resolver: it materializes a KindFullPtr entry by
+// reading the value log.
+func (e *Engine) resolveEntry(key uint64, ent lsm.Entry) (lsm.Entry, error) {
+	ptr, ok := core.DecodeVlogPtr(ent.Payload)
+	if !ok {
+		return lsm.Entry{}, core.Corrupt(fmt.Errorf("nvmlog: malformed value-log pointer for key %d", key))
+	}
+	if e.vl == nil {
+		return lsm.Entry{}, core.Corrupt(fmt.Errorf("nvmlog: value-log pointer for key %d with separation disabled", key))
+	}
+	val, err := e.vl.Read(ptr, key)
+	if err != nil {
+		return lsm.Entry{}, err
+	}
+	return lsm.Entry{Kind: lsm.KindFull, Payload: val}, nil
+}
+
+// separate routes a large full image through the value log: the record is
+// appended and synced (durable before any chunk referencing it persists)
+// and the entry becomes a 12-byte pointer. Small images pass through.
+func (e *Engine) separate(tk uint64, ent lsm.Entry) (lsm.Entry, error) {
+	if e.vl == nil || ent.Kind != lsm.KindFull || len(ent.Payload) < e.opts.VlogThreshold {
+		return ent, nil
+	}
+	ptr, err := e.vl.Append(tk, ent.Payload)
+	if err != nil {
+		return lsm.Entry{}, err
+	}
+	if err := e.vl.Sync(); err != nil {
+		return lsm.Entry{}, err
+	}
+	return lsm.Entry{Kind: lsm.KindFullPtr, Payload: ptr.Encode(nil)}, nil
 }
 
 // secFix describes a secondary-index change for WAL undo.
@@ -470,6 +632,8 @@ func (e *Engine) undoEntry(p pmalloc.Ptr) error {
 		}
 	}
 	if newPtr != 0 && e.Env.Arena.StateOf(newPtr) != pmalloc.StateFree {
+		// A rolled-back separated value leaves its log record dead.
+		e.discardIfPtr(newPtr)
 		e.Env.Arena.Free(newPtr)
 	}
 	n := int(d.ReadU8(int64(p) + wNSec))
@@ -499,7 +663,18 @@ func (e *Engine) applyMem(tm *core.TableMeta, typ uint8, key uint64, ent lsm.Ent
 	if p, ok := e.mem.Get(tk); ok {
 		oldPtr = p
 		isNew = false
-		ent = lsm.Merge(tm.Schema, ent, e.readEntryChunk(p))
+		merged, err := lsm.MergeR(tm.Schema, tk, ent, e.readEntryChunk(p), e.resolveEntry)
+		if err != nil {
+			return err
+		}
+		ent = merged
+	}
+	// Separation happens after the merge: a delta landing on a separated
+	// image resolves to an inline full image, which re-separates here if it
+	// is still large.
+	ent, err := e.separate(tk, ent)
+	if err != nil {
+		return err
 	}
 	newPtr, err := e.writeEntryChunk(ent)
 	if err != nil {
@@ -507,6 +682,7 @@ func (e *Engine) applyMem(tm *core.TableMeta, typ uint8, key uint64, ent lsm.Ent
 	}
 	entry, err := e.appendWAL(typ, tm.ID, key, oldPtr, uint64(newPtr), fixes)
 	if err != nil {
+		e.discardIfPtr(uint64(newPtr))
 		e.Env.Arena.Free(newPtr)
 		return err
 	}
@@ -538,6 +714,8 @@ func (e *Engine) Name() string { return "nvm-log" }
 
 // Begin starts a transaction.
 func (e *Engine) Begin() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := e.BeginTx(); err != nil {
 		return err
 	}
@@ -546,8 +724,13 @@ func (e *Engine) Begin() error {
 }
 
 // Commit durably marks the transaction committed, truncates the WAL, and
-// rotates/compacts MemTables as needed.
+// runs the staged rotation/compaction pipeline when the MemTable is full.
+// A pipeline failure is surfaced to the caller, but the transaction IS
+// durable (the WAL truncation below is the commit point); a later commit
+// retries the maintenance.
 func (e *Engine) Commit() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := e.RequireTx(); err != nil {
 		return err
 	}
@@ -557,6 +740,7 @@ func (e *Engine) Commit() error {
 	d.WriteU64Durable(int64(e.hdr)+hWalHead, 0)
 	for _, op := range e.ops {
 		if op.oldPtr != 0 && e.Env.Arena.StateOf(op.oldPtr) != pmalloc.StateFree {
+			e.discardIfPtr(op.oldPtr)
 			e.Env.Arena.Free(op.oldPtr)
 		}
 		e.Env.Arena.Free(op.entry)
@@ -565,26 +749,31 @@ func (e *Engine) Commit() error {
 	// The WAL truncation above is the durability barrier: versions publish
 	// to snapshot readers immediately (NVM-Log is durable at commit).
 	e.MV.CommitStaged(e.TxnID, true)
+	var maintErr error
 	if e.memCount >= e.opts.MemTableCap {
-		// The transaction is already durably committed (the WAL truncation
-		// above); rotation/compaction are maintenance that a later commit
-		// retries. End the txn before surfacing their errors.
-		if err := e.rotate(); err != nil {
-			_ = e.EndTx()
-			return err
-		}
-		if len(e.runs) >= e.opts.LSMGrowth {
-			if err := e.compact(); err != nil {
-				_ = e.EndTx()
-				return err
-			}
+		start := time.Now()
+		newRun, keys, err := e.rotatePrepare()
+		e.fm.Observe("flush", lsm.StagePrepare, time.Since(start))
+		if err != nil {
+			maintErr = err
+		} else {
+			maintErr = e.fm.Submit(e.rotateTask(newRun, keys))
 		}
 	}
-	return e.EndTx()
+	if maintErr == nil {
+		maintErr = e.fm.TakeErr()
+	}
+	endErr := e.EndTx()
+	if maintErr != nil {
+		return maintErr
+	}
+	return endErr
 }
 
 // Abort undoes the transaction via its WAL entries and truncates the log.
 func (e *Engine) Abort() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := e.RequireTx(); err != nil {
 		return err
 	}
@@ -608,35 +797,90 @@ func (e *Engine) Abort() error {
 	return e.EndTx()
 }
 
-// rotate marks the mutable MemTable immutable: build its Bloom filter,
-// prepend it to the run list, and start a fresh MemTable (§4.3 — the
-// MemTable is not flushed anywhere; it is already durable).
-func (e *Engine) rotate() error {
+// rotatePrepare is the prepare stage of a rotation: the mutable MemTable is
+// sealed into the run list (with an empty Bloom filter — lookups fall back
+// to probing the tree until the build stage installs the real one) and a
+// fresh MemTable starts. The NVM engine never flushes the memtable anywhere
+// (§4.3 — it is already durable); prepare is the durability-critical part,
+// the Bloom filter is an optimization the build/install stages complete.
+func (e *Engine) rotatePrepare() (*run, []uint64, error) {
 	stop := e.Bd.Timer(&e.Bd.Storage)
 	defer stop()
 	var keys []uint64
 	e.mem.Iter(0, func(k, v uint64) bool { keys = append(keys, k); return true })
-	fl := bloom.New(len(keys), 10)
-	for _, k := range keys {
-		fl.Add(k)
-	}
-	newRun, err := e.storeRun(e.mem, fl)
-	if err != nil {
-		return err
-	}
+	newRun := &run{tree: e.mem}
 	if err := e.swapRunList(append([]*run{newRun}, e.runs...)); err != nil {
-		return err
+		return nil, nil, err
 	}
 	// Start the fresh mutable MemTable (recovery completes this step if a
-	// crash lands between the two swaps).
+	// crash lands between the two swaps, and rebuilds the missing Bloom
+	// filter in verifyBlooms).
 	fresh, err := nvbtree.Create(e.Env.Arena, e.opts.BTreeNodeSize)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	e.mem = fresh
 	e.Env.Dev.WriteU64Durable(int64(e.hdr)+hMutable, e.mem.Header())
 	e.memCount = 0
-	return nil
+	return newRun, keys, nil
+}
+
+// rotateTask finishes a rotation: build computes the Bloom filter (pure
+// hashing), install persists it and relinks the run list, release chains
+// the compaction and GC checks. A failure leaves the run with an empty
+// filter — correct, just slower — so nothing is retried.
+func (e *Engine) rotateTask(newRun *run, keys []uint64) *lsm.FlushTask {
+	t := &lsm.FlushTask{Kind: "flush"}
+	var fl *bloom.Filter
+	t.Build = func() error {
+		fl = bloom.New(len(keys), 10)
+		for _, k := range keys {
+			fl.Add(k)
+		}
+		return nil
+	}
+	t.Install = func() error {
+		// The run may already have been merged away by a compaction that
+		// ran between prepare and now; its Bloom filter died with it.
+		live := false
+		for _, r := range e.runs {
+			if r == newRun {
+				live = true
+			}
+		}
+		if !live {
+			return nil
+		}
+		bm := fl.Marshal()
+		p, err := e.Env.Arena.Alloc(len(bm)-8, pmalloc.TagIndex)
+		if err != nil {
+			e.fstats.Failures++
+			return err
+		}
+		d := e.Env.Dev
+		d.Write(int64(p), bm[8:])
+		d.Sync(int64(p), len(bm)-8)
+		e.Env.Arena.SetPersisted(p)
+		newRun.bloomPtr = p
+		newRun.bloomWords = uint64((len(bm) - 8) / 8)
+		newRun.bloomK = fl.K()
+		if err := e.swapRunList(e.runs); err != nil {
+			e.fstats.Failures++
+			return err
+		}
+		return nil
+	}
+	t.Release = func() error {
+		e.fstats.Flushes++
+		if len(e.runs) >= e.opts.LSMGrowth {
+			if err := e.submitCompact(); err != nil {
+				return err
+			}
+		}
+		e.submitGC(gcMinRatio)
+		return nil
+	}
+	return t
 }
 
 // storeRun persists a bloom filter chunk and returns the run descriptor.
@@ -687,86 +931,255 @@ func (e *Engine) swapRunList(runs []*run) error {
 	return nil
 }
 
-// compact merges a subset of the immutable MemTables — the two oldest —
-// into one new, larger MemTable with a fresh Bloom filter (§4.3: "we also
-// modified the compaction process to merge a set of these MemTables").
-// Merging only the deepest pair bounds the transient space to roughly the
-// size of that pair; tombstones are dropped because nothing older remains
-// below them.
-func (e *Engine) compact() error {
-	stop := e.Bd.Timer(&e.Bd.Storage)
-	defer stop()
-	if len(e.runs) < 2 {
+// submitCompact queues a compaction merging the two oldest immutable
+// MemTables into one new, larger MemTable with a fresh Bloom filter (§4.3:
+// "we also modified the compaction process to merge a set of these
+// MemTables"). Merging only the deepest pair bounds the transient space to
+// roughly the size of that pair; tombstones are dropped because nothing
+// older remains below them. Superseded value-log pointers feed the discard
+// statistics that drive GC. Caller holds e.mu.
+func (e *Engine) submitCompact() error {
+	if e.compactQueued || len(e.runs) < 2 {
 		return nil
 	}
-	e.compactions++
-	victims := e.runs[len(e.runs)-2:] // newest-first order: the two oldest
+	e.compactQueued = true
+	var newRun *run
+	var victims []*run
+	t := &lsm.FlushTask{Kind: "compact"}
 
-	// Collect: for each key, entries newest-run first.
-	entries := make(map[uint64][]lsm.Entry)
-	var order []uint64
-	for _, r := range victims {
-		r.tree.Iter(0, func(k, v uint64) bool {
-			if _, ok := entries[k]; !ok {
-				order = append(order, k)
-			}
-			entries[k] = append(entries[k], e.readEntryChunk(v))
-			return true
-		})
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	t.Build = func() error {
+		stop := e.Bd.Timer(&e.Bd.Storage)
+		defer stop()
+		fail := func(err error) error {
+			e.compactQueued = false
+			e.fstats.Failures++
+			return err
+		}
+		victims = e.runs[len(e.runs)-2:] // newest-first order: the two oldest
 
-	merged, err := nvbtree.Create(e.Env.Arena, e.opts.BTreeNodeSize)
-	if err != nil {
-		return err
-	}
-	fl := bloom.New(len(order), 10)
-	for _, k := range order {
-		es := entries[k]
-		acc := es[0]
-		for _, ent := range es[1:] {
-			acc = lsm.Merge(e.Tables[core.TreeTable(k)].Schema, acc, ent)
-			if acc.Kind != lsm.KindDelta {
-				break
-			}
+		// Collect: for each key, entries newest-run first.
+		entries := make(map[uint64][]lsm.Entry)
+		var order []uint64
+		for _, r := range victims {
+			r.tree.Iter(0, func(k, v uint64) bool {
+				if _, ok := entries[k]; !ok {
+					order = append(order, k)
+				}
+				entries[k] = append(entries[k], e.readEntryChunk(v))
+				return true
+			})
 		}
-		if acc.Kind == lsm.KindTomb {
-			continue // reclaim space during compaction (Table 2)
-		}
-		cp, err := e.writeEntryChunk(acc)
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+		merged, err := nvbtree.Create(e.Env.Arena, e.opts.BTreeNodeSize)
 		if err != nil {
-			return err
+			return fail(err)
 		}
-		if err := merged.Put(k, uint64(cp)); err != nil {
-			return err
-		}
-		fl.Add(k)
-	}
-	newRun, err := e.storeRun(merged, fl)
-	if err != nil {
-		return err
-	}
-	oldRuns := e.runs
-	newList := append(append([]*run{}, e.runs[:len(e.runs)-2]...), newRun)
-	if err := e.swapRunList(newList); err != nil {
-		return err
-	}
-	// Release the merged-away runs: their entry chunks, trees, and blooms.
-	for _, r := range oldRuns[len(oldRuns)-2:] {
-		r.tree.Iter(0, func(k, v uint64) bool {
-			if e.Env.Arena.StateOf(v) != pmalloc.StateFree {
-				e.Env.Arena.Free(v)
+		fl := bloom.New(len(order), 10)
+		for _, k := range order {
+			es := entries[k]
+			acc := es[0]
+			for _, ent := range es[1:] {
+				acc, err = lsm.MergeR(e.Tables[core.TreeTable(k)].Schema, k, acc, ent, e.resolveEntry)
+				if err != nil {
+					return fail(err)
+				}
+				if acc.Kind != lsm.KindDelta {
+					break
+				}
 			}
-			return true
-		})
-		r.tree.Release()
-		e.Env.Arena.Free(r.bloomPtr)
+			// A delta resolved over a separated image yields an inline full
+			// image; re-separate it if it is still large.
+			acc, err = e.separate(k, acc)
+			if err != nil {
+				return fail(err)
+			}
+			// Input pointers not carried forward verbatim are dead log bytes.
+			for _, ent := range es {
+				if ent.Kind == lsm.KindFullPtr && e.vl != nil &&
+					!(acc.Kind == lsm.KindFullPtr && bytes.Equal(ent.Payload, acc.Payload)) {
+					if ptr, ok := core.DecodeVlogPtr(ent.Payload); ok {
+						e.vl.Discard(ptr.Seg, vlog.DiscardOf(ptr))
+					}
+				}
+			}
+			if acc.Kind == lsm.KindTomb {
+				continue // reclaim space during compaction (Table 2)
+			}
+			cp, err := e.writeEntryChunk(acc)
+			if err != nil {
+				return fail(err)
+			}
+			if err := merged.Put(k, uint64(cp)); err != nil {
+				return fail(err)
+			}
+			fl.Add(k)
+		}
+		newRun, err = e.storeRun(merged, fl)
+		if err != nil {
+			return fail(err)
+		}
+		return nil
+	}
+
+	t.Install = func() error {
+		newList := append(append([]*run{}, e.runs[:len(e.runs)-2]...), newRun)
+		if err := e.swapRunList(newList); err != nil {
+			e.compactQueued = false
+			e.fstats.Failures++
+			return err
+		}
+		return nil
+	}
+
+	t.Release = func() error {
+		// Release the merged-away runs: their entry chunks, trees, blooms.
+		for _, r := range victims {
+			r.tree.Iter(0, func(k, v uint64) bool {
+				if e.Env.Arena.StateOf(v) != pmalloc.StateFree {
+					e.Env.Arena.Free(v)
+				}
+				return true
+			})
+			r.tree.Release()
+			if r.bloomPtr != 0 {
+				e.Env.Arena.Free(r.bloomPtr)
+			}
+		}
+		e.compactions++
+		e.fstats.Compactions++
+		e.compactQueued = false
+		e.submitGC(gcMinRatio)
+		return nil
+	}
+	if err := e.fm.Submit(t); err != nil {
+		e.compactQueued = false
+		if errors.Is(err, lsm.ErrClosed) {
+			// Shutdown race: a release stage chained this compaction after
+			// Close. The runs are durable; the next open compacts them.
+			return nil
+		}
+		return err
 	}
 	return nil
 }
 
+// submitGC queues a value-log GC pass if a sealed segment's dead ratio
+// reaches minRatio (0 forces the best victim regardless). Caller holds
+// e.mu.
+func (e *Engine) submitGC(minRatio float64) {
+	if e.vl == nil || e.gcQueued {
+		return
+	}
+	victim, ok := e.vl.PickVictim(minRatio)
+	if !ok {
+		return
+	}
+	e.gcQueued = true
+	t := &lsm.FlushTask{Kind: "gc"}
+	t.Build = func() error {
+		defer func() { e.gcQueued = false }()
+		if e.opts.FlushWorkers > 0 && e.InTx {
+			// A background GC pass must not repoint entry chunks an open
+			// transaction could still roll back (the undo would free the
+			// repointed chunk and restore one GC just freed). Skip; the
+			// next trigger re-picks the victim.
+			return nil
+		}
+		if !e.vl.Has(victim) {
+			return nil
+		}
+		if err := e.gcSegment(victim); err != nil {
+			e.fstats.Failures++
+			return err
+		}
+		e.fstats.GCRuns++
+		e.vl.NoteGCRun()
+		return nil
+	}
+	if err := e.fm.Submit(t); err != nil {
+		e.gcQueued = false
+	}
+}
+
+// gcSegment rewrites the victim segment's live records to the value-log
+// tail and repoints their entry chunks in place, then removes the segment.
+// Every step is individually crash-safe: the new record syncs before the
+// new chunk persists, the new chunk persists before the durable tree
+// repoint, and the victim only leaves the (anchor-swapped) directory after
+// every live record is repointed — a crash at any boundary leaves either
+// the old pointer valid or the new one installed, never a dangling pointer.
+func (e *Engine) gcSegment(victim uint32) error {
+	err := e.vl.Scan(victim, func(key uint64, ptr core.VlogPtr, val []byte) error {
+		tree, oldChunk, live := e.findLive(key, ptr)
+		if !live {
+			return nil
+		}
+		nptr, err := e.vl.Append(key, val)
+		if err != nil {
+			return err
+		}
+		if err := e.vl.Sync(); err != nil {
+			return err
+		}
+		np, err := e.writeEntryChunk(lsm.Entry{Kind: lsm.KindFullPtr, Payload: nptr.Encode(nil)})
+		if err != nil {
+			return err
+		}
+		if err := tree.Put(key, uint64(np)); err != nil {
+			return err
+		}
+		e.Env.Arena.Free(oldChunk)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return e.vl.Remove(victim)
+}
+
+// findLive locates the entry chunk referencing ptr, if the pointer is still
+// the terminal of its key's live chain. Deltas above a separated image keep
+// it live (reads resolve through it); a newer full image or tombstone
+// shadows it.
+func (e *Engine) findLive(tk uint64, ptr core.VlogPtr) (*nvbtree.Tree, uint64, bool) {
+	check := func(t *nvbtree.Tree) (uint64, int) { // 0 = keep walking, 1 = live, 2 = dead
+		p, ok := t.Get(tk)
+		if !ok {
+			return 0, 0
+		}
+		ent := e.readEntryChunk(p)
+		switch ent.Kind {
+		case lsm.KindDelta:
+			return 0, 0
+		case lsm.KindFullPtr:
+			if q, ok := core.DecodeVlogPtr(ent.Payload); ok && q == ptr {
+				return uint64(p), 1
+			}
+			return 0, 2
+		default:
+			return 0, 2
+		}
+	}
+	if p, v := check(e.mem); v == 1 {
+		return e.mem, p, true
+	} else if v == 2 {
+		return nil, 0, false
+	}
+	for _, r := range e.runs {
+		if p, v := check(r.tree); v == 1 {
+			return r.tree, p, true
+		} else if v == 2 {
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false
+}
+
 // Insert adds a tuple (Table 2: sync tuple, log pointer, add to MemTable).
 func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := e.RequireTx(); err != nil {
 		return err
 	}
@@ -774,7 +1187,7 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 	if err != nil {
 		return err
 	}
-	_, exists, err := e.Get(table, key)
+	_, exists, err := e.get(table, key)
 	if err != nil {
 		return err
 	}
@@ -796,6 +1209,8 @@ func (e *Engine) Insert(table string, key uint64, row []core.Value) error {
 
 // Update records the updated fields in the MemTable.
 func (e *Engine) Update(table string, key uint64, upd core.Update) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := e.RequireTx(); err != nil {
 		return err
 	}
@@ -803,7 +1218,7 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 	if err != nil {
 		return err
 	}
-	old, exists, err := e.Get(table, key)
+	old, exists, err := e.get(table, key)
 	if err != nil {
 		return err
 	}
@@ -832,6 +1247,8 @@ func (e *Engine) Update(table string, key uint64, upd core.Update) error {
 
 // Delete marks the tuple with a tombstone in the MemTable.
 func (e *Engine) Delete(table string, key uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := e.RequireTx(); err != nil {
 		return err
 	}
@@ -839,7 +1256,7 @@ func (e *Engine) Delete(table string, key uint64) error {
 	if err != nil {
 		return err
 	}
-	old, exists, err := e.Get(table, key)
+	old, exists, err := e.get(table, key)
 	if err != nil {
 		return err
 	}
@@ -861,21 +1278,31 @@ func (e *Engine) Delete(table string, key uint64) error {
 
 // Get coalesces entries from the mutable MemTable and the immutable runs
 // (newest first), probing each run's Bloom filter first (Table 2).
+// Separated values resolve through the value log.
 func (e *Engine) Get(table string, key uint64) ([]core.Value, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.get(table, key)
+}
+
+func (e *Engine) get(table string, key uint64) ([]core.Value, bool, error) {
 	tm, err := e.Table(table)
 	if err != nil {
 		return nil, false, err
 	}
 	tk := core.TreePrimary(tm.ID, key)
-	var acc lsm.Entry
-	have := false
+	var entries []lsm.Entry
+	add := func(ent lsm.Entry) bool {
+		entries = append(entries, ent)
+		return ent.Kind != lsm.KindDelta
+	}
+	done := false
 	stopSt := e.Bd.Timer(&e.Bd.Storage)
 	if p, ok := e.mem.Get(tk); ok {
-		acc = e.readEntryChunk(p)
-		have = true
+		done = add(e.readEntryChunk(p))
 	}
 	stopSt()
-	if !have || acc.Kind == lsm.KindDelta {
+	if !done {
 		stopIdx := e.Bd.Timer(&e.Bd.Index)
 		for _, r := range e.runs {
 			if !e.bloomHas(r, tk) {
@@ -885,27 +1312,17 @@ func (e *Engine) Get(table string, key uint64) ([]core.Value, bool, error) {
 			if !ok {
 				continue
 			}
-			ent := e.readEntryChunk(p)
-			if have {
-				acc = lsm.Merge(tm.Schema, acc, ent)
-			} else {
-				acc = ent
-				have = true
-			}
-			if acc.Kind != lsm.KindDelta {
+			if add(e.readEntryChunk(p)) {
 				break
 			}
 		}
 		stopIdx()
 	}
-	if !have || acc.Kind != lsm.KindFull {
-		return nil, false, nil
-	}
-	row, err := core.DecodeRow(tm.Schema, acc.Payload)
+	row, exists, _, err := lsm.CoalesceR(tm.Schema, tk, entries, e.resolveEntry)
 	if err != nil {
 		return nil, false, err
 	}
-	return row, true, nil
+	return row, exists, nil
 }
 
 func (e *Engine) bloomHas(r *run, key uint64) bool {
@@ -927,6 +1344,8 @@ func (e *Engine) bloomHas(r *run, key uint64) bool {
 
 // ScanSecondary iterates primary keys matching a secondary key.
 func (e *Engine) ScanSecondary(table, index string, sec uint32, fn func(pk uint64) bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	tm, err := e.Table(table)
 	if err != nil {
 		return err
@@ -949,6 +1368,8 @@ func (e *Engine) ScanSecondary(table, index string, sec uint32, fn func(pk uint6
 
 // ScanRange merges the MemTable and the runs over the key range.
 func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row []core.Value) bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	tm, err := e.Table(table)
 	if err != nil {
 		return err
@@ -977,7 +1398,10 @@ func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 	for _, k := range order {
-		row, exists, _ := lsm.Coalesce(tm.Schema, entries[k])
+		row, exists, _, err := lsm.CoalesceR(tm.Schema, k, entries[k], e.resolveEntry)
+		if err != nil {
+			return err
+		}
 		if exists {
 			if !fn(core.TreePK(k), row) {
 				return nil
@@ -990,14 +1414,61 @@ func (e *Engine) ScanRange(table string, from, to uint64, fn func(pk uint64, row
 // Flush is a no-op: every commit is immediately durable.
 func (e *Engine) Flush() error { return nil }
 
+// Close drains in-flight background rotation/compaction/GC work, then marks
+// the engine closed. It must be called without e.mu held: the worker needs
+// the monitor to finish its current task.
+func (e *Engine) Close() error {
+	e.fm.Close()
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	return e.fm.TakeErr()
+}
+
 // Compactions returns the number of MemTable merges performed.
-func (e *Engine) Compactions() int { return e.compactions }
+func (e *Engine) Compactions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compactions
+}
 
 // Runs returns the number of immutable MemTables.
-func (e *Engine) Runs() int { return len(e.runs) }
+func (e *Engine) Runs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.runs)
+}
+
+// FlushStats exposes the staged-pipeline and value-log counters
+// (core.FlushStatser).
+func (e *Engine) FlushStats() core.FlushStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.fstats
+	if e.vl != nil {
+		vs := e.vl.Stats()
+		st.VlogSegments = int64(vs.Segments)
+		st.VlogBytes = vs.Bytes
+		st.VlogDiscard = vs.Discard
+		st.VlogReclaimed = vs.Reclaimed
+	}
+	return st
+}
+
+// GCVlog forces one value-log GC pass over the deadest sealed segment, if
+// any qualifies (test/bench hook).
+func (e *Engine) GCVlog() error {
+	e.mu.Lock()
+	e.submitGC(0)
+	e.mu.Unlock()
+	e.fm.Drain()
+	return e.fm.TakeErr()
+}
 
 // Footprint reports storage usage (Fig. 14).
 func (e *Engine) Footprint() core.Footprint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	u := e.Env.Arena.Usage()
 	return core.Footprint{
 		Table: u[pmalloc.TagTable],

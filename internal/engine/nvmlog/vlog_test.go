@@ -1,0 +1,251 @@
+package nvmlog
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"nstore/internal/core"
+)
+
+func bigSchema() []*core.Schema {
+	return []*core.Schema{{
+		Name: "t",
+		Columns: []core.Column{
+			{Name: "id", Type: core.TInt},
+			{Name: "a", Type: core.TInt},
+			{Name: "b", Type: core.TString, Size: 2048},
+		},
+	}}
+}
+
+func bigRow(i int64, n int) []core.Value {
+	pat := strings.Repeat(string(rune('a'+i%26)), n)
+	return []core.Value{core.IntVal(i), core.IntVal(i * 2), core.StrVal(pat)}
+}
+
+// TestVlogSeparationRoundtrip drives large values through write-time
+// separation (nvm-log separates in applyMem, not at flush), checks deltas
+// coalesce over separated images, and power-cycles twice — once before and
+// once after a forced GC pass.
+func TestVlogSeparationRoundtrip(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 512 << 20})
+	opts := core.Options{MemTableCap: 40, LSMGrowth: 3, VlogThreshold: 256, VlogSegSize: 32 << 10}
+	e, err := New(env, bigSchema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 300; i++ {
+		e.Begin()
+		if err := e.Insert("t", uint64(i), bigRow(i, 600)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.FlushStats(); st.VlogBytes == 0 {
+		t.Fatal("no bytes separated; test is vacuous")
+	}
+	// Delta updates coalesce over separated full images.
+	for i := int64(1); i <= 100; i++ {
+		e.Begin()
+		if err := e.Update("t", uint64(i), core.Update{Cols: []int{1}, Vals: []core.Value{core.IntVal(i * 7)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(e *Engine, tag string) {
+		t.Helper()
+		for i := int64(1); i <= 300; i++ {
+			r, ok, err := e.Get("t", uint64(i))
+			if err != nil || !ok {
+				t.Fatalf("%s: Get(%d) = %v,%v", tag, i, ok, err)
+			}
+			want := i * 2
+			if i <= 100 {
+				want = i * 7
+			}
+			if r[1].I != want || len(r[2].S) != 600 {
+				t.Fatalf("%s: key %d wrong row (a=%d want %d, len=%d)", tag, i, r[1].I, want, len(r[2].S))
+			}
+		}
+	}
+	check(e, "pre-crash")
+
+	env.Dev.Crash()
+	env2, err := env.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(env2, bigSchema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(e2, "post-crash")
+
+	if err := e2.GCVlog(); err != nil {
+		t.Fatal(err)
+	}
+	check(e2, "post-gc")
+
+	env2.Dev.Crash()
+	env3, err := env2.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := Open(env3, bigSchema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(e3, "post-gc-crash")
+}
+
+// TestVlogGCReclaimsDeadSegments deletes half the separated values, churns
+// compactions so the discard statistics accumulate, and requires forced GC
+// to actually reclaim log space without disturbing the survivors.
+func TestVlogGCReclaimsDeadSegments(t *testing.T) {
+	env := core.NewEnv(core.EnvConfig{DeviceSize: 512 << 20})
+	opts := core.Options{MemTableCap: 30, LSMGrowth: 2, VlogThreshold: 256, VlogSegSize: 16 << 10}
+	e, err := New(env, bigSchema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 200; i++ {
+		e.Begin()
+		if err := e.Insert("t", uint64(i), bigRow(i, 500)); err != nil {
+			t.Fatal(err)
+		}
+		e.Commit()
+	}
+	for i := int64(1); i <= 100; i++ {
+		e.Begin()
+		if err := e.Delete("t", uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		e.Commit()
+	}
+	// Churn: push the tombstones through compactions so superseded pointers
+	// feed the discard stats.
+	for i := int64(1000); i <= 1120; i++ {
+		e.Begin()
+		if err := e.Insert("t", uint64(i), bigRow(i, 500)); err != nil {
+			t.Fatal(err)
+		}
+		e.Commit()
+	}
+	var reclaimed int64
+	for pass := 0; pass < 8; pass++ {
+		if err := e.GCVlog(); err != nil {
+			t.Fatal(err)
+		}
+		if reclaimed = e.FlushStats().VlogReclaimed; reclaimed > 0 {
+			break
+		}
+	}
+	if reclaimed == 0 {
+		t.Fatalf("GC never reclaimed a segment (stats: %+v)", e.FlushStats())
+	}
+	for i := int64(101); i <= 200; i++ {
+		r, ok, err := e.Get("t", uint64(i))
+		if err != nil || !ok || len(r[2].S) != 500 {
+			t.Fatalf("survivor %d wrong after GC: ok=%v err=%v", i, ok, err)
+		}
+	}
+	for i := int64(1); i <= 100; i++ {
+		if _, ok, _ := e.Get("t", uint64(i)); ok {
+			t.Fatalf("deleted key %d resurrected by GC", i)
+		}
+	}
+	// Repointed records and the shrunken directory must survive recovery.
+	env.Dev.Crash()
+	env2, err := env.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(env2, bigSchema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(101); i <= 200; i++ {
+		if _, ok, err := e2.Get("t", uint64(i)); !ok || err != nil {
+			t.Fatalf("survivor %d lost across post-GC crash: %v", i, err)
+		}
+	}
+}
+
+// TestCloseMidRotation closes the engine while the background worker owns
+// queued rotation/compaction work; meaningful under -race. Acked commits
+// are NVM-durable at commit, so everything acked must survive reopen.
+func TestCloseMidRotation(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		env := core.NewEnv(core.EnvConfig{DeviceSize: 512 << 20})
+		opts := core.Options{MemTableCap: 16, LSMGrowth: 2, VlogThreshold: 256, FlushWorkers: 1}
+		e, err := New(env, bigSchema(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var acked int64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := int64(1); i <= 400; i++ {
+				if err := e.Begin(); err != nil {
+					return
+				}
+				if err := e.Insert("t", uint64(i), bigRow(i, 400)); err != nil {
+					_ = e.Abort()
+					return
+				}
+				if err := e.Commit(); err != nil {
+					return
+				}
+				mu.Lock()
+				acked = i
+				mu.Unlock()
+			}
+		}()
+		for {
+			mu.Lock()
+			n := acked
+			mu.Unlock()
+			if n >= int64(20+40*round) {
+				break
+			}
+			select {
+			case <-done:
+			default:
+				continue
+			}
+			break
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("round %d: Close: %v", round, err)
+		}
+		<-done
+		mu.Lock()
+		n := acked
+		mu.Unlock()
+
+		env.Dev.Crash()
+		env2, err := env.Reopen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := Open(env2, bigSchema(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(1); i <= n; i++ {
+			if _, ok, err := e2.Get("t", uint64(i)); !ok || err != nil {
+				t.Fatalf("round %d: acked key %d lost after Close (%v)", round, i, err)
+			}
+		}
+		if err := e2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -87,6 +87,45 @@ func (rt *Runtime) buildMetrics() {
 	reg.GaugeFunc("wal_bytes", walGauge(func(s core.WalStats) int64 { return s.Bytes }))
 	reg.GaugeFunc("wal_flushes", walGauge(func(s core.WalStats) int64 { return s.Fsyncs }))
 
+	// Staged flush pipeline + value log (Log engines only; zero elsewhere).
+	// Engine instances are rebuilt on partition heals, hence gauges.
+	flushGauge := func(sel func(core.FlushStats) int64) func() float64 {
+		return func() float64 {
+			var n int64
+			for i := 0; i < db.Partitions(); i++ {
+				if fs, ok := db.Engine(i).(core.FlushStatser); ok {
+					n += sel(fs.FlushStats())
+				}
+			}
+			return float64(n)
+		}
+	}
+	reg.GaugeFunc("flush_flushes", flushGauge(func(s core.FlushStats) int64 { return s.Flushes }))
+	reg.GaugeFunc("flush_compactions", flushGauge(func(s core.FlushStats) int64 { return s.Compactions }))
+	reg.GaugeFunc("flush_gc_runs", flushGauge(func(s core.FlushStats) int64 { return s.GCRuns }))
+	reg.GaugeFunc("flush_failures", flushGauge(func(s core.FlushStats) int64 { return s.Failures }))
+	reg.GaugeFunc("flush_prepare_ns", flushGauge(func(s core.FlushStats) int64 { return s.PrepareNs }))
+	reg.GaugeFunc("flush_build_ns", flushGauge(func(s core.FlushStats) int64 { return s.BuildNs }))
+	reg.GaugeFunc("flush_install_ns", flushGauge(func(s core.FlushStats) int64 { return s.InstallNs }))
+	reg.GaugeFunc("flush_release_ns", flushGauge(func(s core.FlushStats) int64 { return s.ReleaseNs }))
+	reg.GaugeFunc("vlog_segments", flushGauge(func(s core.FlushStats) int64 { return s.VlogSegments }))
+	reg.GaugeFunc("vlog_bytes", flushGauge(func(s core.FlushStats) int64 { return s.VlogBytes }))
+	reg.GaugeFunc("vlog_discard", flushGauge(func(s core.FlushStats) int64 { return s.VlogDiscard }))
+	reg.GaugeFunc("vlog_reclaimed", flushGauge(func(s core.FlushStats) int64 { return s.VlogReclaimed }))
+	reg.GaugeFunc("vlog_space_amp", func() float64 {
+		// Aggregate amplification: total live-segment bytes over bytes not
+		// yet known dead, folded across partitions.
+		var agg core.FlushStats
+		for i := 0; i < db.Partitions(); i++ {
+			if fs, ok := db.Engine(i).(core.FlushStatser); ok {
+				st := fs.FlushStats()
+				agg.VlogBytes += st.VlogBytes
+				agg.VlogDiscard += st.VlogDiscard
+			}
+		}
+		return agg.VlogSpaceAmp()
+	})
+
 	bdGauge := func(sel func(core.Breakdown) time.Duration) func() float64 {
 		return func() float64 {
 			var total time.Duration
